@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: cost of the storage-free confidence
+//! classification on top of a plain TAGE simulation loop.
+//!
+//! The paper's argument is that the estimation is free in hardware; this
+//! bench shows it is also nearly free in simulation (a few percent on top of
+//! predict + update).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage_confidence::TageConfidenceClassifier;
+use tage_traces::{suites, Trace};
+
+fn workload() -> Trace {
+    suites::cbp1_like().trace("MM-3").unwrap().generate(20_000)
+}
+
+fn config() -> TageConfig {
+    TageConfig::medium().with_automaton(CounterAutomaton::paper_default())
+}
+
+fn bench_classifier_overhead(c: &mut Criterion) {
+    let trace = workload();
+    let mut group = c.benchmark_group("classifier_overhead");
+    group.throughput(Throughput::Elements(
+        trace.iter().filter(|r| r.kind.is_conditional()).count() as u64,
+    ));
+    group.bench_function("predict_update_only", |b| {
+        b.iter(|| {
+            let mut predictor = TagePredictor::new(config());
+            let mut misses = 0u64;
+            for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+                let pred = predictor.predict(record.pc);
+                if pred.taken != record.taken {
+                    misses += 1;
+                }
+                predictor.update(record.pc, record.taken, &pred);
+            }
+            misses
+        });
+    });
+    group.bench_function("predict_classify_update", |b| {
+        b.iter(|| {
+            let mut predictor = TagePredictor::new(config());
+            let mut classifier = TageConfidenceClassifier::new(&config());
+            let mut high = 0u64;
+            for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+                let pred = predictor.predict(record.pc);
+                let class = classifier.classify_and_observe(&pred, record.taken);
+                if class.level() == tage_confidence::ConfidenceLevel::High {
+                    high += 1;
+                }
+                predictor.update(record.pc, record.taken, &pred);
+            }
+            high
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier_overhead);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmark: throughput of the storage-based baseline
+//! confidence estimators (JRS, enhanced JRS, self-confidence) attached to
+//! their host predictors.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use tage_confidence::estimators::{ConfidenceEstimator, JrsEstimator, SelfConfidenceEstimator};
+use tage_predictors::{BranchPredictor, GsharePredictor, PerceptronPredictor};
+use tage_traces::{suites, Trace};
+
+fn workload() -> Trace {
+    suites::cbp2_like().trace("175.vpr").unwrap().generate(20_000)
+}
+
+fn run(
+    predictor: &mut dyn BranchPredictor,
+    estimator: &mut dyn ConfidenceEstimator,
+    trace: &Trace,
+) -> u64 {
+    let mut high = 0u64;
+    for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+        let pred = predictor.predict(record.pc);
+        if estimator.estimate(record.pc, &pred) == tage_confidence::ConfidenceLevel::High {
+            high += 1;
+        }
+        estimator.update(record.pc, &pred, record.taken);
+        predictor.update(record.pc, record.taken, &pred);
+    }
+    high
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let trace = workload();
+    let branches = trace.iter().filter(|r| r.kind.is_conditional()).count() as u64;
+    let mut group = c.benchmark_group("estimator_throughput");
+    group.throughput(Throughput::Elements(branches));
+    group.bench_function("gshare_jrs", |b| {
+        b.iter(|| {
+            let mut predictor = GsharePredictor::new(14, 14);
+            let mut estimator = JrsEstimator::classic(12);
+            run(&mut predictor, &mut estimator, &trace)
+        });
+    });
+    group.bench_function("gshare_enhanced_jrs", |b| {
+        b.iter(|| {
+            let mut predictor = GsharePredictor::new(14, 14);
+            let mut estimator = JrsEstimator::enhanced(12);
+            run(&mut predictor, &mut estimator, &trace)
+        });
+    });
+    group.bench_function("perceptron_self_confidence", |b| {
+        b.iter(|| {
+            let mut predictor = PerceptronPredictor::new(512, 32);
+            let mut estimator = SelfConfidenceEstimator::new(60);
+            run(&mut predictor, &mut estimator, &trace)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

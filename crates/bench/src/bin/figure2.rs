@@ -1,0 +1,49 @@
+//! Figure 2: distribution of predictions (Pcov) and of mispredictions (MPKI
+//! contribution) over the 7 classes, CBP-1-like traces, standard automaton,
+//! for the three predictor sizes.
+
+use tage_bench::{branches_from_args, print_header};
+use tage_confidence::PredictionClass;
+use tage_sim::experiment::{class_distribution, standard_configs, ClassDistributionRow};
+use tage_sim::report::TextTable;
+use tage_traces::{suites, Suite};
+
+fn print_distribution(config_name: &str, rows: &[ClassDistributionRow]) {
+    println!("--- {config_name} ---");
+    let mut headers = vec!["trace"];
+    headers.extend(PredictionClass::ALL.iter().map(|c| c.label()));
+    headers.push("MPKI");
+    let mut pcov_table = TextTable::new(headers.clone());
+    let mut mpki_table = TextTable::new(headers);
+    for row in rows {
+        let mut cells = vec![row.trace_name.clone()];
+        cells.extend(row.pcov.iter().map(|p| format!("{:.3}", p)));
+        cells.push(format!("{:.2}", row.total_mpki));
+        pcov_table.row(cells);
+        let mut cells = vec![row.trace_name.clone()];
+        cells.extend(row.mpki_contribution.iter().map(|p| format!("{:.3}", p)));
+        cells.push(format!("{:.2}", row.total_mpki));
+        mpki_table.row(cells);
+    }
+    println!("prediction coverage (left plot):");
+    print!("{}", pcov_table.render());
+    println!("misprediction contribution in MPKI (right plot):");
+    print!("{}", mpki_table.render());
+    println!();
+}
+
+fn run(suite: &Suite, branches: usize) {
+    for config in standard_configs() {
+        let rows = class_distribution(&config, suite, branches);
+        print_distribution(&config.name, &rows);
+    }
+}
+
+fn main() {
+    let branches = branches_from_args();
+    print_header(
+        "Figure 2 — class distributions, CBP-1-like, standard automaton",
+        branches,
+    );
+    run(&suites::cbp1_like(), branches);
+}

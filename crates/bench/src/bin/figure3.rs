@@ -1,0 +1,41 @@
+//! Figure 3: distribution of predictions and of mispredictions over the 7
+//! classes, CBP-2-like traces, standard automaton, three predictor sizes.
+
+use tage_bench::{branches_from_args, print_header};
+use tage_confidence::PredictionClass;
+use tage_sim::experiment::{class_distribution, standard_configs};
+use tage_sim::report::TextTable;
+use tage_traces::suites;
+
+fn main() {
+    let branches = branches_from_args();
+    print_header(
+        "Figure 3 — class distributions, CBP-2-like, standard automaton",
+        branches,
+    );
+    let suite = suites::cbp2_like();
+    for config in standard_configs() {
+        println!("--- {} ---", config.name);
+        let rows = class_distribution(&config, &suite, branches);
+        let mut headers = vec!["trace"];
+        headers.extend(PredictionClass::ALL.iter().map(|c| c.label()));
+        headers.push("MPKI");
+        let mut pcov_table = TextTable::new(headers.clone());
+        let mut mpki_table = TextTable::new(headers);
+        for row in &rows {
+            let mut cells = vec![row.trace_name.clone()];
+            cells.extend(row.pcov.iter().map(|p| format!("{:.3}", p)));
+            cells.push(format!("{:.2}", row.total_mpki));
+            pcov_table.row(cells);
+            let mut cells = vec![row.trace_name.clone()];
+            cells.extend(row.mpki_contribution.iter().map(|p| format!("{:.3}", p)));
+            cells.push(format!("{:.2}", row.total_mpki));
+            mpki_table.row(cells);
+        }
+        println!("prediction coverage (left plot):");
+        print!("{}", pcov_table.render());
+        println!("misprediction contribution in MPKI (right plot):");
+        print!("{}", mpki_table.render());
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 2: prediction coverage, misprediction coverage and misprediction
+//! rate (MKP) of the high / medium / low confidence classes, for the three
+//! predictor sizes and both suites, with the modified automaton (p = 1/128).
+
+use tage_bench::{branches_from_args, print_header};
+use tage_sim::experiment::{modified_configs, three_level_summary, LevelSummaryRow};
+use tage_sim::report::{fraction, mkp, TextTable};
+use tage_sim::runner::RunOptions;
+use tage_traces::suites;
+
+fn cell(row: &tage_sim::experiment::LevelCell) -> String {
+    format!("{}-{} ({})", fraction(row.pcov), fraction(row.mpcov), mkp(row.mprate_mkp))
+}
+
+fn render(rows: &[LevelSummaryRow]) {
+    let mut table = TextTable::new(vec!["config / suite", "high conf", "medium conf", "low conf"]);
+    for row in rows {
+        table.row(vec![
+            format!("{} {}", row.config_name, row.suite_name),
+            cell(&row.high),
+            cell(&row.medium),
+            cell(&row.low),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("cell format: Pcov-MPcov (MPrate in MKP), as in the paper's Table 2.");
+}
+
+fn main() {
+    let branches = branches_from_args();
+    print_header(
+        "Table 2 — three confidence levels, modified automaton (p = 1/128)",
+        branches,
+    );
+    let mut rows = Vec::new();
+    for config in modified_configs() {
+        for suite in [suites::cbp1_like(), suites::cbp2_like()] {
+            rows.push(three_level_summary(
+                &config,
+                &suite,
+                branches,
+                &RunOptions::default(),
+            ));
+        }
+    }
+    render(&rows);
+}

@@ -1,0 +1,55 @@
+//! Table 3: the same three-level summary as Table 2, but with the adaptive
+//! saturation probability (1/1024 … 1, ×÷2) keeping the high-confidence
+//! misprediction rate under 10 MKP.
+
+use tage_bench::{branches_from_args, print_header};
+use tage_sim::experiment::{modified_configs, three_level_summary, LevelSummaryRow};
+use tage_sim::report::{fraction, mkp, probability, TextTable};
+use tage_sim::runner::RunOptions;
+use tage_traces::suites;
+
+fn cell(row: &tage_sim::experiment::LevelCell) -> String {
+    format!("{}-{} ({})", fraction(row.pcov), fraction(row.mpcov), mkp(row.mprate_mkp))
+}
+
+fn render(rows: &[LevelSummaryRow]) {
+    let mut table = TextTable::new(vec![
+        "config / suite",
+        "high conf",
+        "medium conf",
+        "low conf",
+        "mean final p",
+    ]);
+    for row in rows {
+        table.row(vec![
+            format!("{} {}", row.config_name, row.suite_name),
+            cell(&row.high),
+            cell(&row.medium),
+            cell(&row.low),
+            probability(row.mean_final_probability),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+    println!("cell format: Pcov-MPcov (MPrate in MKP); adaptive target: 10 MKP on the high class.");
+}
+
+fn main() {
+    let branches = branches_from_args();
+    print_header(
+        "Table 3 — three confidence levels with the adaptive saturation probability",
+        branches,
+    );
+    let mut rows = Vec::new();
+    for config in modified_configs() {
+        for suite in [suites::cbp1_like(), suites::cbp2_like()] {
+            rows.push(three_level_summary(
+                &config,
+                &suite,
+                branches,
+                &RunOptions::adaptive(),
+            ));
+        }
+    }
+    render(&rows);
+}

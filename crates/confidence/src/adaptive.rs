@@ -1,0 +1,286 @@
+//! Run-time adaptation of the saturation probability (Section 6.2).
+//!
+//! The paper's fixed 1/128 probability is a compromise: a smaller
+//! probability makes the saturated-counter class `Stag` purer (fewer
+//! mispredictions) but smaller, a larger probability grows the class at the
+//! cost of its misprediction rate. Section 6.2 therefore proposes adapting
+//! the probability at run time — between 1/1024 and 1, by factors of two —
+//! so as to maximise high-confidence coverage while keeping the
+//! high-confidence misprediction rate under a target (10 MKP in the paper's
+//! Table 3).
+
+use core::fmt;
+
+use tage::CounterAutomaton;
+
+use crate::class::ConfidenceLevel;
+
+/// Default misprediction-rate target for the high-confidence class, in MKP.
+pub const DEFAULT_TARGET_MKP: f64 = 10.0;
+
+/// Default number of high-confidence predictions per adaptation window.
+pub const DEFAULT_WINDOW: u64 = 16 * 1024;
+
+/// Monitors the misprediction rate of the high-confidence predictions and
+/// steers the saturation probability of the modified counter automaton.
+///
+/// The controller is driven by the simulation loop:
+///
+/// 1. call [`AdaptiveSaturationController::observe`] for every prediction
+///    with its confidence level and correctness;
+/// 2. when `observe` returns `Some(automaton)`, install it on the predictor
+///    with [`tage::TagePredictor::set_automaton`].
+///
+/// # Example
+///
+/// ```
+/// use tage_confidence::{AdaptiveSaturationController, ConfidenceLevel};
+///
+/// let mut controller = AdaptiveSaturationController::new();
+/// // Feed a window of perfectly-predicted high-confidence branches: the
+/// // controller relaxes the probability to grow the class.
+/// let mut changes = 0;
+/// for _ in 0..200_000 {
+///     if controller.observe(ConfidenceLevel::High, false).is_some() {
+///         changes += 1;
+///     }
+/// }
+/// assert!(changes > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSaturationController {
+    /// Current log2 of the inverse saturation probability (0 ⇒ 1, 10 ⇒ 1/1024).
+    log2_inverse_probability: u32,
+    /// Smallest allowed probability exponent.
+    min_exponent: u32,
+    /// Largest allowed probability exponent.
+    max_exponent: u32,
+    /// Misprediction-rate target for high-confidence predictions, in MKP.
+    target_mkp: f64,
+    /// Number of high-confidence predictions per adaptation decision.
+    window: u64,
+    high_predictions: u64,
+    high_mispredictions: u64,
+    adaptations: u64,
+}
+
+impl AdaptiveSaturationController {
+    /// Creates a controller with the paper's parameters: probability range
+    /// 1/1024..=1, target 10 MKP.
+    pub fn new() -> Self {
+        Self::with_parameters(DEFAULT_TARGET_MKP, DEFAULT_WINDOW)
+    }
+
+    /// Creates a controller with a custom target (MKP on the high-confidence
+    /// class) and adaptation window (number of high-confidence predictions
+    /// between decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `target_mkp` is not positive.
+    pub fn with_parameters(target_mkp: f64, window: u64) -> Self {
+        assert!(window > 0, "adaptation window must be non-zero");
+        assert!(target_mkp > 0.0, "target must be positive");
+        AdaptiveSaturationController {
+            log2_inverse_probability: 7, // start from the paper's 1/128
+            min_exponent: 0,
+            max_exponent: 10, // 1/1024
+            target_mkp,
+            window,
+            high_predictions: 0,
+            high_mispredictions: 0,
+            adaptations: 0,
+        }
+    }
+
+    /// The automaton corresponding to the controller's current probability.
+    pub fn automaton(&self) -> CounterAutomaton {
+        CounterAutomaton::probabilistic(self.log2_inverse_probability)
+    }
+
+    /// Current saturation probability.
+    pub fn probability(&self) -> f64 {
+        1.0 / f64::from(1u32 << self.log2_inverse_probability)
+    }
+
+    /// The misprediction-rate target, in MKP.
+    pub fn target_mkp(&self) -> f64 {
+        self.target_mkp
+    }
+
+    /// Number of adaptation decisions taken so far.
+    pub fn adaptations(&self) -> u64 {
+        self.adaptations
+    }
+
+    /// Feeds one classified prediction outcome to the controller.
+    ///
+    /// Returns `Some(automaton)` when an adaptation window completed and the
+    /// saturation probability changed; the caller should install the new
+    /// automaton on the predictor.
+    pub fn observe(
+        &mut self,
+        level: ConfidenceLevel,
+        mispredicted: bool,
+    ) -> Option<CounterAutomaton> {
+        if level != ConfidenceLevel::High {
+            return None;
+        }
+        self.high_predictions += 1;
+        if mispredicted {
+            self.high_mispredictions += 1;
+        }
+        if self.high_predictions < self.window {
+            return None;
+        }
+        let rate_mkp = self.high_mispredictions as f64 * 1000.0 / self.high_predictions as f64;
+        self.high_predictions = 0;
+        self.high_mispredictions = 0;
+        self.adaptations += 1;
+        let previous = self.log2_inverse_probability;
+        if rate_mkp > self.target_mkp {
+            // Too many mispredictions among high-confidence predictions:
+            // make saturation rarer (divide the probability by two).
+            self.log2_inverse_probability = (previous + 1).min(self.max_exponent);
+        } else {
+            // Under target: grow the class (multiply the probability by two).
+            self.log2_inverse_probability = previous.saturating_sub(1).max(self.min_exponent);
+        }
+        if self.log2_inverse_probability != previous {
+            Some(self.automaton())
+        } else {
+            None
+        }
+    }
+
+    /// Resets the measurement window and the probability to the paper's
+    /// starting point (1/128).
+    pub fn reset(&mut self) {
+        self.log2_inverse_probability = 7;
+        self.high_predictions = 0;
+        self.high_mispredictions = 0;
+        self.adaptations = 0;
+    }
+}
+
+impl Default for AdaptiveSaturationController {
+    fn default() -> Self {
+        AdaptiveSaturationController::new()
+    }
+}
+
+impl fmt::Display for AdaptiveSaturationController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adaptive saturation: p = 1/{}, target {} MKP",
+            1u32 << self.log2_inverse_probability,
+            self.target_mkp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_high_confidence_stream_relaxes_probability() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 100);
+        let mut last = None;
+        for _ in 0..1000 {
+            if let Some(a) = c.observe(ConfidenceLevel::High, false) {
+                last = Some(a);
+            }
+        }
+        // Probability should have walked up to 1 (exponent 0).
+        assert!((c.probability() - 1.0).abs() < 1e-12);
+        assert_eq!(last, Some(CounterAutomaton::probabilistic(0)));
+        assert!(c.adaptations() >= 7);
+    }
+
+    #[test]
+    fn dirty_high_confidence_stream_tightens_probability() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 100);
+        for i in 0..2000 {
+            // 5% misprediction rate = 50 MKP, way above the 10 MKP target.
+            c.observe(ConfidenceLevel::High, i % 20 == 0);
+        }
+        assert!(c.probability() <= 1.0 / 1024.0 + 1e-12);
+    }
+
+    #[test]
+    fn probability_is_bounded_by_the_paper_range() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 10);
+        for i in 0..10_000 {
+            c.observe(ConfidenceLevel::High, i % 3 == 0);
+        }
+        assert!(c.probability() >= 1.0 / 1024.0 - 1e-15);
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 10);
+        for _ in 0..10_000 {
+            c.observe(ConfidenceLevel::High, false);
+        }
+        assert!(c.probability() <= 1.0);
+    }
+
+    #[test]
+    fn non_high_levels_are_ignored() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 10);
+        for _ in 0..1000 {
+            assert!(c.observe(ConfidenceLevel::Low, true).is_none());
+            assert!(c.observe(ConfidenceLevel::Medium, true).is_none());
+        }
+        assert_eq!(c.adaptations(), 0);
+        assert!((c.probability() - 1.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_returns_none_when_probability_unchanged() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 10);
+        // Drive to the floor.
+        for i in 0..200 {
+            c.observe(ConfidenceLevel::High, i % 2 == 0);
+        }
+        assert!(c.probability() <= 1.0 / 1024.0 + 1e-12);
+        // Further bad windows keep it at the floor and report no change.
+        let mut changes = 0;
+        for i in 0..50 {
+            if c.observe(ConfidenceLevel::High, i % 2 == 0).is_some() {
+                changes += 1;
+            }
+        }
+        assert_eq!(changes, 0);
+    }
+
+    #[test]
+    fn reset_restores_paper_default() {
+        let mut c = AdaptiveSaturationController::with_parameters(10.0, 10);
+        for _ in 0..100 {
+            c.observe(ConfidenceLevel::High, false);
+        }
+        assert!((c.probability() - 1.0 / 128.0).abs() > 1e-12);
+        c.reset();
+        assert!((c.probability() - 1.0 / 128.0).abs() < 1e-12);
+        assert_eq!(c.adaptations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptation window must be non-zero")]
+    fn zero_window_rejected() {
+        AdaptiveSaturationController::with_parameters(10.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be positive")]
+    fn non_positive_target_rejected() {
+        AdaptiveSaturationController::with_parameters(0.0, 10);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let c = AdaptiveSaturationController::new();
+        assert!((c.target_mkp() - DEFAULT_TARGET_MKP).abs() < 1e-12);
+        assert_eq!(c.automaton(), CounterAutomaton::probabilistic(7));
+        assert!(format!("{c}").contains("1/128"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The 7 prediction classes and the 3 confidence levels of the paper.
+
+use core::fmt;
+
+/// The seven prediction classes distinguishable by observing the TAGE
+/// predictor's outputs (Section 5 of the paper).
+///
+/// Bimodal-provided predictions are split by counter strength and by the
+/// recency of a bimodal-provided misprediction; tagged-provided predictions
+/// are split by the centered magnitude `|2*ctr + 1|` of the 3-bit provider
+/// counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredictionClass {
+    /// Bimodal provider, strong counter, no recent bimodal misprediction.
+    /// Misprediction rate below ~10 MKP in the paper.
+    HighConfBim,
+    /// Bimodal provider shortly after a bimodal-provided misprediction
+    /// (warming / capacity bursts). Misprediction rate in the 60–150 MKP
+    /// range.
+    MediumConfBim,
+    /// Bimodal provider with a weak counter. Misprediction rate of 30 % and
+    /// above.
+    LowConfBim,
+    /// Tagged provider with a weak counter (`|2*ctr+1| == 1`) — typically a
+    /// newly allocated entry. Misprediction rate above 30 %.
+    Wtag,
+    /// Tagged provider with a nearly weak counter (`|2*ctr+1| == 3`).
+    NWtag,
+    /// Tagged provider with a nearly saturated counter (`|2*ctr+1| == 5`).
+    NStag,
+    /// Tagged provider with a saturated counter (`|2*ctr+1| == 7` for 3-bit
+    /// counters). With the standard automaton its misprediction rate is
+    /// close to the application average; with the paper's modified automaton
+    /// it becomes a high-confidence class (1–5 MKP).
+    Stag,
+}
+
+impl PredictionClass {
+    /// All seven classes, in the paper's presentation order.
+    pub const ALL: [PredictionClass; 7] = [
+        PredictionClass::HighConfBim,
+        PredictionClass::MediumConfBim,
+        PredictionClass::LowConfBim,
+        PredictionClass::Wtag,
+        PredictionClass::NWtag,
+        PredictionClass::NStag,
+        PredictionClass::Stag,
+    ];
+
+    /// Returns `true` if the class is one of the three bimodal classes.
+    pub fn is_bimodal(self) -> bool {
+        matches!(
+            self,
+            PredictionClass::HighConfBim
+                | PredictionClass::MediumConfBim
+                | PredictionClass::LowConfBim
+        )
+    }
+
+    /// The confidence level the class belongs to under the paper's
+    /// three-level grouping (Section 6.1):
+    ///
+    /// * low — `low-conf-bim`, `Wtag`, `NWtag`;
+    /// * medium — `medium-conf-bim`, `NStag`;
+    /// * high — `high-conf-bim`, `Stag`.
+    pub fn level(self) -> ConfidenceLevel {
+        match self {
+            PredictionClass::HighConfBim | PredictionClass::Stag => ConfidenceLevel::High,
+            PredictionClass::MediumConfBim | PredictionClass::NStag => ConfidenceLevel::Medium,
+            PredictionClass::LowConfBim | PredictionClass::Wtag | PredictionClass::NWtag => {
+                ConfidenceLevel::Low
+            }
+        }
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictionClass::HighConfBim => "high-conf-bim",
+            PredictionClass::MediumConfBim => "medium-conf-bim",
+            PredictionClass::LowConfBim => "low-conf-bim",
+            PredictionClass::Wtag => "Wtag",
+            PredictionClass::NWtag => "NWtag",
+            PredictionClass::NStag => "NStag",
+            PredictionClass::Stag => "Stag",
+        }
+    }
+}
+
+impl fmt::Display for PredictionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The three confidence levels of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConfidenceLevel {
+    /// Misprediction rate above roughly 30 %.
+    Low,
+    /// Misprediction rate in the 5–15 % range.
+    Medium,
+    /// Misprediction rate below roughly 1 %.
+    High,
+}
+
+impl ConfidenceLevel {
+    /// All three levels, from low to high.
+    pub const ALL: [ConfidenceLevel; 3] = [
+        ConfidenceLevel::Low,
+        ConfidenceLevel::Medium,
+        ConfidenceLevel::High,
+    ];
+
+    /// The prediction classes grouped into this level.
+    pub fn classes(self) -> &'static [PredictionClass] {
+        match self {
+            ConfidenceLevel::Low => &[
+                PredictionClass::LowConfBim,
+                PredictionClass::Wtag,
+                PredictionClass::NWtag,
+            ],
+            ConfidenceLevel::Medium => {
+                &[PredictionClass::MediumConfBim, PredictionClass::NStag]
+            }
+            ConfidenceLevel::High => &[PredictionClass::HighConfBim, PredictionClass::Stag],
+        }
+    }
+
+    /// A short lowercase label (`"low"`, `"medium"`, `"high"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfidenceLevel::Low => "low",
+            ConfidenceLevel::Medium => "medium",
+            ConfidenceLevel::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for ConfidenceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_belongs_to_exactly_one_level() {
+        for class in PredictionClass::ALL {
+            let level = class.level();
+            assert!(level.classes().contains(&class), "{class} not in {level}");
+            let other_levels: Vec<_> = ConfidenceLevel::ALL
+                .into_iter()
+                .filter(|&l| l != level)
+                .collect();
+            for other in other_levels {
+                assert!(!other.classes().contains(&class));
+            }
+        }
+    }
+
+    #[test]
+    fn level_grouping_matches_section_6_1() {
+        assert_eq!(PredictionClass::HighConfBim.level(), ConfidenceLevel::High);
+        assert_eq!(PredictionClass::Stag.level(), ConfidenceLevel::High);
+        assert_eq!(PredictionClass::MediumConfBim.level(), ConfidenceLevel::Medium);
+        assert_eq!(PredictionClass::NStag.level(), ConfidenceLevel::Medium);
+        assert_eq!(PredictionClass::LowConfBim.level(), ConfidenceLevel::Low);
+        assert_eq!(PredictionClass::Wtag.level(), ConfidenceLevel::Low);
+        assert_eq!(PredictionClass::NWtag.level(), ConfidenceLevel::Low);
+    }
+
+    #[test]
+    fn bimodal_classes_are_flagged() {
+        assert!(PredictionClass::HighConfBim.is_bimodal());
+        assert!(PredictionClass::MediumConfBim.is_bimodal());
+        assert!(PredictionClass::LowConfBim.is_bimodal());
+        assert!(!PredictionClass::Wtag.is_bimodal());
+        assert!(!PredictionClass::Stag.is_bimodal());
+    }
+
+    #[test]
+    fn labels_match_the_paper_figures() {
+        assert_eq!(PredictionClass::HighConfBim.label(), "high-conf-bim");
+        assert_eq!(PredictionClass::NStag.to_string(), "NStag");
+        assert_eq!(ConfidenceLevel::Medium.to_string(), "medium");
+    }
+
+    #[test]
+    fn all_constants_are_complete_and_unique() {
+        assert_eq!(PredictionClass::ALL.len(), 7);
+        assert_eq!(ConfidenceLevel::ALL.len(), 3);
+        let mut classes = PredictionClass::ALL.to_vec();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), 7);
+        let total: usize = ConfidenceLevel::ALL.iter().map(|l| l.classes().len()).sum();
+        assert_eq!(total, 7);
+    }
+}

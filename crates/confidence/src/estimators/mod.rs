@@ -1,0 +1,56 @@
+//! Storage-based baseline confidence estimators from the prior art.
+//!
+//! The paper's point is that TAGE needs *none* of these — confidence falls
+//! out of observing the predictor. To quantify that claim the workspace also
+//! implements the storage-based estimators the related-work section
+//! discusses, so the benches can compare them head-to-head:
+//!
+//! * [`JrsEstimator`] — the resetting-counter estimator of Jacobsen,
+//!   Rotenberg and Smith (MICRO 1996), a gshare-indexed table of saturating
+//!   counters reset on each misprediction, optionally enhanced with the
+//!   predicted direction in the index as proposed by Grunwald et al.
+//!   (ISCA 1998);
+//! * [`SelfConfidenceEstimator`] — the storage-free self-confidence scheme
+//!   used with neural predictors (perceptron / O-GEHL): a prediction is high
+//!   confidence when its margin (absolute prediction sum) clears a
+//!   threshold.
+
+mod jrs;
+mod self_confidence;
+
+pub use jrs::{JrsEstimator, JrsIndexing};
+pub use self_confidence::SelfConfidenceEstimator;
+
+use tage_predictors::Prediction;
+
+use crate::class::ConfidenceLevel;
+
+/// A confidence estimator attached to some branch predictor.
+///
+/// The protocol mirrors the predictor protocol: `estimate` is called with
+/// the prediction the predictor produced (before resolution), `update` with
+/// the resolved outcome afterwards.
+pub trait ConfidenceEstimator {
+    /// Estimates the confidence of `prediction` for the branch at `pc`.
+    fn estimate(&mut self, pc: u64, prediction: &Prediction) -> ConfidenceLevel;
+
+    /// Feeds the resolved outcome back to the estimator.
+    fn update(&mut self, pc: u64, prediction: &Prediction, taken: bool);
+
+    /// Extra storage the estimator requires, in bits (zero for storage-free
+    /// estimators).
+    fn storage_bits(&self) -> u64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_e: &dyn ConfidenceEstimator) {}
+    }
+}

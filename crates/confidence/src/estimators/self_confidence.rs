@@ -1,0 +1,158 @@
+//! Self-confidence estimation for margin-producing predictors.
+
+use core::fmt;
+
+use tage_predictors::Prediction;
+
+use crate::class::ConfidenceLevel;
+use crate::estimators::ConfidenceEstimator;
+
+/// Storage-free self-confidence estimation: a prediction is high confidence
+/// when its margin (absolute prediction sum for neural predictors, counter
+/// magnitude for counter-based predictors) is at or above a threshold.
+///
+/// This is the scheme used with the perceptron predictor (Jiménez & Lin) and
+/// the O-GEHL predictor; the paper notes it achieves a good PVN (about one
+/// third of low-confidence predictions are mispredicted) but a limited SPEC
+/// (only about half of the mispredictions are flagged low confidence).
+///
+/// An optional second threshold splits the high side further into medium and
+/// high, mirroring the "strongly / weakly low confident" refinement of
+/// Akkary et al.
+///
+/// # Example
+///
+/// ```
+/// use tage_confidence::estimators::{ConfidenceEstimator, SelfConfidenceEstimator};
+/// use tage_confidence::ConfidenceLevel;
+/// use tage_predictors::Prediction;
+///
+/// let mut estimator = SelfConfidenceEstimator::new(20);
+/// assert_eq!(
+///     estimator.estimate(0x10, &Prediction::new(true, 35)),
+///     ConfidenceLevel::High
+/// );
+/// assert_eq!(
+///     estimator.estimate(0x10, &Prediction::new(true, 5)),
+///     ConfidenceLevel::Low
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfConfidenceEstimator {
+    high_threshold: i64,
+    medium_threshold: Option<i64>,
+}
+
+impl SelfConfidenceEstimator {
+    /// Creates a binary (high/low) self-confidence estimator.
+    pub fn new(high_threshold: i64) -> Self {
+        SelfConfidenceEstimator {
+            high_threshold,
+            medium_threshold: None,
+        }
+    }
+
+    /// Creates a three-level estimator: margins at or above
+    /// `high_threshold` are high confidence, margins at or above
+    /// `medium_threshold` are medium, the rest are low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `medium_threshold > high_threshold`.
+    pub fn with_medium(high_threshold: i64, medium_threshold: i64) -> Self {
+        assert!(
+            medium_threshold <= high_threshold,
+            "medium threshold must not exceed the high threshold"
+        );
+        SelfConfidenceEstimator {
+            high_threshold,
+            medium_threshold: Some(medium_threshold),
+        }
+    }
+
+    /// The high-confidence threshold.
+    pub fn high_threshold(&self) -> i64 {
+        self.high_threshold
+    }
+}
+
+impl ConfidenceEstimator for SelfConfidenceEstimator {
+    fn estimate(&mut self, _pc: u64, prediction: &Prediction) -> ConfidenceLevel {
+        if prediction.margin >= self.high_threshold {
+            ConfidenceLevel::High
+        } else if let Some(medium) = self.medium_threshold {
+            if prediction.margin >= medium {
+                ConfidenceLevel::Medium
+            } else {
+                ConfidenceLevel::Low
+            }
+        } else {
+            ConfidenceLevel::Low
+        }
+    }
+
+    fn update(&mut self, _pc: u64, _prediction: &Prediction, _taken: bool) {
+        // Self-confidence keeps no state.
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> String {
+        match self.medium_threshold {
+            Some(m) => format!("self-confidence (≥{} high, ≥{m} medium)", self.high_threshold),
+            None => format!("self-confidence (≥{})", self.high_threshold),
+        }
+    }
+}
+
+impl fmt::Display for SelfConfidenceEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&ConfidenceEstimator::name(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_estimator_thresholds_margin() {
+        let mut e = SelfConfidenceEstimator::new(10);
+        assert_eq!(e.estimate(0, &Prediction::new(true, 10)), ConfidenceLevel::High);
+        assert_eq!(e.estimate(0, &Prediction::new(true, 9)), ConfidenceLevel::Low);
+        assert_eq!(e.estimate(0, &Prediction::new(false, 0)), ConfidenceLevel::Low);
+    }
+
+    #[test]
+    fn three_level_estimator_adds_medium_band() {
+        let mut e = SelfConfidenceEstimator::with_medium(20, 8);
+        assert_eq!(e.estimate(0, &Prediction::new(true, 25)), ConfidenceLevel::High);
+        assert_eq!(e.estimate(0, &Prediction::new(true, 12)), ConfidenceLevel::Medium);
+        assert_eq!(e.estimate(0, &Prediction::new(true, 3)), ConfidenceLevel::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "medium threshold must not exceed the high threshold")]
+    fn inverted_thresholds_rejected() {
+        SelfConfidenceEstimator::with_medium(5, 10);
+    }
+
+    #[test]
+    fn estimator_is_storage_free_and_stateless() {
+        let mut e = SelfConfidenceEstimator::new(10);
+        assert_eq!(e.storage_bits(), 0);
+        let before = e;
+        e.update(0x10, &Prediction::new(true, 50), false);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn name_and_display_mention_thresholds() {
+        let e = SelfConfidenceEstimator::with_medium(20, 5);
+        assert!(ConfidenceEstimator::name(&e).contains("20"));
+        assert!(format!("{e}").contains("medium"));
+        assert_eq!(e.high_threshold(), 20);
+    }
+}

@@ -1,0 +1,445 @@
+//! Confidence metrics: per-class coverage and misprediction rates, and the
+//! classical binary confusion metrics.
+//!
+//! The paper reports, per prediction class (and per confidence level):
+//!
+//! * `Pcov` — prediction coverage, the fraction of predictions in the class;
+//! * `MPcov` — misprediction coverage, the fraction of all mispredictions
+//!   that fall in the class;
+//! * `MPrate` — the misprediction rate *of the class*, expressed in
+//!   mispredictions per kilo-prediction (MKP).
+//!
+//! It also relates these to the binary metrics of Grunwald et al. (SENS,
+//! SPEC, PVP, PVN), which only make sense for a two-way high/low split;
+//! [`BinaryConfusion`] implements those for any chosen "high" subset.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::class::{ConfidenceLevel, PredictionClass};
+
+/// Prediction / misprediction counts for one class (or any bucket).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Number of predictions that fell in the bucket.
+    pub predictions: u64,
+    /// Number of those predictions that were mispredicted.
+    pub mispredictions: u64,
+}
+
+impl ClassStats {
+    /// Records one prediction with the given correctness.
+    pub fn record(&mut self, mispredicted: bool) {
+        self.predictions += 1;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+    }
+
+    /// Merges another bucket into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.predictions += other.predictions;
+        self.mispredictions += other.mispredictions;
+    }
+
+    /// Misprediction rate in mispredictions per kilo-prediction (MKP).
+    pub fn mprate_mkp(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.predictions as f64
+        }
+    }
+}
+
+/// Accumulates per-class and per-level confidence statistics over a
+/// simulation, plus the instruction count needed for MPKI reporting.
+///
+/// # Example
+///
+/// ```
+/// use tage_confidence::{ConfidenceReport, PredictionClass};
+///
+/// let mut report = ConfidenceReport::new();
+/// report.record(PredictionClass::Stag, false);
+/// report.record(PredictionClass::Wtag, true);
+/// report.add_instructions(100);
+/// assert_eq!(report.total().predictions, 2);
+/// assert_eq!(report.class(PredictionClass::Wtag).mispredictions, 1);
+/// assert!((report.mpki() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfidenceReport {
+    classes: BTreeMap<PredictionClass, ClassStats>,
+    total: ClassStats,
+    instructions: u64,
+}
+
+impl ConfidenceReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        ConfidenceReport::default()
+    }
+
+    /// Records one classified prediction.
+    pub fn record(&mut self, class: PredictionClass, mispredicted: bool) {
+        self.classes.entry(class).or_default().record(mispredicted);
+        self.total.record(mispredicted);
+    }
+
+    /// Adds non-branch instructions (for MPKI reporting).
+    pub fn add_instructions(&mut self, instructions: u64) {
+        self.instructions += instructions;
+    }
+
+    /// Total instruction count attributed to the report.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Aggregate statistics over all classes.
+    pub fn total(&self) -> ClassStats {
+        self.total
+    }
+
+    /// Statistics of one class (zero counts if the class never occurred).
+    pub fn class(&self, class: PredictionClass) -> ClassStats {
+        self.classes.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Statistics of one confidence level (the union of its classes).
+    pub fn level(&self, level: ConfidenceLevel) -> ClassStats {
+        let mut stats = ClassStats::default();
+        for class in level.classes() {
+            stats.merge(&self.class(*class));
+        }
+        stats
+    }
+
+    /// Prediction coverage of a class: fraction of all predictions.
+    pub fn pcov(&self, class: PredictionClass) -> f64 {
+        fraction(self.class(class).predictions, self.total.predictions)
+    }
+
+    /// Misprediction coverage of a class: fraction of all mispredictions.
+    pub fn mpcov(&self, class: PredictionClass) -> f64 {
+        fraction(self.class(class).mispredictions, self.total.mispredictions)
+    }
+
+    /// Misprediction rate of a class in MKP.
+    pub fn mprate_mkp(&self, class: PredictionClass) -> f64 {
+        self.class(class).mprate_mkp()
+    }
+
+    /// Prediction coverage of a confidence level.
+    pub fn level_pcov(&self, level: ConfidenceLevel) -> f64 {
+        fraction(self.level(level).predictions, self.total.predictions)
+    }
+
+    /// Misprediction coverage of a confidence level.
+    pub fn level_mpcov(&self, level: ConfidenceLevel) -> f64 {
+        fraction(self.level(level).mispredictions, self.total.mispredictions)
+    }
+
+    /// Misprediction rate of a confidence level in MKP.
+    pub fn level_mprate_mkp(&self, level: ConfidenceLevel) -> f64 {
+        self.level(level).mprate_mkp()
+    }
+
+    /// Overall misprediction rate in MKP (per kilo-prediction).
+    pub fn mkp(&self) -> f64 {
+        self.total.mprate_mkp()
+    }
+
+    /// Overall misprediction rate in MPKI (per kilo-instruction); zero if no
+    /// instruction count was recorded.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Contribution of one class to the overall MPKI.
+    pub fn class_mpki(&self, class: PredictionClass) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.class(class).mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Merges another report into this one (e.g. to aggregate a suite).
+    pub fn merge(&mut self, other: &ConfidenceReport) {
+        for (class, stats) in &other.classes {
+            self.classes.entry(*class).or_default().merge(stats);
+        }
+        self.total.merge(&other.total);
+        self.instructions += other.instructions;
+    }
+
+    /// Builds the binary confusion treating the given levels as "high
+    /// confidence" and everything else as "low confidence".
+    pub fn binary_confusion(&self, high_levels: &[ConfidenceLevel]) -> BinaryConfusion {
+        let mut confusion = BinaryConfusion::default();
+        for class in PredictionClass::ALL {
+            let stats = self.class(class);
+            let correct = stats.predictions - stats.mispredictions;
+            if high_levels.contains(&class.level()) {
+                confusion.high_correct += correct;
+                confusion.high_incorrect += stats.mispredictions;
+            } else {
+                confusion.low_correct += correct;
+                confusion.low_incorrect += stats.mispredictions;
+            }
+        }
+        confusion
+    }
+}
+
+impl fmt::Display for ConfidenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} predictions, {} mispredictions ({:.1} MKP, {:.2} MPKI)",
+            self.total.predictions,
+            self.total.mispredictions,
+            self.mkp(),
+            self.mpki()
+        )?;
+        for class in PredictionClass::ALL {
+            let stats = self.class(class);
+            if stats.predictions == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<16} Pcov {:>6.3}  MPcov {:>6.3}  MPrate {:>7.1} MKP",
+                class.label(),
+                self.pcov(class),
+                self.mpcov(class),
+                self.mprate_mkp(class)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The classical binary confidence confusion matrix and the four metrics of
+/// Grunwald et al.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Correct predictions classified high confidence.
+    pub high_correct: u64,
+    /// Mispredictions classified high confidence.
+    pub high_incorrect: u64,
+    /// Correct predictions classified low confidence.
+    pub low_correct: u64,
+    /// Mispredictions classified low confidence.
+    pub low_incorrect: u64,
+}
+
+impl BinaryConfusion {
+    /// Records one prediction.
+    pub fn record(&mut self, high_confidence: bool, mispredicted: bool) {
+        match (high_confidence, mispredicted) {
+            (true, false) => self.high_correct += 1,
+            (true, true) => self.high_incorrect += 1,
+            (false, false) => self.low_correct += 1,
+            (false, true) => self.low_incorrect += 1,
+        }
+    }
+
+    /// Sensitivity: fraction of correct predictions classified high
+    /// confidence.
+    pub fn sensitivity(&self) -> f64 {
+        fraction(self.high_correct, self.high_correct + self.low_correct)
+    }
+
+    /// Specificity: fraction of mispredictions classified low confidence.
+    pub fn specificity(&self) -> f64 {
+        fraction(self.low_incorrect, self.low_incorrect + self.high_incorrect)
+    }
+
+    /// Predictive value of a positive test: probability that a
+    /// high-confidence prediction is correct.
+    pub fn pvp(&self) -> f64 {
+        fraction(self.high_correct, self.high_correct + self.high_incorrect)
+    }
+
+    /// Predictive value of a negative test: probability that a
+    /// low-confidence prediction is mispredicted.
+    pub fn pvn(&self) -> f64 {
+        fraction(self.low_incorrect, self.low_incorrect + self.low_correct)
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.high_correct + self.high_incorrect + self.low_correct + self.low_incorrect
+    }
+}
+
+impl fmt::Display for BinaryConfusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SENS {:.3} SPEC {:.3} PVP {:.3} PVN {:.3}",
+            self.sensitivity(),
+            self.specificity(),
+            self.pvp(),
+            self.pvn()
+        )
+    }
+}
+
+fn fraction(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ConfidenceReport {
+        let mut r = ConfidenceReport::new();
+        // 70 Stag predictions, 1 miss.
+        for i in 0..70 {
+            r.record(PredictionClass::Stag, i == 0);
+        }
+        // 20 NStag predictions, 4 misses.
+        for i in 0..20 {
+            r.record(PredictionClass::NStag, i < 4);
+        }
+        // 10 Wtag predictions, 4 misses.
+        for i in 0..10 {
+            r.record(PredictionClass::Wtag, i < 4);
+        }
+        r.add_instructions(1000);
+        r
+    }
+
+    #[test]
+    fn class_stats_record_and_rate() {
+        let mut s = ClassStats::default();
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.predictions, 2);
+        assert_eq!(s.mispredictions, 1);
+        assert!((s.mprate_mkp() - 500.0).abs() < 1e-9);
+        assert_eq!(ClassStats::default().mprate_mkp(), 0.0);
+    }
+
+    #[test]
+    fn coverage_fractions_sum_to_one() {
+        let r = sample_report();
+        let pcov_sum: f64 = PredictionClass::ALL.iter().map(|&c| r.pcov(c)).sum();
+        let mpcov_sum: f64 = PredictionClass::ALL.iter().map(|&c| r.mpcov(c)).sum();
+        assert!((pcov_sum - 1.0).abs() < 1e-9);
+        assert!((mpcov_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_numbers_are_correct() {
+        let r = sample_report();
+        assert!((r.pcov(PredictionClass::Stag) - 0.7).abs() < 1e-9);
+        assert!((r.mpcov(PredictionClass::Wtag) - 4.0 / 9.0).abs() < 1e-9);
+        assert!((r.mprate_mkp(PredictionClass::NStag) - 200.0).abs() < 1e-9);
+        assert_eq!(r.class(PredictionClass::HighConfBim).predictions, 0);
+        assert_eq!(r.pcov(PredictionClass::HighConfBim), 0.0);
+    }
+
+    #[test]
+    fn level_aggregation_unions_classes() {
+        let r = sample_report();
+        let high = r.level(ConfidenceLevel::High);
+        assert_eq!(high.predictions, 70);
+        assert_eq!(high.mispredictions, 1);
+        let medium = r.level(ConfidenceLevel::Medium);
+        assert_eq!(medium.predictions, 20);
+        let low = r.level(ConfidenceLevel::Low);
+        assert_eq!(low.predictions, 10);
+        assert!((r.level_pcov(ConfidenceLevel::High) - 0.7).abs() < 1e-9);
+        assert!((r.level_mpcov(ConfidenceLevel::Low) - 4.0 / 9.0).abs() < 1e-9);
+        assert!(r.level_mprate_mkp(ConfidenceLevel::Low) > r.level_mprate_mkp(ConfidenceLevel::High));
+    }
+
+    #[test]
+    fn mpki_and_mkp() {
+        let r = sample_report();
+        assert!((r.mkp() - 90.0).abs() < 1e-9);
+        assert!((r.mpki() - 9.0).abs() < 1e-9);
+        assert!((r.class_mpki(PredictionClass::Wtag) - 4.0).abs() < 1e-9);
+        assert_eq!(ConfidenceReport::new().mpki(), 0.0);
+        assert_eq!(ConfidenceReport::new().mkp(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample_report();
+        let b = sample_report();
+        a.merge(&b);
+        assert_eq!(a.total().predictions, 200);
+        assert_eq!(a.instructions(), 2000);
+        assert_eq!(a.class(PredictionClass::Stag).predictions, 140);
+    }
+
+    #[test]
+    fn binary_confusion_from_report() {
+        let r = sample_report();
+        let confusion = r.binary_confusion(&[ConfidenceLevel::High]);
+        assert_eq!(confusion.high_correct, 69);
+        assert_eq!(confusion.high_incorrect, 1);
+        assert_eq!(confusion.low_correct, 22);
+        assert_eq!(confusion.low_incorrect, 8);
+        assert_eq!(confusion.total(), 100);
+        // Treating medium as high too shifts the counts.
+        let wide = r.binary_confusion(&[ConfidenceLevel::High, ConfidenceLevel::Medium]);
+        assert_eq!(wide.high_correct, 85);
+    }
+
+    #[test]
+    fn binary_metrics_formulas() {
+        let mut c = BinaryConfusion::default();
+        // 90 correct high, 10 incorrect high, 30 correct low, 20 incorrect low.
+        for _ in 0..90 {
+            c.record(true, false);
+        }
+        for _ in 0..10 {
+            c.record(true, true);
+        }
+        for _ in 0..30 {
+            c.record(false, false);
+        }
+        for _ in 0..20 {
+            c.record(false, true);
+        }
+        assert!((c.sensitivity() - 90.0 / 120.0).abs() < 1e-9);
+        assert!((c.specificity() - 20.0 / 30.0).abs() < 1e-9);
+        assert!((c.pvp() - 0.9).abs() < 1e-9);
+        assert!((c.pvn() - 0.4).abs() < 1e-9);
+        assert_eq!(c.total(), 150);
+    }
+
+    #[test]
+    fn empty_confusion_is_all_zero() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.sensitivity(), 0.0);
+        assert_eq!(c.specificity(), 0.0);
+        assert_eq!(c.pvp(), 0.0);
+        assert_eq!(c.pvn(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = sample_report();
+        let s = format!("{r}");
+        assert!(s.contains("Stag"));
+        assert!(s.contains("MKP"));
+        assert!(format!("{}", r.binary_confusion(&[ConfidenceLevel::High])).contains("SENS"));
+    }
+}

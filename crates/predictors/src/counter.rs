@@ -1,0 +1,413 @@
+//! Saturating counters of configurable width.
+//!
+//! Both the baseline predictors and the TAGE predictor are built from small
+//! saturating counters. Two flavours are provided:
+//!
+//! * [`SignedCounter`] — an n-bit two's-complement counter in
+//!   `[-2^(n-1), 2^(n-1) - 1]`, whose sign provides a taken/not-taken
+//!   prediction (TAGE tagged components, GEHL tables);
+//! * [`UnsignedCounter`] — an n-bit counter in `[0, 2^n - 1]` (TAGE useful
+//!   counters, JRS confidence counters, bimodal tables).
+
+use core::fmt;
+
+/// An n-bit signed saturating counter.
+///
+/// The counter saturates at `-2^(bits-1)` and `2^(bits-1) - 1`. Its sign is
+/// the prediction: values `>= 0` predict taken. As in the paper, the
+/// "centered" magnitude `|2*value + 1|` is used to grade confidence: 1 for a
+/// weak counter up to `2^bits - 1` for a saturated one.
+///
+/// # Example
+///
+/// ```
+/// use tage_predictors::counter::SignedCounter;
+///
+/// let mut ctr = SignedCounter::new(3); // 3-bit counter in [-4, 3]
+/// assert!(ctr.is_weak());
+/// for _ in 0..4 {
+///     ctr.increment();
+/// }
+/// assert!(ctr.predict_taken());
+/// assert!(ctr.is_saturated());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignedCounter {
+    value: i8,
+    bits: u8,
+}
+
+impl SignedCounter {
+    /// Creates a counter of the given width, initialised to the weakly
+    /// not-taken state (-1), mirroring hardware reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=7`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width must be in 1..=7 bits");
+        SignedCounter { value: -1, bits }
+    }
+
+    /// Creates a counter of the given width with an explicit initial value
+    /// (clamped to the representable range).
+    pub fn with_value(bits: u8, value: i8) -> Self {
+        let mut c = SignedCounter::new(bits);
+        c.value = value.clamp(c.min(), c.max());
+        c
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> i8 {
+        self.value
+    }
+
+    /// Minimum representable value.
+    #[inline]
+    pub fn min(&self) -> i8 {
+        -(1i8 << (self.bits - 1))
+    }
+
+    /// Maximum representable value.
+    #[inline]
+    pub fn max(&self) -> i8 {
+        (1i8 << (self.bits - 1)) - 1
+    }
+
+    /// Prediction carried by the counter's sign (`value >= 0` is taken).
+    #[inline]
+    pub fn predict_taken(&self) -> bool {
+        self.value >= 0
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > self.min() {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter towards the outcome: increment on taken, decrement
+    /// on not taken.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+
+    /// Returns `true` if the counter is in one of its two weak states
+    /// (0 or -1), i.e. `|2*value + 1| == 1`.
+    #[inline]
+    pub fn is_weak(&self) -> bool {
+        self.value == 0 || self.value == -1
+    }
+
+    /// Returns `true` if the counter is in one of its two saturated states.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.min() || self.value == self.max()
+    }
+
+    /// Returns `true` if the counter is one step away from saturation
+    /// (the state the paper's modified automaton gates).
+    #[inline]
+    pub fn is_nearly_saturated_boundary(&self) -> bool {
+        self.value == self.max() - 1 || self.value == self.min() + 1
+    }
+
+    /// The centered magnitude `|2*value + 1|` used by the paper to grade
+    /// tagged-counter confidence (1 = weak, `2^bits - 1` = saturated).
+    #[inline]
+    pub fn centered_magnitude(&self) -> u8 {
+        (2 * i16::from(self.value) + 1).unsigned_abs() as u8
+    }
+
+    /// Sets the counter to the weak state agreeing with `taken`
+    /// (0 for taken, -1 for not taken) — the TAGE allocation initialisation.
+    #[inline]
+    pub fn set_weak(&mut self, taken: bool) {
+        self.value = if taken { 0 } else { -1 };
+    }
+
+    /// Directly sets the value (clamped to the representable range).
+    #[inline]
+    pub fn set(&mut self, value: i8) {
+        self.value = value.clamp(self.min(), self.max());
+    }
+}
+
+impl fmt::Display for SignedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}b", self.value, self.bits)
+    }
+}
+
+/// An n-bit unsigned saturating counter.
+///
+/// # Example
+///
+/// ```
+/// use tage_predictors::counter::UnsignedCounter;
+///
+/// let mut u = UnsignedCounter::new(2); // range [0, 3]
+/// u.increment();
+/// u.increment();
+/// u.increment();
+/// u.increment();
+/// assert_eq!(u.value(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnsignedCounter {
+    value: u8,
+    bits: u8,
+}
+
+impl UnsignedCounter {
+    /// Creates a counter of the given width, initialised to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=8`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be in 1..=8 bits");
+        UnsignedCounter { value: 0, bits }
+    }
+
+    /// Creates a counter with an explicit initial value (clamped).
+    pub fn with_value(bits: u8, value: u8) -> Self {
+        let mut c = UnsignedCounter::new(bits);
+        c.value = value.min(c.max());
+        c
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Maximum representable value.
+    #[inline]
+    pub fn max(&self) -> u8 {
+        if self.bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << self.bits) - 1
+        }
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Returns `true` if the counter is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Returns `true` if the counter is at its maximum.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == self.max()
+    }
+
+    /// Resets the counter to zero.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Clears a single bit of the counter (the graceful "one-bit shift"
+    /// aging used for the TAGE useful counters: clearing bit 0 then bit 1
+    /// alternately halves the population of useful entries).
+    #[inline]
+    pub fn clear_bit(&mut self, bit: u8) {
+        self.value &= !(1 << bit);
+    }
+
+    /// Directly sets the value (clamped).
+    #[inline]
+    pub fn set(&mut self, value: u8) {
+        self.value = value.min(self.max());
+    }
+}
+
+impl fmt::Display for UnsignedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}b", self.value, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_counter_saturates_at_both_ends() {
+        let mut c = SignedCounter::new(3);
+        for _ in 0..20 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+        for _ in 0..20 {
+            c.decrement();
+        }
+        assert_eq!(c.value(), -4);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn signed_counter_weak_states() {
+        assert!(SignedCounter::with_value(3, 0).is_weak());
+        assert!(SignedCounter::with_value(3, -1).is_weak());
+        assert!(!SignedCounter::with_value(3, 1).is_weak());
+        assert!(!SignedCounter::with_value(3, -2).is_weak());
+    }
+
+    #[test]
+    fn signed_counter_prediction_follows_sign() {
+        assert!(SignedCounter::with_value(3, 0).predict_taken());
+        assert!(SignedCounter::with_value(3, 3).predict_taken());
+        assert!(!SignedCounter::with_value(3, -1).predict_taken());
+        assert!(!SignedCounter::with_value(3, -4).predict_taken());
+    }
+
+    #[test]
+    fn centered_magnitude_matches_paper_classes() {
+        // 3-bit counter: |2*ctr+1| in {1, 3, 5, 7}.
+        assert_eq!(SignedCounter::with_value(3, 0).centered_magnitude(), 1);
+        assert_eq!(SignedCounter::with_value(3, -1).centered_magnitude(), 1);
+        assert_eq!(SignedCounter::with_value(3, 1).centered_magnitude(), 3);
+        assert_eq!(SignedCounter::with_value(3, -2).centered_magnitude(), 3);
+        assert_eq!(SignedCounter::with_value(3, 2).centered_magnitude(), 5);
+        assert_eq!(SignedCounter::with_value(3, -3).centered_magnitude(), 5);
+        assert_eq!(SignedCounter::with_value(3, 3).centered_magnitude(), 7);
+        assert_eq!(SignedCounter::with_value(3, -4).centered_magnitude(), 7);
+    }
+
+    #[test]
+    fn nearly_saturated_boundary_detection() {
+        assert!(SignedCounter::with_value(3, 2).is_nearly_saturated_boundary());
+        assert!(SignedCounter::with_value(3, -3).is_nearly_saturated_boundary());
+        assert!(!SignedCounter::with_value(3, 3).is_nearly_saturated_boundary());
+        assert!(!SignedCounter::with_value(3, 0).is_nearly_saturated_boundary());
+    }
+
+    #[test]
+    fn set_weak_matches_direction() {
+        let mut c = SignedCounter::new(3);
+        c.set_weak(true);
+        assert_eq!(c.value(), 0);
+        assert!(c.predict_taken());
+        c.set_weak(false);
+        assert_eq!(c.value(), -1);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn update_moves_towards_outcome() {
+        let mut c = SignedCounter::new(2);
+        c.update(true);
+        assert_eq!(c.value(), 0);
+        c.update(true);
+        assert_eq!(c.value(), 1);
+        c.update(false);
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn with_value_clamps() {
+        assert_eq!(SignedCounter::with_value(3, 100).value(), 3);
+        assert_eq!(SignedCounter::with_value(3, -100).value(), -4);
+        assert_eq!(UnsignedCounter::with_value(2, 200).value(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width must be in 1..=7 bits")]
+    fn signed_counter_rejects_zero_width() {
+        SignedCounter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width must be in 1..=8 bits")]
+    fn unsigned_counter_rejects_wide_width() {
+        UnsignedCounter::new(9);
+    }
+
+    #[test]
+    fn unsigned_counter_saturates_and_resets() {
+        let mut u = UnsignedCounter::new(2);
+        for _ in 0..10 {
+            u.increment();
+        }
+        assert_eq!(u.value(), 3);
+        assert!(u.is_saturated());
+        u.decrement();
+        assert_eq!(u.value(), 2);
+        u.reset();
+        assert!(u.is_zero());
+        u.decrement();
+        assert!(u.is_zero());
+    }
+
+    #[test]
+    fn unsigned_clear_bit_behaves_like_graceful_aging() {
+        let mut u = UnsignedCounter::with_value(2, 3);
+        u.clear_bit(0);
+        assert_eq!(u.value(), 2);
+        u.clear_bit(1);
+        assert_eq!(u.value(), 0);
+    }
+
+    #[test]
+    fn eight_bit_unsigned_counter_max() {
+        let u = UnsignedCounter::with_value(8, 255);
+        assert_eq!(u.value(), 255);
+        assert!(u.is_saturated());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SignedCounter::new(3)).is_empty());
+        assert!(!format!("{}", UnsignedCounter::new(2)).is_empty());
+    }
+}

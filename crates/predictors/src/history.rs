@@ -1,0 +1,239 @@
+//! Global branch history registers.
+
+use core::fmt;
+
+/// An arbitrary-length global branch-history shift register.
+///
+/// Bit 0 is the most recent outcome. The register retains `capacity` bits;
+/// the TAGE configurations in this workspace need up to 300 bits plus slack.
+///
+/// # Example
+///
+/// ```
+/// use tage_predictors::history::HistoryRegister;
+///
+/// let mut h = HistoryRegister::new(128);
+/// h.push(true);
+/// h.push(false);
+/// assert!(!h.bit(0));
+/// assert!(h.bit(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryRegister {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero (all not-taken) history of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be non-zero");
+        HistoryRegister {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of bits retained.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shifts in a new outcome as bit 0.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = u64::from(taken);
+        for word in self.words.iter_mut() {
+            let next_carry = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = next_carry;
+        }
+    }
+
+    /// The outcome `lag` branches ago; lags beyond the capacity read as
+    /// `false`.
+    #[inline]
+    pub fn bit(&self, lag: usize) -> bool {
+        if lag >= self.capacity {
+            return false;
+        }
+        (self.words[lag / 64] >> (lag % 64)) & 1 == 1
+    }
+
+    /// The lowest `n` bits (most recent outcomes) packed into a `u64`
+    /// (`n <= 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64, "low_bits supports at most 64 bits");
+        if n == 0 {
+            return 0;
+        }
+        let word = self.words[0];
+        if n == 64 {
+            word
+        } else {
+            word & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Folds the most recent `length` history bits into `out_bits` bits by
+    /// XOR-ing successive chunks. This is a functional (not incremental)
+    /// version of the folded-history registers a hardware TAGE maintains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is zero or greater than 63.
+    pub fn fold(&self, length: usize, out_bits: usize) -> u64 {
+        assert!(out_bits > 0 && out_bits < 64, "fold output must be 1..=63 bits");
+        let length = length.min(self.capacity);
+        let mut folded: u64 = 0;
+        let mut acc: u64 = 0;
+        let mut acc_bits = 0usize;
+        for lag in 0..length {
+            acc |= u64::from(self.bit(lag)) << acc_bits;
+            acc_bits += 1;
+            if acc_bits == out_bits {
+                folded ^= acc;
+                acc = 0;
+                acc_bits = 0;
+            }
+        }
+        if acc_bits > 0 {
+            folded ^= acc;
+        }
+        folded
+    }
+
+    /// Clears the history.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl fmt::Display for HistoryRegister {
+    /// Shows the 32 most recent bits (most recent rightmost) and the
+    /// capacity.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shown = self.capacity.min(32);
+        for lag in (0..shown).rev() {
+            write!(f, "{}", u8::from(self.bit(lag)))?;
+        }
+        write!(f, " ({} bits)", self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bit_track_recent_outcomes() {
+        let mut h = HistoryRegister::new(70);
+        h.push(true);
+        h.push(true);
+        h.push(false);
+        assert!(!h.bit(0));
+        assert!(h.bit(1));
+        assert!(h.bit(2));
+        assert!(!h.bit(3));
+        assert!(!h.bit(200));
+    }
+
+    #[test]
+    fn shifting_crosses_word_boundary() {
+        let mut h = HistoryRegister::new(130);
+        h.push(true);
+        for _ in 0..128 {
+            h.push(false);
+        }
+        assert!(h.bit(128));
+        assert!(!h.bit(127));
+        assert!(!h.bit(129));
+    }
+
+    #[test]
+    fn bits_beyond_capacity_are_dropped() {
+        let mut h = HistoryRegister::new(8);
+        h.push(true);
+        for _ in 0..8 {
+            h.push(false);
+        }
+        // The taken bit has been shifted out of the 8-bit window.
+        assert!((0..8).all(|lag| !h.bit(lag)));
+    }
+
+    #[test]
+    fn low_bits_packs_recent_history() {
+        let mut h = HistoryRegister::new(64);
+        h.push(true); // lag 2 after the next two pushes
+        h.push(false);
+        h.push(true);
+        assert_eq!(h.low_bits(3), 0b101);
+        assert_eq!(h.low_bits(0), 0);
+        assert_eq!(h.low_bits(64), h.low_bits(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "low_bits supports at most 64 bits")]
+    fn low_bits_rejects_too_many() {
+        HistoryRegister::new(128).low_bits(65);
+    }
+
+    #[test]
+    fn fold_is_stable_and_depends_on_history() {
+        let mut h = HistoryRegister::new(256);
+        for i in 0..200 {
+            h.push(i % 3 == 0);
+        }
+        let a = h.fold(130, 11);
+        let b = h.fold(130, 11);
+        assert_eq!(a, b);
+        assert!(a < (1 << 11));
+        h.push(true);
+        let c = h.fold(130, 11);
+        assert_ne!(a, c, "fold should change when history changes");
+    }
+
+    #[test]
+    fn fold_of_short_history_is_identity_like() {
+        let mut h = HistoryRegister::new(64);
+        h.push(true);
+        h.push(true);
+        // 2 bits folded into 8 bits: just the low bits.
+        assert_eq!(h.fold(2, 8), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "history capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        HistoryRegister::new(0);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut h = HistoryRegister::new(100);
+        for _ in 0..50 {
+            h.push(true);
+        }
+        h.clear();
+        assert!((0..100).all(|lag| !h.bit(lag)));
+    }
+
+    #[test]
+    fn display_shows_recent_bits() {
+        let mut h = HistoryRegister::new(16);
+        h.push(true);
+        let s = format!("{h}");
+        assert!(s.contains("16 bits"));
+        assert!(s.contains('1'));
+    }
+}

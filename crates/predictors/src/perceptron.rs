@@ -1,0 +1,203 @@
+//! The hashed perceptron branch predictor.
+
+use crate::history::HistoryRegister;
+use crate::predictor::{BranchPredictor, Prediction};
+
+/// A perceptron branch predictor (Jiménez & Lin).
+///
+/// Each branch hashes to a weight vector; the prediction is the sign of the
+/// dot product between the weights and the global history (encoded ±1), plus
+/// a bias weight. The absolute value of the sum is the *self-confidence*
+/// margin used by perceptron-based confidence estimation (Akkary et al.,
+/// Jiménez & Lin), one of the baselines the paper compares against.
+///
+/// # Example
+///
+/// ```
+/// use tage_predictors::{BranchPredictor, PerceptronPredictor};
+///
+/// let mut p = PerceptronPredictor::new(256, 16);
+/// let pred = p.predict(0xbeef00);
+/// p.update(0xbeef00, false, &pred);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerceptronPredictor {
+    /// `rows x (history_len + 1)` weights; weight 0 is the bias.
+    weights: Vec<Vec<i16>>,
+    history: HistoryRegister,
+    history_len: usize,
+    /// Training threshold θ ≈ 1.93 * h + 14 (Jiménez & Lin).
+    threshold: i32,
+    weight_bits: u8,
+}
+
+impl PerceptronPredictor {
+    /// Creates a perceptron predictor with `rows` weight vectors over
+    /// `history_len` history bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `history_len` is zero or greater than 256.
+    pub fn new(rows: usize, history_len: usize) -> Self {
+        assert!(rows > 0, "rows must be non-zero");
+        assert!(
+            (1..=256).contains(&history_len),
+            "history_len must be in 1..=256"
+        );
+        let threshold = (1.93 * history_len as f64 + 14.0) as i32;
+        PerceptronPredictor {
+            weights: vec![vec![0i16; history_len + 1]; rows],
+            history: HistoryRegister::new(history_len),
+            history_len,
+            threshold,
+            weight_bits: 8,
+        }
+    }
+
+    /// The training threshold θ.
+    pub fn threshold(&self) -> i32 {
+        self.threshold
+    }
+
+    fn row(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.weights.len() as u64) as usize
+    }
+
+    fn sum(&self, pc: u64) -> i32 {
+        let w = &self.weights[self.row(pc)];
+        let mut sum = i32::from(w[0]);
+        for i in 0..self.history_len {
+            let x = if self.history.bit(i) { 1 } else { -1 };
+            sum += i32::from(w[i + 1]) * x;
+        }
+        sum
+    }
+
+    fn saturating_adjust(weight: &mut i16, up: bool, bits: u8) {
+        let max = (1i16 << (bits - 1)) - 1;
+        let min = -(1i16 << (bits - 1));
+        if up {
+            if *weight < max {
+                *weight += 1;
+            }
+        } else if *weight > min {
+            *weight -= 1;
+        }
+    }
+}
+
+impl BranchPredictor for PerceptronPredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let sum = self.sum(pc);
+        Prediction::new(sum >= 0, i64::from(sum.abs()))
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, prediction: &Prediction) {
+        let sum = self.sum(pc);
+        let mispredicted = (sum >= 0) != taken;
+        // The margin below threshold triggers training even on a correct
+        // prediction (standard perceptron training rule). `prediction` is
+        // accepted for interface uniformity; the recomputed sum is exact in
+        // trace-driven simulation.
+        let _ = prediction;
+        if mispredicted || sum.abs() <= self.threshold {
+            let row = self.row(pc);
+            let bits = self.weight_bits;
+            let w = &mut self.weights[row];
+            Self::saturating_adjust(&mut w[0], taken, bits);
+            for i in 0..self.history_len {
+                let agrees = self.history.bit(i) == taken;
+                Self::saturating_adjust(&mut w[i + 1], agrees, bits);
+            }
+        }
+        self.history.push(taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.weights.len() as u64
+            * (self.history_len as u64 + 1)
+            * u64::from(self.weight_bits)
+            + self.history_len as u64
+    }
+
+    fn name(&self) -> String {
+        format!("perceptron-{}x{}", self.weights.len(), self.history_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = PerceptronPredictor::new(64, 12);
+        for _ in 0..200 {
+            let pred = p.predict(0x1234);
+            p.update(0x1234, true, &pred);
+        }
+        let pred = p.predict(0x1234);
+        assert!(pred.taken);
+        assert!(pred.margin > 0);
+    }
+
+    #[test]
+    fn learns_history_correlated_branch_bimodal_cannot() {
+        // Outcome = outcome of the previous branch (lag-1 correlation).
+        let mut p = PerceptronPredictor::new(128, 16);
+        let mut last = false;
+        let mut wrong_late = 0;
+        for i in 0..4000 {
+            let taken = last;
+            let pred = p.predict(0x4444);
+            if i > 2000 && pred.taken != taken {
+                wrong_late += 1;
+            }
+            p.update(0x4444, taken, &pred);
+            last = !last; // alternate, so outcome alternates too
+        }
+        assert!(wrong_late < 100, "wrong_late = {wrong_late}");
+    }
+
+    #[test]
+    fn margin_grows_with_training() {
+        let mut p = PerceptronPredictor::new(64, 8);
+        let early = p.predict(0x10).margin;
+        for _ in 0..300 {
+            let pred = p.predict(0x10);
+            p.update(0x10, true, &pred);
+        }
+        let late = p.predict(0x10).margin;
+        assert!(late > early);
+    }
+
+    #[test]
+    fn threshold_follows_jimenez_rule() {
+        let p = PerceptronPredictor::new(16, 31);
+        assert_eq!(p.threshold(), (1.93 * 31.0 + 14.0) as i32);
+    }
+
+    #[test]
+    fn weights_saturate() {
+        let mut p = PerceptronPredictor::new(1, 4);
+        for _ in 0..10_000 {
+            let pred = p.predict(0);
+            p.update(0, true, &pred);
+        }
+        // All weights bounded by the 8-bit range.
+        assert!(p.weights[0].iter().all(|&w| (-128..=127).contains(&w)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must be non-zero")]
+    fn rejects_zero_rows() {
+        PerceptronPredictor::new(0, 8);
+    }
+
+    #[test]
+    fn storage_accounting_scales_with_rows_and_history() {
+        let p = PerceptronPredictor::new(10, 9);
+        assert_eq!(p.storage_bits(), 10 * 10 * 8 + 9);
+        assert!(p.name().contains("perceptron"));
+    }
+}

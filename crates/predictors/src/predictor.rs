@@ -1,0 +1,94 @@
+//! The common interface every conditional branch predictor implements.
+
+use core::fmt;
+
+/// The outcome of a prediction lookup, carrying the self-confidence margin.
+///
+/// For counter-based predictors the margin is the distance of the counter
+/// from its weak state; for neural predictors (perceptron, GEHL) it is the
+/// absolute value of the prediction sum. The margin is what *self-confidence*
+/// estimation (Jiménez & Lin; Seznec's O-GEHL usage) thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted direction (`true` = taken).
+    pub taken: bool,
+    /// The predictor-specific confidence margin (larger = more confident).
+    pub margin: i64,
+}
+
+impl Prediction {
+    /// Creates a prediction with the given direction and margin.
+    pub fn new(taken: bool, margin: i64) -> Self {
+        Prediction { taken, margin }
+    }
+
+    /// A prediction with no margin information.
+    pub fn direction(taken: bool) -> Self {
+        Prediction { taken, margin: 0 }
+    }
+}
+
+impl fmt::Display for Prediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (margin {})",
+            if self.taken { "taken" } else { "not-taken" },
+            self.margin
+        )
+    }
+}
+
+/// A trace-driven conditional branch predictor.
+///
+/// The simulation protocol is: call [`BranchPredictor::predict`] for a branch
+/// PC, resolve the branch, then call [`BranchPredictor::update`] with the
+/// actual outcome and the prediction that was made. Predictors keep their
+/// speculative state (global history, folded histories) internally and update
+/// it with the *resolved* outcome, which is exact for in-order trace-driven
+/// simulation.
+pub trait BranchPredictor {
+    /// Predicts the direction of the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> Prediction;
+
+    /// Updates the predictor with the resolved outcome of the branch at
+    /// `pc`. `prediction` must be the value returned by the matching
+    /// [`BranchPredictor::predict`] call.
+    fn update(&mut self, pc: u64, taken: bool, prediction: &Prediction);
+
+    /// Total storage the predictor uses, in bits.
+    fn storage_bits(&self) -> u64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String {
+        "predictor".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_constructors() {
+        let p = Prediction::new(true, 12);
+        assert!(p.taken);
+        assert_eq!(p.margin, 12);
+        let d = Prediction::direction(false);
+        assert!(!d.taken);
+        assert_eq!(d.margin, 0);
+    }
+
+    #[test]
+    fn prediction_display() {
+        assert!(format!("{}", Prediction::new(true, 3)).contains("taken"));
+        assert!(format!("{}", Prediction::new(false, 3)).contains("not-taken"));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        // Compile-time check: the trait must be usable as a trait object so
+        // that the simulation harness can store heterogeneous predictors.
+        fn _takes_dyn(_p: &dyn BranchPredictor) {}
+    }
+}

@@ -1,0 +1,191 @@
+//! Running the storage-based baseline confidence estimators for comparison.
+//!
+//! The paper's related-work section describes confidence estimators designed
+//! for pre-TAGE predictors: the JRS resetting-counter table, its Grunwald
+//! enhancement, and the self-confidence of neural predictors. This module
+//! runs any [`BranchPredictor`] together with any [`ConfidenceEstimator`]
+//! over a trace and reports the binary confidence metrics (SENS, SPEC, PVP,
+//! PVN) so the storage-free TAGE scheme can be compared against them.
+
+use core::fmt;
+
+use tage_confidence::{BinaryConfusion, ConfidenceEstimator, ConfidenceLevel};
+use tage_predictors::BranchPredictor;
+use tage_traces::Trace;
+
+/// The outcome of running a predictor plus a confidence estimator over a
+/// trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRunResult {
+    /// Name of the trace.
+    pub trace_name: String,
+    /// Name of the predictor.
+    pub predictor_name: String,
+    /// Name of the confidence estimator.
+    pub estimator_name: String,
+    /// Extra storage the estimator uses, in bits.
+    pub estimator_storage_bits: u64,
+    /// Confusion matrix treating `High` as high confidence and everything
+    /// else as low confidence.
+    pub confusion: BinaryConfusion,
+    /// Number of conditional branches simulated.
+    pub conditional_branches: u64,
+    /// Number of mispredictions.
+    pub mispredictions: u64,
+    /// Per-level prediction counts (low, medium, high).
+    pub level_predictions: [u64; 3],
+    /// Per-level misprediction counts (low, medium, high).
+    pub level_mispredictions: [u64; 3],
+}
+
+impl BaselineRunResult {
+    /// Misprediction rate in mispredictions per kilo-prediction.
+    pub fn mkp(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.conditional_branches as f64
+        }
+    }
+
+    /// Misprediction rate of one confidence level, in MKP.
+    pub fn level_mkp(&self, level: ConfidenceLevel) -> f64 {
+        let i = level_index(level);
+        if self.level_predictions[i] == 0 {
+            0.0
+        } else {
+            self.level_mispredictions[i] as f64 * 1000.0 / self.level_predictions[i] as f64
+        }
+    }
+
+    /// Prediction coverage of one confidence level.
+    pub fn level_pcov(&self, level: ConfidenceLevel) -> f64 {
+        if self.conditional_branches == 0 {
+            0.0
+        } else {
+            self.level_predictions[level_index(level)] as f64 / self.conditional_branches as f64
+        }
+    }
+}
+
+fn level_index(level: ConfidenceLevel) -> usize {
+    match level {
+        ConfidenceLevel::Low => 0,
+        ConfidenceLevel::Medium => 1,
+        ConfidenceLevel::High => 2,
+    }
+}
+
+impl fmt::Display for BaselineRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + {} on {}: {:.1} MKP, {}",
+            self.predictor_name,
+            self.estimator_name,
+            self.trace_name,
+            self.mkp(),
+            self.confusion
+        )
+    }
+}
+
+/// Runs `predictor` with `estimator` over the conditional branches of
+/// `trace`.
+pub fn run_baseline(
+    predictor: &mut dyn BranchPredictor,
+    estimator: &mut dyn ConfidenceEstimator,
+    trace: &Trace,
+) -> BaselineRunResult {
+    let mut confusion = BinaryConfusion::default();
+    let mut conditional_branches = 0u64;
+    let mut mispredictions = 0u64;
+    let mut level_predictions = [0u64; 3];
+    let mut level_mispredictions = [0u64; 3];
+
+    for record in trace.iter() {
+        if !record.kind.is_conditional() {
+            continue;
+        }
+        conditional_branches += 1;
+        let prediction = predictor.predict(record.pc);
+        let level = estimator.estimate(record.pc, &prediction);
+        let mispredicted = prediction.taken != record.taken;
+        if mispredicted {
+            mispredictions += 1;
+        }
+        confusion.record(level == ConfidenceLevel::High, mispredicted);
+        level_predictions[level_index(level)] += 1;
+        if mispredicted {
+            level_mispredictions[level_index(level)] += 1;
+        }
+        estimator.update(record.pc, &prediction, record.taken);
+        predictor.update(record.pc, record.taken, &prediction);
+    }
+
+    BaselineRunResult {
+        trace_name: trace.name().to_string(),
+        predictor_name: predictor.name(),
+        estimator_name: estimator.name(),
+        estimator_storage_bits: estimator.storage_bits(),
+        confusion,
+        conditional_branches,
+        mispredictions,
+        level_predictions,
+        level_mispredictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_confidence::estimators::{JrsEstimator, SelfConfidenceEstimator};
+    use tage_predictors::{GsharePredictor, PerceptronPredictor};
+    use tage_traces::suites;
+
+    fn trace() -> Trace {
+        suites::cbp1_like().trace("INT-1").unwrap().generate(20_000)
+    }
+
+    #[test]
+    fn jrs_on_gshare_flags_most_correct_predictions_as_high_confidence() {
+        let trace = trace();
+        let mut predictor = GsharePredictor::new(12, 12);
+        let mut estimator = JrsEstimator::classic(12);
+        let result = run_baseline(&mut predictor, &mut estimator, &trace);
+        assert_eq!(result.conditional_branches, 20_000);
+        assert!(result.confusion.total() == 20_000);
+        // High-confidence predictions must be more reliable than the average.
+        assert!(result.confusion.pvp() > 1.0 - result.mkp() / 1000.0);
+        // And low-confidence ones less reliable (positive PVN).
+        assert!(result.confusion.pvn() > result.mkp() / 1000.0);
+        assert!(result.estimator_storage_bits > 0);
+    }
+
+    #[test]
+    fn self_confidence_on_perceptron_has_positive_pvn() {
+        let trace = trace();
+        let mut predictor = PerceptronPredictor::new(512, 24);
+        let mut estimator = SelfConfidenceEstimator::new(40);
+        let result = run_baseline(&mut predictor, &mut estimator, &trace);
+        assert!(result.confusion.pvn() > result.mkp() / 1000.0);
+        assert_eq!(result.estimator_storage_bits, 0);
+        // Per-level accounting is consistent.
+        let total: u64 = result.level_predictions.iter().sum();
+        assert_eq!(total, result.conditional_branches);
+        assert!(result.level_mkp(ConfidenceLevel::Low) >= result.level_mkp(ConfidenceLevel::High));
+        assert!(result.level_pcov(ConfidenceLevel::High) > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_names() {
+        let trace = suites::cbp1_like().trace("FP-1").unwrap().generate(1_000);
+        let mut predictor = GsharePredictor::new(10, 10);
+        let mut estimator = JrsEstimator::classic(10);
+        let result = run_baseline(&mut predictor, &mut estimator, &trace);
+        let s = format!("{result}");
+        assert!(s.contains("gshare"));
+        assert!(s.contains("jrs"));
+        assert!(s.contains("FP-1"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Trace-driven simulation harness for the TAGE confidence-estimation
+//! reproduction.
+//!
+//! The crate ties the other workspace members together:
+//!
+//! * [`runner`] — runs a TAGE predictor plus the storage-free confidence
+//!   classifier over one trace and produces a per-class
+//!   [`tage_confidence::ConfidenceReport`];
+//! * [`suite`] — runs whole workload suites (the CBP-1-like and CBP-2-like
+//!   20-trace sets) and aggregates the results;
+//! * [`experiment`] — the building blocks behind each table and figure of
+//!   the paper (class distributions, three-level summaries, probability
+//!   sweeps, automaton accuracy cost, ablations);
+//! * [`baseline`] — runs the storage-based baseline confidence estimators
+//!   (JRS, enhanced JRS, self-confidence on perceptron/GEHL) for comparison;
+//! * [`gating`] — a fetch-gating / throttling model, the motivating
+//!   application for confidence estimation (energy saved on wrong-path
+//!   fetch vs. slots lost on gated correct predictions);
+//! * [`smt`] — a two-thread SMT fetch-policy model where confidence steers
+//!   fetch priority;
+//! * [`report`] — plain-text table rendering used by the `tage-bench`
+//!   binaries to print paper-style tables.
+//!
+//! # Example
+//!
+//! ```
+//! use tage::TageConfig;
+//! use tage_sim::runner::{RunOptions, run_trace};
+//! use tage_traces::suites;
+//!
+//! let trace = suites::cbp1_like().traces()[0].generate(5_000);
+//! let result = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
+//! assert!(result.conditional_branches > 0);
+//! assert!(result.report.total().predictions > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod experiment;
+pub mod gating;
+pub mod report;
+pub mod runner;
+pub mod smt;
+pub mod suite;
+
+pub use runner::{run_trace, RunOptions, TraceRunResult};
+pub use suite::{run_suite, SuiteRunResult};

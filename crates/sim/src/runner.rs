@@ -1,0 +1,277 @@
+//! Running one predictor over one trace.
+
+use core::fmt;
+
+use tage::{TageConfig, TagePredictor};
+use tage_confidence::{
+    AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier,
+};
+use tage_traces::Trace;
+
+/// Options controlling a trace run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Number of leading conditional branches excluded from the statistics
+    /// (the predictor still trains on them). The paper's traces are long
+    /// enough that warm-up is part of the measurement; the default is
+    /// therefore zero, but experiments studying steady-state behaviour can
+    /// skip a prefix.
+    pub warmup_branches: u64,
+    /// Length of the `medium-conf-bim` recency window (8 in the paper).
+    pub bim_miss_window: u32,
+    /// When set, the adaptive saturation-probability controller of
+    /// Section 6.2 runs alongside the predictor with this target (MKP on the
+    /// high-confidence class).
+    pub adaptive_target_mkp: Option<f64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            warmup_branches: 0,
+            bim_miss_window: tage_confidence::classifier::DEFAULT_BIM_MISS_WINDOW,
+            adaptive_target_mkp: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options with the adaptive controller enabled at the paper's 10 MKP
+    /// target.
+    pub fn adaptive() -> Self {
+        RunOptions {
+            adaptive_target_mkp: Some(tage_confidence::adaptive::DEFAULT_TARGET_MKP),
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// The outcome of running one predictor configuration over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRunResult {
+    /// Name of the trace.
+    pub trace_name: String,
+    /// Name of the predictor configuration.
+    pub config_name: String,
+    /// Per-class confidence statistics (including instruction counts for
+    /// MPKI reporting).
+    pub report: ConfidenceReport,
+    /// Number of conditional branches simulated (after warm-up exclusion).
+    pub conditional_branches: u64,
+    /// Total instructions attributed to the measured region.
+    pub instructions: u64,
+    /// Saturation probability in effect at the end of the run (only differs
+    /// from the configured automaton when the adaptive controller runs).
+    pub final_saturation_probability: f64,
+}
+
+impl TraceRunResult {
+    /// Overall misprediction rate in mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        self.report.mpki()
+    }
+
+    /// Overall misprediction rate in mispredictions per kilo-prediction.
+    pub fn mkp(&self) -> f64 {
+        self.report.mkp()
+    }
+}
+
+impl fmt::Display for TraceRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {:.2} MPKI ({:.1} MKP over {} branches)",
+            self.config_name,
+            self.trace_name,
+            self.mpki(),
+            self.mkp(),
+            self.conditional_branches
+        )
+    }
+}
+
+/// Runs a TAGE predictor built from `config` over `trace`, classifying every
+/// conditional-branch prediction with the storage-free confidence
+/// classifier.
+///
+/// Non-conditional records (calls, returns, jumps) contribute to the
+/// instruction count but are not predicted, as in the paper's methodology.
+pub fn run_trace(config: &TageConfig, trace: &Trace, options: &RunOptions) -> TraceRunResult {
+    let mut predictor = TagePredictor::new(config.clone());
+    run_trace_with_predictor(&mut predictor, trace, options)
+}
+
+/// Runs an already-constructed predictor over a trace (allowing state to be
+/// carried across traces, or a pre-warmed predictor to be reused).
+pub fn run_trace_with_predictor(
+    predictor: &mut TagePredictor,
+    trace: &Trace,
+    options: &RunOptions,
+) -> TraceRunResult {
+    let config = predictor.config().clone();
+    let mut classifier =
+        TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
+    let mut controller = options
+        .adaptive_target_mkp
+        .map(|target| AdaptiveSaturationController::with_parameters(target, 16 * 1024));
+    if let Some(controller) = controller.as_ref() {
+        predictor.set_automaton(controller.automaton());
+    }
+
+    let mut report = ConfidenceReport::new();
+    let mut conditional_seen: u64 = 0;
+    let mut measured_branches: u64 = 0;
+    let mut measured_instructions: u64 = 0;
+
+    for record in trace.iter() {
+        let in_measurement = conditional_seen >= options.warmup_branches;
+        if !record.kind.is_conditional() {
+            if in_measurement {
+                measured_instructions += record.instructions();
+                report.add_instructions(record.instructions());
+            }
+            continue;
+        }
+        conditional_seen += 1;
+
+        let prediction = predictor.predict(record.pc);
+        let class = classifier.classify_and_observe(&prediction, record.taken);
+        let mispredicted = prediction.taken != record.taken;
+
+        if in_measurement {
+            report.record(class, mispredicted);
+            report.add_instructions(record.instructions());
+            measured_instructions += record.instructions();
+            measured_branches += 1;
+        }
+
+        if let Some(controller) = controller.as_mut() {
+            if let Some(automaton) = controller.observe(class.level(), mispredicted) {
+                predictor.set_automaton(automaton);
+            }
+        }
+
+        predictor.update(record.pc, record.taken, &prediction);
+    }
+
+    TraceRunResult {
+        trace_name: trace.name().to_string(),
+        config_name: config.name.clone(),
+        report,
+        conditional_branches: measured_branches,
+        instructions: measured_instructions,
+        final_saturation_probability: predictor.config().automaton.saturation_probability(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage::CounterAutomaton;
+    use tage_confidence::{ConfidenceLevel, PredictionClass};
+    use tage_traces::suites;
+
+    fn small_trace(n: usize) -> Trace {
+        suites::cbp1_like().trace("INT-1").unwrap().generate(n)
+    }
+
+    #[test]
+    fn run_counts_every_measured_conditional_branch() {
+        let trace = small_trace(4_000);
+        let result = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
+        assert_eq!(result.conditional_branches, 4_000);
+        assert_eq!(result.report.total().predictions, 4_000);
+        assert_eq!(result.instructions, trace.instruction_count());
+        assert!(result.mpki() > 0.0);
+        assert!(result.mkp() > result.mpki());
+    }
+
+    #[test]
+    fn warmup_excludes_a_prefix_from_statistics() {
+        let trace = small_trace(4_000);
+        let options = RunOptions {
+            warmup_branches: 1_000,
+            ..RunOptions::default()
+        };
+        let result = run_trace(&TageConfig::small(), &trace, &options);
+        assert_eq!(result.report.total().predictions, 3_000);
+        assert!(result.instructions < trace.instruction_count());
+    }
+
+    #[test]
+    fn every_prediction_lands_in_some_class() {
+        let trace = small_trace(3_000);
+        let result = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
+        let sum: u64 = PredictionClass::ALL
+            .iter()
+            .map(|&c| result.report.class(c).predictions)
+            .sum();
+        assert_eq!(sum, 3_000);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_trace(3_000);
+        let a = run_trace(&TageConfig::medium(), &trace, &RunOptions::default());
+        let b = run_trace(&TageConfig::medium(), &trace, &RunOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_predictors_do_not_mispredict_more() {
+        let trace = small_trace(30_000);
+        let small = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
+        let large = run_trace(&TageConfig::large(), &trace, &RunOptions::default());
+        assert!(
+            large.report.total().mispredictions
+                <= small.report.total().mispredictions + small.report.total().predictions / 100,
+            "large {} vs small {}",
+            large.report.total().mispredictions,
+            small.report.total().mispredictions
+        );
+    }
+
+    #[test]
+    fn adaptive_run_tracks_probability() {
+        let trace = small_trace(30_000);
+        let config = TageConfig::small().with_automaton(CounterAutomaton::paper_default());
+        let result = run_trace(&config, &trace, &RunOptions::adaptive());
+        assert!(result.final_saturation_probability >= 1.0 / 1024.0 - 1e-12);
+        assert!(result.final_saturation_probability <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn low_confidence_class_has_higher_miss_rate_than_high() {
+        let trace = small_trace(60_000);
+        let config = TageConfig::small().with_automaton(CounterAutomaton::paper_default());
+        let result = run_trace(&config, &trace, &RunOptions::default());
+        let low = result.report.level_mprate_mkp(ConfidenceLevel::Low);
+        let high = result.report.level_mprate_mkp(ConfidenceLevel::High);
+        assert!(
+            low > high * 3.0,
+            "low {low} MKP should be far above high {high} MKP"
+        );
+    }
+
+    #[test]
+    fn reusing_a_predictor_keeps_training_it() {
+        let trace = small_trace(5_000);
+        let mut predictor = TagePredictor::new(TageConfig::small());
+        let first = run_trace_with_predictor(&mut predictor, &trace, &RunOptions::default());
+        let second = run_trace_with_predictor(&mut predictor, &trace, &RunOptions::default());
+        assert!(
+            second.report.total().mispredictions <= first.report.total().mispredictions,
+            "a warmed predictor should not get worse on the same trace"
+        );
+    }
+
+    #[test]
+    fn display_mentions_names() {
+        let trace = small_trace(1_000);
+        let result = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
+        let s = format!("{result}");
+        assert!(s.contains("INT-1"));
+        assert!(s.contains("TAGE-16K"));
+    }
+}

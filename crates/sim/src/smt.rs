@@ -1,0 +1,256 @@
+//! A two-thread SMT fetch-policy model driven by branch confidence.
+//!
+//! Controlling SMT resource allocation through the fetch policy is one of
+//! the confidence applications the paper cites (Luo et al.). The model here
+//! interleaves two traces as two hardware threads sharing one fetch port:
+//! every cycle the port is granted to one thread. The confidence-driven
+//! policy deprioritises the thread with more unresolved low-confidence
+//! branches in flight, so a thread that is likely on the wrong path does not
+//! hog the shared front-end; the baseline policy is round-robin (ICOUNT-like
+//! fairness without confidence information).
+
+use core::fmt;
+
+use tage::{TageConfig, TagePredictor};
+use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
+use tage_traces::Trace;
+
+/// Fetch arbitration policies for the two-thread model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SmtFetchPolicy {
+    /// Alternate between the threads irrespective of confidence.
+    RoundRobin,
+    /// Grant fetch to the thread with fewer unresolved low- or
+    /// medium-confidence branches (ties broken round-robin).
+    ConfidenceCount,
+}
+
+impl fmt::Display for SmtFetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmtFetchPolicy::RoundRobin => write!(f, "round-robin"),
+            SmtFetchPolicy::ConfidenceCount => write!(f, "confidence-count"),
+        }
+    }
+}
+
+/// Per-thread outcome of the SMT model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SmtThreadResult {
+    /// Branches fetched (and predicted) for this thread.
+    pub branches: u64,
+    /// Mispredictions for this thread.
+    pub mispredictions: u64,
+    /// Wrong-path fetch slots charged to this thread: branches fetched while
+    /// the thread had an unresolved misprediction outstanding.
+    pub wrong_path_slots: u64,
+}
+
+/// Outcome of the two-thread SMT fetch simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtRunResult {
+    /// Policy simulated.
+    pub policy: SmtFetchPolicy,
+    /// Per-thread results.
+    pub threads: [SmtThreadResult; 2],
+    /// Total fetch cycles simulated.
+    pub cycles: u64,
+}
+
+impl SmtRunResult {
+    /// Total wrong-path fetch slots over both threads — the quantity a
+    /// confidence-aware policy is meant to reduce.
+    pub fn total_wrong_path_slots(&self) -> u64 {
+        self.threads.iter().map(|t| t.wrong_path_slots).sum()
+    }
+
+    /// Total branches fetched over both threads.
+    pub fn total_branches(&self) -> u64 {
+        self.threads.iter().map(|t| t.branches).sum()
+    }
+}
+
+impl fmt::Display for SmtRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} branches, {} wrong-path slots",
+            self.policy,
+            self.total_branches(),
+            self.total_wrong_path_slots()
+        )
+    }
+}
+
+/// Number of fetch cycles a branch stays "in flight" before it resolves in
+/// the model.
+const RESOLVE_DELAY: u64 = 8;
+
+struct ThreadState<'a> {
+    records: Vec<&'a tage_traces::BranchRecord>,
+    next: usize,
+    predictor: TagePredictor,
+    classifier: TageConfidenceClassifier,
+    /// (resolve_cycle, was_not_high_confidence, was_mispredicted)
+    in_flight: Vec<(u64, bool, bool)>,
+    result: SmtThreadResult,
+}
+
+impl<'a> ThreadState<'a> {
+    fn new(config: &TageConfig, trace: &'a Trace) -> Self {
+        ThreadState {
+            records: trace
+                .iter()
+                .filter(|r| r.kind.is_conditional())
+                .collect(),
+            next: 0,
+            predictor: TagePredictor::new(config.clone()),
+            classifier: TageConfidenceClassifier::new(config),
+            in_flight: Vec::new(),
+            result: SmtThreadResult::default(),
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next >= self.records.len()
+    }
+
+    fn unresolved_low_confidence(&self) -> usize {
+        self.in_flight.iter().filter(|(_, risky, _)| *risky).count()
+    }
+
+    fn has_unresolved_misprediction(&self) -> bool {
+        self.in_flight.iter().any(|(_, _, miss)| *miss)
+    }
+
+    fn resolve(&mut self, cycle: u64) {
+        self.in_flight.retain(|(resolve_at, _, _)| *resolve_at > cycle);
+    }
+
+    fn fetch_one(&mut self, cycle: u64) {
+        if self.exhausted() {
+            return;
+        }
+        // Fetching while an older branch of this thread is actually
+        // mispredicted means these slots are wrong-path work.
+        if self.has_unresolved_misprediction() {
+            self.result.wrong_path_slots += 1;
+        }
+        let record = self.records[self.next];
+        self.next += 1;
+        let prediction = self.predictor.predict(record.pc);
+        let class = self
+            .classifier
+            .classify_and_observe(&prediction, record.taken);
+        let mispredicted = prediction.taken != record.taken;
+        self.result.branches += 1;
+        if mispredicted {
+            self.result.mispredictions += 1;
+        }
+        self.in_flight.push((
+            cycle + RESOLVE_DELAY,
+            class.level() != ConfidenceLevel::High,
+            mispredicted,
+        ));
+        self.predictor.update(record.pc, record.taken, &prediction);
+    }
+}
+
+/// Runs the two-thread SMT fetch model: one conditional branch is fetched
+/// per cycle, granted to one of the two threads according to `policy`.
+///
+/// As is customary for multiprogrammed studies, the simulation stops as soon
+/// as either thread runs out of trace, so both threads are always present
+/// and the policies are compared over the same co-run region.
+pub fn simulate_smt(
+    config: &TageConfig,
+    thread0: &Trace,
+    thread1: &Trace,
+    policy: SmtFetchPolicy,
+) -> SmtRunResult {
+    let mut threads = [
+        ThreadState::new(config, thread0),
+        ThreadState::new(config, thread1),
+    ];
+    let mut cycle = 0u64;
+    let mut last = 1usize;
+    while threads.iter().all(|t| !t.exhausted()) {
+        cycle += 1;
+        for t in threads.iter_mut() {
+            t.resolve(cycle);
+        }
+        let pick = match policy {
+            SmtFetchPolicy::RoundRobin => 1 - last,
+            SmtFetchPolicy::ConfidenceCount => {
+                let low0 = threads[0].unresolved_low_confidence();
+                let low1 = threads[1].unresolved_low_confidence();
+                match low0.cmp(&low1) {
+                    std::cmp::Ordering::Less => 0,
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Equal => 1 - last,
+                }
+            }
+        };
+        threads[pick].fetch_one(cycle);
+        last = pick;
+    }
+    SmtRunResult {
+        policy,
+        threads: [threads[0].result, threads[1].result],
+        cycles: cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage::CounterAutomaton;
+    use tage_traces::suites;
+
+    fn config() -> TageConfig {
+        TageConfig::small().with_automaton(CounterAutomaton::paper_default())
+    }
+
+    #[test]
+    fn both_policies_fetch_from_both_threads_until_one_finishes() {
+        let suite = suites::cbp1_like();
+        let a = suite.trace("FP-1").unwrap().generate(4_000);
+        let b = suite.trace("MM-5").unwrap().generate(4_000);
+        for policy in [SmtFetchPolicy::RoundRobin, SmtFetchPolicy::ConfidenceCount] {
+            let result = simulate_smt(&config(), &a, &b, policy);
+            // One fetch per cycle, and the run stops once either thread is
+            // out of trace.
+            assert_eq!(result.total_branches(), result.cycles, "{policy}");
+            assert!(result.threads.iter().all(|t| t.branches > 0), "{policy}");
+            assert!(result.threads.iter().any(|t| t.branches == 4_000), "{policy}");
+            assert!(result.total_branches() <= 8_000);
+        }
+    }
+
+    #[test]
+    fn confidence_policy_reduces_wrong_path_slots() {
+        // Pair a very predictable thread with a poorly predictable one: the
+        // confidence-aware policy should steer fetch away from the
+        // mispredicting thread and reduce total wrong-path work.
+        let suite = suites::cbp1_like();
+        let a = suite.trace("FP-1").unwrap().generate(12_000);
+        let b = suite.trace("MM-5").unwrap().generate(12_000);
+        let rr = simulate_smt(&config(), &a, &b, SmtFetchPolicy::RoundRobin);
+        let cc = simulate_smt(&config(), &a, &b, SmtFetchPolicy::ConfidenceCount);
+        assert!(
+            cc.total_wrong_path_slots() <= rr.total_wrong_path_slots(),
+            "confidence {} vs round-robin {}",
+            cc.total_wrong_path_slots(),
+            rr.total_wrong_path_slots()
+        );
+    }
+
+    #[test]
+    fn display_mentions_policy() {
+        let suite = suites::cbp1_like();
+        let a = suite.trace("FP-1").unwrap().generate(500);
+        let b = suite.trace("FP-2").unwrap().generate(500);
+        let result = simulate_smt(&config(), &a, &b, SmtFetchPolicy::RoundRobin);
+        assert!(format!("{result}").contains("round-robin"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Running whole workload suites and aggregating the results.
+
+use core::fmt;
+
+use tage::TageConfig;
+use tage_confidence::ConfidenceReport;
+use tage_traces::Suite;
+
+use crate::runner::{run_trace, RunOptions, TraceRunResult};
+
+/// The outcome of running one predictor configuration over every trace of a
+/// suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRunResult {
+    /// Name of the suite (`"CBP-1-like"`, `"CBP-2-like"`).
+    pub suite_name: String,
+    /// Name of the predictor configuration.
+    pub config_name: String,
+    /// Per-trace results, in suite order.
+    pub traces: Vec<TraceRunResult>,
+    /// Aggregate report over all traces of the suite.
+    pub aggregate: ConfidenceReport,
+}
+
+impl SuiteRunResult {
+    /// Arithmetic mean of the per-trace MPKI values (the paper reports
+    /// per-trace bars and per-suite averages).
+    pub fn mean_mpki(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces.iter().map(TraceRunResult::mpki).sum::<f64>() / self.traces.len() as f64
+    }
+
+    /// Aggregate misprediction rate in MKP over all predictions of the
+    /// suite.
+    pub fn aggregate_mkp(&self) -> f64 {
+        self.aggregate.mkp()
+    }
+
+    /// Looks up the result of one trace by name.
+    pub fn trace(&self, name: &str) -> Option<&TraceRunResult> {
+        self.traces.iter().find(|t| t.trace_name == name)
+    }
+}
+
+impl fmt::Display for SuiteRunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: mean {:.2} MPKI, aggregate {:.1} MKP over {} traces",
+            self.config_name,
+            self.suite_name,
+            self.mean_mpki(),
+            self.aggregate_mkp(),
+            self.traces.len()
+        )
+    }
+}
+
+/// Runs `config` over every trace of `suite`, generating
+/// `branches_per_trace` conditional branches per trace.
+pub fn run_suite(
+    config: &TageConfig,
+    suite: &Suite,
+    branches_per_trace: usize,
+    options: &RunOptions,
+) -> SuiteRunResult {
+    let mut traces = Vec::with_capacity(suite.traces().len());
+    let mut aggregate = ConfidenceReport::new();
+    for spec in suite.traces() {
+        let trace = spec.generate(branches_per_trace);
+        let result = run_trace(config, &trace, options);
+        aggregate.merge(&result.report);
+        traces.push(result);
+    }
+    SuiteRunResult {
+        suite_name: suite.name().to_string(),
+        config_name: config.name.clone(),
+        traces,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_traces::suites;
+
+    fn tiny_suite() -> Suite {
+        let full = suites::cbp1_like();
+        Suite::new(
+            "tiny",
+            vec![
+                full.trace("FP-1").unwrap().clone(),
+                full.trace("SERV-2").unwrap().clone(),
+            ],
+        )
+    }
+
+    #[test]
+    fn suite_run_covers_every_trace_and_aggregates() {
+        let result = run_suite(
+            &TageConfig::small(),
+            &tiny_suite(),
+            2_000,
+            &RunOptions::default(),
+        );
+        assert_eq!(result.traces.len(), 2);
+        assert_eq!(result.aggregate.total().predictions, 4_000);
+        assert!(result.mean_mpki() > 0.0);
+        assert!(result.aggregate_mkp() > 0.0);
+        assert!(result.trace("FP-1").is_some());
+        assert!(result.trace("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn fp_trace_is_more_predictable_than_server_trace() {
+        let result = run_suite(
+            &TageConfig::small(),
+            &tiny_suite(),
+            20_000,
+            &RunOptions::default(),
+        );
+        let fp = result.trace("FP-1").unwrap().mpki();
+        let serv = result.trace("SERV-2").unwrap().mpki();
+        assert!(serv > fp, "server {serv} MPKI should exceed FP {fp} MPKI");
+    }
+
+    #[test]
+    fn display_mentions_suite_and_config() {
+        let result = run_suite(
+            &TageConfig::small(),
+            &tiny_suite(),
+            500,
+            &RunOptions::default(),
+        );
+        let s = format!("{result}");
+        assert!(s.contains("tiny"));
+        assert!(s.contains("TAGE-16K"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Counter-update automatons for the tagged components.
+//!
+//! Section 6 of the paper proposes a marginal modification of the 3-bit
+//! prediction-counter automaton: on a correct prediction, a counter that is
+//! one step away from saturation only moves into the saturated state with a
+//! small probability (1/128 in the paper's experiments). The saturated state
+//! then implies that the counter has provided no misprediction in the recent
+//! past, which turns the saturated-counter class `Stag` into a genuine
+//! high-confidence class (1–5 MKP) at a negligible accuracy cost
+//! (< 0.02 misp/KI).
+
+use core::fmt;
+
+use tage_predictors::counter::SignedCounter;
+use tage_traces::SplitMix64;
+
+/// The counter-update automaton used for the tagged prediction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CounterAutomaton {
+    /// The standard saturating-counter automaton of the original TAGE.
+    #[default]
+    Standard,
+    /// The paper's modified automaton: the transition from the
+    /// nearly-saturated state into the saturated state on a correct
+    /// prediction is only taken with probability `1 / 2^log2_inverse_probability`.
+    ProbabilisticSaturation {
+        /// log2 of the inverse transition probability (7 ⇒ 1/128, the
+        /// paper's default; 4 ⇒ 1/16, the paper's Section 6.2 comparison).
+        log2_inverse_probability: u32,
+    },
+}
+
+impl CounterAutomaton {
+    /// Convenience constructor for the probabilistic-saturation automaton.
+    ///
+    /// `log2_inverse_probability = 7` gives the paper's default 1/128.
+    pub fn probabilistic(log2_inverse_probability: u32) -> Self {
+        CounterAutomaton::ProbabilisticSaturation {
+            log2_inverse_probability,
+        }
+    }
+
+    /// The paper's default modified automaton (probability 1/128).
+    pub fn paper_default() -> Self {
+        CounterAutomaton::probabilistic(7)
+    }
+
+    /// Validates the automaton parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem if the probability exponent is
+    /// out of range (0..=20).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            CounterAutomaton::Standard => Ok(()),
+            CounterAutomaton::ProbabilisticSaturation {
+                log2_inverse_probability,
+            } => {
+                if *log2_inverse_probability > 20 {
+                    Err("log2_inverse_probability must be at most 20".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The saturation probability of this automaton (1.0 for the standard
+    /// automaton).
+    pub fn saturation_probability(&self) -> f64 {
+        match self {
+            CounterAutomaton::Standard => 1.0,
+            CounterAutomaton::ProbabilisticSaturation {
+                log2_inverse_probability,
+            } => 1.0 / f64::from(1u32 << log2_inverse_probability.min(&30)),
+        }
+    }
+
+    /// Updates a tagged prediction counter with the resolved outcome.
+    ///
+    /// For the standard automaton this is a plain saturating update. For the
+    /// probabilistic automaton, when the update is *towards* the counter's
+    /// current direction (a correct prediction) and the counter sits one
+    /// step from saturation, the final step is taken only with the
+    /// configured probability; all other transitions are unchanged.
+    pub fn update_counter(&self, counter: &mut SignedCounter, taken: bool, rng: &mut SplitMix64) {
+        match self {
+            CounterAutomaton::Standard => counter.update(taken),
+            CounterAutomaton::ProbabilisticSaturation {
+                log2_inverse_probability,
+            } => {
+                let correct = counter.predict_taken() == taken;
+                let about_to_saturate = correct
+                    && counter.is_nearly_saturated_boundary()
+                    // Moving further in the counter's own direction.
+                    && ((taken && counter.value() > 0) || (!taken && counter.value() < 0));
+                if about_to_saturate {
+                    let mask = (1u64 << log2_inverse_probability) - 1;
+                    if rng.next_u64() & mask == 0 {
+                        counter.update(taken);
+                    }
+                    // Otherwise the counter stays in the nearly-saturated
+                    // state.
+                } else {
+                    counter.update(taken);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CounterAutomaton {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterAutomaton::Standard => write!(f, "standard"),
+            CounterAutomaton::ProbabilisticSaturation {
+                log2_inverse_probability,
+            } => write!(f, "probabilistic(1/{})", 1u64 << log2_inverse_probability),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_at(value: i8) -> SignedCounter {
+        SignedCounter::with_value(3, value)
+    }
+
+    #[test]
+    fn standard_automaton_is_plain_saturating_update() {
+        let mut rng = SplitMix64::new(1);
+        let automaton = CounterAutomaton::Standard;
+        let mut c = counter_at(2);
+        automaton.update_counter(&mut c, true, &mut rng);
+        assert_eq!(c.value(), 3);
+        automaton.update_counter(&mut c, false, &mut rng);
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn probabilistic_automaton_rarely_saturates_positive_side() {
+        let automaton = CounterAutomaton::probabilistic(7);
+        let mut rng = SplitMix64::new(42);
+        let trials = 20_000;
+        let mut saturated = 0;
+        for _ in 0..trials {
+            let mut c = counter_at(2);
+            automaton.update_counter(&mut c, true, &mut rng);
+            if c.value() == 3 {
+                saturated += 1;
+            }
+        }
+        let rate = saturated as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / 128.0).abs() < 0.005,
+            "saturation rate {rate} should be close to 1/128"
+        );
+    }
+
+    #[test]
+    fn probabilistic_automaton_rarely_saturates_negative_side() {
+        let automaton = CounterAutomaton::probabilistic(4);
+        let mut rng = SplitMix64::new(7);
+        let trials = 20_000;
+        let mut saturated = 0;
+        for _ in 0..trials {
+            let mut c = counter_at(-3);
+            automaton.update_counter(&mut c, false, &mut rng);
+            if c.value() == -4 {
+                saturated += 1;
+            }
+        }
+        let rate = saturated as f64 / trials as f64;
+        assert!(
+            (rate - 1.0 / 16.0).abs() < 0.01,
+            "saturation rate {rate} should be close to 1/16"
+        );
+    }
+
+    #[test]
+    fn probabilistic_automaton_leaves_other_transitions_untouched() {
+        let automaton = CounterAutomaton::probabilistic(7);
+        let mut rng = SplitMix64::new(3);
+        // Weak counter moves freely.
+        let mut c = counter_at(0);
+        automaton.update_counter(&mut c, true, &mut rng);
+        assert_eq!(c.value(), 1);
+        // A misprediction moves the nearly-saturated counter down freely.
+        let mut c = counter_at(2);
+        automaton.update_counter(&mut c, false, &mut rng);
+        assert_eq!(c.value(), 1);
+        // A saturated counter on a misprediction weakens freely.
+        let mut c = counter_at(3);
+        automaton.update_counter(&mut c, false, &mut rng);
+        assert_eq!(c.value(), 2);
+        // The not-taken direction away from saturation is unaffected.
+        let mut c = counter_at(-3);
+        automaton.update_counter(&mut c, true, &mut rng);
+        assert_eq!(c.value(), -2);
+    }
+
+    #[test]
+    fn saturation_probability_reporting() {
+        assert_eq!(CounterAutomaton::Standard.saturation_probability(), 1.0);
+        assert!((CounterAutomaton::probabilistic(7).saturation_probability() - 1.0 / 128.0).abs() < 1e-12);
+        assert!((CounterAutomaton::probabilistic(0).saturation_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_zero_exponent_behaves_like_standard() {
+        let automaton = CounterAutomaton::probabilistic(0);
+        let mut rng = SplitMix64::new(11);
+        let mut c = counter_at(2);
+        automaton.update_counter(&mut c, true, &mut rng);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn validation_bounds_exponent() {
+        assert!(CounterAutomaton::probabilistic(20).validate().is_ok());
+        assert!(CounterAutomaton::probabilistic(21).validate().is_err());
+        assert!(CounterAutomaton::Standard.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_default_is_one_over_128() {
+        assert_eq!(
+            CounterAutomaton::paper_default(),
+            CounterAutomaton::probabilistic(7)
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", CounterAutomaton::Standard), "standard");
+        assert_eq!(
+            format!("{}", CounterAutomaton::probabilistic(7)),
+            "probabilistic(1/128)"
+        );
+    }
+}

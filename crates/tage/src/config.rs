@@ -1,0 +1,514 @@
+//! TAGE predictor configuration and storage accounting.
+
+use core::fmt;
+
+use crate::automaton::CounterAutomaton;
+
+/// Configuration of a [`crate::TagePredictor`].
+///
+/// The three presets mirror Table 1 of the paper:
+///
+/// | preset | budget | tagged tables | min hist | max hist |
+/// |---|---|---|---|---|
+/// | [`TageConfig::small`]  | 16 Kbit  | 4 | 3 | 80  |
+/// | [`TageConfig::medium`] | 64 Kbit  | 7 | 5 | 130 |
+/// | [`TageConfig::large`]  | 256 Kbit | 8 | 5 | 300 |
+///
+/// As in the paper, the configurations are chosen to be realistically
+/// implementable rather than accuracy-optimal: every tagged table has the
+/// same number of entries and the bimodal hysteresis bits are not shared.
+///
+/// # Example
+///
+/// ```
+/// use tage::TageConfig;
+///
+/// let config = TageConfig::small();
+/// assert_eq!(config.num_tagged_tables, 4);
+/// assert_eq!(config.storage_bits(), 16 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// A short name for reports (`"TAGE-16K"`, ...).
+    pub name: String,
+    /// Number of tagged components (excluding the bimodal base predictor).
+    pub num_tagged_tables: usize,
+    /// log2 of the number of entries of each tagged component.
+    pub tagged_index_bits: u32,
+    /// Width of the partial tags, in bits.
+    pub tag_bits: u32,
+    /// Width of the tagged prediction counters, in bits (3 in the paper).
+    pub counter_bits: u8,
+    /// Width of the useful counters, in bits (2 in the paper).
+    pub useful_bits: u8,
+    /// log2 of the number of entries of the bimodal base predictor.
+    pub bimodal_index_bits: u32,
+    /// Width of the bimodal counters (2 bits: prediction + hysteresis).
+    pub bimodal_counter_bits: u8,
+    /// Shortest global history length, `L(1)`.
+    pub min_history: usize,
+    /// Longest global history length, `L(M)`.
+    pub max_history: usize,
+    /// Width of the `USE_ALT_ON_NA` counter, in bits (4 in the paper).
+    pub use_alt_on_na_bits: u8,
+    /// Number of predictor updates between two graceful useful-counter
+    /// reset steps (one-bit shift).
+    pub useful_reset_period: u64,
+    /// The counter-update automaton used by the tagged components.
+    pub automaton: CounterAutomaton,
+    /// Seed of the predictor's internal pseudo-random source (allocation
+    /// tie-breaking and the probabilistic automaton).
+    pub rng_seed: u64,
+}
+
+impl TageConfig {
+    /// The 16 Kbit configuration of Table 1: 1 bimodal + 4 tagged tables,
+    /// history lengths 3..80.
+    pub fn small() -> Self {
+        TageConfig {
+            name: "TAGE-16K".to_string(),
+            num_tagged_tables: 4,
+            tagged_index_bits: 8,
+            tag_bits: 9,
+            counter_bits: 3,
+            useful_bits: 2,
+            bimodal_index_bits: 10,
+            bimodal_counter_bits: 2,
+            min_history: 3,
+            max_history: 80,
+            use_alt_on_na_bits: 4,
+            useful_reset_period: 256 * 1024,
+            automaton: CounterAutomaton::Standard,
+            rng_seed: 0x7A6E_5EED_0BAD_F00D,
+        }
+    }
+
+    /// The 64 Kbit configuration of Table 1: 1 bimodal + 7 tagged tables,
+    /// history lengths 5..130.
+    pub fn medium() -> Self {
+        TageConfig {
+            name: "TAGE-64K".to_string(),
+            num_tagged_tables: 7,
+            tagged_index_bits: 9,
+            tag_bits: 11,
+            counter_bits: 3,
+            useful_bits: 2,
+            bimodal_index_bits: 12,
+            bimodal_counter_bits: 2,
+            min_history: 5,
+            max_history: 130,
+            use_alt_on_na_bits: 4,
+            useful_reset_period: 256 * 1024,
+            automaton: CounterAutomaton::Standard,
+            rng_seed: 0x7A6E_5EED_0BAD_F00D,
+        }
+    }
+
+    /// The 256 Kbit configuration of Table 1: 1 bimodal + 8 tagged tables,
+    /// history lengths 5..300.
+    pub fn large() -> Self {
+        TageConfig {
+            name: "TAGE-256K".to_string(),
+            num_tagged_tables: 8,
+            tagged_index_bits: 11,
+            tag_bits: 10,
+            counter_bits: 3,
+            useful_bits: 2,
+            bimodal_index_bits: 13,
+            bimodal_counter_bits: 2,
+            min_history: 5,
+            max_history: 300,
+            use_alt_on_na_bits: 4,
+            useful_reset_period: 256 * 1024,
+            automaton: CounterAutomaton::Standard,
+            rng_seed: 0x7A6E_5EED_0BAD_F00D,
+        }
+    }
+
+    /// Returns this configuration with a different counter-update automaton.
+    pub fn with_automaton(mut self, automaton: CounterAutomaton) -> Self {
+        self.automaton = automaton;
+        self
+    }
+
+    /// Returns this configuration with a different internal RNG seed.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// The geometric series of history lengths,
+    /// `L(i) = (int)(α^(i-1) * L(1) + 0.5)`, with `L(1) = min_history` and
+    /// `L(M) = max_history`.
+    pub fn history_lengths(&self) -> Vec<usize> {
+        geometric_history_lengths(self.num_tagged_tables, self.min_history, self.max_history)
+    }
+
+    /// Number of entries of each tagged component.
+    pub fn tagged_entries(&self) -> usize {
+        1 << self.tagged_index_bits
+    }
+
+    /// Number of entries of the bimodal base predictor.
+    pub fn bimodal_entries(&self) -> usize {
+        1 << self.bimodal_index_bits
+    }
+
+    /// Storage of one tagged entry in bits (counter + tag + useful).
+    pub fn tagged_entry_bits(&self) -> u64 {
+        u64::from(self.counter_bits) + u64::from(self.tag_bits) + u64::from(self.useful_bits)
+    }
+
+    /// Total predictor storage in bits (tagged tables plus bimodal table;
+    /// the handful of extra state bits — histories, `USE_ALT_ON_NA`, the
+    /// reset tick — are reported separately by
+    /// [`TageConfig::ancillary_bits`] as is conventional).
+    pub fn storage_bits(&self) -> u64 {
+        let tagged =
+            self.num_tagged_tables as u64 * self.tagged_entries() as u64 * self.tagged_entry_bits();
+        let bimodal = self.bimodal_entries() as u64 * u64::from(self.bimodal_counter_bits);
+        tagged + bimodal
+    }
+
+    /// Ancillary state in bits: global history, `USE_ALT_ON_NA`, and the
+    /// useful-reset tick counter.
+    pub fn ancillary_bits(&self) -> u64 {
+        self.max_history as u64 + u64::from(self.use_alt_on_na_bits) + 20
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_tagged_tables == 0 {
+            return Err("at least one tagged table is required".to_string());
+        }
+        if self.num_tagged_tables > 16 {
+            return Err("more than 16 tagged tables is not supported".to_string());
+        }
+        if !(1..=24).contains(&self.tagged_index_bits) {
+            return Err("tagged_index_bits must be in 1..=24".to_string());
+        }
+        if !(4..=16).contains(&self.tag_bits) {
+            return Err("tag_bits must be in 4..=16".to_string());
+        }
+        if !(2..=6).contains(&self.counter_bits) {
+            return Err("counter_bits must be in 2..=6".to_string());
+        }
+        if !(1..=4).contains(&self.useful_bits) {
+            return Err("useful_bits must be in 1..=4".to_string());
+        }
+        if !(1..=24).contains(&self.bimodal_index_bits) {
+            return Err("bimodal_index_bits must be in 1..=24".to_string());
+        }
+        if !(1..=3).contains(&self.bimodal_counter_bits) {
+            return Err("bimodal_counter_bits must be in 1..=3".to_string());
+        }
+        if self.min_history == 0 || self.max_history < self.min_history {
+            return Err("history lengths must satisfy 1 <= min <= max".to_string());
+        }
+        if self.max_history > 1024 {
+            return Err("max_history must be at most 1024".to_string());
+        }
+        if self.num_tagged_tables > 1 && self.max_history == self.min_history {
+            return Err("multiple tagged tables need max_history > min_history".to_string());
+        }
+        if self.use_alt_on_na_bits == 0 || self.use_alt_on_na_bits > 7 {
+            return Err("use_alt_on_na_bits must be in 1..=7".to_string());
+        }
+        if self.useful_reset_period == 0 {
+            return Err("useful_reset_period must be non-zero".to_string());
+        }
+        self.automaton.validate()?;
+        Ok(())
+    }
+
+    /// Starts a builder pre-populated with this configuration.
+    pub fn to_builder(&self) -> TageConfigBuilder {
+        TageConfigBuilder {
+            config: self.clone(),
+        }
+    }
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        TageConfig::medium()
+    }
+}
+
+impl fmt::Display for TageConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: 1+{} tables, {} Kbit, hist {}..{}",
+            self.name,
+            self.num_tagged_tables,
+            self.storage_bits() / 1024,
+            self.min_history,
+            self.max_history
+        )
+    }
+}
+
+/// Builder for custom [`TageConfig`]s (ablation studies, sweeps).
+///
+/// # Example
+///
+/// ```
+/// use tage::{CounterAutomaton, TageConfig};
+///
+/// let config = TageConfig::small()
+///     .to_builder()
+///     .counter_bits(4)
+///     .automaton(CounterAutomaton::probabilistic(7))
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.counter_bits, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TageConfigBuilder {
+    config: TageConfig,
+}
+
+impl TageConfigBuilder {
+    /// Starts from the medium preset.
+    pub fn new() -> Self {
+        TageConfig::medium().to_builder()
+    }
+
+    /// Sets the report name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    /// Sets the number of tagged tables.
+    pub fn num_tagged_tables(mut self, n: usize) -> Self {
+        self.config.num_tagged_tables = n;
+        self
+    }
+
+    /// Sets the log2 number of entries per tagged table.
+    pub fn tagged_index_bits(mut self, bits: u32) -> Self {
+        self.config.tagged_index_bits = bits;
+        self
+    }
+
+    /// Sets the tag width.
+    pub fn tag_bits(mut self, bits: u32) -> Self {
+        self.config.tag_bits = bits;
+        self
+    }
+
+    /// Sets the tagged prediction-counter width.
+    pub fn counter_bits(mut self, bits: u8) -> Self {
+        self.config.counter_bits = bits;
+        self
+    }
+
+    /// Sets the useful-counter width.
+    pub fn useful_bits(mut self, bits: u8) -> Self {
+        self.config.useful_bits = bits;
+        self
+    }
+
+    /// Sets the log2 number of bimodal entries.
+    pub fn bimodal_index_bits(mut self, bits: u32) -> Self {
+        self.config.bimodal_index_bits = bits;
+        self
+    }
+
+    /// Sets the minimum history length.
+    pub fn min_history(mut self, length: usize) -> Self {
+        self.config.min_history = length;
+        self
+    }
+
+    /// Sets the maximum history length.
+    pub fn max_history(mut self, length: usize) -> Self {
+        self.config.max_history = length;
+        self
+    }
+
+    /// Sets the counter-update automaton.
+    pub fn automaton(mut self, automaton: CounterAutomaton) -> Self {
+        self.config.automaton = automaton;
+        self
+    }
+
+    /// Sets the useful-counter reset period.
+    pub fn useful_reset_period(mut self, period: u64) -> Self {
+        self.config.useful_reset_period = period;
+        self
+    }
+
+    /// Sets the internal RNG seed.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.config.rng_seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure reported by [`TageConfig::validate`].
+    pub fn build(self) -> Result<TageConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+impl Default for TageConfigBuilder {
+    fn default() -> Self {
+        TageConfigBuilder::new()
+    }
+}
+
+/// Computes the geometric series of history lengths used by the tagged
+/// components: `L(i) = (int)(α^(i-1) * L(1) + 0.5)` with the end points
+/// pinned to `min` and `max`.
+pub fn geometric_history_lengths(tables: usize, min: usize, max: usize) -> Vec<usize> {
+    assert!(tables >= 1, "at least one tagged table is required");
+    assert!(min >= 1 && max >= min, "history lengths must satisfy 1 <= min <= max");
+    if tables == 1 {
+        return vec![max];
+    }
+    let alpha = (max as f64 / min as f64).powf(1.0 / (tables as f64 - 1.0));
+    let mut lengths: Vec<usize> = (0..tables)
+        .map(|i| ((min as f64) * alpha.powi(i as i32) + 0.5) as usize)
+        .collect();
+    lengths[0] = min;
+    lengths[tables - 1] = max;
+    // Guarantee strict monotonicity even after rounding.
+    for i in 1..tables {
+        if lengths[i] <= lengths[i - 1] {
+            lengths[i] = lengths[i - 1] + 1;
+        }
+    }
+    lengths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_1_structure() {
+        let small = TageConfig::small();
+        assert_eq!(small.num_tagged_tables, 4);
+        assert_eq!(small.min_history, 3);
+        assert_eq!(small.max_history, 80);
+
+        let medium = TageConfig::medium();
+        assert_eq!(medium.num_tagged_tables, 7);
+        assert_eq!(medium.min_history, 5);
+        assert_eq!(medium.max_history, 130);
+
+        let large = TageConfig::large();
+        assert_eq!(large.num_tagged_tables, 8);
+        assert_eq!(large.min_history, 5);
+        assert_eq!(large.max_history, 300);
+    }
+
+    #[test]
+    fn presets_hit_their_storage_budgets_exactly() {
+        assert_eq!(TageConfig::small().storage_bits(), 16 * 1024);
+        assert_eq!(TageConfig::medium().storage_bits(), 64 * 1024);
+        assert_eq!(TageConfig::large().storage_bits(), 256 * 1024);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for config in [TageConfig::small(), TageConfig::medium(), TageConfig::large()] {
+            assert!(config.validate().is_ok(), "{config}");
+        }
+    }
+
+    #[test]
+    fn history_lengths_are_geometric_and_pinned() {
+        let config = TageConfig::large();
+        let lengths = config.history_lengths();
+        assert_eq!(lengths.len(), 8);
+        assert_eq!(lengths[0], 5);
+        assert_eq!(*lengths.last().unwrap(), 300);
+        assert!(lengths.windows(2).all(|w| w[0] < w[1]), "{lengths:?}");
+        // The ratio between consecutive lengths should be roughly constant.
+        let ratios: Vec<f64> = lengths.windows(2).map(|w| w[1] as f64 / w[0] as f64).collect();
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(ratios.iter().all(|r| (r / avg - 1.0).abs() < 0.35), "{ratios:?}");
+    }
+
+    #[test]
+    fn geometric_lengths_single_table() {
+        assert_eq!(geometric_history_lengths(1, 5, 80), vec![80]);
+    }
+
+    #[test]
+    fn builder_overrides_fields_and_validates() {
+        let config = TageConfig::small()
+            .to_builder()
+            .name("custom")
+            .counter_bits(4)
+            .tag_bits(12)
+            .build()
+            .unwrap();
+        assert_eq!(config.name, "custom");
+        assert_eq!(config.counter_bits, 4);
+        assert_eq!(config.tag_bits, 12);
+
+        let err = TageConfig::small().to_builder().counter_bits(1).build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = TageConfig::small();
+        c.num_tagged_tables = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TageConfig::small();
+        c.min_history = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TageConfig::small();
+        c.max_history = c.min_history - 1;
+        assert!(c.validate().is_err());
+
+        let mut c = TageConfig::small();
+        c.tag_bits = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = TageConfig::small();
+        c.useful_reset_period = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TageConfig::small();
+        c.max_history = 4096;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_automaton_and_seed_are_fluent() {
+        let c = TageConfig::medium()
+            .with_automaton(CounterAutomaton::probabilistic(7))
+            .with_rng_seed(99);
+        assert_eq!(c.rng_seed, 99);
+        assert!(matches!(c.automaton, CounterAutomaton::ProbabilisticSaturation { .. }));
+    }
+
+    #[test]
+    fn display_mentions_name_and_tables() {
+        let s = format!("{}", TageConfig::small());
+        assert!(s.contains("TAGE-16K"));
+        assert!(s.contains("1+4"));
+    }
+
+    #[test]
+    fn default_is_medium() {
+        assert_eq!(TageConfig::default(), TageConfig::medium());
+    }
+}

@@ -1,0 +1,102 @@
+//! Tagged-component entries.
+
+use core::fmt;
+
+use tage_predictors::counter::{SignedCounter, UnsignedCounter};
+
+/// One entry of a tagged TAGE component: a signed prediction counter `ctr`
+/// whose sign provides the prediction, a partial `tag`, and an unsigned
+/// useful counter `u`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedEntry {
+    /// Partial tag identifying the (PC, history) pair that owns the entry.
+    pub tag: u16,
+    /// Signed prediction counter (3 bits in the paper).
+    pub ctr: SignedCounter,
+    /// Useful counter (2 bits in the paper); doubles as an age counter and
+    /// gates allocation (only `u == 0` entries may be stolen).
+    pub useful: UnsignedCounter,
+}
+
+impl TaggedEntry {
+    /// Creates an empty (never-allocated) entry.
+    pub fn new(counter_bits: u8, useful_bits: u8) -> Self {
+        TaggedEntry {
+            tag: 0,
+            ctr: SignedCounter::new(counter_bits),
+            useful: UnsignedCounter::new(useful_bits),
+        }
+    }
+
+    /// Re-initialises the entry for a newly allocated (PC, history) pair:
+    /// the prediction counter is set to *weak correct* for the resolved
+    /// outcome and the useful counter to zero (strong not-useful).
+    pub fn allocate(&mut self, tag: u16, taken: bool) {
+        self.tag = tag;
+        self.ctr.set_weak(taken);
+        self.useful.reset();
+    }
+
+    /// Returns `true` if this entry may be reclaimed by the allocation
+    /// policy (its useful counter is null).
+    pub fn is_allocatable(&self) -> bool {
+        self.useful.is_zero()
+    }
+}
+
+impl fmt::Display for TaggedEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tag={:#x} ctr={} u={}",
+            self.tag,
+            self.ctr.value(),
+            self.useful.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_entry_is_allocatable_and_weak() {
+        let e = TaggedEntry::new(3, 2);
+        assert!(e.is_allocatable());
+        assert!(e.ctr.is_weak());
+        assert_eq!(e.tag, 0);
+    }
+
+    #[test]
+    fn allocate_sets_weak_correct_and_clears_useful() {
+        let mut e = TaggedEntry::new(3, 2);
+        e.useful.increment();
+        e.allocate(0x1ab, true);
+        assert_eq!(e.tag, 0x1ab);
+        assert!(e.ctr.predict_taken());
+        assert!(e.ctr.is_weak());
+        assert!(e.useful.is_zero());
+
+        e.allocate(0x2cd, false);
+        assert!(!e.ctr.predict_taken());
+        assert!(e.ctr.is_weak());
+    }
+
+    #[test]
+    fn usefulness_blocks_allocation() {
+        let mut e = TaggedEntry::new(3, 2);
+        e.useful.increment();
+        assert!(!e.is_allocatable());
+        e.useful.decrement();
+        assert!(e.is_allocatable());
+    }
+
+    #[test]
+    fn display_shows_fields() {
+        let e = TaggedEntry::new(3, 2);
+        let s = format!("{e}");
+        assert!(s.contains("tag="));
+        assert!(s.contains("ctr="));
+    }
+}

@@ -1,0 +1,193 @@
+//! Incrementally folded global-history registers.
+//!
+//! Each tagged component hashes a different (geometrically increasing)
+//! amount of global history into its table index and partial tag. Hashing
+//! hundreds of history bits from scratch for every prediction would be both
+//! unrealistic in hardware and slow in simulation, so — exactly like the
+//! hardware described in the TAGE papers — the predictor keeps *folded
+//! history* registers that are updated in O(1) when one outcome enters the
+//! history and one falls out of the component's window.
+
+use core::fmt;
+
+use tage_predictors::history::HistoryRegister;
+
+/// A circular-shift-register fold of the most recent `original_length`
+/// history bits into `compressed_length` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldedHistory {
+    value: u64,
+    original_length: usize,
+    compressed_length: usize,
+    outpoint: usize,
+}
+
+impl FoldedHistory {
+    /// Creates a fold of `original_length` history bits into
+    /// `compressed_length` bits, starting from an all-zero history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compressed_length` is zero or greater than 32, or if
+    /// `original_length` is zero.
+    pub fn new(original_length: usize, compressed_length: usize) -> Self {
+        assert!(original_length > 0, "original_length must be non-zero");
+        assert!(
+            (1..=32).contains(&compressed_length),
+            "compressed_length must be in 1..=32"
+        );
+        FoldedHistory {
+            value: 0,
+            original_length,
+            compressed_length,
+            outpoint: original_length % compressed_length,
+        }
+    }
+
+    /// The current folded value (fits in `compressed_length` bits).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The number of history bits folded.
+    #[inline]
+    pub fn original_length(&self) -> usize {
+        self.original_length
+    }
+
+    /// The width of the folded value.
+    #[inline]
+    pub fn compressed_length(&self) -> usize {
+        self.compressed_length
+    }
+
+    /// Updates the fold for a new outcome entering the history.
+    ///
+    /// `evicted` must be the outcome that falls out of this component's
+    /// window, i.e. the bit that was `original_length - 1` branches ago
+    /// *before* the new outcome is pushed.
+    #[inline]
+    pub fn update(&mut self, inserted: bool, evicted: bool) {
+        let mask = if self.compressed_length == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.compressed_length) - 1
+        };
+        self.value = (self.value << 1) | u64::from(inserted);
+        self.value ^= u64::from(evicted) << self.outpoint;
+        self.value ^= self.value >> self.compressed_length;
+        self.value &= mask;
+    }
+
+    /// Recomputes the fold functionally from a history register — the
+    /// reference implementation used by tests to validate the incremental
+    /// update.
+    pub fn recompute(&self, history: &HistoryRegister) -> u64 {
+        history.fold(self.original_length, self.compressed_length)
+    }
+
+    /// Clears the fold (matches a cleared history register).
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for FoldedHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fold({} -> {} bits) = {:#x}",
+            self.original_length, self.compressed_length, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_traces::SplitMix64;
+
+    /// Drives an incremental fold and the functional reference together and
+    /// checks they agree after every step.
+    fn check_against_reference(original: usize, compressed: usize, steps: usize, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        let mut history = HistoryRegister::new(original + 8);
+        let mut fold = FoldedHistory::new(original, compressed);
+        for step in 0..steps {
+            let taken = rng.chance(0.5);
+            let evicted = history.bit(original - 1);
+            fold.update(taken, evicted);
+            history.push(taken);
+            assert_eq!(
+                fold.value(),
+                fold.recompute(&history),
+                "divergence at step {step} (orig {original}, comp {compressed})"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_fold_matches_functional_fold_small() {
+        check_against_reference(5, 8, 500, 1);
+        check_against_reference(12, 8, 500, 2);
+    }
+
+    #[test]
+    fn incremental_fold_matches_functional_fold_typical_tage_sizes() {
+        // Index folds for the medium configuration (9-bit indices).
+        for length in [5, 11, 21, 44, 65, 130] {
+            check_against_reference(length, 9, 400, length as u64);
+        }
+        // Tag folds (11 and 10 bits).
+        check_against_reference(130, 11, 400, 77);
+        check_against_reference(300, 10, 400, 78);
+        check_against_reference(300, 11, 400, 79);
+    }
+
+    #[test]
+    fn fold_shorter_than_output_tracks_raw_history() {
+        let mut history = HistoryRegister::new(64);
+        let mut fold = FoldedHistory::new(3, 8);
+        for &taken in &[true, false, true, true] {
+            let evicted = history.bit(2);
+            fold.update(taken, evicted);
+            history.push(taken);
+        }
+        // Last three outcomes: true, true, false (most recent first: 1,1,0).
+        assert_eq!(fold.value(), history.low_bits(3));
+    }
+
+    #[test]
+    fn clear_resets_to_empty_history() {
+        let mut fold = FoldedHistory::new(20, 7);
+        let mut history = HistoryRegister::new(32);
+        for i in 0..50 {
+            let evicted = history.bit(19);
+            fold.update(i % 3 == 0, evicted);
+            history.push(i % 3 == 0);
+        }
+        fold.clear();
+        assert_eq!(fold.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compressed_length must be in 1..=32")]
+    fn rejects_zero_compressed_length() {
+        FoldedHistory::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "original_length must be non-zero")]
+    fn rejects_zero_original_length() {
+        FoldedHistory::new(0, 8);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let fold = FoldedHistory::new(44, 9);
+        assert_eq!(fold.original_length(), 44);
+        assert_eq!(fold.compressed_length(), 9);
+        assert!(format!("{fold}").contains("44"));
+    }
+}

@@ -1,0 +1,62 @@
+//! A faithful TAGE conditional branch predictor.
+//!
+//! TAGE (TAgged GEometric history length) is the state-of-the-art branch
+//! predictor introduced by Seznec and Michaud (2006). It couples a simple
+//! PC-indexed bimodal *base predictor* with a set of *tagged components*
+//! indexed with hashes of the PC and geometrically increasing global-history
+//! lengths. The hitting tagged component using the longest history provides
+//! the prediction; the base predictor provides the default.
+//!
+//! The paper reproduced by this workspace — *Storage Free Confidence
+//! Estimation for the TAGE branch predictor* (Seznec, HPCA 2011) — observes
+//! the outputs of this predictor to grade the confidence of each prediction,
+//! and slightly modifies the 3-bit counter update automaton of the tagged
+//! components (probabilistic transition to the saturated states) so that
+//! saturated counters become a genuine high-confidence class.
+//!
+//! This crate provides:
+//!
+//! * [`TageConfig`] — configuration and exact storage accounting, with the
+//!   paper's three presets: [`TageConfig::small`] (16 Kbit),
+//!   [`TageConfig::medium`] (64 Kbit) and [`TageConfig::large`] (256 Kbit);
+//! * [`CounterAutomaton`] — the standard 3-bit automaton and the modified
+//!   probabilistic-saturation automaton (Section 6 of the paper);
+//! * [`TagePredictor`] — prediction, update, entry allocation, useful-counter
+//!   aging and the `USE_ALT_ON_NA` heuristic;
+//! * [`TagePrediction`] — the full observable output of a prediction
+//!   (provider component, counter values, alternate prediction), which is all
+//!   the confidence classifier in `tage-confidence` needs.
+//!
+//! # Example
+//!
+//! ```
+//! use tage::{TageConfig, TagePredictor};
+//!
+//! let mut predictor = TagePredictor::new(TageConfig::medium());
+//! // Train a loop branch: taken 7 times, then not taken.
+//! for _round in 0..100 {
+//!     for i in 0..8 {
+//!         let taken = i != 7;
+//!         let pred = predictor.predict(0x4000_0000);
+//!         predictor.update(0x4000_0000, taken, &pred);
+//!     }
+//! }
+//! let prediction = predictor.predict(0x4000_0000);
+//! assert!(prediction.taken);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod automaton;
+pub mod config;
+pub mod entry;
+pub mod folded;
+pub mod prediction;
+pub mod predictor;
+
+pub use automaton::CounterAutomaton;
+pub use config::{TageConfig, TageConfigBuilder};
+pub use prediction::{Provider, TagePrediction};
+pub use predictor::TagePredictor;

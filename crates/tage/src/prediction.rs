@@ -1,0 +1,181 @@
+//! The observable output of a TAGE prediction.
+//!
+//! The whole point of the paper is that these observables — which component
+//! provided the prediction and the value of its counter — are sufficient to
+//! grade confidence. [`TagePrediction`] therefore exposes everything the
+//! predictor "sees" at prediction time, and is consumed both by
+//! [`crate::TagePredictor::update`] and by the confidence classifier in the
+//! `tage-confidence` crate.
+
+use core::fmt;
+
+/// Which component provided the final (or alternate) prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provider {
+    /// The bimodal base predictor (no tagged component hit).
+    Bimodal,
+    /// A tagged component; `table` is its rank (0 = shortest history).
+    Tagged {
+        /// Rank of the providing tagged component (0-based, increasing
+        /// history length).
+        table: usize,
+    },
+}
+
+impl Provider {
+    /// Returns `true` if the provider is the bimodal base predictor.
+    pub fn is_bimodal(self) -> bool {
+        matches!(self, Provider::Bimodal)
+    }
+
+    /// Returns the tagged-table rank, if the provider is a tagged component.
+    pub fn table(self) -> Option<usize> {
+        match self {
+            Provider::Bimodal => None,
+            Provider::Tagged { table } => Some(table),
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provider::Bimodal => write!(f, "bimodal"),
+            Provider::Tagged { table } => write!(f, "T{}", table + 1),
+        }
+    }
+}
+
+/// Everything observable about one TAGE prediction.
+///
+/// The indices and tags computed at prediction time are carried along so the
+/// update phase reuses exactly the values the prediction used (as the
+/// hardware would), and so the structure is self-contained for confidence
+/// classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TagePrediction {
+    /// The final predicted direction.
+    pub taken: bool,
+    /// The component that provided the final prediction.
+    pub provider: Provider,
+    /// The value of the provider's prediction counter
+    /// (bimodal counter if `provider` is [`Provider::Bimodal`]).
+    pub provider_counter: i8,
+    /// The centered magnitude `|2*ctr + 1|` of the provider counter.
+    pub provider_magnitude: u8,
+    /// Whether the provider counter was in a weak state.
+    pub provider_weak: bool,
+    /// The alternate prediction `altpred`: what the predictor would have
+    /// predicted on a miss in the provider component.
+    pub alternate_taken: bool,
+    /// The component that provided the alternate prediction.
+    pub alternate_provider: Provider,
+    /// Whether the final prediction used the alternate prediction instead of
+    /// the provider's counter (the `USE_ALT_ON_NA` path for newly allocated
+    /// entries).
+    pub used_alternate: bool,
+    /// Per-tagged-table index computed for this prediction.
+    pub table_indices: Vec<usize>,
+    /// Per-tagged-table partial tag computed for this prediction.
+    pub table_tags: Vec<u16>,
+    /// Which tagged tables hit (tag match) for this prediction.
+    pub table_hits: Vec<bool>,
+    /// The bimodal table index for this prediction.
+    pub bimodal_index: usize,
+    /// The value of the bimodal counter at prediction time.
+    pub bimodal_counter: i8,
+}
+
+impl TagePrediction {
+    /// Returns `true` if the prediction was provided by the bimodal base
+    /// predictor.
+    pub fn is_bimodal_provided(&self) -> bool {
+        self.provider.is_bimodal()
+    }
+
+    /// Returns `true` if the prediction was provided by a tagged component
+    /// whose counter was saturated (the `Stag` class before the three-level
+    /// grouping).
+    pub fn is_saturated_tagged(&self, counter_bits: u8) -> bool {
+        !self.provider.is_bimodal()
+            && u32::from(self.provider_magnitude) == (1u32 << counter_bits) - 1
+    }
+
+    /// Returns `true` if the bimodal counter observed at prediction time was
+    /// weak (the `low-conf-bim` condition).
+    pub fn bimodal_weak(&self) -> bool {
+        self.bimodal_counter == 0 || self.bimodal_counter == -1
+    }
+}
+
+impl fmt::Display for TagePrediction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by {} (ctr {}, |2c+1| {}{})",
+            if self.taken { "taken" } else { "not-taken" },
+            self.provider,
+            self.provider_counter,
+            self.provider_magnitude,
+            if self.used_alternate { ", alt used" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(provider: Provider, magnitude: u8) -> TagePrediction {
+        TagePrediction {
+            taken: true,
+            provider,
+            provider_counter: 3,
+            provider_magnitude: magnitude,
+            provider_weak: magnitude == 1,
+            alternate_taken: false,
+            alternate_provider: Provider::Bimodal,
+            used_alternate: false,
+            table_indices: vec![0; 4],
+            table_tags: vec![0; 4],
+            table_hits: vec![false; 4],
+            bimodal_index: 0,
+            bimodal_counter: 1,
+        }
+    }
+
+    #[test]
+    fn provider_accessors() {
+        assert!(Provider::Bimodal.is_bimodal());
+        assert_eq!(Provider::Bimodal.table(), None);
+        assert!(!Provider::Tagged { table: 2 }.is_bimodal());
+        assert_eq!(Provider::Tagged { table: 2 }.table(), Some(2));
+    }
+
+    #[test]
+    fn saturated_tagged_detection_depends_on_counter_width() {
+        let p = sample(Provider::Tagged { table: 1 }, 7);
+        assert!(p.is_saturated_tagged(3));
+        assert!(!p.is_saturated_tagged(4));
+        let bim = sample(Provider::Bimodal, 7);
+        assert!(!bim.is_saturated_tagged(3));
+    }
+
+    #[test]
+    fn bimodal_weak_uses_observed_bimodal_counter() {
+        let mut p = sample(Provider::Bimodal, 1);
+        p.bimodal_counter = 0;
+        assert!(p.bimodal_weak());
+        p.bimodal_counter = -1;
+        assert!(p.bimodal_weak());
+        p.bimodal_counter = 2;
+        assert!(!p.bimodal_weak());
+    }
+
+    #[test]
+    fn display_mentions_provider() {
+        let p = sample(Provider::Tagged { table: 0 }, 5);
+        assert!(format!("{p}").contains("T1"));
+        assert!(format!("{}", Provider::Bimodal).contains("bimodal"));
+    }
+}

@@ -1,0 +1,648 @@
+//! The TAGE predictor proper: prediction, update and allocation.
+
+use tage_predictors::counter::SignedCounter;
+use tage_predictors::history::HistoryRegister;
+use tage_predictors::{BranchPredictor, Prediction};
+use tage_traces::SplitMix64;
+
+use crate::config::TageConfig;
+use crate::entry::TaggedEntry;
+use crate::folded::FoldedHistory;
+use crate::prediction::{Provider, TagePrediction};
+
+/// Internal event counters, useful for tests and for reporting predictor
+/// behaviour alongside experiment results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TageStats {
+    /// Number of `update` calls.
+    pub updates: u64,
+    /// Number of mispredictions observed at update time.
+    pub mispredictions: u64,
+    /// Number of tagged entries allocated.
+    pub allocations: u64,
+    /// Number of allocation attempts that found no `u == 0` victim.
+    pub allocation_failures: u64,
+    /// Number of graceful useful-counter reset steps performed.
+    pub useful_resets: u64,
+}
+
+/// The TAGE conditional branch predictor.
+///
+/// See the crate-level documentation for the algorithm overview and
+/// [`TageConfig`] for the three storage presets of the paper.
+///
+/// # Example
+///
+/// ```
+/// use tage::{TageConfig, TagePredictor};
+///
+/// let mut predictor = TagePredictor::new(TageConfig::small());
+/// let prediction = predictor.predict(0x1234_5678);
+/// predictor.update(0x1234_5678, true, &prediction);
+/// assert_eq!(predictor.stats().updates, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagePredictor {
+    config: TageConfig,
+    history_lengths: Vec<usize>,
+    bimodal: Vec<SignedCounter>,
+    tables: Vec<Vec<TaggedEntry>>,
+    history: HistoryRegister,
+    index_folds: Vec<FoldedHistory>,
+    tag_folds_a: Vec<FoldedHistory>,
+    tag_folds_b: Vec<FoldedHistory>,
+    use_alt_on_na: SignedCounter,
+    rng: SplitMix64,
+    tick: u64,
+    reset_phase: u8,
+    stats: TageStats,
+}
+
+impl TagePredictor {
+    /// Creates a predictor for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not pass [`TageConfig::validate`].
+    pub fn new(config: TageConfig) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid TAGE configuration: {reason}");
+        }
+        let history_lengths = config.history_lengths();
+        let tagged_entries = config.tagged_entries();
+        let tables = vec![
+            vec![TaggedEntry::new(config.counter_bits, config.useful_bits); tagged_entries];
+            config.num_tagged_tables
+        ];
+        let bimodal = vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
+        let history = HistoryRegister::new(config.max_history + 8);
+        let index_folds = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tagged_index_bits as usize))
+            .collect();
+        let tag_folds_a = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tag_bits as usize))
+            .collect();
+        let tag_folds_b = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, (config.tag_bits - 1).max(1) as usize))
+            .collect();
+        let use_alt_on_na = SignedCounter::new(config.use_alt_on_na_bits);
+        let rng = SplitMix64::new(config.rng_seed);
+        TagePredictor {
+            history_lengths,
+            bimodal,
+            tables,
+            history,
+            index_folds,
+            tag_folds_a,
+            tag_folds_b,
+            use_alt_on_na,
+            rng,
+            tick: 0,
+            reset_phase: 0,
+            stats: TageStats::default(),
+            config,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    /// Internal event counters.
+    pub fn stats(&self) -> TageStats {
+        self.stats
+    }
+
+    /// Total predictor storage in bits (delegates to the configuration).
+    pub fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+
+    /// The current value of the `USE_ALT_ON_NA` counter (exposed for tests
+    /// and diagnostics).
+    pub fn use_alt_on_na(&self) -> i8 {
+        self.use_alt_on_na.value()
+    }
+
+    /// Changes the counter-update automaton at run time.
+    ///
+    /// The adaptive saturation-probability controller of the paper's
+    /// Section 6.2 uses this to steer the probability while the predictor
+    /// runs; the predictor tables themselves are left untouched.
+    pub fn set_automaton(&mut self, automaton: crate::CounterAutomaton) {
+        self.config.automaton = automaton;
+    }
+
+    /// Computes the bimodal table index for `pc`.
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & (self.bimodal.len() as u64 - 1)) as usize
+    }
+
+    /// Computes the tagged-table index for table rank `t` and `pc`.
+    fn table_index(&self, t: usize, pc: u64) -> usize {
+        let bits = self.config.tagged_index_bits as u64;
+        let mask = (1u64 << bits) - 1;
+        let hashed_pc = (pc >> 2) ^ (pc >> (bits + t as u64 + 1));
+        ((hashed_pc ^ self.index_folds[t].value()) & mask) as usize
+    }
+
+    /// Computes the partial tag for table rank `t` and `pc`.
+    fn table_tag(&self, t: usize, pc: u64) -> u16 {
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        (((pc >> 2) ^ self.tag_folds_a[t].value() ^ (self.tag_folds_b[t].value() << 1)) & mask)
+            as u16
+    }
+
+    /// Looks the predictor up for the conditional branch at `pc`.
+    ///
+    /// This does not modify any predictor state, so it can be called
+    /// repeatedly (e.g. by a confidence estimator *and* the simulation
+    /// loop) before the matching [`TagePredictor::update`].
+    pub fn predict(&self, pc: u64) -> TagePrediction {
+        let num_tables = self.config.num_tagged_tables;
+        let mut table_indices = Vec::with_capacity(num_tables);
+        let mut table_tags = Vec::with_capacity(num_tables);
+        let mut table_hits = Vec::with_capacity(num_tables);
+        for t in 0..num_tables {
+            let idx = self.table_index(t, pc);
+            let tag = self.table_tag(t, pc);
+            let hit = self.tables[t][idx].tag == tag;
+            table_indices.push(idx);
+            table_tags.push(tag);
+            table_hits.push(hit);
+        }
+
+        let bimodal_index = self.bimodal_index(pc);
+        let bimodal_counter = self.bimodal[bimodal_index];
+        let bimodal_taken = bimodal_counter.predict_taken();
+
+        // Provider: hitting component with the longest history.
+        let provider_table = (0..num_tables).rev().find(|&t| table_hits[t]);
+        // Alternate: next hitting component, else the bimodal prediction.
+        let alternate_table = provider_table
+            .and_then(|p| (0..p).rev().find(|&t| table_hits[t]));
+
+        let (alternate_taken, alternate_provider) = match alternate_table {
+            Some(t) => {
+                let entry = &self.tables[t][table_indices[t]];
+                (entry.ctr.predict_taken(), Provider::Tagged { table: t })
+            }
+            None => (bimodal_taken, Provider::Bimodal),
+        };
+
+        match provider_table {
+            Some(t) => {
+                let entry = &self.tables[t][table_indices[t]];
+                let provider_taken = entry.ctr.predict_taken();
+                let weak = entry.ctr.is_weak();
+                // Use the alternate prediction for (likely newly allocated)
+                // weak entries when USE_ALT_ON_NA is non-negative.
+                let use_alt = weak && self.use_alt_on_na.value() >= 0;
+                let taken = if use_alt { alternate_taken } else { provider_taken };
+                TagePrediction {
+                    taken,
+                    provider: Provider::Tagged { table: t },
+                    provider_counter: entry.ctr.value(),
+                    provider_magnitude: entry.ctr.centered_magnitude(),
+                    provider_weak: weak,
+                    alternate_taken,
+                    alternate_provider,
+                    used_alternate: use_alt,
+                    table_indices,
+                    table_tags,
+                    table_hits,
+                    bimodal_index,
+                    bimodal_counter: bimodal_counter.value(),
+                }
+            }
+            None => TagePrediction {
+                taken: bimodal_taken,
+                provider: Provider::Bimodal,
+                provider_counter: bimodal_counter.value(),
+                provider_magnitude: bimodal_counter.centered_magnitude(),
+                provider_weak: bimodal_counter.is_weak(),
+                alternate_taken: bimodal_taken,
+                alternate_provider: Provider::Bimodal,
+                used_alternate: false,
+                table_indices,
+                table_tags,
+                table_hits,
+                bimodal_index,
+                bimodal_counter: bimodal_counter.value(),
+            },
+        }
+    }
+
+    /// Updates the predictor with the resolved outcome of the branch at
+    /// `pc`. `prediction` must be the value returned by the matching
+    /// [`TagePredictor::predict`] call (made with the same global history).
+    pub fn update(&mut self, pc: u64, taken: bool, prediction: &TagePrediction) {
+        debug_assert_eq!(
+            self.bimodal_index(pc),
+            prediction.bimodal_index,
+            "the prediction passed to update was computed for a different branch"
+        );
+        self.stats.updates += 1;
+        if prediction.taken != taken {
+            self.stats.mispredictions += 1;
+        }
+
+        // 1. Periodic graceful reset of the useful counters.
+        self.tick += 1;
+        if self.tick.is_multiple_of(self.config.useful_reset_period) {
+            let phase = self.reset_phase;
+            for table in self.tables.iter_mut() {
+                for entry in table.iter_mut() {
+                    entry.useful.clear_bit(phase);
+                }
+            }
+            self.reset_phase = (self.reset_phase + 1) % self.config.useful_bits;
+            self.stats.useful_resets += 1;
+        }
+
+        // 2. Update the provider component.
+        match prediction.provider {
+            Provider::Tagged { table } => {
+                let idx = prediction.table_indices[table];
+                let provider_taken;
+                {
+                    let entry = &mut self.tables[table][idx];
+                    provider_taken = entry.ctr.predict_taken();
+
+                    // USE_ALT_ON_NA management: when the provider entry is
+                    // weak (newly allocated) and the alternate prediction
+                    // disagrees with it, learn which of the two tends to be
+                    // right.
+                    if prediction.provider_weak && prediction.alternate_taken != provider_taken {
+                        if prediction.alternate_taken == taken {
+                            self.use_alt_on_na.increment();
+                        } else {
+                            self.use_alt_on_na.decrement();
+                        }
+                    }
+
+                    // Useful counter: updated when the provider and the
+                    // alternate prediction disagree.
+                    if prediction.alternate_taken != provider_taken {
+                        if provider_taken == taken {
+                            entry.useful.increment();
+                        } else {
+                            entry.useful.decrement();
+                        }
+                    }
+
+                    // Prediction counter, through the configured automaton.
+                    self.config
+                        .automaton
+                        .update_counter(&mut entry.ctr, taken, &mut self.rng);
+                }
+            }
+            Provider::Bimodal => {
+                let idx = prediction.bimodal_index;
+                self.bimodal[idx].update(taken);
+            }
+        }
+
+        // 3. Allocation on a misprediction (of the final prediction), in a
+        //    component using a longer history than the provider.
+        if prediction.taken != taken {
+            let first_candidate = match prediction.provider {
+                Provider::Bimodal => 0,
+                Provider::Tagged { table } => table + 1,
+            };
+            if first_candidate < self.config.num_tagged_tables {
+                self.allocate(first_candidate, taken, prediction);
+            }
+        }
+
+        // 4. Advance the global history and the folded histories.
+        self.push_history(taken);
+    }
+
+    /// Allocates at most one entry in a table with rank `first_candidate` or
+    /// higher, following the paper's policy: choose among useless entries
+    /// (`u == 0`), initialise the counter to weak-correct and `u` to zero.
+    fn allocate(&mut self, first_candidate: usize, taken: bool, prediction: &TagePrediction) {
+        let num_tables = self.config.num_tagged_tables;
+        let candidates: Vec<usize> = (first_candidate..num_tables)
+            .filter(|&t| self.tables[t][prediction.table_indices[t]].is_allocatable())
+            .collect();
+        if candidates.is_empty() {
+            // No victim: age all would-be victims so that an entry frees up
+            // soon (standard TAGE behaviour).
+            for t in first_candidate..num_tables {
+                let idx = prediction.table_indices[t];
+                self.tables[t][idx].useful.decrement();
+            }
+            self.stats.allocation_failures += 1;
+            return;
+        }
+        // Prefer shorter histories, but skip forward pseudo-randomly so that
+        // allocations spread over the candidate tables (geometric choice, as
+        // in the reference TAGE implementations).
+        let mut chosen = candidates[0];
+        for &candidate in &candidates[1..] {
+            if self.rng.chance(0.5) {
+                break;
+            }
+            chosen = candidate;
+        }
+        let idx = prediction.table_indices[chosen];
+        let tag = prediction.table_tags[chosen];
+        self.tables[chosen][idx].allocate(tag, taken);
+        self.stats.allocations += 1;
+    }
+
+    /// Pushes the resolved outcome into the global history and keeps every
+    /// folded register consistent.
+    fn push_history(&mut self, taken: bool) {
+        for t in 0..self.config.num_tagged_tables {
+            let evicted = self.history.bit(self.history_lengths[t] - 1);
+            self.index_folds[t].update(taken, evicted);
+            self.tag_folds_a[t].update(taken, evicted);
+            self.tag_folds_b[t].update(taken, evicted);
+        }
+        self.history.push(taken);
+    }
+
+    /// Resets all dynamic state (tables, histories, counters, statistics)
+    /// while keeping the configuration.
+    pub fn reset(&mut self) {
+        let config = self.config.clone();
+        *self = TagePredictor::new(config);
+    }
+}
+
+impl BranchPredictor for TagePredictor {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        let p = TagePredictor::predict(self, pc);
+        Prediction::new(p.taken, i64::from(p.provider_magnitude))
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, prediction: &Prediction) {
+        // Recompute the full observable prediction: no state has changed
+        // since the matching `predict` call, so this reproduces it exactly.
+        let full = TagePredictor::predict(self, pc);
+        debug_assert_eq!(full.taken, prediction.taken);
+        TagePredictor::update(self, pc, taken, &full);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+
+    fn name(&self) -> String {
+        self.config.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::CounterAutomaton;
+
+    fn run_branch(predictor: &mut TagePredictor, pc: u64, outcomes: &[bool]) -> u64 {
+        let mut mispredictions = 0;
+        for &taken in outcomes {
+            let pred = TagePredictor::predict(predictor, pc);
+            if pred.taken != taken {
+                mispredictions += 1;
+            }
+            TagePredictor::update(predictor, pc, taken, &pred);
+        }
+        mispredictions
+    }
+
+    #[test]
+    fn learns_a_strongly_biased_branch() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        let outcomes = vec![true; 200];
+        let misses = run_branch(&mut p, 0x400100, &outcomes);
+        assert!(misses <= 3, "misses = {misses}");
+    }
+
+    #[test]
+    fn learns_a_loop_pattern_bimodal_cannot() {
+        // Period-5 loop: bimodal alone mispredicts every 5th iteration.
+        let mut tage = TagePredictor::new(TageConfig::medium());
+        let mut outcomes = Vec::new();
+        for _ in 0..400 {
+            for i in 0..5 {
+                outcomes.push(i != 4);
+            }
+        }
+        let misses = run_branch(&mut tage, 0x400200, &outcomes);
+        // After warmup TAGE should capture the loop almost perfectly:
+        // far fewer than the 400 exit mispredictions bimodal would make.
+        assert!(misses < 100, "misses = {misses}");
+    }
+
+    #[test]
+    fn learns_history_correlated_branches() {
+        // Branch B's outcome equals branch A's previous outcome.
+        let mut p = TagePredictor::new(TageConfig::medium());
+        let mut b_misses_late = 0;
+        let mut rng = SplitMix64::new(5);
+        for i in 0..6000 {
+            // Branch A: pseudo-random.
+            let a_taken = rng.chance(0.5);
+            let pred_a = p.predict(0x400300);
+            p.update(0x400300, a_taken, &pred_a);
+            // Branch B: copies A's outcome.
+            let b_taken = a_taken;
+            let pred_b = p.predict(0x400340);
+            if i > 4000 && pred_b.taken != b_taken {
+                b_misses_late += 1;
+            }
+            p.update(0x400340, b_taken, &pred_b);
+        }
+        assert!(b_misses_late < 150, "late misses = {b_misses_late}");
+    }
+
+    #[test]
+    fn cold_predictor_uses_bimodal_provider() {
+        let p = TagePredictor::new(TageConfig::small());
+        let pred = p.predict(0x1234);
+        assert!(pred.provider.is_bimodal());
+        assert!(!pred.used_alternate);
+        assert_eq!(pred.alternate_provider, Provider::Bimodal);
+    }
+
+    #[test]
+    fn mispredictions_allocate_tagged_entries() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        // Alternate outcomes so the bimodal keeps mispredicting.
+        let outcomes: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        run_branch(&mut p, 0x400400, &outcomes);
+        assert!(p.stats().allocations > 0);
+        // Eventually a tagged component becomes the provider.
+        let pred = p.predict(0x400400);
+        assert!(!pred.provider.is_bimodal(), "provider = {:?}", pred.provider);
+    }
+
+    #[test]
+    fn stats_track_updates_and_mispredictions() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        let outcomes: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        let misses = run_branch(&mut p, 0x400500, &outcomes);
+        assert_eq!(p.stats().updates, 50);
+        assert_eq!(p.stats().mispredictions, misses);
+    }
+
+    #[test]
+    fn useful_reset_fires_periodically() {
+        let config = TageConfig::small().to_builder().useful_reset_period(64).build().unwrap();
+        let mut p = TagePredictor::new(config);
+        let outcomes: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
+        run_branch(&mut p, 0x400600, &outcomes);
+        assert!(p.stats().useful_resets >= 3);
+    }
+
+    #[test]
+    fn reset_clears_dynamic_state() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        run_branch(&mut p, 0x400700, &[true; 50]);
+        assert!(p.stats().updates > 0);
+        p.reset();
+        assert_eq!(p.stats().updates, 0);
+        let pred = p.predict(0x400700);
+        assert!(pred.provider.is_bimodal());
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let mut p = TagePredictor::new(TageConfig::medium());
+        run_branch(&mut p, 0x400800, &[true, false, true, true, false]);
+        let a = p.predict(0x400800);
+        let b = p.predict(0x400800);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_uses_indices_from_prediction() {
+        // The prediction carries the per-table indices/tags; update must not
+        // panic even for a prediction taken just before the history moved.
+        let mut p = TagePredictor::new(TageConfig::small());
+        let pred = p.predict(0x400900);
+        p.update(0x400900, true, &pred);
+        assert_eq!(p.stats().updates, 1);
+    }
+
+    #[test]
+    fn branch_predictor_trait_matches_inherent_behaviour() {
+        let config = TageConfig::small();
+        let mut a = TagePredictor::new(config.clone());
+        let mut b = TagePredictor::new(config);
+        let outcomes: Vec<bool> = (0..300).map(|i| (i / 3) % 2 == 0).collect();
+        let mut inherent_misses = 0;
+        let mut trait_misses = 0;
+        for &taken in &outcomes {
+            let pa = a.predict(0x400a00);
+            if pa.taken != taken {
+                inherent_misses += 1;
+            }
+            a.update(0x400a00, taken, &pa);
+
+            let pb = BranchPredictor::predict(&mut b, 0x400a00);
+            if pb.taken != taken {
+                trait_misses += 1;
+            }
+            BranchPredictor::update(&mut b, 0x400a00, taken, &pb);
+        }
+        assert_eq!(inherent_misses, trait_misses);
+        assert_eq!(BranchPredictor::storage_bits(&a), 16 * 1024);
+        assert_eq!(a.name(), "TAGE-16K");
+    }
+
+    #[test]
+    fn probabilistic_automaton_changes_saturation_population() {
+        // With the modified automaton, far fewer provider counters should be
+        // saturated after steady-state training on mixed branches.
+        let count_saturated = |automaton: CounterAutomaton| {
+            let config = TageConfig::small().with_automaton(automaton);
+            let mut p = TagePredictor::new(config);
+            let mut rng = SplitMix64::new(9);
+            let mut saturated = 0u64;
+            let mut total = 0u64;
+            for i in 0..40_000u64 {
+                let pc = 0x400000 + (i % 64) * 16;
+                let taken = rng.chance(0.9);
+                let pred = p.predict(pc);
+                if !pred.provider.is_bimodal() {
+                    total += 1;
+                    if pred.is_saturated_tagged(3) {
+                        saturated += 1;
+                    }
+                }
+                p.update(pc, taken, &pred);
+            }
+            (saturated, total)
+        };
+        let (sat_std, tot_std) = count_saturated(CounterAutomaton::Standard);
+        let (sat_mod, tot_mod) = count_saturated(CounterAutomaton::paper_default());
+        assert!(tot_std > 1000 && tot_mod > 1000);
+        let rate_std = sat_std as f64 / tot_std as f64;
+        let rate_mod = sat_mod as f64 / tot_mod as f64;
+        assert!(
+            rate_mod < rate_std * 0.7,
+            "modified automaton should shrink the saturated class: {rate_mod} vs {rate_std}"
+        );
+    }
+
+    #[test]
+    fn use_alt_on_na_counter_moves() {
+        let mut p = TagePredictor::new(TageConfig::small());
+        let initial = p.use_alt_on_na();
+        // Drive lots of mispredictions so newly allocated entries are used.
+        let mut rng = SplitMix64::new(123);
+        for i in 0..20_000u64 {
+            let pc = 0x500000 + (i % 512) * 8;
+            let taken = rng.chance(0.5);
+            let pred = p.predict(pc);
+            p.update(pc, taken, &pred);
+        }
+        // The counter should have been exercised (moved at least once).
+        // Its final sign is workload dependent; just check it stays in range.
+        let value = p.use_alt_on_na();
+        assert!((-8..=7).contains(&value));
+        let _ = initial;
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TAGE configuration")]
+    fn invalid_config_panics() {
+        let mut config = TageConfig::small();
+        config.num_tagged_tables = 0;
+        TagePredictor::new(config);
+    }
+
+    #[test]
+    fn distinct_branches_do_not_trample_each_other_much() {
+        let mut p = TagePredictor::new(TageConfig::medium());
+        // 32 branches, each strongly biased in its own direction.
+        let mut misses = 0u64;
+        let mut total = 0u64;
+        for round in 0..300 {
+            for b in 0..32u64 {
+                let pc = 0x600000 + b * 32;
+                let taken = b % 2 == 0;
+                let pred = p.predict(pc);
+                if round > 10 {
+                    total += 1;
+                    if pred.taken != taken {
+                        misses += 1;
+                    }
+                }
+                p.update(pc, taken, &pred);
+            }
+        }
+        assert!(
+            (misses as f64 / total as f64) < 0.01,
+            "miss rate {misses}/{total}"
+        );
+    }
+}

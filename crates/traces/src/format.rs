@@ -1,0 +1,180 @@
+//! On-disk trace format definitions shared by the reader and the writer.
+//!
+//! Two encodings are supported:
+//!
+//! * a compact **binary** format (magic `b"TAGT"`), 21 bytes per record, and
+//! * a human-readable **text** format, one record per line:
+//!   `"<pc-hex> <kind-letter> <T|N> <target-hex> <gap>"`, with `#`-prefixed
+//!   comment lines and a `! name <trace-name>` header line.
+//!
+//! Real CBP-style traces can be converted to either encoding by an external
+//! tool and then consumed by the simulation harness exactly like the
+//! synthetic suites.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::record::BranchKind;
+
+/// Magic bytes identifying the binary trace format.
+pub const MAGIC: [u8; 4] = *b"TAGT";
+
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// Size in bytes of one encoded record in the binary format.
+pub const RECORD_BYTES: usize = 8 + 8 + 1 + 4;
+
+/// Encodes a branch kind as a single byte for the binary format.
+pub fn kind_to_byte(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+/// Decodes a branch kind from its binary encoding.
+pub fn kind_from_byte(byte: u8) -> Result<BranchKind, FormatError> {
+    match byte {
+        0 => Ok(BranchKind::Conditional),
+        1 => Ok(BranchKind::Unconditional),
+        2 => Ok(BranchKind::Call),
+        3 => Ok(BranchKind::Return),
+        4 => Ok(BranchKind::Indirect),
+        other => Err(FormatError::InvalidKind(other)),
+    }
+}
+
+/// Encodes a branch kind as the single letter used by the text format.
+pub fn kind_to_letter(kind: BranchKind) -> char {
+    match kind {
+        BranchKind::Conditional => 'C',
+        BranchKind::Unconditional => 'J',
+        BranchKind::Call => 'L',
+        BranchKind::Return => 'R',
+        BranchKind::Indirect => 'I',
+    }
+}
+
+/// Decodes a branch kind from its text-format letter.
+pub fn kind_from_letter(letter: char) -> Result<BranchKind, FormatError> {
+    match letter {
+        'C' => Ok(BranchKind::Conditional),
+        'J' => Ok(BranchKind::Unconditional),
+        'L' => Ok(BranchKind::Call),
+        'R' => Ok(BranchKind::Return),
+        'I' => Ok(BranchKind::Indirect),
+        other => Err(FormatError::InvalidKindLetter(other)),
+    }
+}
+
+/// Errors produced while reading or writing traces.
+#[derive(Debug)]
+pub enum FormatError {
+    /// An underlying IO error.
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic([u8; 4]),
+    /// The file uses an unsupported format version.
+    UnsupportedVersion(u32),
+    /// An invalid branch-kind byte was encountered in a binary trace.
+    InvalidKind(u8),
+    /// An invalid branch-kind letter was encountered in a text trace.
+    InvalidKindLetter(char),
+    /// A malformed line was encountered in a text trace.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// The trace ended in the middle of a record.
+    TruncatedRecord,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "io error: {e}"),
+            FormatError::BadMagic(m) => write!(f, "bad magic bytes {m:?}, expected {MAGIC:?}"),
+            FormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}, expected {VERSION}")
+            }
+            FormatError::InvalidKind(b) => write!(f, "invalid branch kind byte {b}"),
+            FormatError::InvalidKindLetter(c) => write!(f, "invalid branch kind letter '{c}'"),
+            FormatError::MalformedLine { line, reason } => {
+                write!(f, "malformed line {line}: {reason}")
+            }
+            FormatError::TruncatedRecord => write!(f, "trace ended in the middle of a record"),
+        }
+    }
+}
+
+impl Error for FormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_byte_round_trips() {
+        for kind in [
+            BranchKind::Conditional,
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ] {
+            assert_eq!(kind_from_byte(kind_to_byte(kind)).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn kind_letter_round_trips() {
+        for kind in [
+            BranchKind::Conditional,
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ] {
+            assert_eq!(kind_from_letter(kind_to_letter(kind)).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn invalid_encodings_are_rejected() {
+        assert!(matches!(kind_from_byte(42), Err(FormatError::InvalidKind(42))));
+        assert!(matches!(
+            kind_from_letter('x'),
+            Err(FormatError::InvalidKindLetter('x'))
+        ));
+    }
+
+    #[test]
+    fn errors_format_and_expose_sources() {
+        let io_err = FormatError::from(io::Error::other("boom"));
+        assert!(format!("{io_err}").contains("boom"));
+        assert!(Error::source(&io_err).is_some());
+        let other = FormatError::BadMagic(*b"NOPE");
+        assert!(Error::source(&other).is_none());
+        assert!(!format!("{other}").is_empty());
+    }
+}

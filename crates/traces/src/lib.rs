@@ -1,0 +1,50 @@
+//! Branch trace model, trace IO and synthetic workload suites.
+//!
+//! The paper evaluates the TAGE confidence estimator on the CBP-1 and CBP-2
+//! championship trace sets. Those traces are not redistributable, so this
+//! crate provides:
+//!
+//! 1. a compact in-memory trace model ([`BranchRecord`], [`Trace`]),
+//! 2. a binary and a text on-disk format with a reader and a writer
+//!    ([`reader::TraceReader`], [`writer::TraceWriter`]) so that externally
+//!    converted CBP-style traces can be plugged in, and
+//! 3. deterministic synthetic workload generators ([`synthetic`]) together
+//!    with two 20-trace suites ([`suites::cbp1_like`], [`suites::cbp2_like`])
+//!    that act as stand-ins for the championship sets. The generators model
+//!    the statistical structure that the paper's observations depend on:
+//!    loop branches, biased data-dependent branches, history-correlated
+//!    branches that need long histories, phase changes, and large static
+//!    branch footprints that stress predictor capacity.
+//!
+//! # Example
+//!
+//! ```
+//! use tage_traces::suites;
+//!
+//! // Build a small version of the CBP-1-like suite (100k branches per trace).
+//! let suite = suites::cbp1_like();
+//! let trace = suite.traces()[0].generate(10_000);
+//! let conditional = trace.iter().filter(|r| r.kind.is_conditional()).count();
+//! assert_eq!(conditional, 10_000);
+//! assert!(trace.instruction_count() >= 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod format;
+pub mod reader;
+pub mod record;
+pub mod rng;
+pub mod stats;
+pub mod suites;
+pub mod synthetic;
+pub mod trace;
+pub mod writer;
+
+pub use record::{BranchKind, BranchRecord};
+pub use rng::SplitMix64;
+pub use stats::TraceStats;
+pub use suites::{Suite, TraceSpec};
+pub use trace::Trace;

@@ -1,0 +1,269 @@
+//! Reading traces from the binary or text format.
+
+use std::io::{BufRead, BufReader, Read};
+
+use crate::format::{kind_from_byte, kind_from_letter, FormatError, MAGIC, RECORD_BYTES, VERSION};
+use crate::record::BranchRecord;
+use crate::trace::Trace;
+
+/// Reads branch traces written by [`crate::writer::TraceWriter`].
+///
+/// Generic reader functions take `R: Read` by value; pass `&mut reader` if
+/// you need to keep using the reader afterwards.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use tage_traces::{reader::TraceReader, writer::TraceWriter, BranchRecord, Trace};
+///
+/// let trace = Trace::from_records("t", vec![BranchRecord::conditional(0x10, false)]);
+/// let text = TraceWriter::to_text_string(&trace);
+/// let back = TraceReader::read_text(text.as_bytes())?;
+/// assert_eq!(back.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Reads a binary-format trace.
+    ///
+    /// Traces written by the streaming writer (unknown record count) are read
+    /// until end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] if the stream is not a valid binary trace or
+    /// the underlying reader fails.
+    pub fn read_binary<R: Read>(reader: R) -> Result<Trace, FormatError> {
+        let mut reader = BufReader::new(reader);
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(FormatError::BadMagic(magic));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(FormatError::UnsupportedVersion(version));
+        }
+        let name_len = read_u32(&mut reader)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8_lossy(&name_bytes).into_owned();
+        let count = read_u64(&mut reader)?;
+        let streaming = count == u64::MAX;
+
+        let capacity = if streaming { 1024 } else { count as usize };
+        let mut trace = Trace::with_capacity(name, capacity.min(1 << 24));
+        let mut buf = [0u8; RECORD_BYTES];
+        let mut read_so_far = 0u64;
+        loop {
+            if !streaming && read_so_far == count {
+                break;
+            }
+            match read_record(&mut reader, &mut buf)? {
+                Some(record) => {
+                    trace.push(record);
+                    read_so_far += 1;
+                }
+                None if streaming => break,
+                None => return Err(FormatError::TruncatedRecord),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Reads a text-format trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] if a line is malformed or the underlying
+    /// reader fails.
+    pub fn read_text<R: Read>(reader: R) -> Result<Trace, FormatError> {
+        let reader = BufReader::new(reader);
+        let mut trace = Trace::new("unnamed");
+        for (idx, line) in reader.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('!') {
+                let mut parts = rest.split_whitespace();
+                if parts.next() == Some("name") {
+                    let name: Vec<&str> = parts.collect();
+                    trace.set_name(name.join(" "));
+                }
+                continue;
+            }
+            trace.push(parse_text_line(line, line_no)?);
+        }
+        Ok(trace)
+    }
+}
+
+fn parse_text_line(line: &str, line_no: usize) -> Result<BranchRecord, FormatError> {
+    let malformed = |reason: &str| FormatError::MalformedLine {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let mut parts = line.split_whitespace();
+    let pc = parts.next().ok_or_else(|| malformed("missing pc"))?;
+    let pc = u64::from_str_radix(pc, 16).map_err(|_| malformed("pc is not hex"))?;
+    let kind = parts.next().ok_or_else(|| malformed("missing kind"))?;
+    let kind_char = kind.chars().next().ok_or_else(|| malformed("empty kind"))?;
+    let kind = kind_from_letter(kind_char)?;
+    let outcome = parts.next().ok_or_else(|| malformed("missing outcome"))?;
+    let taken = match outcome {
+        "T" => true,
+        "N" => false,
+        _ => return Err(malformed("outcome must be T or N")),
+    };
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let target = u64::from_str_radix(target, 16).map_err(|_| malformed("target is not hex"))?;
+    let gap = parts.next().ok_or_else(|| malformed("missing gap"))?;
+    let gap: u32 = gap.parse().map_err(|_| malformed("gap is not an integer"))?;
+    if parts.next().is_some() {
+        return Err(malformed("trailing tokens"));
+    }
+    Ok(BranchRecord {
+        pc,
+        target,
+        taken,
+        kind,
+        gap,
+    })
+}
+
+fn read_record<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8; RECORD_BYTES],
+) -> Result<Option<BranchRecord>, FormatError> {
+    match read_exact_or_eof(reader, buf)? {
+        false => Ok(None),
+        true => {
+            let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice length"));
+            let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice length"));
+            let flags = buf[16];
+            let gap = u32::from_le_bytes(buf[17..21].try_into().expect("slice length"));
+            let kind = kind_from_byte(flags & 0x7F)?;
+            Ok(Some(BranchRecord {
+                pc,
+                target,
+                taken: flags & 0x80 != 0,
+                kind,
+                gap,
+            }))
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, returning `Ok(false)` on a clean EOF at a
+/// record boundary and an error on EOF in the middle of a record.
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, FormatError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(FormatError::TruncatedRecord)
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, FormatError> {
+    let mut b = [0u8; 4];
+    reader.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, FormatError> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = b"NOPE\x01\x00\x00\x00";
+        let err = TraceReader::read_binary(&bytes[..]).unwrap_err();
+        assert!(matches!(err, FormatError::BadMagic(_)));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        let err = TraceReader::read_binary(&bytes[..]).unwrap_err();
+        assert!(matches!(err, FormatError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let trace = Trace::from_records(
+            "t",
+            vec![
+                BranchRecord::conditional(1, true),
+                BranchRecord::conditional(2, false),
+            ],
+        );
+        let mut bytes = TraceWriter::to_binary_bytes(&trace);
+        bytes.truncate(bytes.len() - 5);
+        let err = TraceReader::read_binary(&bytes[..]).unwrap_err();
+        assert!(matches!(err, FormatError::TruncatedRecord));
+    }
+
+    #[test]
+    fn text_parser_accepts_comments_blank_lines_and_name() {
+        let text = "# comment\n\n! name my trace\n1000 C T 2000 5\nffff J N 0 0\n";
+        let trace = TraceReader::read_text(text.as_bytes()).unwrap();
+        assert_eq!(trace.name(), "my trace");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.records()[0].pc, 0x1000);
+        assert!(trace.records()[0].taken);
+        assert_eq!(trace.records()[1].pc, 0xffff);
+        assert!(!trace.records()[1].kind.is_conditional());
+    }
+
+    #[test]
+    fn text_parser_rejects_malformed_lines() {
+        for bad in [
+            "zzzz C T 0 0",      // pc not hex
+            "10 X T 0 0",        // bad kind
+            "10 C Q 0 0",        // bad outcome
+            "10 C T zz 0",       // target not hex
+            "10 C T 0 notanint", // bad gap
+            "10 C T 0 0 extra",  // trailing token
+            "10 C T 0",          // missing gap
+        ] {
+            let err = TraceReader::read_text(bad.as_bytes());
+            assert!(err.is_err(), "line {bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_large_trace() {
+        let trace = Trace::from_records(
+            "big",
+            (0..10_000u64).map(|i| BranchRecord::conditional(0x1000 + i * 4, i % 3 == 0).with_gap(2)),
+        );
+        let bytes = TraceWriter::to_binary_bytes(&trace);
+        let back = TraceReader::read_binary(&bytes[..]).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.records()[9_999], trace.records()[9_999]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The basic unit of a branch trace: one dynamic conditional-branch instance.
+
+use core::fmt;
+
+/// The kind of control-flow instruction a trace record describes.
+///
+/// The paper only evaluates *conditional* branches, but championship-style
+/// traces also carry unconditional jumps, calls and returns (they contribute
+/// to the path/instruction counts even though they are not predicted by the
+/// conditional predictor). The synthetic suites emit a realistic mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BranchKind {
+    /// A conditional direct branch — the only kind the predictor predicts.
+    #[default]
+    Conditional,
+    /// An unconditional direct jump.
+    Unconditional,
+    /// A direct call.
+    Call,
+    /// A return.
+    Return,
+    /// An indirect jump or indirect call.
+    Indirect,
+}
+
+impl BranchKind {
+    /// Returns `true` if this kind of branch is predicted by the conditional
+    /// branch predictor (and therefore participates in confidence
+    /// estimation).
+    #[inline]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "conditional",
+            BranchKind::Unconditional => "unconditional",
+            BranchKind::Call => "call",
+            BranchKind::Return => "return",
+            BranchKind::Indirect => "indirect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic branch instance of a trace.
+///
+/// A record carries everything a trace-driven branch-prediction simulation
+/// needs: the branch address, the outcome, the target, the kind of branch and
+/// the number of non-branch instructions executed since the previous record
+/// (so that misprediction rates can be reported per kilo-*instruction* as in
+/// the paper, not only per kilo-branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BranchRecord {
+    /// Program counter (address) of the branch instruction.
+    pub pc: u64,
+    /// Branch target address.
+    pub target: u64,
+    /// Outcome of the branch: `true` = taken.
+    pub taken: bool,
+    /// Kind of control-flow instruction.
+    pub kind: BranchKind,
+    /// Number of non-branch instructions executed since the previous record.
+    ///
+    /// The instruction attributed to the branch itself is *not* included;
+    /// a record therefore accounts for `gap + 1` instructions.
+    pub gap: u32,
+}
+
+impl BranchRecord {
+    /// Creates a conditional branch record with a default instruction gap of
+    /// zero.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tage_traces::BranchRecord;
+    ///
+    /// let r = BranchRecord::conditional(0x400_000, true);
+    /// assert!(r.taken);
+    /// assert!(r.kind.is_conditional());
+    /// ```
+    #[inline]
+    pub fn conditional(pc: u64, taken: bool) -> Self {
+        BranchRecord {
+            pc,
+            target: pc.wrapping_add(4),
+            taken,
+            kind: BranchKind::Conditional,
+            gap: 0,
+        }
+    }
+
+    /// Sets the branch target, consuming and returning the record
+    /// (builder style).
+    #[inline]
+    pub fn with_target(mut self, target: u64) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the instruction gap, consuming and returning the record
+    /// (builder style).
+    #[inline]
+    pub fn with_gap(mut self, gap: u32) -> Self {
+        self.gap = gap;
+        self
+    }
+
+    /// Sets the branch kind, consuming and returning the record
+    /// (builder style).
+    #[inline]
+    pub fn with_kind(mut self, kind: BranchKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Number of instructions this record accounts for (the gap plus the
+    /// branch instruction itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap) + 1
+    }
+}
+
+impl Default for BranchRecord {
+    fn default() -> Self {
+        BranchRecord::conditional(0, false)
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#x} {} {} -> {:#x} (+{})",
+            self.pc,
+            self.kind,
+            if self.taken { "T" } else { "N" },
+            self.target,
+            self.gap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_constructor_sets_kind_and_fallthrough_target() {
+        let r = BranchRecord::conditional(0x1000, false);
+        assert_eq!(r.kind, BranchKind::Conditional);
+        assert_eq!(r.target, 0x1004);
+        assert!(!r.taken);
+        assert_eq!(r.gap, 0);
+    }
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let r = BranchRecord::conditional(0x1000, true)
+            .with_target(0x2000)
+            .with_gap(7)
+            .with_kind(BranchKind::Call);
+        assert_eq!(r.target, 0x2000);
+        assert_eq!(r.gap, 7);
+        assert_eq!(r.kind, BranchKind::Call);
+        assert_eq!(r.instructions(), 8);
+    }
+
+    #[test]
+    fn instructions_counts_gap_plus_branch() {
+        assert_eq!(BranchRecord::conditional(0, true).instructions(), 1);
+        assert_eq!(
+            BranchRecord::conditional(0, true).with_gap(10).instructions(),
+            11
+        );
+    }
+
+    #[test]
+    fn only_conditional_kind_is_predicted() {
+        assert!(BranchKind::Conditional.is_conditional());
+        for kind in [
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ] {
+            assert!(!kind.is_conditional(), "{kind} must not be conditional");
+        }
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        let r = BranchRecord::conditional(0x1234, true);
+        assert!(!format!("{r}").is_empty());
+        assert!(!format!("{}", BranchKind::Return).is_empty());
+    }
+
+    #[test]
+    fn pc_wraparound_target_does_not_panic() {
+        let r = BranchRecord::conditional(u64::MAX, true);
+        assert_eq!(r.target, 3);
+    }
+}

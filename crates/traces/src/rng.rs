@@ -1,0 +1,222 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The synthetic workload generators and the probabilistic counter automaton
+//! need a reproducible random source whose behaviour is stable across
+//! platforms, compiler versions and dependency upgrades. A tiny SplitMix64
+//! generator is used throughout the workspace for that purpose rather than a
+//! third-party generator whose stream could change between releases.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// SplitMix64 passes BigCrush, has a period of 2^64 and is composed of a
+/// handful of arithmetic operations — appropriate both for workload
+/// generation and as a model of a cheap hardware pseudo-random source (the
+/// paper's probabilistic saturation could be driven by an LFSR).
+///
+/// # Example
+///
+/// ```
+/// use tage_traces::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit pseudo-random value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the next 32-bit pseudo-random value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Multiply-shift reduction: unbiased enough for workload generation
+        // (bias is < 2^-64 * bound) and branch-free.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Returns an integer drawn from a (truncated) geometric-like
+    /// distribution with mean approximately `mean`, bounded by `max`.
+    ///
+    /// Used for instruction gaps between branches.
+    #[inline]
+    pub fn next_gap(&mut self, mean: u32, max: u32) -> u32 {
+        if mean == 0 {
+            return 0;
+        }
+        let p = 1.0 / f64::from(mean + 1);
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        let g = (u.ln() / (1.0 - p).ln()) as u32;
+        g.min(max)
+    }
+
+    /// Derives a new, statistically independent generator from this one
+    /// (useful to give each synthetic branch its own stream).
+    #[inline]
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_5A5A_DEAD_BEEF)
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        SplitMix64::new(0x1234_5678_9ABC_DEF0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_yield_identical_streams() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..100 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_deterministic() {
+        let mut rng = SplitMix64::new(11);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn chance_probability_is_roughly_respected() {
+        let mut rng = SplitMix64::new(3);
+        let hits = (0..100_000).filter(|_| rng.chance(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((0.23..0.27).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn gap_mean_is_roughly_respected_and_bounded() {
+        let mut rng = SplitMix64::new(17);
+        let n = 50_000u32;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let g = rng.next_gap(6, 64);
+            assert!(g <= 64);
+            sum += u64::from(g);
+        }
+        let mean = sum as f64 / f64::from(n);
+        assert!((4.0..8.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn zero_mean_gap_is_always_zero() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(rng.next_gap(0, 100), 0);
+        }
+    }
+
+    #[test]
+    fn split_produces_independent_stream() {
+        let mut parent = SplitMix64::new(123);
+        let mut child = parent.split();
+        // Streams should not be identical.
+        let equal = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert!(equal < 4);
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut rng = SplitMix64::new(2024);
+        let mut ones = 0u64;
+        let samples = 10_000;
+        for _ in 0..samples {
+            ones += u64::from(rng.next_u64().count_ones());
+        }
+        let mean_ones = ones as f64 / samples as f64;
+        assert!((31.0..33.0).contains(&mean_ones), "mean ones = {mean_ones}");
+    }
+}

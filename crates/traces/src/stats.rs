@@ -1,0 +1,151 @@
+//! Summary statistics over a branch trace.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::record::{BranchKind, BranchRecord};
+
+/// Summary statistics of a branch trace.
+///
+/// These are useful both to sanity-check synthetic workloads (static branch
+/// footprint, taken rate, branch density) and to report workload
+/// characteristics next to experiment results.
+///
+/// # Example
+///
+/// ```
+/// use tage_traces::{BranchRecord, Trace};
+///
+/// let trace = Trace::from_records(
+///     "t",
+///     (0..100).map(|i| BranchRecord::conditional(0x1000 + (i % 4) * 8, i % 3 == 0).with_gap(5)),
+/// );
+/// let stats = trace.stats();
+/// assert_eq!(stats.branches, 100);
+/// assert_eq!(stats.static_branches, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceStats {
+    /// Total number of dynamic branch records.
+    pub branches: u64,
+    /// Number of dynamic *conditional* branch records.
+    pub conditional_branches: u64,
+    /// Number of dynamic conditional branches that were taken.
+    pub taken_conditional: u64,
+    /// Number of distinct static branch addresses (all kinds).
+    pub static_branches: u64,
+    /// Number of distinct static conditional branch addresses.
+    pub static_conditional: u64,
+    /// Total instructions accounted for by the trace.
+    pub instructions: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics from a slice of records.
+    pub fn from_records(records: &[BranchRecord]) -> Self {
+        let mut stats = TraceStats::default();
+        let mut static_pcs: HashMap<u64, BranchKind> = HashMap::new();
+        for r in records {
+            stats.branches += 1;
+            stats.instructions += r.instructions();
+            if r.kind.is_conditional() {
+                stats.conditional_branches += 1;
+                if r.taken {
+                    stats.taken_conditional += 1;
+                }
+            }
+            static_pcs.entry(r.pc).or_insert(r.kind);
+        }
+        stats.static_branches = static_pcs.len() as u64;
+        stats.static_conditional = static_pcs
+            .values()
+            .filter(|k| k.is_conditional())
+            .count() as u64;
+        stats
+    }
+
+    /// Fraction of dynamic conditional branches that were taken, in `[0, 1]`.
+    /// Returns zero for a trace without conditional branches.
+    pub fn taken_rate(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            0.0
+        } else {
+            self.taken_conditional as f64 / self.conditional_branches as f64
+        }
+    }
+
+    /// Dynamic conditional branches per kilo-instruction.
+    pub fn branch_density_per_kiloinstruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.conditional_branches as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} branches ({} conditional, {:.1}% taken), {} static, {} instructions",
+            self.branches,
+            self.conditional_branches,
+            self.taken_rate() * 100.0,
+            self.static_branches,
+            self.instructions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_records_yield_zeroed_stats() {
+        let stats = TraceStats::from_records(&[]);
+        assert_eq!(stats, TraceStats::default());
+        assert_eq!(stats.taken_rate(), 0.0);
+        assert_eq!(stats.branch_density_per_kiloinstruction(), 0.0);
+    }
+
+    #[test]
+    fn counts_conditional_and_static_branches() {
+        let records = vec![
+            BranchRecord::conditional(0x10, true).with_gap(9),
+            BranchRecord::conditional(0x10, false).with_gap(9),
+            BranchRecord::conditional(0x20, true).with_gap(9),
+            BranchRecord::conditional(0x30, true)
+                .with_kind(BranchKind::Call)
+                .with_gap(9),
+        ];
+        let stats = TraceStats::from_records(&records);
+        assert_eq!(stats.branches, 4);
+        assert_eq!(stats.conditional_branches, 3);
+        assert_eq!(stats.taken_conditional, 2);
+        assert_eq!(stats.static_branches, 3);
+        assert_eq!(stats.static_conditional, 2);
+        assert_eq!(stats.instructions, 4 * 10);
+    }
+
+    #[test]
+    fn taken_rate_and_density() {
+        let records = vec![
+            BranchRecord::conditional(0x10, true).with_gap(4),
+            BranchRecord::conditional(0x20, false).with_gap(4),
+        ];
+        let stats = TraceStats::from_records(&records);
+        assert!((stats.taken_rate() - 0.5).abs() < 1e-12);
+        // 2 conditional branches over 10 instructions = 200 per KI.
+        assert!((stats.branch_density_per_kiloinstruction() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let stats = TraceStats::from_records(&[BranchRecord::conditional(0x10, true)]);
+        let s = format!("{stats}");
+        assert!(s.contains("1 branches"));
+    }
+}

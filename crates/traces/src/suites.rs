@@ -1,0 +1,284 @@
+//! Named workload suites standing in for the CBP-1 and CBP-2 trace sets.
+//!
+//! Each suite contains 20 named traces, mirroring the composition of the
+//! championship sets the paper uses:
+//!
+//! * [`cbp1_like`] — `FP-1..5`, `INT-1..5`, `MM-1..5`, `SERV-1..5`;
+//! * [`cbp2_like`] — 20 SPEC CPU2000 / SPECjvm98-style names
+//!   (`164.gzip` … `300.twolf`).
+//!
+//! The per-trace profiles are tuned so that the *qualitative* spread of the
+//! paper is present: very predictable FP codes, server codes whose static
+//! footprint overwhelms the small predictor, and "intrinsically
+//! unpredictable" traces such as `300.twolf`, `164.gzip` or the `MM` pair.
+
+use crate::synthetic::{BehaviorMix, SyntheticTraceBuilder, WorkloadProfile};
+use crate::trace::Trace;
+
+/// A named synthetic trace specification: profile plus seed.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    name: String,
+    profile: WorkloadProfile,
+    seed: u64,
+}
+
+impl TraceSpec {
+    /// Creates a new specification.
+    pub fn new(name: impl Into<String>, profile: WorkloadProfile, seed: u64) -> Self {
+        TraceSpec {
+            name: name.into(),
+            profile,
+            seed,
+        }
+    }
+
+    /// The trace name (e.g. `"SERV-2"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The workload profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the trace with the given number of conditional branches.
+    pub fn generate(&self, conditional_branches: usize) -> Trace {
+        SyntheticTraceBuilder::new(self.name.clone(), self.profile.clone(), self.seed)
+            .build(conditional_branches)
+    }
+}
+
+/// A named collection of trace specifications.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    name: String,
+    traces: Vec<TraceSpec>,
+}
+
+impl Suite {
+    /// Creates a suite from parts.
+    pub fn new(name: impl Into<String>, traces: Vec<TraceSpec>) -> Self {
+        Suite {
+            name: name.into(),
+            traces,
+        }
+    }
+
+    /// The suite name (`"CBP-1-like"` / `"CBP-2-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The trace specifications.
+    pub fn traces(&self) -> &[TraceSpec] {
+        &self.traces
+    }
+
+    /// Looks a specification up by trace name.
+    pub fn trace(&self, name: &str) -> Option<&TraceSpec> {
+        self.traces.iter().find(|t| t.name() == name)
+    }
+
+    /// Generates every trace in the suite with the given length.
+    pub fn generate_all(&self, conditional_branches: usize) -> Vec<Trace> {
+        self.traces
+            .iter()
+            .map(|spec| spec.generate(conditional_branches))
+            .collect()
+    }
+}
+
+/// Tweaks a base profile so sibling traces in a category differ:
+///
+/// * `footprint_scale` scales the static branch footprint,
+/// * `extra_noise` adds outcome noise (intrinsic unpredictability),
+/// * `biased_boost` enlarges the data-dependent (Bernoulli) fraction and
+///   widens its bias range towards 50/50,
+/// * `pattern_max` sets the longest repeating-pattern length — long patterns
+///   need long global histories, which is what differentiates the 16 K /
+///   64 K / 256 K predictors.
+fn variant(
+    base: WorkloadProfile,
+    footprint_scale: f64,
+    extra_noise: f64,
+    biased_boost: f64,
+    pattern_max: usize,
+) -> WorkloadProfile {
+    let mut p = base;
+    p.static_branches = ((p.static_branches as f64 * footprint_scale) as usize).max(8);
+    // Only a quarter of the "extra unpredictability" budget becomes uniform
+    // outcome noise; the rest is modelled as a larger data-dependent branch
+    // population (below), which is where real programs concentrate their
+    // intrinsic unpredictability.
+    p.noise = (p.noise + extra_noise * 0.15).clamp(0.0, 0.25);
+    p.mix = BehaviorMix {
+        biased_weight: p.mix.biased_weight + biased_boost + extra_noise * 3.0,
+        ..p.mix
+    };
+    if biased_boost > 0.0 {
+        // A larger data-dependent fraction also means weaker biases.
+        p.bias_range.0 = (p.bias_range.0 - biased_boost / 2.0).max(0.78);
+    }
+    p.pattern_length_range.1 = pattern_max.max(p.pattern_length_range.0 + 1);
+    p.history_lag_range.1 = (pattern_max / 2).clamp(p.history_lag_range.0 + 1, 24);
+    p
+}
+
+/// Builds the 20-trace CBP-1-like suite (`FP`, `INT`, `MM`, `SERV` × 5).
+pub fn cbp1_like() -> Suite {
+    let mut traces = Vec::with_capacity(20);
+    // FP: loop dominated, very predictable; FP-4/FP-5 slightly noisier.
+    let fp = WorkloadProfile::fp_like();
+    traces.push(TraceSpec::new("FP-1", variant(fp.clone(), 0.8, 0.000, 0.00, 8), 0x1001));
+    traces.push(TraceSpec::new("FP-2", variant(fp.clone(), 1.0, 0.001, 0.00, 12), 0x1002));
+    traces.push(TraceSpec::new("FP-3", variant(fp.clone(), 1.2, 0.002, 0.02, 16), 0x1003));
+    traces.push(TraceSpec::new("FP-4", variant(fp.clone(), 1.5, 0.003, 0.04, 20), 0x1004));
+    traces.push(TraceSpec::new("FP-5", variant(fp, 2.0, 0.005, 0.05, 28), 0x1005));
+    // INT: correlated, moderate footprint; INT-5 is small and very hot.
+    let int = WorkloadProfile::integer_like();
+    traces.push(TraceSpec::new("INT-1", variant(int.clone(), 1.0, 0.003, 0.00, 16), 0x2001));
+    traces.push(TraceSpec::new("INT-2", variant(int.clone(), 1.4, 0.012, 0.08, 32), 0x2002));
+    traces.push(TraceSpec::new("INT-3", variant(int.clone(), 1.8, 0.018, 0.12, 24), 0x2003));
+    traces.push(TraceSpec::new("INT-4", variant(int.clone(), 1.2, 0.006, 0.04, 40), 0x2004));
+    traces.push(TraceSpec::new("INT-5", variant(int, 0.15, 0.001, 0.00, 12), 0x2005));
+    // MM: large data-dependent component, partly unpredictable.
+    let mm = WorkloadProfile::multimedia_like();
+    traces.push(TraceSpec::new("MM-1", variant(mm.clone(), 1.0, 0.015, 0.12, 24), 0x3001));
+    traces.push(TraceSpec::new("MM-2", variant(mm.clone(), 1.3, 0.020, 0.15, 32), 0x3002));
+    traces.push(TraceSpec::new("MM-3", variant(mm.clone(), 0.8, 0.006, 0.04, 16), 0x3003));
+    traces.push(TraceSpec::new("MM-4", variant(mm.clone(), 1.0, 0.008, 0.06, 40), 0x3004));
+    traces.push(TraceSpec::new("MM-5", variant(mm, 1.6, 0.030, 0.20, 36), 0x3005));
+    // SERV: huge footprint, low locality — capacity stressed.
+    let srv = WorkloadProfile::server_like();
+    traces.push(TraceSpec::new("SERV-1", variant(srv.clone(), 1.0, 0.004, 0.03, 12), 0x4001));
+    traces.push(TraceSpec::new("SERV-2", variant(srv.clone(), 1.6, 0.008, 0.06, 16), 0x4002));
+    traces.push(TraceSpec::new("SERV-3", variant(srv.clone(), 1.3, 0.006, 0.05, 14), 0x4003));
+    traces.push(TraceSpec::new("SERV-4", variant(srv.clone(), 0.8, 0.003, 0.02, 10), 0x4004));
+    traces.push(TraceSpec::new("SERV-5", variant(srv, 2.0, 0.010, 0.08, 20), 0x4005));
+    Suite::new("CBP-1-like", traces)
+}
+
+/// Builds the 20-trace CBP-2-like suite (SPEC CPU2000 / SPECjvm98-style
+/// names as in the paper's Figure 3).
+pub fn cbp2_like() -> Suite {
+    let fp = WorkloadProfile::fp_like();
+    let int = WorkloadProfile::integer_like();
+    let mm = WorkloadProfile::multimedia_like();
+    let srv = WorkloadProfile::server_like();
+
+    let traces = vec![
+        // Compression codes: sizeable intrinsically-unpredictable component.
+        TraceSpec::new("164.gzip", variant(mm.clone(), 0.7, 0.030, 0.22, 20), 0x5001),
+        TraceSpec::new("175.vpr", variant(int.clone(), 1.0, 0.018, 0.12, 28), 0x5002),
+        // gcc: large footprint, correlated.
+        TraceSpec::new("176.gcc", variant(srv.clone(), 0.6, 0.004, 0.02, 32), 0x5003),
+        TraceSpec::new("181.mcf", variant(int.clone(), 0.8, 0.015, 0.12, 20), 0x5004),
+        TraceSpec::new("186.crafty", variant(int.clone(), 1.3, 0.010, 0.08, 40), 0x5005),
+        TraceSpec::new("197.parser", variant(int.clone(), 1.2, 0.012, 0.10, 32), 0x5006),
+        TraceSpec::new("201.compress", variant(mm.clone(), 0.5, 0.025, 0.18, 16), 0x5007),
+        TraceSpec::new("202.jess", variant(srv.clone(), 0.5, 0.003, 0.02, 20), 0x5008),
+        TraceSpec::new("205.raytrace", variant(fp.clone(), 1.2, 0.002, 0.03, 14), 0x5009),
+        TraceSpec::new("209.db", variant(srv.clone(), 0.7, 0.005, 0.04, 24), 0x500A),
+        TraceSpec::new("213.javac", variant(srv.clone(), 0.9, 0.006, 0.04, 28), 0x500B),
+        TraceSpec::new("222.mpegaudio", variant(fp.clone(), 0.9, 0.000, 0.00, 10), 0x500C),
+        TraceSpec::new("227.mtrt", variant(fp.clone(), 1.1, 0.002, 0.02, 16), 0x500D),
+        TraceSpec::new("228.jack", variant(srv.clone(), 0.6, 0.005, 0.03, 22), 0x500E),
+        TraceSpec::new("252.eon", variant(fp.clone(), 0.8, 0.000, 0.00, 8), 0x500F),
+        TraceSpec::new("253.perlbmk", variant(srv.clone(), 0.8, 0.003, 0.02, 26), 0x5010),
+        TraceSpec::new("254.gap", variant(int.clone(), 0.9, 0.005, 0.04, 22), 0x5011),
+        TraceSpec::new("255.vortex", variant(srv, 0.9, 0.002, 0.01, 24), 0x5012),
+        TraceSpec::new("256.bzip2", variant(mm, 0.6, 0.020, 0.15, 18), 0x5013),
+        // twolf: the paper's canonical "intrinsically unpredictable" trace.
+        TraceSpec::new("300.twolf", variant(int, 1.0, 0.035, 0.25, 26), 0x5014),
+    ];
+    Suite::new("CBP-2-like", traces)
+}
+
+/// Returns both suites.
+pub fn all_suites() -> Vec<Suite> {
+    vec![cbp1_like(), cbp2_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_suites_have_twenty_uniquely_named_traces() {
+        for suite in all_suites() {
+            assert_eq!(suite.traces().len(), 20, "{}", suite.name());
+            let mut names: Vec<&str> = suite.traces().iter().map(|t| t.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 20, "duplicate names in {}", suite.name());
+        }
+    }
+
+    #[test]
+    fn all_specs_have_valid_profiles() {
+        for suite in all_suites() {
+            for spec in suite.traces() {
+                assert!(
+                    spec.profile().validate().is_ok(),
+                    "{}/{} invalid",
+                    suite.name(),
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let suite = cbp1_like();
+        assert!(suite.trace("SERV-2").is_some());
+        assert!(suite.trace("nonexistent").is_none());
+        let suite = cbp2_like();
+        assert!(suite.trace("300.twolf").is_some());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_named() {
+        let suite = cbp1_like();
+        let spec = suite.trace("INT-1").unwrap();
+        let a = spec.generate(2_000);
+        let b = spec.generate(2_000);
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.name(), "INT-1");
+    }
+
+    #[test]
+    fn generate_all_produces_all_traces() {
+        let suite = cbp1_like();
+        let traces = suite.generate_all(500);
+        assert_eq!(traces.len(), 20);
+        assert!(traces.iter().all(|t| {
+            t.iter().filter(|r| r.kind.is_conditional()).count() == 500
+        }));
+    }
+
+    #[test]
+    fn server_traces_have_much_larger_footprints_than_fp_traces() {
+        let suite = cbp1_like();
+        let fp = suite.trace("FP-1").unwrap().generate(20_000);
+        let srv = suite.trace("SERV-5").unwrap().generate(20_000);
+        assert!(srv.stats().static_conditional > 5 * fp.stats().static_conditional);
+    }
+
+    #[test]
+    fn seeds_differ_across_traces_in_a_suite() {
+        for suite in all_suites() {
+            let mut seeds: Vec<u64> = suite.traces().iter().map(|t| t.seed()).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Per-branch outcome models used by the synthetic workload generator.
+
+use crate::rng::SplitMix64;
+
+/// Number of global outcome bits retained for history-dependent behaviours.
+///
+/// This is larger than the longest history the evaluated predictors use
+/// (300 bits for the 256 Kbit configuration), so history-correlated branches
+/// can be made predictable — or not — for any of the three predictor sizes.
+pub const HISTORY_BITS: usize = 512;
+
+/// A shift register of recent *global* conditional-branch outcomes used by
+/// the history-dependent behaviour models.
+///
+/// Bit 0 is the most recent outcome.
+#[derive(Debug, Clone)]
+pub struct GlobalOutcomeHistory {
+    bits: [u64; HISTORY_BITS / 64],
+}
+
+impl GlobalOutcomeHistory {
+    /// Creates an all-not-taken history.
+    pub fn new() -> Self {
+        GlobalOutcomeHistory {
+            bits: [0; HISTORY_BITS / 64],
+        }
+    }
+
+    /// Shifts a new outcome in as the most recent bit.
+    pub fn push(&mut self, taken: bool) {
+        let mut carry = u64::from(taken);
+        for word in self.bits.iter_mut() {
+            let next_carry = *word >> 63;
+            *word = (*word << 1) | carry;
+            carry = next_carry;
+        }
+    }
+
+    /// Returns the outcome `lag` branches ago (`lag == 0` is the most
+    /// recent). Lags beyond the retained window read as `false`.
+    pub fn bit(&self, lag: usize) -> bool {
+        if lag >= HISTORY_BITS {
+            return false;
+        }
+        (self.bits[lag / 64] >> (lag % 64)) & 1 == 1
+    }
+
+    /// Hashes the most recent `depth` outcome bits into a 64-bit value.
+    ///
+    /// Used by the path-hash behaviour: two different recent paths of length
+    /// `depth` map (with overwhelming probability) to different hashes.
+    pub fn hash_recent(&self, depth: usize) -> u64 {
+        let depth = depth.min(HISTORY_BITS);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let full_words = depth / 64;
+        for w in 0..full_words {
+            h = (h ^ self.bits[w]).wrapping_mul(0x1000_0000_01b3);
+        }
+        let rem = depth % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            h = (h ^ (self.bits[full_words] & mask)).wrapping_mul(0x1000_0000_01b3);
+        }
+        h ^ (h >> 29)
+    }
+}
+
+impl Default for GlobalOutcomeHistory {
+    fn default() -> Self {
+        GlobalOutcomeHistory::new()
+    }
+}
+
+/// Identifies the family a [`BranchBehavior`] belongs to (used for workload
+/// statistics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BehaviorKind {
+    /// Loop exit branch: taken `period - 1` times, then not taken once.
+    Loop,
+    /// Bernoulli branch with a fixed taken probability.
+    Biased,
+    /// Fixed repeating outcome pattern.
+    Pattern,
+    /// Outcome is the parity of selected global-history lags.
+    HistoryParity,
+    /// Outcome is a deterministic function of the hashed recent path.
+    PathHash,
+    /// Switches between two sub-behaviours every `period` executions.
+    Phased,
+}
+
+/// A per-static-branch outcome model.
+///
+/// The model is stepped once per dynamic execution of the branch and returns
+/// the outcome. Models may consult the global outcome history (what the
+/// *program* did recently) and a per-branch random stream.
+#[derive(Debug, Clone)]
+pub enum BranchBehavior {
+    /// Loop exit branch with the given trip count.
+    Loop {
+        /// Loop trip count (the branch is taken `period - 1` times, then
+        /// falls through once). Must be at least 1.
+        period: u32,
+        /// Current position within the loop.
+        position: u32,
+    },
+    /// Bernoulli branch.
+    Biased {
+        /// Probability that the branch is taken.
+        p_taken: f64,
+    },
+    /// Fixed repeating pattern of outcomes.
+    Pattern {
+        /// The outcome pattern (must be non-empty).
+        pattern: Vec<bool>,
+        /// Current position within the pattern.
+        position: usize,
+    },
+    /// Outcome equals the XOR (parity) of the global outcomes at the given
+    /// lags, optionally inverted and perturbed by noise.
+    HistoryParity {
+        /// History lags (in branches) whose parity determines the outcome.
+        lags: Vec<usize>,
+        /// If `true`, the parity is inverted.
+        invert: bool,
+        /// Probability of flipping the deterministic outcome (models
+        /// data-dependent noise).
+        noise: f64,
+    },
+    /// Outcome determined by hashing the most recent `depth` global outcomes
+    /// into a fixed pseudo-random boolean function.
+    PathHash {
+        /// Number of recent global outcomes that determine the outcome.
+        depth: usize,
+        /// Salt making each branch's function unique.
+        salt: u64,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Alternates between two sub-behaviours every `period` executions,
+    /// producing misprediction bursts at the phase boundaries.
+    Phased {
+        /// Behaviour used in even phases.
+        even: Box<BranchBehavior>,
+        /// Behaviour used in odd phases.
+        odd: Box<BranchBehavior>,
+        /// Number of executions per phase.
+        period: u32,
+        /// Executions so far (drives the phase).
+        executed: u32,
+    },
+}
+
+impl BranchBehavior {
+    /// Creates a loop-exit behaviour with the given trip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new_loop(period: u32) -> Self {
+        assert!(period >= 1, "loop period must be at least 1");
+        BranchBehavior::Loop {
+            period,
+            position: 0,
+        }
+    }
+
+    /// Creates a Bernoulli behaviour with the given taken probability.
+    pub fn biased(p_taken: f64) -> Self {
+        BranchBehavior::Biased {
+            p_taken: p_taken.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Creates a repeating-pattern behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn pattern(pattern: Vec<bool>) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        BranchBehavior::Pattern {
+            pattern,
+            position: 0,
+        }
+    }
+
+    /// Creates a history-parity behaviour over the given lags.
+    pub fn history_parity(lags: Vec<usize>, invert: bool, noise: f64) -> Self {
+        BranchBehavior::HistoryParity {
+            lags,
+            invert,
+            noise: noise.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Creates a path-hash behaviour of the given depth.
+    pub fn path_hash(depth: usize, salt: u64, noise: f64) -> Self {
+        BranchBehavior::PathHash {
+            depth,
+            salt,
+            noise: noise.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Creates a phased behaviour switching between `even` and `odd` every
+    /// `period` executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn phased(even: BranchBehavior, odd: BranchBehavior, period: u32) -> Self {
+        assert!(period >= 1, "phase period must be at least 1");
+        BranchBehavior::Phased {
+            even: Box::new(even),
+            odd: Box::new(odd),
+            period,
+            executed: 0,
+        }
+    }
+
+    /// The behaviour family this model belongs to.
+    pub fn kind(&self) -> BehaviorKind {
+        match self {
+            BranchBehavior::Loop { .. } => BehaviorKind::Loop,
+            BranchBehavior::Biased { .. } => BehaviorKind::Biased,
+            BranchBehavior::Pattern { .. } => BehaviorKind::Pattern,
+            BranchBehavior::HistoryParity { .. } => BehaviorKind::HistoryParity,
+            BranchBehavior::PathHash { .. } => BehaviorKind::PathHash,
+            BranchBehavior::Phased { .. } => BehaviorKind::Phased,
+        }
+    }
+
+    /// Computes the next outcome of this branch and advances its internal
+    /// state.
+    pub fn next_outcome(&mut self, history: &GlobalOutcomeHistory, rng: &mut SplitMix64) -> bool {
+        match self {
+            BranchBehavior::Loop { period, position } => {
+                let taken = *position + 1 < *period;
+                *position = (*position + 1) % *period;
+                taken
+            }
+            BranchBehavior::Biased { p_taken } => rng.chance(*p_taken),
+            BranchBehavior::Pattern { pattern, position } => {
+                let taken = pattern[*position];
+                *position = (*position + 1) % pattern.len();
+                taken
+            }
+            BranchBehavior::HistoryParity {
+                lags,
+                invert,
+                noise,
+            } => {
+                let mut parity = *invert;
+                for &lag in lags.iter() {
+                    parity ^= history.bit(lag);
+                }
+                if rng.chance(*noise) {
+                    !parity
+                } else {
+                    parity
+                }
+            }
+            BranchBehavior::PathHash { depth, salt, noise } => {
+                let h = history.hash_recent(*depth) ^ *salt;
+                // A fixed pseudo-random boolean function of the path: mix and
+                // take one bit.
+                let mixed = h
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(23)
+                    .wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                let outcome = mixed & (1 << 17) != 0;
+                if rng.chance(*noise) {
+                    !outcome
+                } else {
+                    outcome
+                }
+            }
+            BranchBehavior::Phased {
+                even,
+                odd,
+                period,
+                executed,
+            } => {
+                let phase = (*executed / *period) % 2;
+                *executed = executed.wrapping_add(1);
+                if phase == 0 {
+                    even.next_outcome(history, rng)
+                } else {
+                    odd.next_outcome(history, rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(behavior: &mut BranchBehavior, n: usize) -> Vec<bool> {
+        let mut rng = SplitMix64::new(1);
+        let mut history = GlobalOutcomeHistory::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let taken = behavior.next_outcome(&history, &mut rng);
+            history.push(taken);
+            out.push(taken);
+        }
+        out
+    }
+
+    #[test]
+    fn global_history_push_and_bit() {
+        let mut h = GlobalOutcomeHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        // Most recent first: true, false, true.
+        assert!(h.bit(0));
+        assert!(!h.bit(1));
+        assert!(h.bit(2));
+        assert!(!h.bit(3));
+        assert!(!h.bit(HISTORY_BITS + 5));
+    }
+
+    #[test]
+    fn global_history_shifts_across_word_boundaries() {
+        let mut h = GlobalOutcomeHistory::new();
+        h.push(true);
+        for _ in 0..100 {
+            h.push(false);
+        }
+        assert!(h.bit(100));
+        assert!(!h.bit(99));
+        assert!(!h.bit(101));
+    }
+
+    #[test]
+    fn hash_recent_distinguishes_paths_and_respects_depth() {
+        let mut a = GlobalOutcomeHistory::new();
+        let mut b = GlobalOutcomeHistory::new();
+        a.push(true);
+        b.push(false);
+        assert_ne!(a.hash_recent(8), b.hash_recent(8));
+        // Differences beyond the hashed depth do not matter.
+        let mut c = GlobalOutcomeHistory::new();
+        let mut d = GlobalOutcomeHistory::new();
+        for i in 0..40 {
+            c.push(i % 2 == 0);
+            d.push(i % 2 == 0);
+        }
+        d.push(true);
+        c.push(true);
+        // c and d agree on the most recent 8 bits (both pushed same last bit,
+        // and the previous 7 bits of the alternating pattern also agree).
+        assert_eq!(c.hash_recent(8), d.hash_recent(8));
+    }
+
+    #[test]
+    fn loop_behavior_is_periodic() {
+        let mut b = BranchBehavior::new_loop(4);
+        let outcomes = run(&mut b, 12);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn loop_period_one_is_never_taken() {
+        let mut b = BranchBehavior::new_loop(1);
+        assert!(run(&mut b, 5).iter().all(|&t| !t));
+    }
+
+    #[test]
+    #[should_panic(expected = "loop period must be at least 1")]
+    fn loop_period_zero_panics() {
+        BranchBehavior::new_loop(0);
+    }
+
+    #[test]
+    fn biased_behavior_matches_probability() {
+        let mut b = BranchBehavior::biased(0.8);
+        let outcomes = run(&mut b, 20_000);
+        let rate = outcomes.iter().filter(|&&t| t).count() as f64 / outcomes.len() as f64;
+        assert!((0.77..0.83).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn biased_probability_is_clamped() {
+        assert!(matches!(
+            BranchBehavior::biased(7.0),
+            BranchBehavior::Biased { p_taken } if p_taken == 1.0
+        ));
+    }
+
+    #[test]
+    fn pattern_behavior_repeats() {
+        let mut b = BranchBehavior::pattern(vec![true, false, false]);
+        assert_eq!(run(&mut b, 6), vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must be non-empty")]
+    fn empty_pattern_panics() {
+        BranchBehavior::pattern(vec![]);
+    }
+
+    #[test]
+    fn history_parity_without_noise_is_deterministic_given_history() {
+        let mut history = GlobalOutcomeHistory::new();
+        history.push(true); // lag 0
+        history.push(false); // becomes lag 0, true becomes lag 1
+        let mut rng = SplitMix64::new(0);
+        let mut b = BranchBehavior::history_parity(vec![0, 1], false, 0.0);
+        // lag0 = false, lag1 = true => parity = true.
+        assert!(b.next_outcome(&history, &mut rng));
+        let mut inv = BranchBehavior::history_parity(vec![0, 1], true, 0.0);
+        assert!(!inv.next_outcome(&history, &mut rng));
+    }
+
+    #[test]
+    fn path_hash_is_deterministic_per_path_and_salt() {
+        let mut history = GlobalOutcomeHistory::new();
+        for i in 0..32 {
+            history.push(i % 3 == 0);
+        }
+        let mut rng = SplitMix64::new(0);
+        let mut a = BranchBehavior::path_hash(16, 1, 0.0);
+        let mut b = BranchBehavior::path_hash(16, 1, 0.0);
+        assert_eq!(
+            a.next_outcome(&history, &mut rng),
+            b.next_outcome(&history, &mut rng)
+        );
+    }
+
+    #[test]
+    fn phased_behavior_switches_between_sub_behaviors() {
+        let mut b = BranchBehavior::phased(
+            BranchBehavior::pattern(vec![true]),
+            BranchBehavior::pattern(vec![false]),
+            3,
+        );
+        let outcomes = run(&mut b, 9);
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn kind_reports_family() {
+        assert_eq!(BranchBehavior::new_loop(2).kind(), BehaviorKind::Loop);
+        assert_eq!(BranchBehavior::biased(0.5).kind(), BehaviorKind::Biased);
+        assert_eq!(
+            BranchBehavior::pattern(vec![true]).kind(),
+            BehaviorKind::Pattern
+        );
+        assert_eq!(
+            BranchBehavior::history_parity(vec![1], false, 0.0).kind(),
+            BehaviorKind::HistoryParity
+        );
+        assert_eq!(
+            BranchBehavior::path_hash(4, 0, 0.0).kind(),
+            BehaviorKind::PathHash
+        );
+        assert_eq!(
+            BranchBehavior::phased(BranchBehavior::biased(0.5), BranchBehavior::biased(0.5), 10)
+                .kind(),
+            BehaviorKind::Phased
+        );
+    }
+}

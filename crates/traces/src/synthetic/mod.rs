@@ -1,0 +1,31 @@
+//! Deterministic synthetic branch workloads.
+//!
+//! The championship trace sets used by the paper (CBP-1, CBP-2) cannot be
+//! redistributed, so the evaluation in this repository runs on synthetic
+//! workloads that reproduce the *statistical structure* the paper's
+//! observations rely on:
+//!
+//! * **loop branches** — highly predictable, mostly provided by the bimodal
+//!   base component or saturated tagged counters;
+//! * **biased data-dependent branches** — intrinsically unpredictable beyond
+//!   their bias, the main population of the medium-confidence classes;
+//! * **history-correlated branches** — fully predictable once a tagged
+//!   component with a long-enough history captures them, the population that
+//!   differentiates the 16 K / 64 K / 256 K predictors;
+//! * **path-hash branches** — outcomes determined by a hash of the recent
+//!   global path, exercising the allocation / warming behaviour;
+//! * **phase changes** — behaviour switches that create misprediction bursts
+//!   (the "warming / capacity" signature behind the `medium-conf-bim` class);
+//! * **large static footprints** — server-like codes with thousands of static
+//!   branches that overflow the tagged tables of the small predictor.
+//!
+//! Everything is driven by [`crate::rng::SplitMix64`], so a `(profile, seed,
+//! length)` triple always produces exactly the same trace on every platform.
+
+mod behavior;
+mod profile;
+mod program;
+
+pub use behavior::{BehaviorKind, BranchBehavior, GlobalOutcomeHistory};
+pub use profile::{BehaviorMix, WorkloadProfile};
+pub use program::{SyntheticProgram, SyntheticTraceBuilder};

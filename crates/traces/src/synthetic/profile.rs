@@ -1,0 +1,358 @@
+//! Workload profiles: the knobs that shape a synthetic trace.
+
+/// Relative weights of the behaviour families within a workload.
+///
+/// Weights do not need to sum to one; they are normalised when branches are
+/// instantiated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorMix {
+    /// Weight of loop-exit branches.
+    pub loop_weight: f64,
+    /// Weight of Bernoulli (biased random) branches.
+    pub biased_weight: f64,
+    /// Weight of fixed-pattern branches.
+    pub pattern_weight: f64,
+    /// Weight of history-parity branches (predictable with enough history).
+    pub history_weight: f64,
+    /// Weight of path-hash branches.
+    pub path_weight: f64,
+    /// Weight of phase-changing branches.
+    pub phased_weight: f64,
+}
+
+impl BehaviorMix {
+    /// A mix dominated by loops and patterns: very predictable, typical of
+    /// floating-point kernels.
+    pub fn loop_dominated() -> Self {
+        BehaviorMix {
+            loop_weight: 0.45,
+            biased_weight: 0.05,
+            pattern_weight: 0.35,
+            history_weight: 0.12,
+            path_weight: 0.03,
+            phased_weight: 0.0,
+        }
+    }
+
+    /// A balanced integer-code mix with a noticeable correlated component.
+    pub fn integer() -> Self {
+        BehaviorMix {
+            loop_weight: 0.30,
+            biased_weight: 0.14,
+            pattern_weight: 0.30,
+            history_weight: 0.16,
+            path_weight: 0.05,
+            phased_weight: 0.05,
+        }
+    }
+
+    /// A multimedia-like mix with a large data-dependent (biased) component.
+    pub fn multimedia() -> Self {
+        BehaviorMix {
+            loop_weight: 0.28,
+            biased_weight: 0.30,
+            pattern_weight: 0.22,
+            history_weight: 0.10,
+            path_weight: 0.05,
+            phased_weight: 0.05,
+        }
+    }
+
+    /// A server-like mix: lots of lightly-biased branches spread over a huge
+    /// footprint, with phase changes.
+    pub fn server() -> Self {
+        BehaviorMix {
+            loop_weight: 0.22,
+            biased_weight: 0.20,
+            pattern_weight: 0.28,
+            history_weight: 0.15,
+            path_weight: 0.05,
+            phased_weight: 0.10,
+        }
+    }
+
+    /// Sum of the weights.
+    pub fn total(&self) -> f64 {
+        self.loop_weight
+            + self.biased_weight
+            + self.pattern_weight
+            + self.history_weight
+            + self.path_weight
+            + self.phased_weight
+    }
+}
+
+impl Default for BehaviorMix {
+    fn default() -> Self {
+        BehaviorMix::integer()
+    }
+}
+
+/// Every knob that shapes a synthetic workload.
+///
+/// A profile plus a seed and a length fully determines a trace.
+///
+/// # Example
+///
+/// ```
+/// use tage_traces::synthetic::{SyntheticTraceBuilder, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::integer_like();
+/// let trace = SyntheticTraceBuilder::new("demo", profile, 7).build(5_000);
+/// let conditional = trace.iter().filter(|r| r.kind.is_conditional()).count();
+/// assert_eq!(conditional, 5_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Total number of static conditional branches in the program.
+    pub static_branches: usize,
+    /// Number of branches per routine (basic-block run).
+    pub routine_size: usize,
+    /// Probability of re-executing the current routine rather than moving to
+    /// another one (temporal locality).
+    pub routine_locality: f64,
+    /// Zipf-like exponent concentrating execution on hot routines
+    /// (`0.0` = uniform, larger = more concentrated).
+    pub routine_hotness: f64,
+    /// Behaviour-family mix.
+    pub mix: BehaviorMix,
+    /// Range of loop trip counts `[min, max]`.
+    pub loop_period_range: (u32, u32),
+    /// Range of taken probabilities for biased branches `[min, max]`.
+    pub bias_range: (f64, f64),
+    /// Range of pattern lengths `[min, max]`.
+    pub pattern_length_range: (usize, usize),
+    /// Range of maximum history lags for history-parity branches `[min, max]`
+    /// (in branches). Lags larger than a predictor's maximum history length
+    /// make the branch unpredictable for that predictor.
+    pub history_lag_range: (usize, usize),
+    /// Range of path depths for path-hash branches `[min, max]`.
+    pub path_depth_range: (usize, usize),
+    /// Outcome noise applied to the deterministic behaviours.
+    pub noise: f64,
+    /// Mean number of non-branch instructions between branches.
+    pub gap_mean: u32,
+    /// Number of executions per phase for phase-changing branches.
+    pub phase_period: u32,
+    /// Whether to emit call/return records at routine boundaries.
+    pub emit_calls: bool,
+}
+
+impl WorkloadProfile {
+    /// Floating-point-kernel-like profile: tiny footprint, loop dominated,
+    /// very predictable.
+    pub fn fp_like() -> Self {
+        WorkloadProfile {
+            static_branches: 120,
+            routine_size: 8,
+            routine_locality: 0.95,
+            routine_hotness: 1.2,
+            mix: BehaviorMix::loop_dominated(),
+            loop_period_range: (8, 200),
+            bias_range: (0.97, 0.9995),
+            pattern_length_range: (3, 10),
+            history_lag_range: (1, 8),
+            path_depth_range: (4, 10),
+            noise: 0.001,
+            gap_mean: 9,
+            phase_period: 50_000,
+            emit_calls: true,
+        }
+    }
+
+    /// Integer-code-like profile: moderate footprint, correlated branches
+    /// needing medium history lengths.
+    pub fn integer_like() -> Self {
+        WorkloadProfile {
+            static_branches: 600,
+            routine_size: 6,
+            routine_locality: 0.92,
+            routine_hotness: 1.0,
+            mix: BehaviorMix::integer(),
+            loop_period_range: (2, 40),
+            bias_range: (0.93, 0.999),
+            pattern_length_range: (2, 20),
+            history_lag_range: (1, 10),
+            path_depth_range: (4, 12),
+            noise: 0.002,
+            gap_mean: 6,
+            phase_period: 3_000,
+            emit_calls: true,
+        }
+    }
+
+    /// Multimedia-like profile: biased data-dependent branches, moderate
+    /// footprint, an intrinsically unpredictable component.
+    pub fn multimedia_like() -> Self {
+        WorkloadProfile {
+            static_branches: 400,
+            routine_size: 7,
+            routine_locality: 0.92,
+            routine_hotness: 1.0,
+            mix: BehaviorMix::multimedia(),
+            loop_period_range: (4, 64),
+            bias_range: (0.80, 0.995),
+            pattern_length_range: (2, 16),
+            history_lag_range: (1, 10),
+            path_depth_range: (4, 12),
+            noise: 0.004,
+            gap_mean: 7,
+            phase_period: 2_500,
+            emit_calls: true,
+        }
+    }
+
+    /// Server-like profile: thousands of static branches, low locality,
+    /// frequent phase changes — stresses predictor capacity.
+    pub fn server_like() -> Self {
+        WorkloadProfile {
+            static_branches: 6000,
+            routine_size: 5,
+            routine_locality: 0.80,
+            routine_hotness: 0.7,
+            mix: BehaviorMix::server(),
+            loop_period_range: (2, 20),
+            bias_range: (0.95, 0.999),
+            pattern_length_range: (2, 8),
+            history_lag_range: (1, 8),
+            path_depth_range: (4, 10),
+            noise: 0.002,
+            gap_mean: 5,
+            phase_period: 1_500,
+            emit_calls: true,
+        }
+    }
+
+    /// Validates the profile, returning a description of the first problem
+    /// found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.static_branches == 0 {
+            return Err("static_branches must be non-zero".to_string());
+        }
+        if self.routine_size == 0 {
+            return Err("routine_size must be non-zero".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.routine_locality) {
+            return Err("routine_locality must be within [0, 1]".to_string());
+        }
+        if self.mix.total() <= 0.0 {
+            return Err("behaviour mix weights must sum to a positive value".to_string());
+        }
+        if self.loop_period_range.0 == 0 || self.loop_period_range.0 > self.loop_period_range.1 {
+            return Err("loop_period_range must be a non-empty range starting at >= 1".to_string());
+        }
+        if self.pattern_length_range.0 == 0
+            || self.pattern_length_range.0 > self.pattern_length_range.1
+        {
+            return Err("pattern_length_range must be a non-empty range starting at >= 1".to_string());
+        }
+        if self.bias_range.0 > self.bias_range.1 {
+            return Err("bias_range must be ordered".to_string());
+        }
+        if self.history_lag_range.0 > self.history_lag_range.1 {
+            return Err("history_lag_range must be ordered".to_string());
+        }
+        if self.path_depth_range.0 > self.path_depth_range.1 {
+            return Err("path_depth_range must be ordered".to_string());
+        }
+        if self.phase_period == 0 {
+            return Err("phase_period must be non-zero".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile::integer_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_profiles_are_valid() {
+        for profile in [
+            WorkloadProfile::fp_like(),
+            WorkloadProfile::integer_like(),
+            WorkloadProfile::multimedia_like(),
+            WorkloadProfile::server_like(),
+            WorkloadProfile::default(),
+        ] {
+            assert!(profile.validate().is_ok(), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn preset_mixes_have_positive_total() {
+        for mix in [
+            BehaviorMix::loop_dominated(),
+            BehaviorMix::integer(),
+            BehaviorMix::multimedia(),
+            BehaviorMix::server(),
+        ] {
+            assert!(mix.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut p = WorkloadProfile::integer_like();
+        p.static_branches = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.routine_size = 0;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.routine_locality = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.mix = BehaviorMix {
+            loop_weight: 0.0,
+            biased_weight: 0.0,
+            pattern_weight: 0.0,
+            history_weight: 0.0,
+            path_weight: 0.0,
+            phased_weight: 0.0,
+        };
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.loop_period_range = (0, 10);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.loop_period_range = (10, 2);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.bias_range = (0.9, 0.1);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.history_lag_range = (100, 10);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.path_depth_range = (100, 10);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.pattern_length_range = (0, 4);
+        assert!(p.validate().is_err());
+
+        let mut p = WorkloadProfile::integer_like();
+        p.phase_period = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn server_profile_has_much_larger_footprint_than_fp() {
+        assert!(WorkloadProfile::server_like().static_branches > 10 * WorkloadProfile::fp_like().static_branches);
+    }
+}

@@ -1,0 +1,426 @@
+//! The synthetic program model: static branches organised in routines, plus
+//! a walker that turns the program into a dynamic branch trace.
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::rng::SplitMix64;
+use crate::trace::Trace;
+
+use super::behavior::{BranchBehavior, GlobalOutcomeHistory};
+use super::profile::WorkloadProfile;
+
+/// Base address of the synthetic program's code.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Address stride between routines.
+const ROUTINE_STRIDE: u64 = 0x1000;
+/// Address stride between branch instructions within a routine.
+const BRANCH_STRIDE: u64 = 0x10;
+
+/// A static conditional branch of the synthetic program.
+#[derive(Debug, Clone)]
+struct StaticBranch {
+    pc: u64,
+    behavior: BranchBehavior,
+    /// Per-branch random stream so that behaviours are independent.
+    rng: SplitMix64,
+}
+
+/// A routine: a straight-line run of static branches executed together.
+#[derive(Debug, Clone)]
+struct Routine {
+    entry_pc: u64,
+    branches: Vec<StaticBranch>,
+    /// Relative execution weight (Zipf-like hotness).
+    weight: f64,
+}
+
+/// A fully instantiated synthetic program.
+///
+/// Construct it from a [`WorkloadProfile`] and a seed, then call
+/// [`SyntheticProgram::generate`] to produce a [`Trace`]. The same
+/// `(profile, seed, length)` triple always yields the same trace.
+#[derive(Debug, Clone)]
+pub struct SyntheticProgram {
+    routines: Vec<Routine>,
+    cumulative_weights: Vec<f64>,
+    emit_calls: bool,
+    gap_mean: u32,
+    walker_rng: SplitMix64,
+    history: GlobalOutcomeHistory,
+    current_routine: usize,
+    routine_locality: f64,
+}
+
+impl SyntheticProgram {
+    /// Instantiates a program from a profile and a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not pass [`WorkloadProfile::validate`].
+    pub fn from_profile(profile: &WorkloadProfile, seed: u64) -> Self {
+        if let Err(reason) = profile.validate() {
+            panic!("invalid workload profile: {reason}");
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x5351_4E54_4845_5449);
+        let routine_count = profile.static_branches.div_ceil(profile.routine_size).max(1);
+        let mut routines = Vec::with_capacity(routine_count);
+        let mut remaining = profile.static_branches;
+        for r in 0..routine_count {
+            let entry_pc = CODE_BASE + r as u64 * ROUTINE_STRIDE;
+            let in_this = profile.routine_size.min(remaining).max(1);
+            remaining = remaining.saturating_sub(in_this);
+            let mut branches = Vec::with_capacity(in_this);
+            for b in 0..in_this {
+                let pc = entry_pc + 0x40 + b as u64 * BRANCH_STRIDE;
+                let behavior = sample_behavior(profile, &mut rng);
+                branches.push(StaticBranch {
+                    pc,
+                    behavior,
+                    rng: rng.split(),
+                });
+            }
+            // Zipf-like weight: hot routines get most of the execution.
+            let weight = 1.0 / (1.0 + r as f64).powf(profile.routine_hotness);
+            routines.push(Routine {
+                entry_pc,
+                branches,
+                weight,
+            });
+        }
+        let mut cumulative_weights = Vec::with_capacity(routines.len());
+        let mut acc = 0.0;
+        for routine in &routines {
+            acc += routine.weight;
+            cumulative_weights.push(acc);
+        }
+        SyntheticProgram {
+            routines,
+            cumulative_weights,
+            emit_calls: profile.emit_calls,
+            gap_mean: profile.gap_mean,
+            walker_rng: SplitMix64::new(seed ^ 0x0000_5741_4C4B_4552_u64),
+            history: GlobalOutcomeHistory::new(),
+            current_routine: 0,
+            routine_locality: profile.routine_locality,
+        }
+    }
+
+    /// Number of routines in the program.
+    pub fn routine_count(&self) -> usize {
+        self.routines.len()
+    }
+
+    /// Number of static conditional branches in the program.
+    pub fn static_branch_count(&self) -> usize {
+        self.routines.iter().map(|r| r.branches.len()).sum()
+    }
+
+    /// Generates `branch_count` *conditional* branch records, advancing the
+    /// program state. Call/return records emitted at routine boundaries are
+    /// additional to `branch_count`.
+    pub fn generate(&mut self, branch_count: usize, trace: &mut Trace) {
+        let mut emitted = 0usize;
+        while emitted < branch_count {
+            let routine_index = self.pick_next_routine();
+            self.current_routine = routine_index;
+            // Immutable borrows end before the mutable routine borrow below.
+            let (entry_pc, branch_len) = {
+                let r = &self.routines[routine_index];
+                (r.entry_pc, r.branches.len())
+            };
+            if self.emit_calls {
+                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
+                trace.push(
+                    BranchRecord {
+                        pc: entry_pc,
+                        target: entry_pc + 0x40,
+                        taken: true,
+                        kind: BranchKind::Call,
+                        gap,
+                    },
+                );
+            }
+            for b in 0..branch_len {
+                if emitted >= branch_count {
+                    break;
+                }
+                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
+                let routine = &mut self.routines[routine_index];
+                let branch = &mut routine.branches[b];
+                let taken = branch.behavior.next_outcome(&self.history, &mut branch.rng);
+                self.history.push(taken);
+                let pc = branch.pc;
+                let target = if taken { pc + 0x80 } else { pc + 4 };
+                trace.push(BranchRecord {
+                    pc,
+                    target,
+                    taken,
+                    kind: BranchKind::Conditional,
+                    gap,
+                });
+                emitted += 1;
+            }
+            if self.emit_calls {
+                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
+                trace.push(BranchRecord {
+                    pc: entry_pc + 0x40 + branch_len as u64 * BRANCH_STRIDE,
+                    target: entry_pc,
+                    taken: true,
+                    kind: BranchKind::Return,
+                    gap,
+                });
+            }
+        }
+    }
+
+    fn pick_next_routine(&mut self) -> usize {
+        if self.walker_rng.chance(self.routine_locality) {
+            return self.current_routine;
+        }
+        let total = *self
+            .cumulative_weights
+            .last()
+            .expect("programs always have at least one routine");
+        let x = self.walker_rng.next_f64() * total;
+        match self
+            .cumulative_weights
+            .binary_search_by(|w| w.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.routines.len() - 1),
+        }
+    }
+}
+
+fn sample_behavior(profile: &WorkloadProfile, rng: &mut SplitMix64) -> BranchBehavior {
+    let mix = &profile.mix;
+    let total = mix.total();
+    let mut x = rng.next_f64() * total;
+
+    x -= mix.loop_weight;
+    if x < 0.0 {
+        let (lo, hi) = profile.loop_period_range;
+        // Most loops are short inner loops whose exits a history-based
+        // predictor captures; the rest have longer, rarely-exiting trip
+        // counts. Uniformly random medium trip counts would make loop exits
+        // an unrealistically large misprediction source.
+        let period = if rng.chance(0.6) {
+            lo + rng.next_below(u64::from((hi - lo).min(6) + 1)) as u32
+        } else {
+            let long_lo = lo.max(hi / 2);
+            long_lo + rng.next_below(u64::from(hi - long_lo + 1)) as u32
+        };
+        return BranchBehavior::new_loop(period);
+    }
+    x -= mix.biased_weight;
+    if x < 0.0 {
+        let (lo, hi) = profile.bias_range;
+        // Squaring the uniform draw skews biases towards the strong end:
+        // most data-dependent branches in real codes are heavily biased and
+        // only a tail is genuinely hard.
+        let p = hi - rng.next_f64().powi(3) * (hi - lo);
+        // Half of the biased branches are biased not-taken instead of taken.
+        let p = if rng.chance(0.5) { p } else { 1.0 - p };
+        return BranchBehavior::biased(p);
+    }
+    x -= mix.pattern_weight;
+    if x < 0.0 {
+        let (lo, hi) = profile.pattern_length_range;
+        // Skew pattern lengths towards the short end: long repeating
+        // sequences are rarer in real code and much harder to capture.
+        let span = (hi - lo) as f64;
+        let len = lo + (rng.next_f64().powi(2) * (span + 0.999)) as usize;
+        // Real loop bodies mostly repeat a dominant direction with a few
+        // deviating positions; fully random patterns would make the joint
+        // phase space of a routine unlearnable for any history-based
+        // predictor.
+        let dominant = rng.chance(0.7);
+        let pattern = (0..len.max(1))
+            .map(|_| if rng.chance(0.88) { dominant } else { !dominant })
+            .collect::<Vec<_>>();
+        return BranchBehavior::pattern(if pattern.iter().all(|&b| !b) {
+            vec![true]
+        } else {
+            pattern
+        });
+    }
+    x -= mix.history_weight;
+    if x < 0.0 {
+        let (lo, hi) = profile.history_lag_range;
+        let max_lag = lo + rng.next_below((hi - lo + 1) as u64) as usize;
+        let lag_count = 1 + rng.next_below(2) as usize;
+        let lags = (0..lag_count)
+            .map(|_| 1 + rng.next_below(max_lag.max(1) as u64) as usize)
+            .collect();
+        return BranchBehavior::history_parity(lags, rng.chance(0.5), profile.noise);
+    }
+    x -= mix.path_weight;
+    if x < 0.0 {
+        let (lo, hi) = profile.path_depth_range;
+        let depth = lo + rng.next_below((hi - lo + 1) as u64) as usize;
+        return BranchBehavior::path_hash(depth.max(1), rng.next_u64(), profile.noise);
+    }
+    // Phased behaviour: a strongly biased phase alternating with a phase
+    // biased the other way — the predictor has to re-learn at each boundary.
+    let even = BranchBehavior::biased(0.97);
+    let odd = BranchBehavior::biased(0.15);
+    BranchBehavior::phased(even, odd, profile.phase_period)
+}
+
+/// Convenience builder tying a name, a profile and a seed together.
+///
+/// # Example
+///
+/// ```
+/// use tage_traces::synthetic::{SyntheticTraceBuilder, WorkloadProfile};
+///
+/// let trace = SyntheticTraceBuilder::new("fp-demo", WorkloadProfile::fp_like(), 1).build(1_000);
+/// assert_eq!(trace.name(), "fp-demo");
+/// let conditional = trace.iter().filter(|r| r.kind.is_conditional()).count();
+/// assert_eq!(conditional, 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceBuilder {
+    name: String,
+    profile: WorkloadProfile,
+    seed: u64,
+}
+
+impl SyntheticTraceBuilder {
+    /// Creates a builder for the given name, profile and seed.
+    pub fn new(name: impl Into<String>, profile: WorkloadProfile, seed: u64) -> Self {
+        SyntheticTraceBuilder {
+            name: name.into(),
+            profile,
+            seed,
+        }
+    }
+
+    /// The workload profile this builder uses.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Generates a trace containing `conditional_branches` conditional branch
+    /// records (plus call/return records if the profile asks for them).
+    pub fn build(&self, conditional_branches: usize) -> Trace {
+        let mut program = SyntheticProgram::from_profile(&self.profile, self.seed);
+        let mut trace = Trace::with_capacity(self.name.clone(), conditional_branches + conditional_branches / 4);
+        program.generate(conditional_branches, &mut trace);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchKind;
+
+    #[test]
+    fn program_instantiates_requested_footprint() {
+        let profile = WorkloadProfile {
+            static_branches: 37,
+            routine_size: 5,
+            ..WorkloadProfile::integer_like()
+        };
+        let program = SyntheticProgram::from_profile(&profile, 3);
+        assert_eq!(program.static_branch_count(), 37);
+        assert_eq!(program.routine_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload profile")]
+    fn invalid_profile_panics() {
+        let mut profile = WorkloadProfile::integer_like();
+        profile.static_branches = 0;
+        SyntheticProgram::from_profile(&profile, 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let builder = SyntheticTraceBuilder::new("d", WorkloadProfile::integer_like(), 42);
+        let a = builder.build(2_000);
+        let b = builder.build(2_000);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_traces() {
+        let profile = WorkloadProfile::integer_like();
+        let a = SyntheticTraceBuilder::new("a", profile.clone(), 1).build(2_000);
+        let b = SyntheticTraceBuilder::new("b", profile, 2).build(2_000);
+        assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    fn requested_conditional_count_is_exact() {
+        let trace = SyntheticTraceBuilder::new("c", WorkloadProfile::fp_like(), 5).build(3_000);
+        let conditional = trace
+            .iter()
+            .filter(|r| r.kind.is_conditional())
+            .count();
+        assert_eq!(conditional, 3_000);
+    }
+
+    #[test]
+    fn calls_and_returns_are_emitted_when_requested() {
+        let mut profile = WorkloadProfile::integer_like();
+        profile.emit_calls = true;
+        let trace = SyntheticTraceBuilder::new("c", profile.clone(), 5).build(1_000);
+        assert!(trace.iter().any(|r| r.kind == BranchKind::Call));
+        assert!(trace.iter().any(|r| r.kind == BranchKind::Return));
+
+        profile.emit_calls = false;
+        let trace = SyntheticTraceBuilder::new("c", profile, 5).build(1_000);
+        assert!(trace.iter().all(|r| r.kind.is_conditional()));
+    }
+
+    #[test]
+    fn static_footprint_of_generated_trace_is_bounded_by_profile() {
+        let profile = WorkloadProfile {
+            static_branches: 50,
+            ..WorkloadProfile::integer_like()
+        };
+        let trace = SyntheticTraceBuilder::new("f", profile, 9).build(5_000);
+        let stats = trace.stats();
+        assert!(stats.static_conditional <= 50, "{}", stats.static_conditional);
+        // Most of the footprint should actually be exercised.
+        assert!(stats.static_conditional >= 20, "{}", stats.static_conditional);
+    }
+
+    #[test]
+    fn server_profile_touches_many_more_static_branches_than_fp() {
+        let fp = SyntheticTraceBuilder::new("fp", WorkloadProfile::fp_like(), 11).build(20_000);
+        let srv =
+            SyntheticTraceBuilder::new("srv", WorkloadProfile::server_like(), 11).build(20_000);
+        assert!(
+            srv.stats().static_conditional > 4 * fp.stats().static_conditional,
+            "server {} vs fp {}",
+            srv.stats().static_conditional,
+            fp.stats().static_conditional
+        );
+    }
+
+    #[test]
+    fn taken_rate_is_sane() {
+        for profile in [
+            WorkloadProfile::fp_like(),
+            WorkloadProfile::integer_like(),
+            WorkloadProfile::multimedia_like(),
+            WorkloadProfile::server_like(),
+        ] {
+            let trace = SyntheticTraceBuilder::new("t", profile, 13).build(10_000);
+            let rate = trace.stats().taken_rate();
+            assert!((0.2..0.95).contains(&rate), "taken rate {rate}");
+        }
+    }
+
+    #[test]
+    fn gaps_respect_profile_mean_roughly() {
+        let mut profile = WorkloadProfile::integer_like();
+        profile.gap_mean = 10;
+        let trace = SyntheticTraceBuilder::new("g", profile, 21).build(10_000);
+        let stats = trace.stats();
+        let mean_gap = stats.instructions as f64 / stats.branches as f64 - 1.0;
+        assert!((6.0..14.0).contains(&mean_gap), "mean gap {mean_gap}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Writing traces to disk in the binary or text format.
+
+use std::io::Write;
+
+use crate::format::{kind_to_byte, kind_to_letter, FormatError, MAGIC, VERSION};
+use crate::record::BranchRecord;
+use crate::trace::Trace;
+
+/// Writes branch traces in the binary format described in [`crate::format`].
+///
+/// Generic writer functions take `W: Write` by value; pass `&mut writer` if
+/// you need to keep using the writer afterwards.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use tage_traces::{writer::TraceWriter, reader::TraceReader, BranchRecord, Trace};
+///
+/// let trace = Trace::from_records("toy", vec![BranchRecord::conditional(0x40, true)]);
+/// let mut buf = Vec::new();
+/// TraceWriter::write_binary(&mut buf, &trace)?;
+/// let back = TraceReader::read_binary(&buf[..])?;
+/// assert_eq!(back.records(), trace.records());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceWriter;
+
+impl TraceWriter {
+    /// Writes a trace in the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if the underlying writer fails.
+    pub fn write_binary<W: Write>(mut writer: W, trace: &Trace) -> Result<(), FormatError> {
+        writer.write_all(&MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        let name = trace.name().as_bytes();
+        writer.write_all(&(name.len() as u32).to_le_bytes())?;
+        writer.write_all(name)?;
+        writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+        for record in trace.iter() {
+            Self::write_record_binary(&mut writer, record)?;
+        }
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Writes a single record in the binary record encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if the underlying writer fails.
+    pub fn write_record_binary<W: Write>(
+        writer: &mut W,
+        record: &BranchRecord,
+    ) -> Result<(), FormatError> {
+        writer.write_all(&record.pc.to_le_bytes())?;
+        writer.write_all(&record.target.to_le_bytes())?;
+        let flags = kind_to_byte(record.kind) | if record.taken { 0x80 } else { 0 };
+        writer.write_all(&[flags])?;
+        writer.write_all(&record.gap.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Writes a trace in the human-readable text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if the underlying writer fails.
+    pub fn write_text<W: Write>(mut writer: W, trace: &Trace) -> Result<(), FormatError> {
+        writeln!(writer, "# tage-traces text format v{VERSION}")?;
+        writeln!(writer, "! name {}", trace.name())?;
+        for record in trace.iter() {
+            writeln!(
+                writer,
+                "{:x} {} {} {:x} {}",
+                record.pc,
+                kind_to_letter(record.kind),
+                if record.taken { 'T' } else { 'N' },
+                record.target,
+                record.gap
+            )?;
+        }
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Convenience: encodes a trace into an in-memory binary buffer.
+    pub fn to_binary_bytes(trace: &Trace) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + trace.len() * crate::format::RECORD_BYTES);
+        // Writing to a Vec<u8> cannot fail.
+        Self::write_binary(&mut buf, trace).expect("writing to a Vec cannot fail");
+        buf
+    }
+
+    /// Convenience: encodes a trace into a text-format string.
+    pub fn to_text_string(trace: &Trace) -> String {
+        let mut buf = Vec::new();
+        Self::write_text(&mut buf, trace).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("text format is always valid UTF-8")
+    }
+}
+
+/// A streaming binary writer for traces that are too large to hold in memory.
+///
+/// The record count is not known up-front, so the stream written by this type
+/// uses a sentinel count of `u64::MAX`; [`crate::reader::TraceReader`] then
+/// reads records until end-of-file.
+#[derive(Debug)]
+pub struct StreamingTraceWriter<W: Write> {
+    inner: W,
+    records_written: u64,
+}
+
+impl<W: Write> StreamingTraceWriter<W> {
+    /// Starts a streaming binary trace with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if the underlying writer fails.
+    pub fn new(mut inner: W, name: &str) -> Result<Self, FormatError> {
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&VERSION.to_le_bytes())?;
+        inner.write_all(&(name.len() as u32).to_le_bytes())?;
+        inner.write_all(name.as_bytes())?;
+        inner.write_all(&u64::MAX.to_le_bytes())?;
+        Ok(StreamingTraceWriter {
+            inner,
+            records_written: 0,
+        })
+    }
+
+    /// Appends one record to the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if the underlying writer fails.
+    pub fn push(&mut self, record: &BranchRecord) -> Result<(), FormatError> {
+        TraceWriter::write_record_binary(&mut self.inner, record)?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError::Io`] if flushing fails.
+    pub fn finish(mut self) -> Result<W, FormatError> {
+        self.inner.flush().map_err(FormatError::Io)?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceReader;
+    use crate::record::BranchKind;
+
+    fn sample_trace() -> Trace {
+        Trace::from_records(
+            "sample",
+            vec![
+                BranchRecord::conditional(0x1000, true).with_gap(3),
+                BranchRecord::conditional(0x1010, false)
+                    .with_target(0x2000)
+                    .with_gap(7),
+                BranchRecord::conditional(0x1020, true)
+                    .with_kind(BranchKind::Return)
+                    .with_gap(1),
+            ],
+        )
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let bytes = TraceWriter::to_binary_bytes(&trace);
+        let back = TraceReader::read_binary(&bytes[..]).unwrap();
+        assert_eq!(back.name(), trace.name());
+        assert_eq!(back.records(), trace.records());
+        assert_eq!(back.instruction_count(), trace.instruction_count());
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let text = TraceWriter::to_text_string(&trace);
+        let back = TraceReader::read_text(text.as_bytes()).unwrap();
+        assert_eq!(back.name(), trace.name());
+        assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn streaming_writer_round_trips() {
+        let trace = sample_trace();
+        let mut writer = StreamingTraceWriter::new(Vec::new(), "streamed").unwrap();
+        for r in trace.iter() {
+            writer.push(r).unwrap();
+        }
+        assert_eq!(writer.records_written(), 3);
+        let bytes = writer.finish().unwrap();
+        let back = TraceReader::read_binary(&bytes[..]).unwrap();
+        assert_eq!(back.name(), "streamed");
+        assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new("empty");
+        let bytes = TraceWriter::to_binary_bytes(&trace);
+        let back = TraceReader::read_binary(&bytes[..]).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.name(), "empty");
+        let text = TraceWriter::to_text_string(&trace);
+        let back = TraceReader::read_text(text.as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

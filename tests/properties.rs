@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the workspace.
+
+use proptest::prelude::*;
+
+use tage_confidence_suite::confidence::{
+    ConfidenceLevel, ConfidenceReport, PredictionClass, TageConfidenceClassifier,
+};
+use tage_confidence_suite::predictors::counter::{SignedCounter, UnsignedCounter};
+use tage_confidence_suite::predictors::history::HistoryRegister;
+use tage_confidence_suite::tage::folded::FoldedHistory;
+use tage_confidence_suite::tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage_confidence_suite::traces::reader::TraceReader;
+use tage_confidence_suite::traces::writer::TraceWriter;
+use tage_confidence_suite::traces::{BranchKind, BranchRecord, SplitMix64, Trace};
+
+fn arbitrary_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        0u8..5,
+        any::<u32>(),
+    )
+        .prop_map(|(pc, target, taken, kind, gap)| BranchRecord {
+            pc,
+            target,
+            taken,
+            kind: match kind {
+                0 => BranchKind::Conditional,
+                1 => BranchKind::Unconditional,
+                2 => BranchKind::Call,
+                3 => BranchKind::Return,
+                _ => BranchKind::Indirect,
+            },
+            gap,
+        })
+}
+
+proptest! {
+    #[test]
+    fn signed_counters_stay_in_range_under_any_update_sequence(
+        bits in 1u8..=7,
+        updates in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut counter = SignedCounter::new(bits);
+        for taken in updates {
+            counter.update(taken);
+            prop_assert!(counter.value() >= counter.min());
+            prop_assert!(counter.value() <= counter.max());
+            // The centered magnitude is always odd and bounded.
+            let magnitude = counter.centered_magnitude();
+            prop_assert_eq!(magnitude % 2, 1);
+            prop_assert!(u16::from(magnitude) < (1u16 << bits));
+        }
+    }
+
+    #[test]
+    fn unsigned_counters_saturate_and_never_underflow(
+        bits in 1u8..=8,
+        ops in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut counter = UnsignedCounter::new(bits);
+        for up in ops {
+            if up { counter.increment() } else { counter.decrement() }
+            prop_assert!(counter.value() <= counter.max());
+        }
+    }
+
+    #[test]
+    fn incremental_folded_history_always_matches_functional_fold(
+        original in 1usize..300,
+        compressed in 1usize..16,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let mut history = HistoryRegister::new(original + 4);
+        let mut fold = FoldedHistory::new(original, compressed);
+        for taken in outcomes {
+            let evicted = history.bit(original - 1);
+            fold.update(taken, evicted);
+            history.push(taken);
+            prop_assert_eq!(fold.value(), fold.recompute(&history));
+        }
+    }
+
+    #[test]
+    fn trace_binary_round_trip_is_lossless(
+        records in proptest::collection::vec(arbitrary_record(), 0..200),
+        name in "[a-zA-Z0-9._-]{0,24}",
+    ) {
+        let trace = Trace::from_records(name, records);
+        let bytes = TraceWriter::to_binary_bytes(&trace);
+        let back = TraceReader::read_binary(&bytes[..]).expect("round trip");
+        prop_assert_eq!(back.records(), trace.records());
+        prop_assert_eq!(back.name(), trace.name());
+        prop_assert_eq!(back.instruction_count(), trace.instruction_count());
+    }
+
+    #[test]
+    fn trace_text_round_trip_is_lossless(
+        records in proptest::collection::vec(arbitrary_record(), 0..100),
+    ) {
+        let trace = Trace::from_records("text-prop", records);
+        let text = TraceWriter::to_text_string(&trace);
+        let back = TraceReader::read_text(text.as_bytes()).expect("round trip");
+        prop_assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn splitmix_chance_is_always_within_bounds(seed in any::<u64>(), p in 0.0f64..1.0) {
+        let mut rng = SplitMix64::new(seed);
+        let x = rng.next_f64();
+        prop_assert!((0.0..1.0).contains(&x));
+        let _ = rng.chance(p);
+        let below = rng.next_below(1 + (seed | 1) % 1000);
+        prop_assert!(below < 1 + (seed | 1) % 1000);
+    }
+
+    #[test]
+    fn tage_prediction_magnitude_is_always_a_valid_class(
+        pcs in proptest::collection::vec(any::<u64>(), 1..200),
+        outcomes in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let config = TageConfig::small();
+        let mut predictor = TagePredictor::new(config.clone());
+        let classifier = TageConfidenceClassifier::new(&config);
+        for (pc, taken) in pcs.iter().zip(outcomes.iter().cycle()) {
+            let prediction = predictor.predict(*pc);
+            let class = classifier.classify(&prediction);
+            prop_assert!(PredictionClass::ALL.contains(&class));
+            // Level partition is total and consistent.
+            prop_assert!(class.level().classes().contains(&class));
+            predictor.update(*pc, *taken, &prediction);
+        }
+    }
+
+    #[test]
+    fn tage_predict_never_mutates_state(
+        pcs in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut predictor = TagePredictor::new(TageConfig::small());
+        // Train a little first.
+        for (i, pc) in pcs.iter().enumerate() {
+            let prediction = predictor.predict(*pc);
+            predictor.update(*pc, i % 3 != 0, &prediction);
+        }
+        for pc in &pcs {
+            let a = predictor.predict(*pc);
+            let b = predictor.predict(*pc);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn automaton_update_never_leaves_counter_range(
+        start in -4i8..=3,
+        taken in any::<bool>(),
+        exponent in 0u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        for automaton in [CounterAutomaton::Standard, CounterAutomaton::probabilistic(exponent)] {
+            let mut counter = SignedCounter::with_value(3, start);
+            automaton.update_counter(&mut counter, taken, &mut rng);
+            prop_assert!((-4..=3).contains(&counter.value()));
+            // The counter never moves by more than one step.
+            prop_assert!((i16::from(counter.value()) - i16::from(start)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn confidence_report_fractions_are_consistent(
+        events in proptest::collection::vec((0usize..7, any::<bool>()), 1..300),
+    ) {
+        let mut report = ConfidenceReport::new();
+        for (class_index, mispredicted) in &events {
+            report.record(PredictionClass::ALL[*class_index], *mispredicted);
+        }
+        let pcov_sum: f64 = PredictionClass::ALL.iter().map(|&c| report.pcov(c)).sum();
+        prop_assert!((pcov_sum - 1.0).abs() < 1e-9);
+        let level_preds: u64 = ConfidenceLevel::ALL.iter().map(|&l| report.level(l).predictions).sum();
+        prop_assert_eq!(level_preds, events.len() as u64);
+        for class in PredictionClass::ALL {
+            let rate = report.mprate_mkp(class);
+            prop_assert!((0.0..=1000.0).contains(&rate));
+        }
+        let confusion = report.binary_confusion(&[ConfidenceLevel::High]);
+        prop_assert_eq!(confusion.total(), events.len() as u64);
+    }
+
+    #[test]
+    fn classifier_window_never_exceeds_configuration(
+        window in 0u32..=16,
+        events in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200),
+    ) {
+        let config = TageConfig::small();
+        let mut predictor = TagePredictor::new(config.clone());
+        let mut classifier = TageConfidenceClassifier::with_window(&config, window);
+        for (i, (pc_bit, taken)) in events.iter().enumerate() {
+            let pc = 0x1000 + (u64::from(*pc_bit) + i as u64 % 7) * 64;
+            let prediction = predictor.predict(pc);
+            classifier.classify_and_observe(&prediction, *taken);
+            prop_assert!(classifier.window_remaining() <= window);
+            predictor.update(pc, *taken, &prediction);
+        }
+    }
+}
