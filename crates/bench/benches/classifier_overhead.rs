@@ -1,13 +1,14 @@
-//! Criterion micro-benchmark: cost of the storage-free confidence
-//! classification on top of a plain TAGE simulation loop.
+//! Micro-benchmark: cost of the storage-free confidence classification on
+//! top of a plain TAGE simulation loop.
 //!
 //! The paper's argument is that the estimation is free in hardware; this
 //! bench shows it is also nearly free in simulation (a few percent on top of
 //! predict + update).
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//!
+//! Run with: `cargo bench --bench classifier_overhead`
 
 use tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage_bench::harness::bench;
 use tage_confidence::TageConfidenceClassifier;
 use tage_traces::{suites, Trace};
 
@@ -19,14 +20,15 @@ fn config() -> TageConfig {
     TageConfig::medium().with_automaton(CounterAutomaton::paper_default())
 }
 
-fn bench_classifier_overhead(c: &mut Criterion) {
+fn main() {
     let trace = workload();
-    let mut group = c.benchmark_group("classifier_overhead");
-    group.throughput(Throughput::Elements(
-        trace.iter().filter(|r| r.kind.is_conditional()).count() as u64,
-    ));
-    group.bench_function("predict_update_only", |b| {
-        b.iter(|| {
+    let branches = trace.iter().filter(|r| r.kind.is_conditional()).count() as u64;
+
+    bench(
+        "classifier_overhead",
+        "predict_update_only",
+        branches,
+        || {
             let mut predictor = TagePredictor::new(config());
             let mut misses = 0u64;
             for record in trace.iter().filter(|r| r.kind.is_conditional()) {
@@ -37,10 +39,14 @@ fn bench_classifier_overhead(c: &mut Criterion) {
                 predictor.update(record.pc, record.taken, &pred);
             }
             misses
-        });
-    });
-    group.bench_function("predict_classify_update", |b| {
-        b.iter(|| {
+        },
+    );
+
+    bench(
+        "classifier_overhead",
+        "predict_classify_update",
+        branches,
+        || {
             let mut predictor = TagePredictor::new(config());
             let mut classifier = TageConfidenceClassifier::new(&config());
             let mut high = 0u64;
@@ -53,10 +59,6 @@ fn bench_classifier_overhead(c: &mut Criterion) {
                 predictor.update(record.pc, record.taken, &pred);
             }
             high
-        });
-    });
-    group.finish();
+        },
+    );
 }
-
-criterion_group!(benches, bench_classifier_overhead);
-criterion_main!(benches);

@@ -1,15 +1,19 @@
-//! Criterion micro-benchmark: throughput of the storage-based baseline
-//! confidence estimators (JRS, enhanced JRS, self-confidence) attached to
-//! their host predictors.
+//! Micro-benchmark: throughput of the storage-based baseline confidence
+//! estimators (JRS, enhanced JRS, self-confidence) attached to their host
+//! predictors.
+//!
+//! Run with: `cargo bench --bench estimator_comparison`
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use tage_bench::harness::bench;
 use tage_confidence::estimators::{ConfidenceEstimator, JrsEstimator, SelfConfidenceEstimator};
 use tage_predictors::{BranchPredictor, GsharePredictor, PerceptronPredictor};
 use tage_traces::{suites, Trace};
 
 fn workload() -> Trace {
-    suites::cbp2_like().trace("175.vpr").unwrap().generate(20_000)
+    suites::cbp2_like()
+        .trace("175.vpr")
+        .unwrap()
+        .generate(20_000)
 }
 
 fn run(
@@ -29,34 +33,33 @@ fn run(
     high
 }
 
-fn bench_estimators(c: &mut Criterion) {
+fn main() {
     let trace = workload();
     let branches = trace.iter().filter(|r| r.kind.is_conditional()).count() as u64;
-    let mut group = c.benchmark_group("estimator_throughput");
-    group.throughput(Throughput::Elements(branches));
-    group.bench_function("gshare_jrs", |b| {
-        b.iter(|| {
-            let mut predictor = GsharePredictor::new(14, 14);
-            let mut estimator = JrsEstimator::classic(12);
-            run(&mut predictor, &mut estimator, &trace)
-        });
+
+    bench("estimator_throughput", "gshare_jrs", branches, || {
+        let mut predictor = GsharePredictor::new(14, 14);
+        let mut estimator = JrsEstimator::classic(12);
+        run(&mut predictor, &mut estimator, &trace)
     });
-    group.bench_function("gshare_enhanced_jrs", |b| {
-        b.iter(|| {
+    bench(
+        "estimator_throughput",
+        "gshare_enhanced_jrs",
+        branches,
+        || {
             let mut predictor = GsharePredictor::new(14, 14);
             let mut estimator = JrsEstimator::enhanced(12);
             run(&mut predictor, &mut estimator, &trace)
-        });
-    });
-    group.bench_function("perceptron_self_confidence", |b| {
-        b.iter(|| {
+        },
+    );
+    bench(
+        "estimator_throughput",
+        "perceptron_self_confidence",
+        branches,
+        || {
             let mut predictor = PerceptronPredictor::new(512, 32);
             let mut estimator = SelfConfidenceEstimator::new(60);
             run(&mut predictor, &mut estimator, &trace)
-        });
-    });
-    group.finish();
+        },
+    );
 }
-
-criterion_group!(benches, bench_estimators);
-criterion_main!(benches);

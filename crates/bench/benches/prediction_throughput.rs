@@ -1,9 +1,10 @@
-//! Criterion micro-benchmark: TAGE prediction + update throughput for the
-//! three predictor sizes, plus the baseline predictors for context.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+//! Micro-benchmark: TAGE prediction + update throughput for the three
+//! predictor sizes, plus the baseline predictors for context.
+//!
+//! Run with: `cargo bench --bench prediction_throughput`
 
 use tage::{TageConfig, TagePredictor};
+use tage_bench::harness::bench;
 use tage_predictors::{
     BimodalPredictor, BranchPredictor, GehlPredictor, GsharePredictor, PerceptronPredictor,
 };
@@ -13,67 +14,54 @@ fn workload() -> Trace {
     suites::cbp1_like().trace("INT-1").unwrap().generate(20_000)
 }
 
-fn bench_tage(c: &mut Criterion) {
-    let trace = workload();
-    let mut group = c.benchmark_group("tage_predict_update");
-    group.throughput(Throughput::Elements(
-        trace.iter().filter(|r| r.kind.is_conditional()).count() as u64,
-    ));
-    for config in [TageConfig::small(), TageConfig::medium(), TageConfig::large()] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&config.name),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    let mut predictor = TagePredictor::new(config.clone());
-                    let mut misses = 0u64;
-                    for record in trace.iter().filter(|r| r.kind.is_conditional()) {
-                        let pred = predictor.predict(record.pc);
-                        if pred.taken != record.taken {
-                            misses += 1;
-                        }
-                        predictor.update(record.pc, record.taken, &pred);
-                    }
-                    misses
-                });
-            },
-        );
+fn run_loop(p: &mut dyn BranchPredictor, trace: &Trace) -> u64 {
+    let mut misses = 0u64;
+    for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+        let pred = p.predict(record.pc);
+        if pred.taken != record.taken {
+            misses += 1;
+        }
+        p.update(record.pc, record.taken, &pred);
     }
-    group.finish();
+    misses
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn main() {
     let trace = workload();
     let branches = trace.iter().filter(|r| r.kind.is_conditional()).count() as u64;
-    let mut group = c.benchmark_group("baseline_predict_update");
-    group.throughput(Throughput::Elements(branches));
 
-    fn run_loop(p: &mut dyn BranchPredictor, trace: &Trace) -> u64 {
-        let mut misses = 0u64;
-        for record in trace.iter().filter(|r| r.kind.is_conditional()) {
-            let pred = p.predict(record.pc);
-            if pred.taken != record.taken {
-                misses += 1;
+    for config in [
+        TageConfig::small(),
+        TageConfig::medium(),
+        TageConfig::large(),
+    ] {
+        bench("tage_predict_update", &config.name, branches, || {
+            let mut predictor = TagePredictor::new(config.clone());
+            let mut misses = 0u64;
+            for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+                let pred = predictor.predict(record.pc);
+                if pred.taken != record.taken {
+                    misses += 1;
+                }
+                predictor.update(record.pc, record.taken, &pred);
             }
-            p.update(record.pc, record.taken, &pred);
-        }
-        misses
+            misses
+        });
     }
 
-    group.bench_function("bimodal-8k", |b| {
-        b.iter(|| run_loop(&mut BimodalPredictor::new(13), &trace));
+    bench("baseline_predict_update", "bimodal-8k", branches, || {
+        run_loop(&mut BimodalPredictor::new(13), &trace)
     });
-    group.bench_function("gshare-16k", |b| {
-        b.iter(|| run_loop(&mut GsharePredictor::new(14, 14), &trace));
+    bench("baseline_predict_update", "gshare-16k", branches, || {
+        run_loop(&mut GsharePredictor::new(14, 14), &trace)
     });
-    group.bench_function("perceptron-512x32", |b| {
-        b.iter(|| run_loop(&mut PerceptronPredictor::new(512, 32), &trace));
+    bench(
+        "baseline_predict_update",
+        "perceptron-512x32",
+        branches,
+        || run_loop(&mut PerceptronPredictor::new(512, 32), &trace),
+    );
+    bench("baseline_predict_update", "gehl-6x2k", branches, || {
+        run_loop(&mut GehlPredictor::new(6, 11, 3, 120), &trace)
     });
-    group.bench_function("gehl-6x2k", |b| {
-        b.iter(|| run_loop(&mut GehlPredictor::new(6, 11, 3, 120), &trace));
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_tage, bench_baselines);
-criterion_main!(benches);

@@ -1,39 +1,32 @@
-//! Criterion micro-benchmark: synthetic trace generation throughput and
-//! trace serialisation round-trips.
+//! Micro-benchmark: synthetic trace generation throughput and trace
+//! serialisation round-trips.
+//!
+//! Run with: `cargo bench --bench trace_generation`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use tage_bench::harness::bench;
 use tage_traces::reader::TraceReader;
 use tage_traces::suites;
 use tage_traces::writer::TraceWriter;
 
-fn bench_generation(c: &mut Criterion) {
+const N: usize = 50_000;
+
+fn main() {
     let suite = suites::cbp1_like();
-    let mut group = c.benchmark_group("trace_generation");
-    const N: usize = 50_000;
-    group.throughput(Throughput::Elements(N as u64));
     for name in ["FP-1", "INT-1", "SERV-2"] {
         let spec = suite.trace(name).unwrap().clone();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| spec.generate(N));
+        bench("trace_generation", name, N as u64, || {
+            spec.generate(N).instruction_count()
         });
     }
-    group.finish();
-}
 
-fn bench_io(c: &mut Criterion) {
-    let trace = suites::cbp1_like().trace("INT-1").unwrap().generate(50_000);
+    let trace = suites::cbp1_like().trace("INT-1").unwrap().generate(N);
     let bytes = TraceWriter::to_binary_bytes(&trace);
-    let mut group = c.benchmark_group("trace_io");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("write_binary", |b| {
-        b.iter(|| TraceWriter::to_binary_bytes(&trace));
+    bench("trace_io", "write_binary", bytes.len() as u64, || {
+        TraceWriter::to_binary_bytes(&trace).len()
     });
-    group.bench_function("read_binary", |b| {
-        b.iter(|| TraceReader::read_binary(&bytes[..]).expect("valid trace"));
+    bench("trace_io", "read_binary", bytes.len() as u64, || {
+        TraceReader::read_binary(&bytes[..])
+            .expect("valid trace")
+            .instruction_count()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_generation, bench_io);
-criterion_main!(benches);

@@ -4,19 +4,27 @@
 //! * the tagged prediction-counter width (the paper argues 4-bit counters do
 //!   not fix the saturated class and slightly hurt accuracy).
 
-use tage_bench::{branches_from_args, print_header};
 use tage::TageConfig;
+use tage_bench::{branches_from_args, print_header};
 use tage_sim::experiment::{counter_width_ablation, window_ablation};
 use tage_sim::report::{fraction, mkp, mpki, TextTable};
 use tage_traces::suites;
 
 fn main() {
     let branches = branches_from_args();
-    print_header("Ablations — medium-conf-bim window and counter width", branches);
+    print_header(
+        "Ablations — medium-conf-bim window and counter width",
+        branches,
+    );
     let suite = suites::cbp1_like();
 
     println!("--- medium-conf-bim window length (16 Kbit predictor) ---");
-    let rows = window_ablation(&TageConfig::small(), &suite, branches, &[0, 2, 4, 8, 16, 32]);
+    let rows = window_ablation(
+        &TageConfig::small(),
+        &suite,
+        branches,
+        &[0, 2, 4, 8, 16, 32],
+    );
     let mut table = TextTable::new(vec![
         "window",
         "medium-conf-bim Pcov",

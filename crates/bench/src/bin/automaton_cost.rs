@@ -10,7 +10,10 @@ use tage_traces::suites;
 
 fn main() {
     let branches = branches_from_args();
-    print_header("Section 6 — accuracy cost of the modified automaton", branches);
+    print_header(
+        "Section 6 — accuracy cost of the modified automaton",
+        branches,
+    );
     let cbp1 = suites::cbp1_like();
     let cbp2 = suites::cbp2_like();
     let rows = automaton_cost(&[&cbp1, &cbp2], branches);

@@ -2,15 +2,18 @@
 //! component into high / medium / low confidence sub-classes, for the small
 //! and the large predictors on the CBP-1-like suite.
 
-use tage_bench::{branches_from_args, print_header};
 use tage::TageConfig;
+use tage_bench::{branches_from_args, print_header};
 use tage_sim::experiment::bim_breakdown;
 use tage_sim::report::{fraction, mkp, TextTable};
 use tage_traces::suites;
 
 fn main() {
     let branches = branches_from_args();
-    print_header("Section 5.1 — bimodal-provider (BIM) breakdown, CBP-1-like", branches);
+    print_header(
+        "Section 5.1 — bimodal-provider (BIM) breakdown, CBP-1-like",
+        branches,
+    );
     for config in [TageConfig::small(), TageConfig::large()] {
         println!("--- {} ---", config.name);
         let rows = bim_breakdown(&config, &suites::cbp1_like(), branches);

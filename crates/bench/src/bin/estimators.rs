@@ -3,19 +3,22 @@
 //! storage-free TAGE classification, using the binary metrics of Grunwald et
 //! al. (SENS, SPEC, PVP, PVN).
 
-use tage_bench::{branches_from_args, print_header};
 use tage::{CounterAutomaton, TageConfig};
+use tage_bench::{branches_from_args, print_header};
 use tage_confidence::estimators::{JrsEstimator, SelfConfidenceEstimator};
 use tage_confidence::ConfidenceLevel;
+use tage_predictors::{GehlPredictor, GsharePredictor, PerceptronPredictor};
 use tage_sim::baseline::run_baseline;
 use tage_sim::report::{fraction, TextTable};
 use tage_sim::runner::{run_trace, RunOptions};
-use tage_predictors::{GehlPredictor, GsharePredictor, PerceptronPredictor};
 use tage_traces::suites;
 
 fn main() {
     let branches = branches_from_args();
-    print_header("Related work — storage-based estimators vs storage-free TAGE", branches);
+    print_header(
+        "Related work — storage-based estimators vs storage-free TAGE",
+        branches,
+    );
     let suite = suites::cbp1_like();
     let mut table = TextTable::new(vec![
         "predictor + estimator",

@@ -1,8 +1,8 @@
 //! Figure 4: misprediction rate (MKP) per prediction class for 7 CBP-2
 //! traces, 64 Kbit predictor, standard automaton.
 
-use tage_bench::{branches_from_args, print_header};
 use tage::TageConfig;
+use tage_bench::{branches_from_args, print_header};
 use tage_confidence::PredictionClass;
 use tage_sim::experiment::per_class_rates;
 use tage_sim::report::{mkp, TextTable};

@@ -2,8 +2,8 @@
 //! (probabilistic saturation, p = 1/128) for the three panels the paper
 //! shows: 16 Kbit on CBP-1, 64 Kbit on CBP-2 and 256 Kbit on CBP-1.
 
-use tage_bench::{branches_from_args, print_header};
 use tage::{CounterAutomaton, TageConfig};
+use tage_bench::{branches_from_args, print_header};
 use tage_confidence::PredictionClass;
 use tage_sim::experiment::class_distribution;
 use tage_sim::report::TextTable;

@@ -2,8 +2,8 @@
 //! coverage against high-confidence purity (the paper compares 1/16 and
 //! 1/128 on the 16 Kbit predictor, CBP-1).
 
-use tage_bench::{branches_from_args, print_header};
 use tage::TageConfig;
+use tage_bench::{branches_from_args, print_header};
 use tage_sim::experiment::probability_sweep;
 use tage_sim::report::{fraction, mkp, mpki, probability, TextTable};
 use tage_traces::suites;

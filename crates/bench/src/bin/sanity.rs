@@ -53,15 +53,30 @@ fn main() {
         for b in 0..16 {
             let taken = patterns[b][positions[b]];
             positions[b] = (positions[b] + 1) % patterns[b].len();
-            records.push(tage_traces::BranchRecord::conditional(0x1000 + b as u64 * 16, taken));
+            records.push(tage_traces::BranchRecord::conditional(
+                0x1000 + b as u64 * 16,
+                taken,
+            ));
         }
     }
     let trace = Trace::from_records("patterns", records);
     println!("interleaved patterns (MKP, steady state):");
-    println!("  tage-16k   {:8.2}", run_tage(&TageConfig::small(), &trace, 50_000));
-    println!("  tage-256k  {:8.2}", run_tage(&TageConfig::large(), &trace, 50_000));
-    println!("  gshare-12  {:8.2}", run_other(&mut GsharePredictor::new(12, 12), &trace, 50_000));
-    println!("  bimodal    {:8.2}", run_other(&mut BimodalPredictor::new(12), &trace, 50_000));
+    println!(
+        "  tage-16k   {:8.2}",
+        run_tage(&TageConfig::small(), &trace, 50_000)
+    );
+    println!(
+        "  tage-256k  {:8.2}",
+        run_tage(&TageConfig::large(), &trace, 50_000)
+    );
+    println!(
+        "  gshare-12  {:8.2}",
+        run_other(&mut GsharePredictor::new(12, 12), &trace, 50_000)
+    );
+    println!(
+        "  bimodal    {:8.2}",
+        run_other(&mut BimodalPredictor::new(12), &trace, 50_000)
+    );
 
     // 1b. Knock-out study: remove one behaviour family at a time from the
     //     integer profile to find where the misprediction floor comes from.
@@ -77,7 +92,10 @@ fn main() {
             "path" => p.mix.path_weight = 0.0,
             _ => p.mix.phased_weight = 0.0,
         }
-        variants.push((Box::leak(format!("int-no-{family}").into_boxed_str()) as &str, p));
+        variants.push((
+            Box::leak(format!("int-no-{family}").into_boxed_str()) as &str,
+            p,
+        ));
     }
     let mut only_pattern = base.clone();
     only_pattern.mix.loop_weight = 0.0;
@@ -95,7 +113,11 @@ fn main() {
     println!("knock-out study (tage-64k MKP, steady state):");
     for (name, profile) in &variants {
         let trace = SyntheticTraceBuilder::new(*name, profile.clone(), 42).build(150_000);
-        println!("  {:<18} {:8.2}", name, run_tage(&TageConfig::medium(), &trace, 50_000));
+        println!(
+            "  {:<18} {:8.2}",
+            name,
+            run_tage(&TageConfig::medium(), &trace, 50_000)
+        );
     }
 
     // 2. The FP-like synthetic workload: TAGE vs the baselines.
@@ -106,11 +128,29 @@ fn main() {
     ] {
         let trace = SyntheticTraceBuilder::new(name, profile, 42).build(150_000);
         println!("{name} workload (MKP, steady state):");
-        println!("  tage-16k   {:8.2}", run_tage(&TageConfig::small(), &trace, 50_000));
-        println!("  tage-64k   {:8.2}", run_tage(&TageConfig::medium(), &trace, 50_000));
-        println!("  tage-256k  {:8.2}", run_tage(&TageConfig::large(), &trace, 50_000));
-        println!("  gshare-14  {:8.2}", run_other(&mut GsharePredictor::new(14, 14), &trace, 50_000));
-        println!("  perceptron {:8.2}", run_other(&mut PerceptronPredictor::new(512, 32), &trace, 50_000));
-        println!("  bimodal    {:8.2}", run_other(&mut BimodalPredictor::new(13), &trace, 50_000));
+        println!(
+            "  tage-16k   {:8.2}",
+            run_tage(&TageConfig::small(), &trace, 50_000)
+        );
+        println!(
+            "  tage-64k   {:8.2}",
+            run_tage(&TageConfig::medium(), &trace, 50_000)
+        );
+        println!(
+            "  tage-256k  {:8.2}",
+            run_tage(&TageConfig::large(), &trace, 50_000)
+        );
+        println!(
+            "  gshare-14  {:8.2}",
+            run_other(&mut GsharePredictor::new(14, 14), &trace, 50_000)
+        );
+        println!(
+            "  perceptron {:8.2}",
+            run_other(&mut PerceptronPredictor::new(512, 32), &trace, 50_000)
+        );
+        println!(
+            "  bimodal    {:8.2}",
+            run_other(&mut BimodalPredictor::new(13), &trace, 50_000)
+        );
     }
 }

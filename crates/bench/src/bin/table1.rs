@@ -10,12 +10,7 @@ fn main() {
     let branches = branches_from_args();
     print_header("Table 1 — simulated configurations", branches);
     let rows = table1(&suites::cbp1_like(), &suites::cbp2_like(), branches);
-    let mut table = TextTable::new(vec![
-        "",
-        "Small",
-        "Medium",
-        "Large",
-    ]);
+    let mut table = TextTable::new(vec!["", "Small", "Medium", "Large"]);
     let cell = |f: &dyn Fn(&tage_sim::experiment::Table1Row) -> String| -> Vec<String> {
         rows.iter().map(f).collect()
     };
@@ -24,12 +19,36 @@ fn main() {
         row.extend(values);
         table.row(row);
     };
-    push(&mut table, "Storage budget", cell(&|r| format!("{} Kbits", r.storage_bits / 1024)));
-    push(&mut table, "Number of tables", cell(&|r| format!("1 + {}", r.num_tables - 1)));
-    push(&mut table, "Min Hist length", cell(&|r| r.min_history.to_string()));
-    push(&mut table, "Max Hist Length", cell(&|r| r.max_history.to_string()));
-    push(&mut table, "CBP-1-like misp/KI", cell(&|r| mpki(r.cbp1_mpki)));
-    push(&mut table, "CBP-2-like misp/KI", cell(&|r| mpki(r.cbp2_mpki)));
+    push(
+        &mut table,
+        "Storage budget",
+        cell(&|r| format!("{} Kbits", r.storage_bits / 1024)),
+    );
+    push(
+        &mut table,
+        "Number of tables",
+        cell(&|r| format!("1 + {}", r.num_tables - 1)),
+    );
+    push(
+        &mut table,
+        "Min Hist length",
+        cell(&|r| r.min_history.to_string()),
+    );
+    push(
+        &mut table,
+        "Max Hist Length",
+        cell(&|r| r.max_history.to_string()),
+    );
+    push(
+        &mut table,
+        "CBP-1-like misp/KI",
+        cell(&|r| mpki(r.cbp1_mpki)),
+    );
+    push(
+        &mut table,
+        "CBP-2-like misp/KI",
+        cell(&|r| mpki(r.cbp2_mpki)),
+    );
     print!("{}", table.render());
     println!();
     println!("Paper (real CBP traces): 4.21 / 2.54 / 2.18 misp/KI on CBP-1 and 4.61 / 3.87 / 3.47 on CBP-2.");

@@ -9,11 +9,21 @@ use tage_sim::runner::RunOptions;
 use tage_traces::suites;
 
 fn cell(row: &tage_sim::experiment::LevelCell) -> String {
-    format!("{}-{} ({})", fraction(row.pcov), fraction(row.mpcov), mkp(row.mprate_mkp))
+    format!(
+        "{}-{} ({})",
+        fraction(row.pcov),
+        fraction(row.mpcov),
+        mkp(row.mprate_mkp)
+    )
 }
 
 fn render(rows: &[LevelSummaryRow]) {
-    let mut table = TextTable::new(vec!["config / suite", "high conf", "medium conf", "low conf"]);
+    let mut table = TextTable::new(vec![
+        "config / suite",
+        "high conf",
+        "medium conf",
+        "low conf",
+    ]);
     for row in rows {
         table.row(vec![
             format!("{} {}", row.config_name, row.suite_name),

@@ -9,7 +9,12 @@ use tage_sim::runner::RunOptions;
 use tage_traces::suites;
 
 fn cell(row: &tage_sim::experiment::LevelCell) -> String {
-    format!("{}-{} ({})", fraction(row.pcov), fraction(row.mpcov), mkp(row.mprate_mkp))
+    format!(
+        "{}-{} ({})",
+        fraction(row.pcov),
+        fraction(row.mpcov),
+        mkp(row.mprate_mkp)
+    )
 }
 
 fn render(rows: &[LevelSummaryRow]) {

@@ -1,0 +1,112 @@
+//! Throughput smoke test: end-to-end simulated branches per second through
+//! the generic engine, for the perf trajectory tracked across PRs.
+//!
+//! Prints a human-readable summary and writes `BENCH_throughput.json` into
+//! the current directory (override the path with the second CLI argument).
+//!
+//! Run with: `cargo run --release --bin throughput [branches] [json-path]`
+
+use std::time::Instant;
+
+use tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage_bench::{branches_from_args, print_header};
+use tage_confidence::TageConfidenceClassifier;
+use tage_sim::engine::{default_parallelism, ReportObserver, SimEngine};
+use tage_sim::runner::RunOptions;
+use tage_sim::suite::run_suite;
+use tage_traces::suites;
+
+struct Measurement {
+    name: &'static str,
+    branches: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn branches_per_second(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.branches as f64 / self.seconds
+        }
+    }
+}
+
+fn main() {
+    let branches = branches_from_args();
+    print_header("Throughput smoke — simulated branches per second", branches);
+
+    let config = TageConfig::medium().with_automaton(CounterAutomaton::paper_default());
+    let mut measurements = Vec::new();
+
+    // 1. Single-trace engine throughput (predict + classify + train).
+    let trace = suites::cbp1_like()
+        .trace("INT-1")
+        .expect("trace exists")
+        .generate(branches);
+    let mut engine = SimEngine::new(
+        TagePredictor::new(config.clone()),
+        TageConfidenceClassifier::new(&config),
+    );
+    let mut report = ReportObserver::default();
+    let start = Instant::now();
+    let summary = engine.run(&trace, &mut report);
+    measurements.push(Measurement {
+        name: "engine_single_trace",
+        branches: summary.measured_branches,
+        seconds: start.elapsed().as_secs_f64(),
+    });
+
+    // 2. Whole-suite throughput with parallel per-trace sharding.
+    let suite = suites::cbp1_like();
+    let per_trace = (branches / 10).max(1_000);
+    let start = Instant::now();
+    let result = run_suite(&config, &suite, per_trace, &RunOptions::default());
+    measurements.push(Measurement {
+        name: "suite_parallel",
+        branches: result.aggregate.total().predictions,
+        seconds: start.elapsed().as_secs_f64(),
+    });
+
+    println!(
+        "{:<22} {:>14} {:>10} {:>16}",
+        "measurement", "branches", "seconds", "branches/sec"
+    );
+    for m in &measurements {
+        println!(
+            "{:<22} {:>14} {:>10.3} {:>16.0}",
+            m.name,
+            m.branches,
+            m.seconds,
+            m.branches_per_second()
+        );
+    }
+    println!();
+    println!("workers available: {}", default_parallelism());
+
+    // Machine-readable trajectory record (hand-rolled JSON: no deps).
+    let json_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "  {{\"name\": \"{}\", \"branches\": {}, \"seconds\": {:.6}, \"branches_per_sec\": {:.0}}}",
+                m.name,
+                m.branches,
+                m.seconds,
+                m.branches_per_second()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n \"bench\": \"throughput\",\n \"workers\": {},\n \"measurements\": [\n{}\n ]\n}}\n",
+        default_parallelism(),
+        entries.join(",\n")
+    );
+    match std::fs::write(&json_path, json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(error) => eprintln!("could not write {json_path}: {error}"),
+    }
+}

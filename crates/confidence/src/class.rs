@@ -120,9 +120,7 @@ impl ConfidenceLevel {
                 PredictionClass::Wtag,
                 PredictionClass::NWtag,
             ],
-            ConfidenceLevel::Medium => {
-                &[PredictionClass::MediumConfBim, PredictionClass::NStag]
-            }
+            ConfidenceLevel::Medium => &[PredictionClass::MediumConfBim, PredictionClass::NStag],
             ConfidenceLevel::High => &[PredictionClass::HighConfBim, PredictionClass::Stag],
         }
     }
@@ -166,7 +164,10 @@ mod tests {
     fn level_grouping_matches_section_6_1() {
         assert_eq!(PredictionClass::HighConfBim.level(), ConfidenceLevel::High);
         assert_eq!(PredictionClass::Stag.level(), ConfidenceLevel::High);
-        assert_eq!(PredictionClass::MediumConfBim.level(), ConfidenceLevel::Medium);
+        assert_eq!(
+            PredictionClass::MediumConfBim.level(),
+            ConfidenceLevel::Medium
+        );
         assert_eq!(PredictionClass::NStag.level(), ConfidenceLevel::Medium);
         assert_eq!(PredictionClass::LowConfBim.level(), ConfidenceLevel::Low);
         assert_eq!(PredictionClass::Wtag.level(), ConfidenceLevel::Low);

@@ -196,28 +196,64 @@ mod tests {
     #[test]
     fn weak_bimodal_counter_is_low_conf_bim() {
         let c = classifier();
-        assert_eq!(c.classify(&bim_prediction(0, true)), PredictionClass::LowConfBim);
-        assert_eq!(c.classify(&bim_prediction(-1, false)), PredictionClass::LowConfBim);
+        assert_eq!(
+            c.classify(&bim_prediction(0, true)),
+            PredictionClass::LowConfBim
+        );
+        assert_eq!(
+            c.classify(&bim_prediction(-1, false)),
+            PredictionClass::LowConfBim
+        );
     }
 
     #[test]
     fn strong_bimodal_counter_far_from_miss_is_high_conf_bim() {
         let c = classifier();
-        assert_eq!(c.classify(&bim_prediction(1, true)), PredictionClass::HighConfBim);
-        assert_eq!(c.classify(&bim_prediction(-2, false)), PredictionClass::HighConfBim);
+        assert_eq!(
+            c.classify(&bim_prediction(1, true)),
+            PredictionClass::HighConfBim
+        );
+        assert_eq!(
+            c.classify(&bim_prediction(-2, false)),
+            PredictionClass::HighConfBim
+        );
     }
 
     #[test]
     fn tagged_counter_magnitudes_map_to_wtag_nwtag_nstag_stag() {
         let c = classifier();
-        assert_eq!(c.classify(&tagged_prediction(0, true)), PredictionClass::Wtag);
-        assert_eq!(c.classify(&tagged_prediction(-1, false)), PredictionClass::Wtag);
-        assert_eq!(c.classify(&tagged_prediction(1, true)), PredictionClass::NWtag);
-        assert_eq!(c.classify(&tagged_prediction(-2, false)), PredictionClass::NWtag);
-        assert_eq!(c.classify(&tagged_prediction(2, true)), PredictionClass::NStag);
-        assert_eq!(c.classify(&tagged_prediction(-3, false)), PredictionClass::NStag);
-        assert_eq!(c.classify(&tagged_prediction(3, true)), PredictionClass::Stag);
-        assert_eq!(c.classify(&tagged_prediction(-4, false)), PredictionClass::Stag);
+        assert_eq!(
+            c.classify(&tagged_prediction(0, true)),
+            PredictionClass::Wtag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(-1, false)),
+            PredictionClass::Wtag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(1, true)),
+            PredictionClass::NWtag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(-2, false)),
+            PredictionClass::NWtag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(2, true)),
+            PredictionClass::NStag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(-3, false)),
+            PredictionClass::NStag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(3, true)),
+            PredictionClass::Stag
+        );
+        assert_eq!(
+            c.classify(&tagged_prediction(-4, false)),
+            PredictionClass::Stag
+        );
     }
 
     #[test]
@@ -319,12 +355,22 @@ mod tests {
 
     #[test]
     fn wider_counters_shift_the_saturated_threshold() {
-        let config = TageConfig::small().to_builder().counter_bits(4).build().unwrap();
+        let config = TageConfig::small()
+            .to_builder()
+            .counter_bits(4)
+            .build()
+            .unwrap();
         let c = TageConfidenceClassifier::new(&config);
         // |2c+1| = 7 is *not* saturated for 4-bit counters.
-        assert_eq!(c.classify(&tagged_prediction(3, true)), PredictionClass::NStag);
+        assert_eq!(
+            c.classify(&tagged_prediction(3, true)),
+            PredictionClass::NStag
+        );
         // |2c+1| = 15 is.
-        assert_eq!(c.classify(&tagged_prediction(7, true)), PredictionClass::Stag);
+        assert_eq!(
+            c.classify(&tagged_prediction(7, true)),
+            PredictionClass::Stag
+        );
     }
 
     #[test]

@@ -155,6 +155,15 @@ impl ConfidenceEstimator for JrsEstimator {
             self.threshold
         )
     }
+
+    fn reset(&mut self) {
+        *self = JrsEstimator::new(
+            self.index_bits,
+            self.counter_bits,
+            self.threshold,
+            self.indexing,
+        );
+    }
 }
 
 #[cfg(test)]

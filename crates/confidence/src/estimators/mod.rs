@@ -30,6 +30,9 @@ use crate::class::ConfidenceLevel;
 /// The protocol mirrors the predictor protocol: `estimate` is called with
 /// the prediction the predictor produced (before resolution), `update` with
 /// the resolved outcome afterwards.
+///
+/// Any estimator can be driven through the generic simulation engine by
+/// wrapping it in [`crate::scheme::EstimatorScheme`].
 pub trait ConfidenceEstimator {
     /// Estimates the confidence of `prediction` for the branch at `pc`.
     fn estimate(&mut self, pc: u64, prediction: &Prediction) -> ConfidenceLevel;
@@ -43,6 +46,54 @@ pub trait ConfidenceEstimator {
 
     /// A short human-readable name for reports.
     fn name(&self) -> String;
+
+    /// Clears all dynamic state (counter tables, histories) while keeping
+    /// the configuration, so the estimator starts a new trace cold.
+    fn reset(&mut self);
+}
+
+impl<E: ConfidenceEstimator + ?Sized> ConfidenceEstimator for &mut E {
+    fn estimate(&mut self, pc: u64, prediction: &Prediction) -> ConfidenceLevel {
+        (**self).estimate(pc, prediction)
+    }
+
+    fn update(&mut self, pc: u64, prediction: &Prediction, taken: bool) {
+        (**self).update(pc, prediction, taken)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+impl<E: ConfidenceEstimator + ?Sized> ConfidenceEstimator for Box<E> {
+    fn estimate(&mut self, pc: u64, prediction: &Prediction) -> ConfidenceLevel {
+        (**self).estimate(pc, prediction)
+    }
+
+    fn update(&mut self, pc: u64, prediction: &Prediction, taken: bool) {
+        (**self).update(pc, prediction, taken)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
 }
 
 #[cfg(test)]

@@ -101,9 +101,16 @@ impl ConfidenceEstimator for SelfConfidenceEstimator {
 
     fn name(&self) -> String {
         match self.medium_threshold {
-            Some(m) => format!("self-confidence (≥{} high, ≥{m} medium)", self.high_threshold),
+            Some(m) => format!(
+                "self-confidence (≥{} high, ≥{m} medium)",
+                self.high_threshold
+            ),
             None => format!("self-confidence (≥{})", self.high_threshold),
         }
+    }
+
+    fn reset(&mut self) {
+        // Self-confidence keeps no state.
     }
 }
 
@@ -120,17 +127,35 @@ mod tests {
     #[test]
     fn binary_estimator_thresholds_margin() {
         let mut e = SelfConfidenceEstimator::new(10);
-        assert_eq!(e.estimate(0, &Prediction::new(true, 10)), ConfidenceLevel::High);
-        assert_eq!(e.estimate(0, &Prediction::new(true, 9)), ConfidenceLevel::Low);
-        assert_eq!(e.estimate(0, &Prediction::new(false, 0)), ConfidenceLevel::Low);
+        assert_eq!(
+            e.estimate(0, &Prediction::new(true, 10)),
+            ConfidenceLevel::High
+        );
+        assert_eq!(
+            e.estimate(0, &Prediction::new(true, 9)),
+            ConfidenceLevel::Low
+        );
+        assert_eq!(
+            e.estimate(0, &Prediction::new(false, 0)),
+            ConfidenceLevel::Low
+        );
     }
 
     #[test]
     fn three_level_estimator_adds_medium_band() {
         let mut e = SelfConfidenceEstimator::with_medium(20, 8);
-        assert_eq!(e.estimate(0, &Prediction::new(true, 25)), ConfidenceLevel::High);
-        assert_eq!(e.estimate(0, &Prediction::new(true, 12)), ConfidenceLevel::Medium);
-        assert_eq!(e.estimate(0, &Prediction::new(true, 3)), ConfidenceLevel::Low);
+        assert_eq!(
+            e.estimate(0, &Prediction::new(true, 25)),
+            ConfidenceLevel::High
+        );
+        assert_eq!(
+            e.estimate(0, &Prediction::new(true, 12)),
+            ConfidenceLevel::Medium
+        );
+        assert_eq!(
+            e.estimate(0, &Prediction::new(true, 3)),
+            ConfidenceLevel::Low
+        );
     }
 
     #[test]

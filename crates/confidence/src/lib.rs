@@ -54,9 +54,11 @@ pub mod class;
 pub mod classifier;
 pub mod estimators;
 pub mod metrics;
+pub mod scheme;
 
 pub use adaptive::AdaptiveSaturationController;
 pub use class::{ConfidenceLevel, PredictionClass};
 pub use classifier::TageConfidenceClassifier;
 pub use estimators::ConfidenceEstimator;
 pub use metrics::{BinaryConfusion, ClassStats, ConfidenceReport};
+pub use scheme::{Assessment, ConfidenceScheme, EstimatorScheme};

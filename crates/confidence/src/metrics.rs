@@ -71,6 +71,10 @@ impl ClassStats {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConfidenceReport {
     classes: BTreeMap<PredictionClass, ClassStats>,
+    /// Predictions graded with a confidence level but no prediction class
+    /// (the binary/ternary baseline estimators, which have no notion of the
+    /// paper's 7 classes).
+    unclassed_levels: BTreeMap<ConfidenceLevel, ClassStats>,
     total: ClassStats,
     instructions: u64,
 }
@@ -84,6 +88,18 @@ impl ConfidenceReport {
     /// Records one classified prediction.
     pub fn record(&mut self, class: PredictionClass, mispredicted: bool) {
         self.classes.entry(class).or_default().record(mispredicted);
+        self.total.record(mispredicted);
+    }
+
+    /// Records one prediction graded only with a confidence level (no
+    /// prediction class) — the verdict the storage-based baseline
+    /// estimators produce. Level and total accounting behave exactly as for
+    /// classed predictions; per-class queries are unaffected.
+    pub fn record_level(&mut self, level: ConfidenceLevel, mispredicted: bool) {
+        self.unclassed_levels
+            .entry(level)
+            .or_default()
+            .record(mispredicted);
         self.total.record(mispredicted);
     }
 
@@ -107,11 +123,15 @@ impl ConfidenceReport {
         self.classes.get(&class).copied().unwrap_or_default()
     }
 
-    /// Statistics of one confidence level (the union of its classes).
+    /// Statistics of one confidence level (the union of its classes, plus
+    /// any level-only records).
     pub fn level(&self, level: ConfidenceLevel) -> ClassStats {
         let mut stats = ClassStats::default();
         for class in level.classes() {
             stats.merge(&self.class(*class));
+        }
+        if let Some(unclassed) = self.unclassed_levels.get(&level) {
+            stats.merge(unclassed);
         }
         stats
     }
@@ -175,6 +195,12 @@ impl ConfidenceReport {
         for (class, stats) in &other.classes {
             self.classes.entry(*class).or_default().merge(stats);
         }
+        for (level, stats) in &other.unclassed_levels {
+            self.unclassed_levels
+                .entry(*level)
+                .or_default()
+                .merge(stats);
+        }
         self.total.merge(&other.total);
         self.instructions += other.instructions;
     }
@@ -183,16 +209,21 @@ impl ConfidenceReport {
     /// confidence" and everything else as "low confidence".
     pub fn binary_confusion(&self, high_levels: &[ConfidenceLevel]) -> BinaryConfusion {
         let mut confusion = BinaryConfusion::default();
-        for class in PredictionClass::ALL {
-            let stats = self.class(class);
+        let mut add = |stats: &ClassStats, level: ConfidenceLevel| {
             let correct = stats.predictions - stats.mispredictions;
-            if high_levels.contains(&class.level()) {
+            if high_levels.contains(&level) {
                 confusion.high_correct += correct;
                 confusion.high_incorrect += stats.mispredictions;
             } else {
                 confusion.low_correct += correct;
                 confusion.low_incorrect += stats.mispredictions;
             }
+        };
+        for class in PredictionClass::ALL {
+            add(&self.class(class), class.level());
+        }
+        for (level, stats) in &self.unclassed_levels {
+            add(stats, *level);
         }
         confusion
     }
@@ -220,6 +251,18 @@ impl fmt::Display for ConfidenceReport {
                 self.pcov(class),
                 self.mpcov(class),
                 self.mprate_mkp(class)
+            )?;
+        }
+        for (level, stats) in &self.unclassed_levels {
+            if stats.predictions == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<16} Pcov {:>6.3}  MPrate {:>7.1} MKP",
+                format!("level:{level}"),
+                fraction(stats.predictions, self.total.predictions),
+                stats.mprate_mkp()
             )?;
         }
         Ok(())
@@ -365,7 +408,9 @@ mod tests {
         assert_eq!(low.predictions, 10);
         assert!((r.level_pcov(ConfidenceLevel::High) - 0.7).abs() < 1e-9);
         assert!((r.level_mpcov(ConfidenceLevel::Low) - 4.0 / 9.0).abs() < 1e-9);
-        assert!(r.level_mprate_mkp(ConfidenceLevel::Low) > r.level_mprate_mkp(ConfidenceLevel::High));
+        assert!(
+            r.level_mprate_mkp(ConfidenceLevel::Low) > r.level_mprate_mkp(ConfidenceLevel::High)
+        );
     }
 
     #[test]

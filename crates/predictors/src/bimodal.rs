@@ -95,6 +95,16 @@ impl BranchPredictor for BimodalPredictor {
     fn name(&self) -> String {
         format!("bimodal-{}k", self.table.len() / 1024)
     }
+
+    fn reset(&mut self) {
+        *self = BimodalPredictor::with_counter_bits(self.index_bits, self.counter_bits);
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        let mut fresh = self.clone();
+        fresh.reset();
+        Box::new(fresh)
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +145,10 @@ mod tests {
             let pred = p.predict(a);
             p.update(a, true, &pred);
         }
-        assert!(p.predict(b).taken, "aliased branch sees the trained counter");
+        assert!(
+            p.predict(b).taken,
+            "aliased branch sees the trained counter"
+        );
     }
 
     #[test]

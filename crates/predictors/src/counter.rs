@@ -45,7 +45,10 @@ impl SignedCounter {
     ///
     /// Panics if `bits` is not in `1..=7`.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=7).contains(&bits), "counter width must be in 1..=7 bits");
+        assert!(
+            (1..=7).contains(&bits),
+            "counter width must be in 1..=7 bits"
+        );
         SignedCounter { value: -1, bits }
     }
 
@@ -188,7 +191,10 @@ impl UnsignedCounter {
     ///
     /// Panics if `bits` is not in `1..=8`.
     pub fn new(bits: u8) -> Self {
-        assert!((1..=8).contains(&bits), "counter width must be in 1..=8 bits");
+        assert!(
+            (1..=8).contains(&bits),
+            "counter width must be in 1..=8 bits"
+        );
         UnsignedCounter { value: 0, bits }
     }
 

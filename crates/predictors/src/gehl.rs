@@ -156,6 +156,20 @@ impl BranchPredictor for GehlPredictor {
             (1usize << self.index_bits) / 1024
         )
     }
+
+    fn reset(&mut self) {
+        // `geometric_series` pins the endpoints, so the stored lengths
+        // reconstruct the constructor arguments exactly.
+        let min = self.history_lengths[1];
+        let max = *self.history_lengths.last().expect("at least two tables");
+        *self = GehlPredictor::new(self.tables.len(), self.index_bits, min, max);
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        let mut fresh = self.clone();
+        fresh.reset();
+        Box::new(fresh)
+    }
 }
 
 #[cfg(test)]

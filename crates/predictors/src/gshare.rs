@@ -57,7 +57,9 @@ impl GsharePredictor {
     /// The index the predictor would use for `pc` with the current history
     /// (exposed so that storage-based confidence estimators can share it).
     pub fn index(&self, pc: u64) -> usize {
-        let hist = self.history.low_bits(self.history_bits.min(self.index_bits as usize));
+        let hist = self
+            .history
+            .low_bits(self.history_bits.min(self.index_bits as usize));
         (((pc >> 2) ^ hist) & ((1 << self.index_bits) - 1)) as usize
     }
 
@@ -90,6 +92,16 @@ impl BranchPredictor for GsharePredictor {
 
     fn name(&self) -> String {
         format!("gshare-{}k-h{}", self.table.len() / 1024, self.history_bits)
+    }
+
+    fn reset(&mut self) {
+        *self = GsharePredictor::new(self.index_bits, self.history_bits);
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        let mut fresh = self.clone();
+        fresh.reset();
+        Box::new(fresh)
     }
 }
 

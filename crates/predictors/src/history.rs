@@ -93,7 +93,10 @@ impl HistoryRegister {
     ///
     /// Panics if `out_bits` is zero or greater than 63.
     pub fn fold(&self, length: usize, out_bits: usize) -> u64 {
-        assert!(out_bits > 0 && out_bits < 64, "fold output must be 1..=63 bits");
+        assert!(
+            out_bits > 0 && out_bits < 64,
+            "fold output must be 1..=63 bits"
+        );
         let length = length.min(self.capacity);
         let mut folded: u64 = 0;
         let mut acc: u64 = 0;

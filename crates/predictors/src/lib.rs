@@ -50,4 +50,6 @@ pub use bimodal::BimodalPredictor;
 pub use gehl::GehlPredictor;
 pub use gshare::GsharePredictor;
 pub use perceptron::PerceptronPredictor;
-pub use predictor::{BranchPredictor, Prediction};
+pub use predictor::{
+    BranchPredictor, MarginPredictor, Prediction, PredictionOutcome, PredictorCore,
+};

@@ -114,14 +114,22 @@ impl BranchPredictor for PerceptronPredictor {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.weights.len() as u64
-            * (self.history_len as u64 + 1)
-            * u64::from(self.weight_bits)
+        self.weights.len() as u64 * (self.history_len as u64 + 1) * u64::from(self.weight_bits)
             + self.history_len as u64
     }
 
     fn name(&self) -> String {
         format!("perceptron-{}x{}", self.weights.len(), self.history_len)
+    }
+
+    fn reset(&mut self) {
+        *self = PerceptronPredictor::new(self.weights.len(), self.history_len);
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        let mut fresh = self.clone();
+        fresh.reset();
+        Box::new(fresh)
     }
 }
 

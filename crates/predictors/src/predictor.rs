@@ -1,4 +1,20 @@
-//! The common interface every conditional branch predictor implements.
+//! The common interfaces every conditional branch predictor implements.
+//!
+//! Two layers of abstraction live here:
+//!
+//! * [`BranchPredictor`] — the object-safe, margin-based interface shared by
+//!   every predictor. Its lookup result is the flat [`Prediction`] (direction
+//!   plus self-confidence margin), which is all the storage-based confidence
+//!   estimators need.
+//! * [`PredictorCore`] — the generic execution interface consumed by the
+//!   simulation engine (`tage_sim::engine`). Its associated `Lookup` type
+//!   lets a predictor expose its *full* observable output — the TAGE
+//!   predictor exposes its provider/counter observables, which is what the
+//!   storage-free confidence classification is built on — while baseline
+//!   predictors simply use [`Prediction`].
+//!
+//! Any [`BranchPredictor`] (including a trait object) can be driven through
+//! the engine by wrapping it in [`MarginPredictor`].
 
 use core::fmt;
 
@@ -39,6 +55,24 @@ impl fmt::Display for Prediction {
     }
 }
 
+/// A predictor lookup result that exposes, at minimum, its predicted
+/// direction.
+///
+/// Implemented by the flat [`Prediction`] and by richer observable outputs
+/// such as `tage::TagePrediction`; the simulation engine only needs the
+/// direction to score a lookup, everything else is for the confidence scheme
+/// attached to the run.
+pub trait PredictionOutcome {
+    /// The predicted direction (`true` = taken).
+    fn predicted_taken(&self) -> bool;
+}
+
+impl PredictionOutcome for Prediction {
+    fn predicted_taken(&self) -> bool {
+        self.taken
+    }
+}
+
 /// A trace-driven conditional branch predictor.
 ///
 /// The simulation protocol is: call [`BranchPredictor::predict`] for a branch
@@ -63,11 +97,176 @@ pub trait BranchPredictor {
     fn name(&self) -> String {
         "predictor".to_string()
     }
+
+    /// Clears all dynamic state (tables, histories, statistics) while
+    /// keeping the configuration, so the predictor starts a new trace cold.
+    fn reset(&mut self);
+
+    /// Creates a cold predictor with the same configuration.
+    ///
+    /// This is the duplication story for heterogeneous fleets: callers
+    /// holding a `dyn BranchPredictor` (a configured prototype) can stamp
+    /// out independent cold instances — e.g. one per trace or per thread —
+    /// without knowing the concrete type. Each instance starts cold and
+    /// shares no state with its siblings; the `Send` bound keeps the copies
+    /// movable across the scoped threads the suite runner uses.
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send>;
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        (**self).predict(pc)
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, prediction: &Prediction) {
+        (**self).update(pc, taken, prediction)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        (**self).clone_fresh()
+    }
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&mut self, pc: u64) -> Prediction {
+        (**self).predict(pc)
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, prediction: &Prediction) {
+        (**self).update(pc, taken, prediction)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        (**self).clone_fresh()
+    }
+}
+
+/// The generic execution interface the simulation engine drives.
+///
+/// Where [`BranchPredictor`] flattens every lookup into the margin-carrying
+/// [`Prediction`], `PredictorCore` preserves the predictor's full observable
+/// output through the associated [`PredictorCore::Lookup`] type, so that
+/// observation-based confidence schemes (the paper's storage-free TAGE
+/// classification) see everything the hardware would.
+///
+/// The protocol matches [`BranchPredictor`]: [`PredictorCore::lookup`] before
+/// resolution, [`PredictorCore::train`] with the resolved outcome and the
+/// matching lookup afterwards.
+pub trait PredictorCore {
+    /// The full observable output of one lookup.
+    type Lookup: PredictionOutcome;
+
+    /// Looks the predictor up for the conditional branch at `pc`.
+    fn lookup(&mut self, pc: u64) -> Self::Lookup;
+
+    /// Trains the predictor with the resolved outcome of the branch at `pc`.
+    /// `lookup` must be the value returned by the matching
+    /// [`PredictorCore::lookup`] call.
+    fn train(&mut self, pc: u64, taken: bool, lookup: &Self::Lookup);
+
+    /// Clears all dynamic state while keeping the configuration.
+    fn reset(&mut self);
+
+    /// Total storage the predictor uses, in bits.
+    fn storage_bits(&self) -> u64;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> String;
+}
+
+impl<P: PredictorCore + ?Sized> PredictorCore for &mut P {
+    type Lookup = P::Lookup;
+
+    fn lookup(&mut self, pc: u64) -> Self::Lookup {
+        (**self).lookup(pc)
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, lookup: &Self::Lookup) {
+        (**self).train(pc, taken, lookup)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// Adapts any [`BranchPredictor`] — concrete, `&mut` reference or trait
+/// object — to the engine-facing [`PredictorCore`] interface, using the flat
+/// margin-carrying [`Prediction`] as the lookup type.
+///
+/// # Example
+///
+/// ```
+/// use tage_predictors::{BranchPredictor, GsharePredictor, MarginPredictor, PredictorCore};
+///
+/// let mut gshare = GsharePredictor::new(10, 10);
+/// let mut core = MarginPredictor(&mut gshare as &mut dyn BranchPredictor);
+/// let lookup = core.lookup(0x4000);
+/// core.train(0x4000, true, &lookup);
+/// ```
+#[derive(Debug)]
+pub struct MarginPredictor<P>(pub P);
+
+impl<P: BranchPredictor> PredictorCore for MarginPredictor<P> {
+    type Lookup = Prediction;
+
+    fn lookup(&mut self, pc: u64) -> Prediction {
+        self.0.predict(pc)
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, lookup: &Prediction) {
+        self.0.update(pc, taken, lookup)
+    }
+
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.0.storage_bits()
+    }
+
+    fn name(&self) -> String {
+        self.0.name()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BimodalPredictor;
 
     #[test]
     fn prediction_constructors() {
@@ -77,6 +276,8 @@ mod tests {
         let d = Prediction::direction(false);
         assert!(!d.taken);
         assert_eq!(d.margin, 0);
+        assert!(p.predicted_taken());
+        assert!(!d.predicted_taken());
     }
 
     #[test]
@@ -90,5 +291,45 @@ mod tests {
         // Compile-time check: the trait must be usable as a trait object so
         // that the simulation harness can store heterogeneous predictors.
         fn _takes_dyn(_p: &dyn BranchPredictor) {}
+    }
+
+    #[test]
+    fn margin_predictor_adapts_a_trait_object() {
+        let mut bimodal = BimodalPredictor::new(8);
+        let mut core = MarginPredictor(&mut bimodal as &mut dyn BranchPredictor);
+        for _ in 0..4 {
+            let lookup = core.lookup(0x2000);
+            core.train(0x2000, true, &lookup);
+        }
+        assert!(core.lookup(0x2000).predicted_taken());
+        assert!(core.name().contains("bimodal"));
+        assert!(core.storage_bits() > 0);
+        core.reset();
+        assert_eq!(
+            core.lookup(0x2000).margin,
+            1,
+            "reset returns to the weak state"
+        );
+    }
+
+    #[test]
+    fn clone_fresh_starts_cold_and_keeps_the_configuration() {
+        let mut original = BimodalPredictor::new(8);
+        for _ in 0..4 {
+            let pred = original.predict(0x2000);
+            original.update(0x2000, true, &pred);
+        }
+        let mut fresh = original.clone_fresh();
+        assert_eq!(fresh.storage_bits(), original.storage_bits());
+        assert_eq!(fresh.name(), original.name());
+        assert_eq!(
+            fresh.predict(0x2000).margin,
+            1,
+            "a fresh clone must not inherit trained state"
+        );
+        assert!(
+            original.predict(0x2000).taken,
+            "the original keeps its state"
+        );
     }
 }

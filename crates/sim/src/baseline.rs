@@ -6,12 +6,19 @@
 //! runs any [`BranchPredictor`] together with any [`ConfidenceEstimator`]
 //! over a trace and reports the binary confidence metrics (SENS, SPEC, PVP,
 //! PVN) so the storage-free TAGE scheme can be compared against them.
+//!
+//! There is no bespoke loop here: the predictor is adapted through
+//! [`MarginPredictor`], the estimator through
+//! [`tage_confidence::EstimatorScheme`], and the pair runs through the exact
+//! same [`SimEngine`] path as the TAGE experiments.
 
 use core::fmt;
 
-use tage_confidence::{BinaryConfusion, ConfidenceEstimator, ConfidenceLevel};
-use tage_predictors::BranchPredictor;
+use tage_confidence::{BinaryConfusion, ConfidenceEstimator, ConfidenceLevel, EstimatorScheme};
+use tage_predictors::{BranchPredictor, MarginPredictor};
 use tage_traces::Trace;
+
+use crate::engine::{ReportObserver, SimEngine};
 
 /// The outcome of running a predictor plus a confidence estimator over a
 /// trace.
@@ -91,48 +98,40 @@ impl fmt::Display for BaselineRunResult {
 }
 
 /// Runs `predictor` with `estimator` over the conditional branches of
-/// `trace`.
+/// `trace` through the generic simulation engine.
 pub fn run_baseline(
     predictor: &mut dyn BranchPredictor,
     estimator: &mut dyn ConfidenceEstimator,
     trace: &Trace,
 ) -> BaselineRunResult {
-    let mut confusion = BinaryConfusion::default();
-    let mut conditional_branches = 0u64;
-    let mut mispredictions = 0u64;
-    let mut level_predictions = [0u64; 3];
-    let mut level_mispredictions = [0u64; 3];
+    let predictor_name = predictor.name();
+    let estimator_name = estimator.name();
+    let estimator_storage_bits = estimator.storage_bits();
 
-    for record in trace.iter() {
-        if !record.kind.is_conditional() {
-            continue;
-        }
-        conditional_branches += 1;
-        let prediction = predictor.predict(record.pc);
-        let level = estimator.estimate(record.pc, &prediction);
-        let mispredicted = prediction.taken != record.taken;
-        if mispredicted {
-            mispredictions += 1;
-        }
-        confusion.record(level == ConfidenceLevel::High, mispredicted);
-        level_predictions[level_index(level)] += 1;
-        if mispredicted {
-            level_mispredictions[level_index(level)] += 1;
-        }
-        estimator.update(record.pc, &prediction, record.taken);
-        predictor.update(record.pc, record.taken, &prediction);
-    }
+    let mut report = ReportObserver::default();
+    let mut engine = SimEngine::new(MarginPredictor(predictor), EstimatorScheme(estimator));
+    engine.run(trace, &mut report);
+    let report = report.report;
 
+    let level_stats = |level| report.level(level);
     BaselineRunResult {
         trace_name: trace.name().to_string(),
-        predictor_name: predictor.name(),
-        estimator_name: estimator.name(),
-        estimator_storage_bits: estimator.storage_bits(),
-        confusion,
-        conditional_branches,
-        mispredictions,
-        level_predictions,
-        level_mispredictions,
+        predictor_name,
+        estimator_name,
+        estimator_storage_bits,
+        confusion: report.binary_confusion(&[ConfidenceLevel::High]),
+        conditional_branches: report.total().predictions,
+        mispredictions: report.total().mispredictions,
+        level_predictions: [
+            level_stats(ConfidenceLevel::Low).predictions,
+            level_stats(ConfidenceLevel::Medium).predictions,
+            level_stats(ConfidenceLevel::High).predictions,
+        ],
+        level_mispredictions: [
+            level_stats(ConfidenceLevel::Low).mispredictions,
+            level_stats(ConfidenceLevel::Medium).mispredictions,
+            level_stats(ConfidenceLevel::High).mispredictions,
+        ],
     }
 }
 

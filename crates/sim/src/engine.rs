@@ -1,0 +1,584 @@
+//! The generic, predictor-agnostic simulation engine.
+//!
+//! Every experiment in the workspace used to carry its own copy of the trace
+//! loop: the TAGE runner, the baseline-estimator runner, the fetch-gating
+//! model and the SMT model all re-implemented "predict, grade confidence,
+//! record, train". [`SimEngine`] replaces those copies with one execution
+//! path generic over
+//!
+//! * the predictor, via [`PredictorCore`] — the TAGE predictor with its rich
+//!   observable lookup, or any [`tage_predictors::BranchPredictor`] (even a
+//!   trait object) through [`tage_predictors::MarginPredictor`];
+//! * the confidence scheme, via [`ConfidenceScheme`] — the storage-free TAGE
+//!   classifier or any storage-based baseline estimator through
+//!   [`tage_confidence::EstimatorScheme`];
+//! * per-branch instrumentation, via [`EngineObserver`] — report
+//!   accumulation, adaptive automaton control, gating policies, SMT fetch
+//!   arbitration. Observers compose as tuples and receive mutable access to
+//!   the predictor so controllers can steer it mid-run.
+//!
+//! The engine exposes two granularities: [`SimEngine::run`] drives a whole
+//! trace (warm-up exclusion, instruction accounting), while
+//! [`SimEngine::step_branch`] executes a single conditional branch so
+//! cycle-interleaved models (SMT) can share the exact same predict → assess
+//! → observe → train sequence.
+//!
+//! [`par_map`] provides the communication-free per-trace sharding used by
+//! `run_suite` and the experiment sweeps: results are written into
+//! preallocated slots and merged in deterministic input order, so a parallel
+//! suite run is bit-identical to a serial one.
+//!
+//! # Example: an arbitrary predictor × estimator cross-product
+//!
+//! ```
+//! use tage_confidence::estimators::JrsEstimator;
+//! use tage_confidence::EstimatorScheme;
+//! use tage_predictors::{GsharePredictor, MarginPredictor};
+//! use tage_sim::engine::{ReportObserver, SimEngine};
+//! use tage_traces::suites;
+//!
+//! let trace = suites::cbp1_like().traces()[0].generate(2_000);
+//! let mut engine = SimEngine::new(
+//!     MarginPredictor(GsharePredictor::new(12, 12)),
+//!     EstimatorScheme(JrsEstimator::classic(10)),
+//! );
+//! let mut report = ReportObserver::default();
+//! let summary = engine.run(&trace, &mut report);
+//! assert_eq!(summary.measured_branches, 2_000);
+//! assert_eq!(report.report.total().predictions, 2_000);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tage_confidence::scheme::{Assessment, ConfidenceScheme};
+use tage_confidence::ConfidenceReport;
+use tage_predictors::{PredictionOutcome, PredictorCore};
+use tage_traces::Trace;
+
+/// Everything the engine knows about one executed conditional branch,
+/// handed to every [`EngineObserver`].
+#[derive(Debug)]
+pub struct BranchEvent<'a, L> {
+    /// The branch PC.
+    pub pc: u64,
+    /// The resolved direction.
+    pub taken: bool,
+    /// Whether the final prediction was wrong.
+    pub mispredicted: bool,
+    /// The confidence scheme's verdict for this prediction.
+    pub assessment: Assessment,
+    /// The predictor's full lookup output.
+    pub lookup: &'a L,
+    /// Whether the branch falls inside the measured region (past warm-up).
+    pub in_measurement: bool,
+    /// Instructions attributed to this branch record (the branch itself plus
+    /// its preceding non-branch gap).
+    pub instructions: u64,
+}
+
+/// Per-branch instrumentation plugged into a [`SimEngine`] run.
+///
+/// `on_branch` fires after the scheme has observed the outcome and *before*
+/// the predictor trains, which is the window a run-time controller (the
+/// adaptive saturation controller of the paper's Section 6.2) needs to steer
+/// the predictor; pure collectors simply ignore the predictor argument.
+///
+/// Observers compose structurally: `(&mut a, &mut b)` runs `a` then `b`, and
+/// `Option<O>` is a no-op when `None`.
+pub trait EngineObserver<P: PredictorCore> {
+    /// Called once per conditional branch.
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>);
+
+    /// Called for every non-branch record (calls, returns, jumps) with its
+    /// instruction count.
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        let _ = (instructions, in_measurement);
+    }
+}
+
+/// The no-op observer.
+impl<P: PredictorCore> EngineObserver<P> for () {
+    fn on_branch(&mut self, _predictor: &mut P, _event: &BranchEvent<'_, P::Lookup>) {}
+}
+
+impl<P: PredictorCore, O: EngineObserver<P> + ?Sized> EngineObserver<P> for &mut O {
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        (**self).on_branch(predictor, event)
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        (**self).on_instructions(instructions, in_measurement)
+    }
+}
+
+impl<P: PredictorCore, O: EngineObserver<P>> EngineObserver<P> for Option<O> {
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        if let Some(observer) = self {
+            observer.on_branch(predictor, event)
+        }
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        if let Some(observer) = self {
+            observer.on_instructions(instructions, in_measurement)
+        }
+    }
+}
+
+impl<P: PredictorCore, A: EngineObserver<P>, B: EngineObserver<P>> EngineObserver<P> for (A, B) {
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        self.0.on_branch(predictor, event);
+        self.1.on_branch(predictor, event);
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        self.0.on_instructions(instructions, in_measurement);
+        self.1.on_instructions(instructions, in_measurement);
+    }
+}
+
+impl<P: PredictorCore, A: EngineObserver<P>, B: EngineObserver<P>, C: EngineObserver<P>>
+    EngineObserver<P> for (A, B, C)
+{
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        self.0.on_branch(predictor, event);
+        self.1.on_branch(predictor, event);
+        self.2.on_branch(predictor, event);
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        self.0.on_instructions(instructions, in_measurement);
+        self.1.on_instructions(instructions, in_measurement);
+        self.2.on_instructions(instructions, in_measurement);
+    }
+}
+
+/// Accumulates a per-class [`ConfidenceReport`] (with instruction counts for
+/// MPKI) over the measured region of a run — the observer behind every
+/// table and figure of the paper.
+///
+/// Classed assessments land in their prediction-class bucket; level-only
+/// assessments (baseline estimators) land in the report's level buckets.
+#[derive(Debug, Default)]
+pub struct ReportObserver {
+    /// The accumulated report.
+    pub report: ConfidenceReport,
+}
+
+impl<P: PredictorCore> EngineObserver<P> for ReportObserver {
+    fn on_branch(&mut self, _predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        if !event.in_measurement {
+            return;
+        }
+        match event.assessment.class {
+            Some(class) => self.report.record(class, event.mispredicted),
+            None => self
+                .report
+                .record_level(event.assessment.level, event.mispredicted),
+        }
+        self.report.add_instructions(event.instructions);
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        if in_measurement {
+            self.report.add_instructions(instructions);
+        }
+    }
+}
+
+/// The outcome of a single [`SimEngine::step_branch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The confidence scheme's verdict.
+    pub assessment: Assessment,
+    /// Whether the prediction was wrong.
+    pub mispredicted: bool,
+    /// Whether the branch fell inside the measured region.
+    pub in_measurement: bool,
+}
+
+/// Aggregate counters of one [`SimEngine::run`] call (measured region only,
+/// except `total_branches`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Conditional branches inside the measured region.
+    pub measured_branches: u64,
+    /// Mispredictions inside the measured region.
+    pub measured_mispredictions: u64,
+    /// Instructions attributed to the measured region.
+    pub measured_instructions: u64,
+    /// All conditional branches executed, including warm-up.
+    pub total_branches: u64,
+}
+
+/// The generic simulation engine: one predictor, one confidence scheme, one
+/// execution path for every experiment.
+///
+/// See the [module documentation](self) for the design; `runner`, `baseline`,
+/// `gating` and `smt` are all thin assemblies of this type.
+#[derive(Debug)]
+pub struct SimEngine<P, S>
+where
+    P: PredictorCore,
+    S: ConfidenceScheme<P::Lookup>,
+{
+    predictor: P,
+    scheme: S,
+    warmup_branches: u64,
+    conditional_seen: u64,
+}
+
+impl<P, S> SimEngine<P, S>
+where
+    P: PredictorCore,
+    S: ConfidenceScheme<P::Lookup>,
+{
+    /// Couples a predictor with a confidence scheme.
+    pub fn new(predictor: P, scheme: S) -> Self {
+        SimEngine {
+            predictor,
+            scheme,
+            warmup_branches: 0,
+            conditional_seen: 0,
+        }
+    }
+
+    /// Excludes the first `warmup_branches` conditional branches from the
+    /// measured statistics (the predictor still trains on them).
+    pub fn with_warmup(mut self, warmup_branches: u64) -> Self {
+        self.warmup_branches = warmup_branches;
+        self
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Mutable access to the wrapped predictor.
+    pub fn predictor_mut(&mut self) -> &mut P {
+        &mut self.predictor
+    }
+
+    /// The wrapped confidence scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Conditional branches executed so far (across `run` and `step_branch`
+    /// calls).
+    pub fn branches_executed(&self) -> u64 {
+        self.conditional_seen
+    }
+
+    /// Resets predictor, scheme and warm-up progress, so the engine starts
+    /// the next trace cold.
+    pub fn reset(&mut self) {
+        self.predictor.reset();
+        self.scheme.reset();
+        self.conditional_seen = 0;
+    }
+
+    /// Consumes the engine, returning the predictor and the scheme.
+    pub fn into_parts(self) -> (P, S) {
+        (self.predictor, self.scheme)
+    }
+
+    /// Executes one conditional branch through the full predict → assess →
+    /// observe → notify → train sequence.
+    ///
+    /// `instructions` is the instruction count attributed to the branch
+    /// record (forwarded to observers for MPKI accounting; pass the record's
+    /// [`tage_traces::BranchRecord::instructions`] or 0 when irrelevant).
+    pub fn step_branch<O: EngineObserver<P>>(
+        &mut self,
+        pc: u64,
+        taken: bool,
+        instructions: u64,
+        observer: &mut O,
+    ) -> StepOutcome {
+        let in_measurement = self.conditional_seen >= self.warmup_branches;
+        self.conditional_seen += 1;
+
+        let lookup = self.predictor.lookup(pc);
+        let assessment = self.scheme.assess(pc, &lookup);
+        let mispredicted = lookup.predicted_taken() != taken;
+        self.scheme.observe(pc, &lookup, taken);
+
+        let event = BranchEvent {
+            pc,
+            taken,
+            mispredicted,
+            assessment,
+            lookup: &lookup,
+            in_measurement,
+            instructions,
+        };
+        observer.on_branch(&mut self.predictor, &event);
+
+        self.predictor.train(pc, taken, &lookup);
+
+        StepOutcome {
+            assessment,
+            mispredicted,
+            in_measurement,
+        }
+    }
+
+    /// Drives the engine over every record of `trace`.
+    ///
+    /// Non-conditional records (calls, returns, jumps) contribute to the
+    /// instruction accounting but are not predicted, as in the paper's
+    /// methodology.
+    pub fn run<O: EngineObserver<P>>(&mut self, trace: &Trace, observer: &mut O) -> EngineSummary {
+        let mut summary = EngineSummary::default();
+        for record in trace.iter() {
+            if !record.kind.is_conditional() {
+                let in_measurement = self.conditional_seen >= self.warmup_branches;
+                observer.on_instructions(record.instructions(), in_measurement);
+                if in_measurement {
+                    summary.measured_instructions += record.instructions();
+                }
+                continue;
+            }
+            let outcome =
+                self.step_branch(record.pc, record.taken, record.instructions(), observer);
+            summary.total_branches += 1;
+            if outcome.in_measurement {
+                summary.measured_branches += 1;
+                summary.measured_instructions += record.instructions();
+                if outcome.mispredicted {
+                    summary.measured_mispredictions += 1;
+                }
+            }
+        }
+        summary
+    }
+}
+
+/// The number of worker threads [`par_map`] uses by default: one per
+/// available hardware thread.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` across up to `workers` scoped
+/// threads and returns the results **in input order**.
+///
+/// Work is handed out through a shared atomic cursor (communication-free
+/// sharding: no channels, no work stealing) and every result is written to
+/// its own preallocated slot, so the output is deterministic regardless of
+/// scheduling — `par_map(items, n, f)` equals `items.iter().map(f)` for any
+/// `n`. With `workers <= 1` the closure runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on a worker thread.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= items.len() {
+                    break;
+                }
+                let result = f(&items[index]);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage::{TageConfig, TagePredictor};
+    use tage_confidence::estimators::{JrsEstimator, SelfConfidenceEstimator};
+    use tage_confidence::{EstimatorScheme, TageConfidenceClassifier};
+    use tage_predictors::{BranchPredictor, GsharePredictor, MarginPredictor, PerceptronPredictor};
+    use tage_traces::suites;
+
+    fn small_trace(n: usize) -> tage_traces::Trace {
+        suites::cbp1_like().trace("INT-1").unwrap().generate(n)
+    }
+
+    fn tage_engine() -> SimEngine<TagePredictor, TageConfidenceClassifier> {
+        let config = TageConfig::small();
+        SimEngine::new(
+            TagePredictor::new(config.clone()),
+            TageConfidenceClassifier::new(&config),
+        )
+    }
+
+    #[test]
+    fn engine_counts_every_branch_and_instruction() {
+        let trace = small_trace(3_000);
+        let mut engine = tage_engine();
+        let mut report = ReportObserver::default();
+        let summary = engine.run(&trace, &mut report);
+        assert_eq!(summary.measured_branches, 3_000);
+        assert_eq!(summary.total_branches, 3_000);
+        assert_eq!(summary.measured_instructions, trace.instruction_count());
+        assert_eq!(report.report.total().predictions, 3_000);
+        assert_eq!(report.report.instructions(), trace.instruction_count());
+        assert_eq!(
+            report.report.total().mispredictions,
+            summary.measured_mispredictions
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_a_prefix_but_still_trains() {
+        let trace = small_trace(3_000);
+        let mut engine = tage_engine().with_warmup(1_000);
+        let mut report = ReportObserver::default();
+        let summary = engine.run(&trace, &mut report);
+        assert_eq!(summary.measured_branches, 2_000);
+        assert_eq!(summary.total_branches, 3_000);
+        assert_eq!(report.report.total().predictions, 2_000);
+        assert!(summary.measured_instructions < trace.instruction_count());
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let trace = small_trace(2_000);
+        let run = || {
+            let mut engine = tage_engine();
+            let mut report = ReportObserver::default();
+            engine.run(&trace, &mut report);
+            report.report
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_restores_a_cold_engine() {
+        let trace = small_trace(2_000);
+        let mut engine = tage_engine();
+        let mut first = ReportObserver::default();
+        engine.run(&trace, &mut first);
+        engine.reset();
+        assert_eq!(engine.branches_executed(), 0);
+        let mut second = ReportObserver::default();
+        engine.run(&trace, &mut second);
+        assert_eq!(first.report, second.report, "reset must erase all state");
+    }
+
+    #[test]
+    fn any_predictor_estimator_cross_product_runs() {
+        // The point of the refactor: arbitrary BranchPredictor × estimator
+        // pairs flow through the same engine, including via trait objects.
+        let trace = small_trace(2_000);
+
+        let mut gshare = GsharePredictor::new(12, 12);
+        let dyn_predictor: &mut dyn BranchPredictor = &mut gshare;
+        let mut engine = SimEngine::new(
+            MarginPredictor(dyn_predictor),
+            EstimatorScheme(JrsEstimator::classic(10)),
+        );
+        let mut report = ReportObserver::default();
+        engine.run(&trace, &mut report);
+        assert_eq!(report.report.total().predictions, 2_000);
+        // Baseline verdicts are level-only: class queries stay empty while
+        // level accounting is complete.
+        let by_level: u64 = tage_confidence::ConfidenceLevel::ALL
+            .iter()
+            .map(|&l| report.report.level(l).predictions)
+            .sum();
+        assert_eq!(by_level, 2_000);
+
+        let mut engine = SimEngine::new(
+            MarginPredictor(PerceptronPredictor::new(128, 16)),
+            EstimatorScheme(SelfConfidenceEstimator::new(30)),
+        );
+        let mut report = ReportObserver::default();
+        engine.run(&trace, &mut report);
+        assert_eq!(report.report.total().predictions, 2_000);
+    }
+
+    #[test]
+    fn observers_compose_and_see_the_predictor() {
+        struct CountHigh(u64);
+        impl<P: PredictorCore> EngineObserver<P> for CountHigh {
+            fn on_branch(&mut self, _p: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+                self.0 += u64::from(event.assessment.is_high());
+            }
+        }
+        let trace = small_trace(2_000);
+        let mut engine = tage_engine();
+        let mut report = ReportObserver::default();
+        let mut high = CountHigh(0);
+        engine.run(&trace, &mut (&mut report, &mut high, ()));
+        let high_level = report
+            .report
+            .level(tage_confidence::ConfidenceLevel::High)
+            .predictions;
+        assert_eq!(high.0, high_level);
+    }
+
+    #[test]
+    fn step_branch_matches_run() {
+        let trace = small_trace(1_500);
+        let mut stepped = tage_engine();
+        let mut whole = tage_engine();
+        let mut step_report = ReportObserver::default();
+        let mut run_report = ReportObserver::default();
+        whole.run(&trace, &mut run_report);
+        for record in trace.iter() {
+            if record.kind.is_conditional() {
+                stepped.step_branch(
+                    record.pc,
+                    record.taken,
+                    record.instructions(),
+                    &mut step_report,
+                );
+            } else {
+                EngineObserver::<TagePredictor>::on_instructions(
+                    &mut step_report,
+                    record.instructions(),
+                    true,
+                );
+            }
+        }
+        assert_eq!(step_report.report, run_report.report);
+    }
+
+    #[test]
+    fn par_map_is_order_preserving_and_worker_count_independent() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(&items, 1, |&x| x * x);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(par_map(&items, workers, |&x| x * x), serial);
+        }
+        assert_eq!(serial[36], 36 * 36);
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

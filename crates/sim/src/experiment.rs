@@ -2,7 +2,11 @@
 //!
 //! Each function here computes the data behind one (or several) of the
 //! paper's evaluation artefacts; the `tage-bench` binaries only format the
-//! returned rows. The mapping to the paper is:
+//! returned rows. Every function is built on the engine-backed
+//! [`run_suite`], so each suite evaluation — including every point of the
+//! probability sweep and the ablations — is sharded per trace across the
+//! available hardware threads with deterministic, bit-identical aggregation.
+//! The mapping to the paper is:
 //!
 //! | paper artefact | function |
 //! |---|---|
@@ -26,7 +30,11 @@ use crate::suite::{run_suite, SuiteRunResult};
 
 /// The three predictor sizes of Table 1, with the standard automaton.
 pub fn standard_configs() -> Vec<TageConfig> {
-    vec![TageConfig::small(), TageConfig::medium(), TageConfig::large()]
+    vec![
+        TageConfig::small(),
+        TageConfig::medium(),
+        TageConfig::large(),
+    ]
 }
 
 /// The three predictor sizes with the paper's modified automaton (1/128).
@@ -151,7 +159,12 @@ pub fn per_class_rates(
             .filter_map(|name| suite.trace(name).cloned())
             .collect(),
     );
-    let result = run_suite(config, &selected, branches_per_trace, &RunOptions::default());
+    let result = run_suite(
+        config,
+        &selected,
+        branches_per_trace,
+        &RunOptions::default(),
+    );
     result
         .traces
         .iter()
@@ -369,8 +382,12 @@ pub fn automaton_cost(suites: &[&Suite], branches_per_trace: usize) -> Vec<Autom
             let modified_config = config
                 .clone()
                 .with_automaton(CounterAutomaton::paper_default());
-            let modified =
-                run_suite(&modified_config, suite, branches_per_trace, &RunOptions::default());
+            let modified = run_suite(
+                &modified_config,
+                suite,
+                branches_per_trace,
+                &RunOptions::default(),
+            );
             rows.push(AutomatonCostRow {
                 config_name: config.name.clone(),
                 suite_name: suite.name().to_string(),
@@ -414,9 +431,7 @@ pub fn window_ablation(
             WindowAblationRow {
                 window,
                 medium_bim_pcov: result.aggregate.pcov(PredictionClass::MediumConfBim),
-                medium_bim_mprate_mkp: result
-                    .aggregate
-                    .mprate_mkp(PredictionClass::MediumConfBim),
+                medium_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::MediumConfBim),
                 high_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::HighConfBim),
             }
         })
@@ -507,7 +522,10 @@ mod tests {
         assert_eq!(rows[2].storage_bits, 256 * 1024);
         for row in &rows {
             assert!(row.cbp1_mpki > 0.0 && row.cbp1_mpki < 60.0, "{row:?}");
-            assert!((row.cbp1_mpki - row.cbp2_mpki).abs() < 1e-12, "same suite passed twice");
+            assert!(
+                (row.cbp1_mpki - row.cbp2_mpki).abs() < 1e-12,
+                "same suite passed twice"
+            );
         }
         // Bigger predictors should not be (meaningfully) worse.
         assert!(rows[2].cbp1_mpki <= rows[0].cbp1_mpki + 0.3);
@@ -556,7 +574,11 @@ mod tests {
         assert!(row.high.mprate_mkp < row.medium.mprate_mkp);
         assert!(row.medium.mprate_mkp < row.low.mprate_mkp);
         // Low confidence has a very high misprediction rate.
-        assert!(row.low.mprate_mkp > 150.0, "low rate {}", row.low.mprate_mkp);
+        assert!(
+            row.low.mprate_mkp > 150.0,
+            "low rate {}",
+            row.low.mprate_mkp
+        );
         assert!((row.mean_final_probability - 1.0 / 128.0).abs() < 1e-9);
     }
 

@@ -12,12 +12,20 @@
 //! prediction was actually correct and fetch was gated). That is enough to
 //! reproduce the qualitative trade-off the paper's Section 2 describes and
 //! to compare gating policies built on the three confidence levels.
+//!
+//! The front-end accounting is an [`EngineObserver`] plugged into the
+//! generic [`SimEngine`], so the gating model shares the exact simulation
+//! path (and can be attached to any predictor × confidence-scheme pair) of
+//! every other experiment.
 
 use core::fmt;
 
 use tage::{TageConfig, TagePredictor};
 use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
+use tage_predictors::PredictorCore;
 use tage_traces::Trace;
+
+use crate::engine::{BranchEvent, EngineObserver, SimEngine};
 
 /// What the front-end does when a branch of a given confidence level is
 /// in flight.
@@ -158,6 +166,67 @@ impl fmt::Display for GatingResult {
     }
 }
 
+/// The gating front-end accounting as a generic engine observer: charges
+/// each confidence-graded prediction with the policy's energy/performance
+/// cost. Works with any predictor driven through the engine.
+#[derive(Debug)]
+pub struct GatingObserver {
+    policy: GatingPolicy,
+    model: GatingModel,
+    /// Wrong-path instructions fetched (energy waste).
+    pub wrong_path_fetched: f64,
+    /// Fetch slots lost on gated/throttled correct predictions.
+    pub slots_lost_on_correct: f64,
+    /// Wrong-path instructions avoided relative to never gating.
+    pub wrong_path_avoided: f64,
+}
+
+impl GatingObserver {
+    /// Creates an observer for the given policy and cost model.
+    pub fn new(policy: GatingPolicy, model: GatingModel) -> Self {
+        GatingObserver {
+            policy,
+            model,
+            wrong_path_fetched: 0.0,
+            slots_lost_on_correct: 0.0,
+            wrong_path_avoided: 0.0,
+        }
+    }
+}
+
+impl<P: PredictorCore> EngineObserver<P> for GatingObserver {
+    fn on_branch(&mut self, _predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        // Keep the cost accounting on the same region as the engine's
+        // measured branch counts, so per-branch ratios stay consistent when
+        // the engine runs with a warm-up prefix.
+        if !event.in_measurement {
+            return;
+        }
+        let action = self.policy.action(event.assessment.level);
+        match (action, event.mispredicted) {
+            (GatingAction::Fetch, true) => {
+                self.wrong_path_fetched += self.model.wrong_path_instructions;
+            }
+            (GatingAction::Fetch, false) => {}
+            (GatingAction::Throttle, true) => {
+                let fetched = self.model.wrong_path_instructions * self.model.throttle_factor;
+                self.wrong_path_fetched += fetched;
+                self.wrong_path_avoided += self.model.wrong_path_instructions - fetched;
+            }
+            (GatingAction::Throttle, false) => {
+                self.slots_lost_on_correct +=
+                    self.model.wrong_path_instructions * (1.0 - self.model.throttle_factor);
+            }
+            (GatingAction::Gate, true) => {
+                self.wrong_path_avoided += self.model.wrong_path_instructions;
+            }
+            (GatingAction::Gate, false) => {
+                self.slots_lost_on_correct += self.model.wrong_path_instructions;
+            }
+        }
+    }
+}
+
 /// Simulates a gating policy on top of a TAGE predictor and its storage-free
 /// confidence classifier.
 pub fn simulate_gating(
@@ -166,54 +235,21 @@ pub fn simulate_gating(
     policy: GatingPolicy,
     model: &GatingModel,
 ) -> GatingResult {
-    let mut predictor = TagePredictor::new(config.clone());
-    let mut classifier = TageConfidenceClassifier::new(config);
-    let mut result = GatingResult {
+    let mut engine = SimEngine::new(
+        TagePredictor::new(config.clone()),
+        TageConfidenceClassifier::new(config),
+    );
+    let mut observer = GatingObserver::new(policy, *model);
+    let summary = engine.run(trace, &mut observer);
+    GatingResult {
         trace_name: trace.name().to_string(),
         policy,
-        branches: 0,
-        mispredictions: 0,
-        wrong_path_fetched: 0.0,
-        slots_lost_on_correct: 0.0,
-        wrong_path_avoided: 0.0,
-    };
-
-    for record in trace.iter() {
-        if !record.kind.is_conditional() {
-            continue;
-        }
-        result.branches += 1;
-        let prediction = predictor.predict(record.pc);
-        let level = classifier.classify_and_observe(&prediction, record.taken).level();
-        let mispredicted = prediction.taken != record.taken;
-        if mispredicted {
-            result.mispredictions += 1;
-        }
-        let action = policy.action(level);
-        match (action, mispredicted) {
-            (GatingAction::Fetch, true) => {
-                result.wrong_path_fetched += model.wrong_path_instructions;
-            }
-            (GatingAction::Fetch, false) => {}
-            (GatingAction::Throttle, true) => {
-                let fetched = model.wrong_path_instructions * model.throttle_factor;
-                result.wrong_path_fetched += fetched;
-                result.wrong_path_avoided += model.wrong_path_instructions - fetched;
-            }
-            (GatingAction::Throttle, false) => {
-                result.slots_lost_on_correct +=
-                    model.wrong_path_instructions * (1.0 - model.throttle_factor);
-            }
-            (GatingAction::Gate, true) => {
-                result.wrong_path_avoided += model.wrong_path_instructions;
-            }
-            (GatingAction::Gate, false) => {
-                result.slots_lost_on_correct += model.wrong_path_instructions;
-            }
-        }
-        predictor.update(record.pc, record.taken, &prediction);
+        branches: summary.measured_branches,
+        mispredictions: summary.measured_mispredictions,
+        wrong_path_fetched: observer.wrong_path_fetched,
+        slots_lost_on_correct: observer.slots_lost_on_correct,
+        wrong_path_avoided: observer.wrong_path_avoided,
     }
-    result
 }
 
 #[cfg(test)]
@@ -233,8 +269,18 @@ mod tests {
     #[test]
     fn never_gating_wastes_the_most_and_loses_nothing() {
         let trace = trace();
-        let never = simulate_gating(&config(), &trace, GatingPolicy::never(), &GatingModel::default());
-        let gate = simulate_gating(&config(), &trace, GatingPolicy::gate_low(), &GatingModel::default());
+        let never = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::never(),
+            &GatingModel::default(),
+        );
+        let gate = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::gate_low(),
+            &GatingModel::default(),
+        );
         assert!(never.wrong_path_fetched > gate.wrong_path_fetched);
         assert_eq!(never.slots_lost_on_correct, 0.0);
         assert_eq!(never.wrong_path_avoided, 0.0);
@@ -248,7 +294,12 @@ mod tests {
         // gating them should avoid more wrong-path fetch than the slots it
         // loses by a healthy factor ≥ the low-confidence accuracy trade-off.
         let trace = trace();
-        let gate = simulate_gating(&config(), &trace, GatingPolicy::gate_low(), &GatingModel::default());
+        let gate = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::gate_low(),
+            &GatingModel::default(),
+        );
         assert!(
             gate.wrong_path_avoided > gate.slots_lost_on_correct * 0.25,
             "avoided {} vs lost {}",
@@ -260,7 +311,12 @@ mod tests {
     #[test]
     fn three_level_policy_sits_between_never_and_gate_low() {
         let trace = trace();
-        let never = simulate_gating(&config(), &trace, GatingPolicy::never(), &GatingModel::default());
+        let never = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::never(),
+            &GatingModel::default(),
+        );
         let three = simulate_gating(
             &config(),
             &trace,
@@ -276,7 +332,10 @@ mod tests {
     fn policy_accessors_and_display() {
         let policy = GatingPolicy::gate_low_throttle_medium();
         assert_eq!(policy.action(ConfidenceLevel::Low), GatingAction::Gate);
-        assert_eq!(policy.action(ConfidenceLevel::Medium), GatingAction::Throttle);
+        assert_eq!(
+            policy.action(ConfidenceLevel::Medium),
+            GatingAction::Throttle
+        );
         assert_eq!(policy.action(ConfidenceLevel::High), GatingAction::Fetch);
         let trace = suites::cbp1_like().trace("FP-1").unwrap().generate(1_000);
         let result = simulate_gating(&config(), &trace, policy, &GatingModel::default());

@@ -3,11 +3,17 @@
 //!
 //! The crate ties the other workspace members together:
 //!
+//! * [`engine`] — the generic, predictor-agnostic simulation engine: one
+//!   execution path driving any predictor × confidence-scheme pair with
+//!   pluggable per-branch observers, plus the communication-free parallel
+//!   sharding helper behind every suite run. Everything below is a thin
+//!   assembly of it;
 //! * [`runner`] — runs a TAGE predictor plus the storage-free confidence
 //!   classifier over one trace and produces a per-class
 //!   [`tage_confidence::ConfidenceReport`];
 //! * [`suite`] — runs whole workload suites (the CBP-1-like and CBP-2-like
-//!   20-trace sets) and aggregates the results;
+//!   20-trace sets) in parallel, one worker per trace, and aggregates the
+//!   results deterministically;
 //! * [`experiment`] — the building blocks behind each table and figure of
 //!   the paper (class distributions, three-level summaries, probability
 //!   sweeps, automaton accuracy cost, ablations);
@@ -39,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
+pub mod engine;
 pub mod experiment;
 pub mod gating;
 pub mod report;
@@ -46,5 +53,6 @@ pub mod runner;
 pub mod smt;
 pub mod suite;
 
+pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
 pub use runner::{run_trace, RunOptions, TraceRunResult};
-pub use suite::{run_suite, SuiteRunResult};
+pub use suite::{run_suite, run_suite_with_parallelism, SuiteRunResult};

@@ -129,7 +129,12 @@ mod tests {
     fn short_and_long_rows_are_normalised() {
         let mut t = TextTable::new(vec!["a", "b", "c"]);
         t.row(vec!["1".to_string()]);
-        t.row(vec!["1".to_string(), "2".to_string(), "3".to_string(), "4".to_string()]);
+        t.row(vec![
+            "1".to_string(),
+            "2".to_string(),
+            "3".to_string(),
+            "4".to_string(),
+        ]);
         let s = t.render();
         assert!(s.contains("| 1 "));
         assert!(!s.contains('4'), "overflow cell should be dropped: {s}");

@@ -1,12 +1,19 @@
-//! Running one predictor over one trace.
+//! Running one TAGE predictor over one trace — a thin assembly of the
+//! generic [`SimEngine`]: the TAGE predictor as the [`PredictorCore`], the
+//! storage-free classifier as the [`ConfidenceScheme`], a [`ReportObserver`]
+//! for the statistics and (optionally) the adaptive saturation controller as
+//! a second observer steering the predictor mid-run.
+//!
+//! [`PredictorCore`]: tage_predictors::PredictorCore
+//! [`ConfidenceScheme`]: tage_confidence::ConfidenceScheme
 
 use core::fmt;
 
-use tage::{TageConfig, TagePredictor};
-use tage_confidence::{
-    AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier,
-};
+use tage::{TageConfig, TagePrediction, TagePredictor};
+use tage_confidence::{AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier};
 use tage_traces::Trace;
+
+use crate::engine::{BranchEvent, EngineObserver, ReportObserver, SimEngine};
 
 /// Options controlling a trace run.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +98,30 @@ impl fmt::Display for TraceRunResult {
     }
 }
 
+/// The adaptive saturation controller of Section 6.2 as an engine observer:
+/// it watches high-confidence outcomes and re-installs the automaton on the
+/// predictor whenever an adaptation window closes. It runs after the report
+/// observer and before the predictor trains, exactly as the bespoke loop
+/// did.
+struct AdaptiveObserver {
+    controller: AdaptiveSaturationController,
+}
+
+impl<'p> EngineObserver<&'p mut TagePredictor> for AdaptiveObserver {
+    fn on_branch(
+        &mut self,
+        predictor: &mut &'p mut TagePredictor,
+        event: &BranchEvent<'_, TagePrediction>,
+    ) {
+        if let Some(automaton) = self
+            .controller
+            .observe(event.assessment.level, event.mispredicted)
+        {
+            predictor.set_automaton(automaton);
+        }
+    }
+}
+
 /// Runs a TAGE predictor built from `config` over `trace`, classifying every
 /// conditional-branch prediction with the storage-free confidence
 /// classifier.
@@ -110,57 +141,25 @@ pub fn run_trace_with_predictor(
     options: &RunOptions,
 ) -> TraceRunResult {
     let config = predictor.config().clone();
-    let mut classifier =
-        TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
-    let mut controller = options
-        .adaptive_target_mkp
-        .map(|target| AdaptiveSaturationController::with_parameters(target, 16 * 1024));
-    if let Some(controller) = controller.as_ref() {
-        predictor.set_automaton(controller.automaton());
+    let classifier = TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
+    let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
+        controller: AdaptiveSaturationController::with_parameters(target, 16 * 1024),
+    });
+    if let Some(observer) = adaptive.as_ref() {
+        predictor.set_automaton(observer.controller.automaton());
     }
 
-    let mut report = ConfidenceReport::new();
-    let mut conditional_seen: u64 = 0;
-    let mut measured_branches: u64 = 0;
-    let mut measured_instructions: u64 = 0;
-
-    for record in trace.iter() {
-        let in_measurement = conditional_seen >= options.warmup_branches;
-        if !record.kind.is_conditional() {
-            if in_measurement {
-                measured_instructions += record.instructions();
-                report.add_instructions(record.instructions());
-            }
-            continue;
-        }
-        conditional_seen += 1;
-
-        let prediction = predictor.predict(record.pc);
-        let class = classifier.classify_and_observe(&prediction, record.taken);
-        let mispredicted = prediction.taken != record.taken;
-
-        if in_measurement {
-            report.record(class, mispredicted);
-            report.add_instructions(record.instructions());
-            measured_instructions += record.instructions();
-            measured_branches += 1;
-        }
-
-        if let Some(controller) = controller.as_mut() {
-            if let Some(automaton) = controller.observe(class.level(), mispredicted) {
-                predictor.set_automaton(automaton);
-            }
-        }
-
-        predictor.update(record.pc, record.taken, &prediction);
-    }
+    let mut report = ReportObserver::default();
+    let mut engine =
+        SimEngine::new(&mut *predictor, classifier).with_warmup(options.warmup_branches);
+    let summary = engine.run(trace, &mut (&mut report, adaptive.as_mut()));
 
     TraceRunResult {
         trace_name: trace.name().to_string(),
         config_name: config.name.clone(),
-        report,
-        conditional_branches: measured_branches,
-        instructions: measured_instructions,
+        report: report.report,
+        conditional_branches: summary.measured_branches,
+        instructions: summary.measured_instructions,
         final_saturation_probability: predictor.config().automaton.saturation_probability(),
     }
 }

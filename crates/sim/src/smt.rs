@@ -8,12 +8,19 @@
 //! branches in flight, so a thread that is likely on the wrong path does not
 //! hog the shared front-end; the baseline policy is round-robin (ICOUNT-like
 //! fairness without confidence information).
+//!
+//! Each hardware thread owns a [`SimEngine`] and fetches through
+//! [`SimEngine::step_branch`], so the per-branch predict → classify → train
+//! sequence is byte-for-byte the one every other experiment runs; only the
+//! cycle-level arbitration lives here.
 
 use core::fmt;
 
 use tage::{TageConfig, TagePredictor};
 use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
 use tage_traces::Trace;
+
+use crate::engine::SimEngine;
 
 /// Fetch arbitration policies for the two-thread model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,8 +96,7 @@ const RESOLVE_DELAY: u64 = 8;
 struct ThreadState<'a> {
     records: Vec<&'a tage_traces::BranchRecord>,
     next: usize,
-    predictor: TagePredictor,
-    classifier: TageConfidenceClassifier,
+    engine: SimEngine<TagePredictor, TageConfidenceClassifier>,
     /// (resolve_cycle, was_not_high_confidence, was_mispredicted)
     in_flight: Vec<(u64, bool, bool)>,
     result: SmtThreadResult,
@@ -99,13 +105,12 @@ struct ThreadState<'a> {
 impl<'a> ThreadState<'a> {
     fn new(config: &TageConfig, trace: &'a Trace) -> Self {
         ThreadState {
-            records: trace
-                .iter()
-                .filter(|r| r.kind.is_conditional())
-                .collect(),
+            records: trace.iter().filter(|r| r.kind.is_conditional()).collect(),
             next: 0,
-            predictor: TagePredictor::new(config.clone()),
-            classifier: TageConfidenceClassifier::new(config),
+            engine: SimEngine::new(
+                TagePredictor::new(config.clone()),
+                TageConfidenceClassifier::new(config),
+            ),
             in_flight: Vec::new(),
             result: SmtThreadResult::default(),
         }
@@ -124,7 +129,8 @@ impl<'a> ThreadState<'a> {
     }
 
     fn resolve(&mut self, cycle: u64) {
-        self.in_flight.retain(|(resolve_at, _, _)| *resolve_at > cycle);
+        self.in_flight
+            .retain(|(resolve_at, _, _)| *resolve_at > cycle);
     }
 
     fn fetch_one(&mut self, cycle: u64) {
@@ -138,21 +144,18 @@ impl<'a> ThreadState<'a> {
         }
         let record = self.records[self.next];
         self.next += 1;
-        let prediction = self.predictor.predict(record.pc);
-        let class = self
-            .classifier
-            .classify_and_observe(&prediction, record.taken);
-        let mispredicted = prediction.taken != record.taken;
+        let step = self
+            .engine
+            .step_branch(record.pc, record.taken, record.instructions(), &mut ());
         self.result.branches += 1;
-        if mispredicted {
+        if step.mispredicted {
             self.result.mispredictions += 1;
         }
         self.in_flight.push((
             cycle + RESOLVE_DELAY,
-            class.level() != ConfidenceLevel::High,
-            mispredicted,
+            step.assessment.level != ConfidenceLevel::High,
+            step.mispredicted,
         ));
-        self.predictor.update(record.pc, record.taken, &prediction);
     }
 }
 
@@ -222,7 +225,10 @@ mod tests {
             // out of trace.
             assert_eq!(result.total_branches(), result.cycles, "{policy}");
             assert!(result.threads.iter().all(|t| t.branches > 0), "{policy}");
-            assert!(result.threads.iter().any(|t| t.branches == 4_000), "{policy}");
+            assert!(
+                result.threads.iter().any(|t| t.branches == 4_000),
+                "{policy}"
+            );
             assert!(result.total_branches() <= 8_000);
         }
     }

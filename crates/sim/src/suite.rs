@@ -1,4 +1,12 @@
 //! Running whole workload suites and aggregating the results.
+//!
+//! Suite runs are sharded per trace across scoped threads
+//! ([`crate::engine::par_map`]): every trace is generated and simulated on
+//! its own worker with a cold predictor, and the per-trace reports are
+//! merged into the aggregate in suite order as they stream back. Because
+//! each trace run is deterministic and fully independent, the parallel
+//! result is **bit-identical** to a serial run — wall-clock drops from
+//! `sum(traces)` to roughly `max(trace)`.
 
 use core::fmt;
 
@@ -6,6 +14,7 @@ use tage::TageConfig;
 use tage_confidence::ConfidenceReport;
 use tage_traces::Suite;
 
+use crate::engine::{default_parallelism, par_map};
 use crate::runner::{run_trace, RunOptions, TraceRunResult};
 
 /// The outcome of running one predictor configuration over every trace of a
@@ -59,20 +68,42 @@ impl fmt::Display for SuiteRunResult {
 }
 
 /// Runs `config` over every trace of `suite`, generating
-/// `branches_per_trace` conditional branches per trace.
+/// `branches_per_trace` conditional branches per trace, sharded across one
+/// worker per available hardware thread.
 pub fn run_suite(
     config: &TageConfig,
     suite: &Suite,
     branches_per_trace: usize,
     options: &RunOptions,
 ) -> SuiteRunResult {
-    let mut traces = Vec::with_capacity(suite.traces().len());
-    let mut aggregate = ConfidenceReport::new();
-    for spec in suite.traces() {
+    run_suite_with_parallelism(
+        config,
+        suite,
+        branches_per_trace,
+        options,
+        default_parallelism(),
+    )
+}
+
+/// [`run_suite`] with an explicit worker count.
+///
+/// `workers == 1` runs the traces serially on the calling thread; any worker
+/// count produces the same, bit-identical result (per-trace runs are
+/// independent and deterministic, and aggregation happens in suite order).
+pub fn run_suite_with_parallelism(
+    config: &TageConfig,
+    suite: &Suite,
+    branches_per_trace: usize,
+    options: &RunOptions,
+    workers: usize,
+) -> SuiteRunResult {
+    let traces = par_map(suite.traces(), workers, |spec| {
         let trace = spec.generate(branches_per_trace);
-        let result = run_trace(config, &trace, options);
+        run_trace(config, &trace, options)
+    });
+    let mut aggregate = ConfidenceReport::new();
+    for result in &traces {
         aggregate.merge(&result.report);
-        traces.push(result);
     }
     SuiteRunResult {
         suite_name: suite.name().to_string(),
@@ -112,6 +143,20 @@ mod tests {
         assert!(result.aggregate_mkp() > 0.0);
         assert!(result.trace("FP-1").is_some());
         assert!(result.trace("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn parallel_suite_runs_are_bit_identical_to_serial() {
+        let suite = tiny_suite();
+        let config = TageConfig::small();
+        let serial = run_suite_with_parallelism(&config, &suite, 3_000, &RunOptions::default(), 1);
+        for workers in [2, 4, 16] {
+            let parallel =
+                run_suite_with_parallelism(&config, &suite, 3_000, &RunOptions::default(), workers);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+        let default = run_suite(&config, &suite, 3_000, &RunOptions::default());
+        assert_eq!(serial, default);
     }
 
     #[test]

@@ -205,7 +205,10 @@ mod tests {
     #[test]
     fn saturation_probability_reporting() {
         assert_eq!(CounterAutomaton::Standard.saturation_probability(), 1.0);
-        assert!((CounterAutomaton::probabilistic(7).saturation_probability() - 1.0 / 128.0).abs() < 1e-12);
+        assert!(
+            (CounterAutomaton::probabilistic(7).saturation_probability() - 1.0 / 128.0).abs()
+                < 1e-12
+        );
         assert!((CounterAutomaton::probabilistic(0).saturation_probability() - 1.0).abs() < 1e-12);
     }
 

@@ -373,7 +373,10 @@ impl Default for TageConfigBuilder {
 /// pinned to `min` and `max`.
 pub fn geometric_history_lengths(tables: usize, min: usize, max: usize) -> Vec<usize> {
     assert!(tables >= 1, "at least one tagged table is required");
-    assert!(min >= 1 && max >= min, "history lengths must satisfy 1 <= min <= max");
+    assert!(
+        min >= 1 && max >= min,
+        "history lengths must satisfy 1 <= min <= max"
+    );
     if tables == 1 {
         return vec![max];
     }
@@ -423,7 +426,11 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for config in [TageConfig::small(), TageConfig::medium(), TageConfig::large()] {
+        for config in [
+            TageConfig::small(),
+            TageConfig::medium(),
+            TageConfig::large(),
+        ] {
             assert!(config.validate().is_ok(), "{config}");
         }
     }
@@ -437,9 +444,15 @@ mod tests {
         assert_eq!(*lengths.last().unwrap(), 300);
         assert!(lengths.windows(2).all(|w| w[0] < w[1]), "{lengths:?}");
         // The ratio between consecutive lengths should be roughly constant.
-        let ratios: Vec<f64> = lengths.windows(2).map(|w| w[1] as f64 / w[0] as f64).collect();
+        let ratios: Vec<f64> = lengths
+            .windows(2)
+            .map(|w| w[1] as f64 / w[0] as f64)
+            .collect();
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!(ratios.iter().all(|r| (r / avg - 1.0).abs() < 0.35), "{ratios:?}");
+        assert!(
+            ratios.iter().all(|r| (r / avg - 1.0).abs() < 0.35),
+            "{ratios:?}"
+        );
     }
 
     #[test]
@@ -497,7 +510,10 @@ mod tests {
             .with_automaton(CounterAutomaton::probabilistic(7))
             .with_rng_seed(99);
         assert_eq!(c.rng_seed, 99);
-        assert!(matches!(c.automaton, CounterAutomaton::ProbabilisticSaturation { .. }));
+        assert!(matches!(
+            c.automaton,
+            CounterAutomaton::ProbabilisticSaturation { .. }
+        ));
     }
 
     #[test]

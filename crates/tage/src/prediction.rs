@@ -108,6 +108,12 @@ impl TagePrediction {
     }
 }
 
+impl tage_predictors::PredictionOutcome for TagePrediction {
+    fn predicted_taken(&self) -> bool {
+        self.taken
+    }
+}
+
 impl fmt::Display for TagePrediction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -117,7 +123,11 @@ impl fmt::Display for TagePrediction {
             self.provider,
             self.provider_counter,
             self.provider_magnitude,
-            if self.used_alternate { ", alt used" } else { "" }
+            if self.used_alternate {
+                ", alt used"
+            } else {
+                ""
+            }
         )
     }
 }

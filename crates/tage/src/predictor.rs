@@ -2,7 +2,7 @@
 
 use tage_predictors::counter::SignedCounter;
 use tage_predictors::history::HistoryRegister;
-use tage_predictors::{BranchPredictor, Prediction};
+use tage_predictors::{BranchPredictor, Prediction, PredictorCore};
 use tage_traces::SplitMix64;
 
 use crate::config::TageConfig;
@@ -70,11 +70,13 @@ impl TagePredictor {
         }
         let history_lengths = config.history_lengths();
         let tagged_entries = config.tagged_entries();
-        let tables = vec![
-            vec![TaggedEntry::new(config.counter_bits, config.useful_bits); tagged_entries];
-            config.num_tagged_tables
-        ];
-        let bimodal = vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
+        let tables =
+            vec![
+                vec![TaggedEntry::new(config.counter_bits, config.useful_bits); tagged_entries];
+                config.num_tagged_tables
+            ];
+        let bimodal =
+            vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
         let history = HistoryRegister::new(config.max_history + 8);
         let index_folds = history_lengths
             .iter()
@@ -183,8 +185,7 @@ impl TagePredictor {
         // Provider: hitting component with the longest history.
         let provider_table = (0..num_tables).rev().find(|&t| table_hits[t]);
         // Alternate: next hitting component, else the bimodal prediction.
-        let alternate_table = provider_table
-            .and_then(|p| (0..p).rev().find(|&t| table_hits[t]));
+        let alternate_table = provider_table.and_then(|p| (0..p).rev().find(|&t| table_hits[t]));
 
         let (alternate_taken, alternate_provider) = match alternate_table {
             Some(t) => {
@@ -202,7 +203,11 @@ impl TagePredictor {
                 // Use the alternate prediction for (likely newly allocated)
                 // weak entries when USE_ALT_ON_NA is non-negative.
                 let use_alt = weak && self.use_alt_on_na.value() >= 0;
-                let taken = if use_alt { alternate_taken } else { provider_taken };
+                let taken = if use_alt {
+                    alternate_taken
+                } else {
+                    provider_taken
+                };
                 TagePrediction {
                     taken,
                     provider: Provider::Tagged { table: t },
@@ -398,6 +403,42 @@ impl BranchPredictor for TagePredictor {
     fn name(&self) -> String {
         self.config.name.clone()
     }
+
+    fn reset(&mut self) {
+        TagePredictor::reset(self)
+    }
+
+    fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
+        Box::new(TagePredictor::new(self.config.clone()))
+    }
+}
+
+/// The engine-facing execution interface: unlike the flattening
+/// [`BranchPredictor`] impl above, this preserves the full observable
+/// [`TagePrediction`], so the storage-free confidence classification sees
+/// the provider component and its counter exactly as the hardware would.
+impl PredictorCore for TagePredictor {
+    type Lookup = TagePrediction;
+
+    fn lookup(&mut self, pc: u64) -> TagePrediction {
+        TagePredictor::predict(self, pc)
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, lookup: &TagePrediction) {
+        TagePredictor::update(self, pc, taken, lookup)
+    }
+
+    fn reset(&mut self) {
+        TagePredictor::reset(self)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+
+    fn name(&self) -> String {
+        self.config.name.clone()
+    }
 }
 
 #[cfg(test)]
@@ -481,7 +522,11 @@ mod tests {
         assert!(p.stats().allocations > 0);
         // Eventually a tagged component becomes the provider.
         let pred = p.predict(0x400400);
-        assert!(!pred.provider.is_bimodal(), "provider = {:?}", pred.provider);
+        assert!(
+            !pred.provider.is_bimodal(),
+            "provider = {:?}",
+            pred.provider
+        );
     }
 
     #[test]
@@ -495,7 +540,11 @@ mod tests {
 
     #[test]
     fn useful_reset_fires_periodically() {
-        let config = TageConfig::small().to_builder().useful_reset_period(64).build().unwrap();
+        let config = TageConfig::small()
+            .to_builder()
+            .useful_reset_period(64)
+            .build()
+            .unwrap();
         let mut p = TagePredictor::new(config);
         let outcomes: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
         run_branch(&mut p, 0x400600, &outcomes);
@@ -555,7 +604,7 @@ mod tests {
         }
         assert_eq!(inherent_misses, trait_misses);
         assert_eq!(BranchPredictor::storage_bits(&a), 16 * 1024);
-        assert_eq!(a.name(), "TAGE-16K");
+        assert_eq!(BranchPredictor::name(&a), "TAGE-16K");
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl fmt::Display for FormatError {
             FormatError::Io(e) => write!(f, "io error: {e}"),
             FormatError::BadMagic(m) => write!(f, "bad magic bytes {m:?}, expected {MAGIC:?}"),
             FormatError::UnsupportedVersion(v) => {
-                write!(f, "unsupported trace format version {v}, expected {VERSION}")
+                write!(
+                    f,
+                    "unsupported trace format version {v}, expected {VERSION}"
+                )
             }
             FormatError::InvalidKind(b) => write!(f, "invalid branch kind byte {b}"),
             FormatError::InvalidKindLetter(c) => write!(f, "invalid branch kind letter '{c}'"),
@@ -161,7 +164,10 @@ mod tests {
 
     #[test]
     fn invalid_encodings_are_rejected() {
-        assert!(matches!(kind_from_byte(42), Err(FormatError::InvalidKind(42))));
+        assert!(matches!(
+            kind_from_byte(42),
+            Err(FormatError::InvalidKind(42))
+        ));
         assert!(matches!(
             kind_from_letter('x'),
             Err(FormatError::InvalidKindLetter('x'))

@@ -125,7 +125,9 @@ fn parse_text_line(line: &str, line_no: usize) -> Result<BranchRecord, FormatErr
     let target = parts.next().ok_or_else(|| malformed("missing target"))?;
     let target = u64::from_str_radix(target, 16).map_err(|_| malformed("target is not hex"))?;
     let gap = parts.next().ok_or_else(|| malformed("missing gap"))?;
-    let gap: u32 = gap.parse().map_err(|_| malformed("gap is not an integer"))?;
+    let gap: u32 = gap
+        .parse()
+        .map_err(|_| malformed("gap is not an integer"))?;
     if parts.next().is_some() {
         return Err(malformed("trailing tokens"));
     }
@@ -259,7 +261,8 @@ mod tests {
     fn binary_round_trip_large_trace() {
         let trace = Trace::from_records(
             "big",
-            (0..10_000u64).map(|i| BranchRecord::conditional(0x1000 + i * 4, i % 3 == 0).with_gap(2)),
+            (0..10_000u64)
+                .map(|i| BranchRecord::conditional(0x1000 + i * 4, i % 3 == 0).with_gap(2)),
         );
         let bytes = TraceWriter::to_binary_bytes(&trace);
         let back = TraceReader::read_binary(&bytes[..]).unwrap();

@@ -177,7 +177,9 @@ mod tests {
     fn instructions_counts_gap_plus_branch() {
         assert_eq!(BranchRecord::conditional(0, true).instructions(), 1);
         assert_eq!(
-            BranchRecord::conditional(0, true).with_gap(10).instructions(),
+            BranchRecord::conditional(0, true)
+                .with_gap(10)
+                .instructions(),
             11
         );
     }

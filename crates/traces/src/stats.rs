@@ -58,10 +58,8 @@ impl TraceStats {
             static_pcs.entry(r.pc).or_insert(r.kind);
         }
         stats.static_branches = static_pcs.len() as u64;
-        stats.static_conditional = static_pcs
-            .values()
-            .filter(|k| k.is_conditional())
-            .count() as u64;
+        stats.static_conditional =
+            static_pcs.values().filter(|k| k.is_conditional()).count() as u64;
         stats
     }
 

@@ -136,32 +136,112 @@ pub fn cbp1_like() -> Suite {
     let mut traces = Vec::with_capacity(20);
     // FP: loop dominated, very predictable; FP-4/FP-5 slightly noisier.
     let fp = WorkloadProfile::fp_like();
-    traces.push(TraceSpec::new("FP-1", variant(fp.clone(), 0.8, 0.000, 0.00, 8), 0x1001));
-    traces.push(TraceSpec::new("FP-2", variant(fp.clone(), 1.0, 0.001, 0.00, 12), 0x1002));
-    traces.push(TraceSpec::new("FP-3", variant(fp.clone(), 1.2, 0.002, 0.02, 16), 0x1003));
-    traces.push(TraceSpec::new("FP-4", variant(fp.clone(), 1.5, 0.003, 0.04, 20), 0x1004));
-    traces.push(TraceSpec::new("FP-5", variant(fp, 2.0, 0.005, 0.05, 28), 0x1005));
+    traces.push(TraceSpec::new(
+        "FP-1",
+        variant(fp.clone(), 0.8, 0.000, 0.00, 8),
+        0x1001,
+    ));
+    traces.push(TraceSpec::new(
+        "FP-2",
+        variant(fp.clone(), 1.0, 0.001, 0.00, 12),
+        0x1002,
+    ));
+    traces.push(TraceSpec::new(
+        "FP-3",
+        variant(fp.clone(), 1.2, 0.002, 0.02, 16),
+        0x1003,
+    ));
+    traces.push(TraceSpec::new(
+        "FP-4",
+        variant(fp.clone(), 1.5, 0.003, 0.04, 20),
+        0x1004,
+    ));
+    traces.push(TraceSpec::new(
+        "FP-5",
+        variant(fp, 2.0, 0.005, 0.05, 28),
+        0x1005,
+    ));
     // INT: correlated, moderate footprint; INT-5 is small and very hot.
     let int = WorkloadProfile::integer_like();
-    traces.push(TraceSpec::new("INT-1", variant(int.clone(), 1.0, 0.003, 0.00, 16), 0x2001));
-    traces.push(TraceSpec::new("INT-2", variant(int.clone(), 1.4, 0.012, 0.08, 32), 0x2002));
-    traces.push(TraceSpec::new("INT-3", variant(int.clone(), 1.8, 0.018, 0.12, 24), 0x2003));
-    traces.push(TraceSpec::new("INT-4", variant(int.clone(), 1.2, 0.006, 0.04, 40), 0x2004));
-    traces.push(TraceSpec::new("INT-5", variant(int, 0.15, 0.001, 0.00, 12), 0x2005));
+    traces.push(TraceSpec::new(
+        "INT-1",
+        variant(int.clone(), 1.0, 0.003, 0.00, 16),
+        0x2001,
+    ));
+    traces.push(TraceSpec::new(
+        "INT-2",
+        variant(int.clone(), 1.4, 0.012, 0.08, 32),
+        0x2002,
+    ));
+    traces.push(TraceSpec::new(
+        "INT-3",
+        variant(int.clone(), 1.8, 0.018, 0.12, 24),
+        0x2003,
+    ));
+    traces.push(TraceSpec::new(
+        "INT-4",
+        variant(int.clone(), 1.2, 0.006, 0.04, 40),
+        0x2004,
+    ));
+    traces.push(TraceSpec::new(
+        "INT-5",
+        variant(int, 0.15, 0.001, 0.00, 12),
+        0x2005,
+    ));
     // MM: large data-dependent component, partly unpredictable.
     let mm = WorkloadProfile::multimedia_like();
-    traces.push(TraceSpec::new("MM-1", variant(mm.clone(), 1.0, 0.015, 0.12, 24), 0x3001));
-    traces.push(TraceSpec::new("MM-2", variant(mm.clone(), 1.3, 0.020, 0.15, 32), 0x3002));
-    traces.push(TraceSpec::new("MM-3", variant(mm.clone(), 0.8, 0.006, 0.04, 16), 0x3003));
-    traces.push(TraceSpec::new("MM-4", variant(mm.clone(), 1.0, 0.008, 0.06, 40), 0x3004));
-    traces.push(TraceSpec::new("MM-5", variant(mm, 1.6, 0.030, 0.20, 36), 0x3005));
+    traces.push(TraceSpec::new(
+        "MM-1",
+        variant(mm.clone(), 1.0, 0.015, 0.12, 24),
+        0x3001,
+    ));
+    traces.push(TraceSpec::new(
+        "MM-2",
+        variant(mm.clone(), 1.3, 0.020, 0.15, 32),
+        0x3002,
+    ));
+    traces.push(TraceSpec::new(
+        "MM-3",
+        variant(mm.clone(), 0.8, 0.006, 0.04, 16),
+        0x3003,
+    ));
+    traces.push(TraceSpec::new(
+        "MM-4",
+        variant(mm.clone(), 1.0, 0.008, 0.06, 40),
+        0x3004,
+    ));
+    traces.push(TraceSpec::new(
+        "MM-5",
+        variant(mm, 1.6, 0.030, 0.20, 36),
+        0x3005,
+    ));
     // SERV: huge footprint, low locality — capacity stressed.
     let srv = WorkloadProfile::server_like();
-    traces.push(TraceSpec::new("SERV-1", variant(srv.clone(), 1.0, 0.004, 0.03, 12), 0x4001));
-    traces.push(TraceSpec::new("SERV-2", variant(srv.clone(), 1.6, 0.008, 0.06, 16), 0x4002));
-    traces.push(TraceSpec::new("SERV-3", variant(srv.clone(), 1.3, 0.006, 0.05, 14), 0x4003));
-    traces.push(TraceSpec::new("SERV-4", variant(srv.clone(), 0.8, 0.003, 0.02, 10), 0x4004));
-    traces.push(TraceSpec::new("SERV-5", variant(srv, 2.0, 0.010, 0.08, 20), 0x4005));
+    traces.push(TraceSpec::new(
+        "SERV-1",
+        variant(srv.clone(), 1.0, 0.004, 0.03, 12),
+        0x4001,
+    ));
+    traces.push(TraceSpec::new(
+        "SERV-2",
+        variant(srv.clone(), 1.6, 0.008, 0.06, 16),
+        0x4002,
+    ));
+    traces.push(TraceSpec::new(
+        "SERV-3",
+        variant(srv.clone(), 1.3, 0.006, 0.05, 14),
+        0x4003,
+    ));
+    traces.push(TraceSpec::new(
+        "SERV-4",
+        variant(srv.clone(), 0.8, 0.003, 0.02, 10),
+        0x4004,
+    ));
+    traces.push(TraceSpec::new(
+        "SERV-5",
+        variant(srv, 2.0, 0.010, 0.08, 20),
+        0x4005,
+    ));
     Suite::new("CBP-1-like", traces)
 }
 
@@ -175,24 +255,84 @@ pub fn cbp2_like() -> Suite {
 
     let traces = vec![
         // Compression codes: sizeable intrinsically-unpredictable component.
-        TraceSpec::new("164.gzip", variant(mm.clone(), 0.7, 0.030, 0.22, 20), 0x5001),
-        TraceSpec::new("175.vpr", variant(int.clone(), 1.0, 0.018, 0.12, 28), 0x5002),
+        TraceSpec::new(
+            "164.gzip",
+            variant(mm.clone(), 0.7, 0.030, 0.22, 20),
+            0x5001,
+        ),
+        TraceSpec::new(
+            "175.vpr",
+            variant(int.clone(), 1.0, 0.018, 0.12, 28),
+            0x5002,
+        ),
         // gcc: large footprint, correlated.
-        TraceSpec::new("176.gcc", variant(srv.clone(), 0.6, 0.004, 0.02, 32), 0x5003),
-        TraceSpec::new("181.mcf", variant(int.clone(), 0.8, 0.015, 0.12, 20), 0x5004),
-        TraceSpec::new("186.crafty", variant(int.clone(), 1.3, 0.010, 0.08, 40), 0x5005),
-        TraceSpec::new("197.parser", variant(int.clone(), 1.2, 0.012, 0.10, 32), 0x5006),
-        TraceSpec::new("201.compress", variant(mm.clone(), 0.5, 0.025, 0.18, 16), 0x5007),
-        TraceSpec::new("202.jess", variant(srv.clone(), 0.5, 0.003, 0.02, 20), 0x5008),
-        TraceSpec::new("205.raytrace", variant(fp.clone(), 1.2, 0.002, 0.03, 14), 0x5009),
+        TraceSpec::new(
+            "176.gcc",
+            variant(srv.clone(), 0.6, 0.004, 0.02, 32),
+            0x5003,
+        ),
+        TraceSpec::new(
+            "181.mcf",
+            variant(int.clone(), 0.8, 0.015, 0.12, 20),
+            0x5004,
+        ),
+        TraceSpec::new(
+            "186.crafty",
+            variant(int.clone(), 1.3, 0.010, 0.08, 40),
+            0x5005,
+        ),
+        TraceSpec::new(
+            "197.parser",
+            variant(int.clone(), 1.2, 0.012, 0.10, 32),
+            0x5006,
+        ),
+        TraceSpec::new(
+            "201.compress",
+            variant(mm.clone(), 0.5, 0.025, 0.18, 16),
+            0x5007,
+        ),
+        TraceSpec::new(
+            "202.jess",
+            variant(srv.clone(), 0.5, 0.003, 0.02, 20),
+            0x5008,
+        ),
+        TraceSpec::new(
+            "205.raytrace",
+            variant(fp.clone(), 1.2, 0.002, 0.03, 14),
+            0x5009,
+        ),
         TraceSpec::new("209.db", variant(srv.clone(), 0.7, 0.005, 0.04, 24), 0x500A),
-        TraceSpec::new("213.javac", variant(srv.clone(), 0.9, 0.006, 0.04, 28), 0x500B),
-        TraceSpec::new("222.mpegaudio", variant(fp.clone(), 0.9, 0.000, 0.00, 10), 0x500C),
-        TraceSpec::new("227.mtrt", variant(fp.clone(), 1.1, 0.002, 0.02, 16), 0x500D),
-        TraceSpec::new("228.jack", variant(srv.clone(), 0.6, 0.005, 0.03, 22), 0x500E),
+        TraceSpec::new(
+            "213.javac",
+            variant(srv.clone(), 0.9, 0.006, 0.04, 28),
+            0x500B,
+        ),
+        TraceSpec::new(
+            "222.mpegaudio",
+            variant(fp.clone(), 0.9, 0.000, 0.00, 10),
+            0x500C,
+        ),
+        TraceSpec::new(
+            "227.mtrt",
+            variant(fp.clone(), 1.1, 0.002, 0.02, 16),
+            0x500D,
+        ),
+        TraceSpec::new(
+            "228.jack",
+            variant(srv.clone(), 0.6, 0.005, 0.03, 22),
+            0x500E,
+        ),
         TraceSpec::new("252.eon", variant(fp.clone(), 0.8, 0.000, 0.00, 8), 0x500F),
-        TraceSpec::new("253.perlbmk", variant(srv.clone(), 0.8, 0.003, 0.02, 26), 0x5010),
-        TraceSpec::new("254.gap", variant(int.clone(), 0.9, 0.005, 0.04, 22), 0x5011),
+        TraceSpec::new(
+            "253.perlbmk",
+            variant(srv.clone(), 0.8, 0.003, 0.02, 26),
+            0x5010,
+        ),
+        TraceSpec::new(
+            "254.gap",
+            variant(int.clone(), 0.9, 0.005, 0.04, 22),
+            0x5011,
+        ),
         TraceSpec::new("255.vortex", variant(srv, 0.9, 0.002, 0.01, 24), 0x5012),
         TraceSpec::new("256.bzip2", variant(mm, 0.6, 0.020, 0.15, 18), 0x5013),
         // twolf: the paper's canonical "intrinsically unpredictable" trace.
@@ -259,9 +399,9 @@ mod tests {
         let suite = cbp1_like();
         let traces = suite.generate_all(500);
         assert_eq!(traces.len(), 20);
-        assert!(traces.iter().all(|t| {
-            t.iter().filter(|r| r.kind.is_conditional()).count() == 500
-        }));
+        assert!(traces
+            .iter()
+            .all(|t| { t.iter().filter(|r| r.kind.is_conditional()).count() == 500 }));
     }
 
     #[test]

@@ -244,7 +244,9 @@ impl WorkloadProfile {
         if self.pattern_length_range.0 == 0
             || self.pattern_length_range.0 > self.pattern_length_range.1
         {
-            return Err("pattern_length_range must be a non-empty range starting at >= 1".to_string());
+            return Err(
+                "pattern_length_range must be a non-empty range starting at >= 1".to_string(),
+            );
         }
         if self.bias_range.0 > self.bias_range.1 {
             return Err("bias_range must be ordered".to_string());
@@ -353,6 +355,9 @@ mod tests {
 
     #[test]
     fn server_profile_has_much_larger_footprint_than_fp() {
-        assert!(WorkloadProfile::server_like().static_branches > 10 * WorkloadProfile::fp_like().static_branches);
+        assert!(
+            WorkloadProfile::server_like().static_branches
+                > 10 * WorkloadProfile::fp_like().static_branches
+        );
     }
 }

@@ -61,7 +61,10 @@ impl SyntheticProgram {
             panic!("invalid workload profile: {reason}");
         }
         let mut rng = SplitMix64::new(seed ^ 0x5351_4E54_4845_5449);
-        let routine_count = profile.static_branches.div_ceil(profile.routine_size).max(1);
+        let routine_count = profile
+            .static_branches
+            .div_ceil(profile.routine_size)
+            .max(1);
         let mut routines = Vec::with_capacity(routine_count);
         let mut remaining = profile.static_branches;
         for r in 0..routine_count {
@@ -129,15 +132,13 @@ impl SyntheticProgram {
             };
             if self.emit_calls {
                 let gap = self.walker_rng.next_gap(self.gap_mean, 255);
-                trace.push(
-                    BranchRecord {
-                        pc: entry_pc,
-                        target: entry_pc + 0x40,
-                        taken: true,
-                        kind: BranchKind::Call,
-                        gap,
-                    },
-                );
+                trace.push(BranchRecord {
+                    pc: entry_pc,
+                    target: entry_pc + 0x40,
+                    taken: true,
+                    kind: BranchKind::Call,
+                    gap,
+                });
             }
             for b in 0..branch_len {
                 if emitted >= branch_count {
@@ -235,7 +236,13 @@ fn sample_behavior(profile: &WorkloadProfile, rng: &mut SplitMix64) -> BranchBeh
         // predictor.
         let dominant = rng.chance(0.7);
         let pattern = (0..len.max(1))
-            .map(|_| if rng.chance(0.88) { dominant } else { !dominant })
+            .map(|_| {
+                if rng.chance(0.88) {
+                    dominant
+                } else {
+                    !dominant
+                }
+            })
             .collect::<Vec<_>>();
         return BranchBehavior::pattern(if pattern.iter().all(|&b| !b) {
             vec![true]
@@ -304,7 +311,10 @@ impl SyntheticTraceBuilder {
     /// records (plus call/return records if the profile asks for them).
     pub fn build(&self, conditional_branches: usize) -> Trace {
         let mut program = SyntheticProgram::from_profile(&self.profile, self.seed);
-        let mut trace = Trace::with_capacity(self.name.clone(), conditional_branches + conditional_branches / 4);
+        let mut trace = Trace::with_capacity(
+            self.name.clone(),
+            conditional_branches + conditional_branches / 4,
+        );
         program.generate(conditional_branches, &mut trace);
         trace
     }
@@ -354,10 +364,7 @@ mod tests {
     #[test]
     fn requested_conditional_count_is_exact() {
         let trace = SyntheticTraceBuilder::new("c", WorkloadProfile::fp_like(), 5).build(3_000);
-        let conditional = trace
-            .iter()
-            .filter(|r| r.kind.is_conditional())
-            .count();
+        let conditional = trace.iter().filter(|r| r.kind.is_conditional()).count();
         assert_eq!(conditional, 3_000);
     }
 
@@ -382,9 +389,17 @@ mod tests {
         };
         let trace = SyntheticTraceBuilder::new("f", profile, 9).build(5_000);
         let stats = trace.stats();
-        assert!(stats.static_conditional <= 50, "{}", stats.static_conditional);
+        assert!(
+            stats.static_conditional <= 50,
+            "{}",
+            stats.static_conditional
+        );
         // Most of the footprint should actually be exercised.
-        assert!(stats.static_conditional >= 20, "{}", stats.static_conditional);
+        assert!(
+            stats.static_conditional >= 20,
+            "{}",
+            stats.static_conditional
+        );
     }
 
     #[test]

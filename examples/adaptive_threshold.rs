@@ -19,7 +19,10 @@ fn main() {
     );
     for name in ["FP-1", "INT-1", "MM-5", "SERV-2"] {
         let trace = suite.trace(name).expect("trace exists").generate(300_000);
-        for (mode, options) in [("fixed", RunOptions::default()), ("adaptive", RunOptions::adaptive())] {
+        for (mode, options) in [
+            ("fixed", RunOptions::default()),
+            ("adaptive", RunOptions::adaptive()),
+        ] {
             let result = run_trace(&config, &trace, &options);
             println!(
                 "{:<10} {:<10} {:>11.3} {:>14.1} {:>12.5}",
@@ -32,6 +35,8 @@ fn main() {
         }
     }
     println!();
-    println!("On predictable traces the controller relaxes the probability (growing the high class);");
+    println!(
+        "On predictable traces the controller relaxes the probability (growing the high class);"
+    );
     println!("on hard traces it tightens it to keep the high-confidence misprediction rate near the 10 MKP target.");
 }

@@ -9,7 +9,9 @@ use tage_confidence_suite::tage::{CounterAutomaton, TageConfig};
 use tage_confidence_suite::traces::suites;
 
 fn main() {
-    let trace_name = std::env::args().nth(1).unwrap_or_else(|| "MM-3".to_string());
+    let trace_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MM-3".to_string());
     let cbp1 = suites::cbp1_like();
     let cbp2 = suites::cbp2_like();
     let spec = cbp1
@@ -17,18 +19,29 @@ fn main() {
         .or_else(|| cbp2.trace(&trace_name))
         .unwrap_or_else(|| {
             eprintln!("unknown trace {trace_name}, falling back to MM-3");
-            cbp1.trace("MM-3").expect("MM-3 exists in the CBP-1-like suite")
+            cbp1.trace("MM-3")
+                .expect("MM-3 exists in the CBP-1-like suite")
         });
     let trace = spec.generate(300_000);
 
     println!("trace: {trace}");
     println!();
-    for automaton in [CounterAutomaton::Standard, CounterAutomaton::paper_default()] {
+    for automaton in [
+        CounterAutomaton::Standard,
+        CounterAutomaton::paper_default(),
+    ] {
         let config = TageConfig::medium().with_automaton(automaton);
         let result = run_trace(&config, &trace, &RunOptions::default());
         println!("--- {} automaton ({automaton}) ---", config.name);
-        println!("overall: {:.2} MPKI, {:.1} MKP", result.mpki(), result.mkp());
-        println!("{:<16} {:>8} {:>8} {:>12}", "class", "Pcov", "MPcov", "MPrate (MKP)");
+        println!(
+            "overall: {:.2} MPKI, {:.1} MKP",
+            result.mpki(),
+            result.mkp()
+        );
+        println!(
+            "{:<16} {:>8} {:>8} {:>12}",
+            "class", "Pcov", "MPcov", "MPrate (MKP)"
+        );
         for class in PredictionClass::ALL {
             println!(
                 "{:<16} {:>8.3} {:>8.3} {:>12.1}",

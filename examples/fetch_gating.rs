@@ -22,7 +22,10 @@ fn main() {
         for (label, policy) in [
             ("never gate", GatingPolicy::never()),
             ("gate low", GatingPolicy::gate_low()),
-            ("gate low + throttle medium", GatingPolicy::gate_low_throttle_medium()),
+            (
+                "gate low + throttle medium",
+                GatingPolicy::gate_low_throttle_medium(),
+            ),
         ] {
             let result = simulate_gating(&config, &trace, policy, &model);
             println!(

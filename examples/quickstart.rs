@@ -49,7 +49,10 @@ fn main() {
         } else {
             counts[1] as f64 * 100.0 / total as f64
         };
-        println!("{name:>16} | {total:>11} | {:>12} | {rate:>6.2} %", counts[1]);
+        println!(
+            "{name:>16} | {total:>11} | {:>12} | {rate:>6.2} %",
+            counts[1]
+        );
     }
     println!();
     println!(

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: formatting, lints, build, tests and a throughput smoke.
+# This is what CI runs; keep it green before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "== throughput smoke =="
+cargo run --release --bin throughput 50000 BENCH_throughput.json
+
+echo "verify: OK"

@@ -19,7 +19,11 @@ fn modified(config: TageConfig) -> TageConfig {
 #[test]
 fn every_class_count_adds_up_across_the_pipeline() {
     let trace = suites::cbp1_like().trace("INT-2").unwrap().generate(N);
-    let result = run_trace(&modified(TageConfig::small()), &trace, &RunOptions::default());
+    let result = run_trace(
+        &modified(TageConfig::small()),
+        &trace,
+        &RunOptions::default(),
+    );
     let by_class: u64 = PredictionClass::ALL
         .iter()
         .map(|&c| result.report.class(c).predictions)
@@ -35,7 +39,10 @@ fn every_class_count_adds_up_across_the_pipeline() {
 
 #[test]
 fn trace_serialisation_does_not_change_simulation_results() {
-    let trace = suites::cbp2_like().trace("181.mcf").unwrap().generate(20_000);
+    let trace = suites::cbp2_like()
+        .trace("181.mcf")
+        .unwrap()
+        .generate(20_000);
     let bytes = TraceWriter::to_binary_bytes(&trace);
     let reloaded = TraceReader::read_binary(&bytes[..]).expect("valid trace bytes");
     let config = modified(TageConfig::medium());
@@ -109,7 +116,11 @@ fn three_levels_are_ordered_on_every_cbp1_trace() {
 fn modified_automaton_purifies_the_saturated_class() {
     let trace = suites::cbp1_like().trace("MM-1").unwrap().generate(60_000);
     let standard = run_trace(&TageConfig::small(), &trace, &RunOptions::default());
-    let probabilistic = run_trace(&modified(TageConfig::small()), &trace, &RunOptions::default());
+    let probabilistic = run_trace(
+        &modified(TageConfig::small()),
+        &trace,
+        &RunOptions::default(),
+    );
     let std_stag = standard.report.mprate_mkp(PredictionClass::Stag);
     let mod_stag = probabilistic.report.mprate_mkp(PredictionClass::Stag);
     assert!(
@@ -122,7 +133,10 @@ fn modified_automaton_purifies_the_saturated_class() {
 
 #[test]
 fn adaptive_controller_keeps_high_confidence_near_its_target_on_a_hard_trace() {
-    let trace = suites::cbp1_like().trace("SERV-1").unwrap().generate(120_000);
+    let trace = suites::cbp1_like()
+        .trace("SERV-1")
+        .unwrap()
+        .generate(120_000);
     let config = modified(TageConfig::small());
     let fixed = run_trace(&config, &trace, &RunOptions::default());
     let adaptive = run_trace(&config, &trace, &RunOptions::adaptive());
@@ -139,7 +153,10 @@ fn adaptive_controller_keeps_high_confidence_near_its_target_on_a_hard_trace() {
 
 #[test]
 fn warmup_option_only_removes_the_prefix() {
-    let trace = suites::cbp2_like().trace("254.gap").unwrap().generate(30_000);
+    let trace = suites::cbp2_like()
+        .trace("254.gap")
+        .unwrap()
+        .generate(30_000);
     let config = modified(TageConfig::medium());
     let full = run_trace(&config, &trace, &RunOptions::default());
     let skipped = run_trace(

@@ -79,9 +79,18 @@ fn claim_bimodal_subclasses_are_ordered() {
     let low = result.aggregate.mprate_mkp(PredictionClass::LowConfBim);
     let medium = result.aggregate.mprate_mkp(PredictionClass::MediumConfBim);
     let high = result.aggregate.mprate_mkp(PredictionClass::HighConfBim);
-    assert!(low > medium, "low-conf-bim {low} should exceed medium-conf-bim {medium}");
-    assert!(medium > high, "medium-conf-bim {medium} should exceed high-conf-bim {high}");
-    assert!(low > 150.0, "low-conf-bim should be in the coin-flip range, got {low}");
+    assert!(
+        low > medium,
+        "low-conf-bim {low} should exceed medium-conf-bim {medium}"
+    );
+    assert!(
+        medium > high,
+        "medium-conf-bim {medium} should exceed high-conf-bim {high}"
+    );
+    assert!(
+        low > 150.0,
+        "low-conf-bim should be in the coin-flip range, got {low}"
+    );
 }
 
 #[test]
@@ -93,7 +102,10 @@ fn claim_three_levels_have_very_different_rates() {
         N,
         &RunOptions::default(),
     );
-    assert!(row.high.pcov > row.low.pcov, "high confidence must cover more predictions than low");
+    assert!(
+        row.high.pcov > row.low.pcov,
+        "high confidence must cover more predictions than low"
+    );
     assert!(row.low.mprate_mkp > 3.0 * row.high.mprate_mkp);
     assert!(row.medium.mprate_mkp > row.high.mprate_mkp);
     assert!(row.low.mprate_mkp > row.medium.mprate_mkp);
@@ -125,7 +137,10 @@ fn claim_probability_trades_coverage_for_purity() {
     let rows = probability_sweep(&TageConfig::small(), &cross_section(), N, &[4, 7]);
     let p16 = &rows[0];
     let p128 = &rows[1];
-    assert!(p16.high_pcov >= p128.high_pcov, "1/16 should cover at least as much as 1/128");
+    assert!(
+        p16.high_pcov >= p128.high_pcov,
+        "1/16 should cover at least as much as 1/128"
+    );
     assert!(
         p16.high_mprate_mkp >= p128.high_mprate_mkp,
         "1/16 ({}) should have a rate at least as high as 1/128 ({})",
@@ -158,8 +173,14 @@ fn claim_larger_predictors_shrink_the_bim_miss_volume_on_capacity_bound_traces()
             PredictionClass::MediumConfBim,
             PredictionClass::LowConfBim,
         ];
-        let predictions: u64 = classes.iter().map(|&c| result.aggregate.class(c).predictions).sum();
-        let misses: u64 = classes.iter().map(|&c| result.aggregate.class(c).mispredictions).sum();
+        let predictions: u64 = classes
+            .iter()
+            .map(|&c| result.aggregate.class(c).predictions)
+            .sum();
+        let misses: u64 = classes
+            .iter()
+            .map(|&c| result.aggregate.class(c).mispredictions)
+            .sum();
         misses as f64 * 1000.0 / predictions.max(1) as f64
     };
     let small_rate = bim_rate(&small);
@@ -217,8 +238,14 @@ fn claim_storage_free_estimate_matches_table_based_estimators() {
     let mut jrs = JrsEstimator::classic(12);
     let jrs_result = run_baseline(&mut gshare, &mut jrs, &trace);
 
-    let tage_result = run_trace(&modified(TageConfig::medium()), &trace, &RunOptions::default());
-    let tage_confusion = tage_result.report.binary_confusion(&[ConfidenceLevel::High]);
+    let tage_result = run_trace(
+        &modified(TageConfig::medium()),
+        &trace,
+        &RunOptions::default(),
+    );
+    let tage_confusion = tage_result
+        .report
+        .binary_confusion(&[ConfidenceLevel::High]);
 
     assert!(
         tage_confusion.pvp() >= jrs_result.confusion.pvp() - 0.02,
