@@ -1,25 +1,73 @@
 //! Throughput smoke test: end-to-end simulated branches per second through
-//! the generic engine, for the perf trajectory tracked across PRs.
+//! the generic engine, plus heap-allocation accounting for the hot path —
+//! the perf trajectory tracked across PRs.
 //!
-//! Prints a human-readable summary and writes `BENCH_throughput.json` into
-//! the current directory (override the path with the second CLI argument).
+//! The binary installs a counting global allocator, so every measurement
+//! reports `allocs_per_branch` alongside throughput. The TAGE lookup/update
+//! path is required to be allocation-free: `predict_hot_path` and
+//! `engine_single_trace` assert zero heap allocations per branch and the
+//! process exits non-zero if the hot path regresses.
 //!
-//! Run with: `cargo run --release --bin throughput [branches] [json-path]`
+//! Prints a human-readable summary and appends a labelled entry to the
+//! `BENCH_throughput.json` trajectory (see `docs/BENCHMARKS.md` for the
+//! schema; re-running with the same label replaces the last entry).
+//!
+//! Run with:
+//! `cargo run --release --bin throughput [branches] [json-path] [label]`
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use tage::{CounterAutomaton, TageConfig, TagePredictor};
-use tage_bench::{branches_from_args, print_header};
+use tage::{CounterAutomaton, ReferenceTagePredictor, TageConfig, TagePredictor};
+use tage_bench::{branches_from_args, print_header, trajectory};
 use tage_confidence::TageConfidenceClassifier;
 use tage_sim::engine::{default_parallelism, ReportObserver, SimEngine};
 use tage_sim::runner::RunOptions;
 use tage_sim::suite::run_suite;
 use tage_traces::suites;
 
+/// A [`System`]-backed allocator that counts every allocation, so the
+/// measurements below can report heap allocations per simulated branch.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f`, returning its result, the wall-clock seconds it took and the
+/// number of heap allocations it performed (process-wide).
+fn timed_counting<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let result = f();
+    let seconds = start.elapsed().as_secs_f64();
+    let allocations = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
+    (result, seconds, allocations)
+}
+
 struct Measurement {
     name: &'static str,
     branches: u64,
     seconds: f64,
+    allocations: u64,
 }
 
 impl Measurement {
@@ -30,83 +78,183 @@ impl Measurement {
             self.branches as f64 / self.seconds
         }
     }
+
+    fn allocations_per_branch(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.allocations as f64 / self.branches as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"branches\": {}, \"seconds\": {:.6}, \"branches_per_sec\": {:.0}, \"allocs_per_branch\": {:.6}}}",
+            self.name,
+            self.branches,
+            self.seconds,
+            self.branches_per_second(),
+            self.allocations_per_branch()
+        )
+    }
 }
 
 fn main() {
     let branches = branches_from_args();
-    print_header("Throughput smoke — simulated branches per second", branches);
+    print_header(
+        "Throughput smoke — simulated branches per second, heap allocations per branch",
+        branches,
+    );
 
     let config = TageConfig::medium().with_automaton(CounterAutomaton::paper_default());
     let mut measurements = Vec::new();
 
-    // 1. Single-trace engine throughput (predict + classify + train).
+    // 1. The raw lookup hot path: `predict` on a trained predictor. This is
+    //    the path the SoA tables + fixed scratch refactor made
+    //    allocation-free; it must stay at exactly zero allocs per branch.
     let trace = suites::cbp1_like()
         .trace("INT-1")
         .expect("trace exists")
         .generate(branches);
+    let mut predictor = TagePredictor::new(config.clone());
+    for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+        let prediction = predictor.predict(record.pc);
+        predictor.update(record.pc, record.taken, &prediction);
+    }
+    let lookups = branches as u64;
+    let (sink, seconds, allocations) = timed_counting(|| {
+        let mut agree = 0u64;
+        for record in trace.iter().filter(|r| r.kind.is_conditional()) {
+            let prediction = predictor.predict(record.pc);
+            agree += u64::from(prediction.taken == record.taken);
+        }
+        agree
+    });
+    assert!(sink <= lookups);
+    measurements.push(Measurement {
+        name: "predict_hot_path",
+        branches: lookups,
+        seconds,
+        allocations,
+    });
+
+    // 2. Single-trace engine throughput (predict + classify + train).
     let mut engine = SimEngine::new(
         TagePredictor::new(config.clone()),
         TageConfidenceClassifier::new(&config),
     );
     let mut report = ReportObserver::default();
-    let start = Instant::now();
-    let summary = engine.run(&trace, &mut report);
+    let (summary, seconds, allocations) = timed_counting(|| engine.run(&trace, &mut report));
     measurements.push(Measurement {
         name: "engine_single_trace",
         branches: summary.measured_branches,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds,
+        allocations,
     });
 
-    // 2. Whole-suite throughput with parallel per-trace sharding.
+    // 3. The same engine loop with the nested-Vec reference predictor: a
+    //    same-host, same-run baseline, so every trajectory entry carries the
+    //    honest before/after ratio of the SoA + scratch refactor (entries
+    //    recorded on different hosts are not directly comparable).
+    let mut engine = SimEngine::new(
+        ReferenceTagePredictor::new(config.clone()),
+        TageConfidenceClassifier::new(&config),
+    );
+    let mut report = ReportObserver::default();
+    let (summary, seconds, allocations) = timed_counting(|| engine.run(&trace, &mut report));
+    measurements.push(Measurement {
+        name: "engine_reference_nested_vec",
+        branches: summary.measured_branches,
+        seconds,
+        allocations,
+    });
+
+    // 4. Whole-suite throughput with parallel per-trace sharding (trace
+    //    generation and result aggregation allocate; reported, not asserted).
     let suite = suites::cbp1_like();
     let per_trace = (branches / 10).max(1_000);
-    let start = Instant::now();
-    let result = run_suite(&config, &suite, per_trace, &RunOptions::default());
+    let (result, seconds, allocations) =
+        timed_counting(|| run_suite(&config, &suite, per_trace, &RunOptions::default()));
     measurements.push(Measurement {
         name: "suite_parallel",
         branches: result.aggregate.total().predictions,
-        seconds: start.elapsed().as_secs_f64(),
+        seconds,
+        allocations,
     });
 
     println!(
-        "{:<22} {:>14} {:>10} {:>16}",
-        "measurement", "branches", "seconds", "branches/sec"
+        "{:<22} {:>14} {:>10} {:>16} {:>18}",
+        "measurement", "branches", "seconds", "branches/sec", "allocs/branch"
     );
     for m in &measurements {
         println!(
-            "{:<22} {:>14} {:>10.3} {:>16.0}",
+            "{:<22} {:>14} {:>10.3} {:>16.0} {:>18.6}",
             m.name,
             m.branches,
             m.seconds,
-            m.branches_per_second()
+            m.branches_per_second(),
+            m.allocations_per_branch()
         );
     }
     println!();
     println!("workers available: {}", default_parallelism());
 
-    // Machine-readable trajectory record (hand-rolled JSON: no deps).
+    // The hot path must be allocation-free: fail loudly if it regresses.
+    let mut hot_path_clean = true;
+    for m in &measurements {
+        if matches!(m.name, "predict_hot_path" | "engine_single_trace") && m.allocations != 0 {
+            eprintln!(
+                "REGRESSION: {} performed {} heap allocations ({:.6} per branch); \
+                 the TAGE hot path must be allocation-free",
+                m.name,
+                m.allocations,
+                m.allocations_per_branch()
+            );
+            hot_path_clean = false;
+        }
+    }
+
+    // Append to the machine-readable trajectory (hand-rolled JSON: no deps).
     let json_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-    let entries: Vec<String> = measurements
-        .iter()
-        .map(|m| {
-            format!(
-                "  {{\"name\": \"{}\", \"branches\": {}, \"seconds\": {:.6}, \"branches_per_sec\": {:.0}}}",
-                m.name,
-                m.branches,
-                m.seconds,
-                m.branches_per_second()
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n \"bench\": \"throughput\",\n \"workers\": {},\n \"measurements\": [\n{}\n ]\n}}\n",
-        default_parallelism(),
-        entries.join(",\n")
-    );
-    match std::fs::write(&json_path, json) {
-        Ok(()) => println!("wrote {json_path}"),
-        Err(error) => eprintln!("could not write {json_path}: {error}"),
+    let label = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "current".to_string());
+    // Never clobber history: the trajectory file is an append-only record
+    // across PRs, so an existing file that cannot be read or yields no
+    // entries (truncated, hand-mangled) blocks the write instead of being
+    // silently replaced by this run's single entry.
+    let mut entries = Vec::new();
+    let mut trajectory_writable = true;
+    match std::fs::read_to_string(&json_path) {
+        Ok(existing) => {
+            entries = trajectory::existing_entries(&existing);
+            if entries.is_empty() && !existing.trim().is_empty() {
+                eprintln!(
+                    "refusing to overwrite {json_path}: existing content has no extractable \
+                     trajectory entries (corrupt file?) — fix or remove it first"
+                );
+                trajectory_writable = false;
+            }
+        }
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+        Err(error) => {
+            eprintln!("refusing to overwrite {json_path}: cannot read existing file: {error}");
+            trajectory_writable = false;
+        }
+    }
+    if trajectory_writable {
+        let rendered: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+        trajectory::push_entry(&mut entries, trajectory::render_entry(&label, &rendered));
+        let json = trajectory::render_file(default_parallelism(), &entries);
+        match std::fs::write(&json_path, json) {
+            Ok(()) => println!("wrote {json_path} (entry \"{label}\")"),
+            Err(error) => eprintln!("could not write {json_path}: {error}"),
+        }
+    }
+
+    if !hot_path_clean || !trajectory_writable {
+        std::process::exit(1);
     }
 }

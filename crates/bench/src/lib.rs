@@ -32,6 +32,279 @@ pub fn print_header(what: &str, branches: usize) {
     println!();
 }
 
+pub mod trajectory {
+    //! Helpers for the `BENCH_throughput.json` benchmark-trajectory file.
+    //!
+    //! The file is an append-only series of measurement entries (see
+    //! `docs/BENCHMARKS.md` for the schema): every `throughput` run appends
+    //! one labelled entry, so the file records how hot-path performance moved
+    //! across PRs. The workspace has no JSON dependency, so these helpers do
+    //! the minimal structural work on the formats the `throughput` bin
+    //! itself writes: extracting the existing entries (including migrating
+    //! the schema-1 file that predates the trajectory) and re-rendering the
+    //! file with a new entry appended.
+    //!
+    //! Re-running with the *same* label replaces the last entry instead of
+    //! appending, so repeated local `verify.sh` runs do not grow the file.
+
+    /// Current schema version of the trajectory file.
+    pub const SCHEMA_VERSION: u32 = 2;
+
+    /// Label under which a schema-1 file's measurements are preserved when
+    /// the file is first migrated to the trajectory schema.
+    pub const LEGACY_LABEL: &str = "nested-vec baseline (schema 1)";
+
+    /// Extracts the raw JSON objects of an array field named `key` from
+    /// `json`, using brace balancing (string-literal aware). Returns an
+    /// empty vector if the field is absent.
+    fn extract_array_objects(json: &str, key: &str) -> Vec<String> {
+        let needle = format!("\"{key}\":");
+        let Some(start) = json.find(&needle) else {
+            return Vec::new();
+        };
+        let Some(open) = json[start..].find('[') else {
+            return Vec::new();
+        };
+        let mut objects = Vec::new();
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut object_start = None;
+        for (offset, c) in json[start + open..].char_indices() {
+            let position = start + open + offset;
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => {
+                    if depth == 0 {
+                        object_start = Some(position);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(from) = object_start.take() {
+                            objects.push(json[from..=position].to_string());
+                        }
+                    }
+                }
+                ']' if depth == 0 => break,
+                _ => {}
+            }
+        }
+        objects
+    }
+
+    /// Extracts the existing trajectory entries from a previously written
+    /// `BENCH_throughput.json`, whatever its schema:
+    ///
+    /// * schema 2: the entries of the `trajectory` array, verbatim;
+    /// * schema 1 (a bare `measurements` array): one synthesised entry
+    ///   labelled [`LEGACY_LABEL`] wrapping those measurements.
+    pub fn existing_entries(json: &str) -> Vec<String> {
+        let entries = extract_array_objects(json, "trajectory");
+        if !entries.is_empty() {
+            return entries;
+        }
+        let measurements = extract_array_objects(json, "measurements");
+        if measurements.is_empty() {
+            return Vec::new();
+        }
+        vec![render_entry(LEGACY_LABEL, &measurements)]
+    }
+
+    /// Escapes a label for embedding in a JSON string literal: quotes and
+    /// backslashes are escaped, control characters are replaced by spaces.
+    fn escape_label(label: &str) -> String {
+        let mut escaped = String::with_capacity(label.len());
+        for c in label.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                c if c.is_control() => escaped.push(' '),
+                c => escaped.push(c),
+            }
+        }
+        escaped
+    }
+
+    /// Extracts an entry's `label` value (unescaped), if present.
+    pub fn entry_label(entry: &str) -> Option<String> {
+        let start = entry.find("\"label\":")? + "\"label\":".len();
+        let rest = entry[start..].trim_start().strip_prefix('"')?;
+        let mut label = String::new();
+        let mut escaped = false;
+        for c in rest.chars() {
+            if escaped {
+                label.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(label);
+            } else {
+                label.push(c);
+            }
+        }
+        None
+    }
+
+    /// Renders one trajectory entry from a label and raw measurement
+    /// objects.
+    pub fn render_entry(label: &str, measurements: &[String]) -> String {
+        let measurements: Vec<String> = measurements
+            .iter()
+            .map(|m| format!("    {}", m.trim()))
+            .collect();
+        format!(
+            "  {{\n   \"label\": \"{}\",\n   \"measurements\": [\n{}\n   ]\n  }}",
+            escape_label(label),
+            measurements.join(",\n")
+        )
+    }
+
+    /// Renders the whole trajectory file.
+    ///
+    /// Entries extracted from an existing file start at their `{` (the
+    /// extractor drops the surrounding indentation), so the first line is
+    /// re-indented here to keep the rendered file stable across append
+    /// cycles.
+    pub fn render_file(workers: usize, entries: &[String]) -> String {
+        let entries: Vec<String> = entries
+            .iter()
+            .map(|entry| {
+                if entry.starts_with(' ') {
+                    entry.clone()
+                } else {
+                    format!("  {entry}")
+                }
+            })
+            .collect();
+        format!(
+            "{{\n \"bench\": \"throughput\",\n \"schema\": {},\n \"workers\": {},\n \"trajectory\": [\n{}\n ]\n}}\n",
+            SCHEMA_VERSION,
+            workers,
+            entries.join(",\n")
+        )
+    }
+
+    /// Appends `entry` to `entries`, replacing the last entry instead when
+    /// it carries the same label (so re-runs update rather than grow the
+    /// trajectory).
+    pub fn push_entry(entries: &mut Vec<String>, entry: String) {
+        let replace = entries
+            .last()
+            .and_then(|last| entry_label(last))
+            .is_some_and(|last_label| Some(last_label) == entry_label(&entry));
+        if replace {
+            *entries.last_mut().expect("non-empty") = entry;
+        } else {
+            entries.push(entry);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const LEGACY: &str = r#"{
+ "bench": "throughput",
+ "workers": 1,
+ "measurements": [
+  {"name": "engine_single_trace", "branches": 50000, "seconds": 0.010769, "branches_per_sec": 4642755},
+  {"name": "suite_parallel", "branches": 100000, "seconds": 0.022130, "branches_per_sec": 4518823}
+ ]
+}"#;
+
+        #[test]
+        fn legacy_file_is_migrated_into_one_labelled_entry() {
+            let entries = existing_entries(LEGACY);
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entry_label(&entries[0]).as_deref(), Some(LEGACY_LABEL));
+            assert!(entries[0].contains("engine_single_trace"));
+            assert!(entries[0].contains("4642755"));
+        }
+
+        #[test]
+        fn round_trip_preserves_entries() {
+            let first = render_entry("a", &[r#"{"name": "x", "branches": 1}"#.to_string()]);
+            let second = render_entry("b", &[r#"{"name": "y", "branches": 2}"#.to_string()]);
+            let file = render_file(4, &[first.clone(), second.clone()]);
+            let extracted = existing_entries(&file);
+            assert_eq!(extracted.len(), 2);
+            assert_eq!(entry_label(&extracted[0]).as_deref(), Some("a"));
+            assert_eq!(entry_label(&extracted[1]).as_deref(), Some("b"));
+            assert!(extracted[1].contains("\"y\""));
+            // Re-rendering extracted entries reproduces the file verbatim,
+            // so formatting cannot drift across append cycles.
+            assert_eq!(render_file(4, &extracted), file);
+        }
+
+        #[test]
+        fn labels_with_quotes_and_backslashes_round_trip() {
+            let label = r#"fast "soa" \ run"#;
+            let entry = render_entry(label, &["{}".to_string()]);
+            assert_eq!(entry_label(&entry).as_deref(), Some(label));
+            // The rendered file stays valid for the extractor and keeps the
+            // entry intact on the next append cycle.
+            let file = render_file(1, &[entry]);
+            let extracted = existing_entries(&file);
+            assert_eq!(extracted.len(), 1);
+            assert_eq!(entry_label(&extracted[0]).as_deref(), Some(label));
+            // Same-label replacement still works through the escaping.
+            let mut entries = extracted;
+            push_entry(
+                &mut entries,
+                render_entry(label, &[r#"{"v": 2}"#.to_string()]),
+            );
+            assert_eq!(entries.len(), 1);
+            assert!(entries[0].contains("\"v\""));
+        }
+
+        #[test]
+        fn push_entry_replaces_same_label_appends_new() {
+            let mut entries = vec![render_entry("base", &["{}".to_string()])];
+            push_entry(
+                &mut entries,
+                render_entry("current", &[r#"{"name": "v1"}"#.to_string()]),
+            );
+            assert_eq!(entries.len(), 2);
+            push_entry(
+                &mut entries,
+                render_entry("current", &[r#"{"name": "v2"}"#.to_string()]),
+            );
+            assert_eq!(entries.len(), 2, "same label replaces the last entry");
+            assert!(entries[1].contains("v2"));
+            assert!(!entries[1].contains("v1"));
+        }
+
+        #[test]
+        fn absent_fields_yield_no_entries() {
+            assert!(existing_entries("{}").is_empty());
+            assert!(existing_entries("not json at all").is_empty());
+            assert_eq!(entry_label("{}"), None);
+        }
+
+        #[test]
+        fn extraction_ignores_braces_inside_strings() {
+            let tricky = r#"{"trajectory": [ {"label": "odd { ] value", "measurements": []} ]}"#;
+            let entries = existing_entries(tricky);
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entry_label(&entries[0]).as_deref(), Some("odd { ] value"));
+        }
+    }
+}
+
 pub mod harness {
     //! A tiny, dependency-free micro-benchmark harness.
     //!

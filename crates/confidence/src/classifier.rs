@@ -163,9 +163,7 @@ mod tests {
             alternate_taken: taken,
             alternate_provider: Provider::Bimodal,
             used_alternate: false,
-            table_indices: vec![0; 4],
-            table_tags: vec![0; 4],
-            table_hits: vec![false; 4],
+            tables: tage::TableLookups::cold(4),
             bimodal_index: 0,
             bimodal_counter: counter,
         }
@@ -181,9 +179,7 @@ mod tests {
             alternate_taken: taken,
             alternate_provider: Provider::Bimodal,
             used_alternate: false,
-            table_indices: vec![0; 4],
-            table_tags: vec![0; 4],
-            table_hits: vec![false; 4],
+            tables: tage::TableLookups::cold(4),
             bimodal_index: 0,
             bimodal_counter: 1,
         }

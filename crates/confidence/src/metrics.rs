@@ -13,7 +13,6 @@
 //! SPEC, PVP, PVN), which only make sense for a two-way high/low split;
 //! [`BinaryConfusion`] implements those for any chosen "high" subset.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::class::{ConfidenceLevel, PredictionClass};
@@ -68,15 +67,30 @@ impl ClassStats {
 /// assert_eq!(report.class(PredictionClass::Wtag).mispredictions, 1);
 /// assert!((report.mpki() - 10.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The report is part of the engine's per-branch path
+/// ([`crate::ConfidenceReport::record`] runs once per measured branch), so
+/// the buckets are fixed arrays indexed by enum discriminant — recording is
+/// two array writes and never touches the heap.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfidenceReport {
-    classes: BTreeMap<PredictionClass, ClassStats>,
+    classes: [ClassStats; PredictionClass::ALL.len()],
     /// Predictions graded with a confidence level but no prediction class
     /// (the binary/ternary baseline estimators, which have no notion of the
     /// paper's 7 classes).
-    unclassed_levels: BTreeMap<ConfidenceLevel, ClassStats>,
+    unclassed_levels: [ClassStats; ConfidenceLevel::ALL.len()],
     total: ClassStats,
     instructions: u64,
+}
+
+impl Default for ConfidenceReport {
+    fn default() -> Self {
+        ConfidenceReport {
+            classes: [ClassStats::default(); PredictionClass::ALL.len()],
+            unclassed_levels: [ClassStats::default(); ConfidenceLevel::ALL.len()],
+            total: ClassStats::default(),
+            instructions: 0,
+        }
+    }
 }
 
 impl ConfidenceReport {
@@ -87,7 +101,7 @@ impl ConfidenceReport {
 
     /// Records one classified prediction.
     pub fn record(&mut self, class: PredictionClass, mispredicted: bool) {
-        self.classes.entry(class).or_default().record(mispredicted);
+        self.classes[class as usize].record(mispredicted);
         self.total.record(mispredicted);
     }
 
@@ -96,10 +110,7 @@ impl ConfidenceReport {
     /// estimators produce. Level and total accounting behave exactly as for
     /// classed predictions; per-class queries are unaffected.
     pub fn record_level(&mut self, level: ConfidenceLevel, mispredicted: bool) {
-        self.unclassed_levels
-            .entry(level)
-            .or_default()
-            .record(mispredicted);
+        self.unclassed_levels[level as usize].record(mispredicted);
         self.total.record(mispredicted);
     }
 
@@ -120,7 +131,7 @@ impl ConfidenceReport {
 
     /// Statistics of one class (zero counts if the class never occurred).
     pub fn class(&self, class: PredictionClass) -> ClassStats {
-        self.classes.get(&class).copied().unwrap_or_default()
+        self.classes[class as usize]
     }
 
     /// Statistics of one confidence level (the union of its classes, plus
@@ -130,9 +141,7 @@ impl ConfidenceReport {
         for class in level.classes() {
             stats.merge(&self.class(*class));
         }
-        if let Some(unclassed) = self.unclassed_levels.get(&level) {
-            stats.merge(unclassed);
-        }
+        stats.merge(&self.unclassed_levels[level as usize]);
         stats
     }
 
@@ -192,14 +201,15 @@ impl ConfidenceReport {
 
     /// Merges another report into this one (e.g. to aggregate a suite).
     pub fn merge(&mut self, other: &ConfidenceReport) {
-        for (class, stats) in &other.classes {
-            self.classes.entry(*class).or_default().merge(stats);
+        for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
+            mine.merge(theirs);
         }
-        for (level, stats) in &other.unclassed_levels {
-            self.unclassed_levels
-                .entry(*level)
-                .or_default()
-                .merge(stats);
+        for (mine, theirs) in self
+            .unclassed_levels
+            .iter_mut()
+            .zip(&other.unclassed_levels)
+        {
+            mine.merge(theirs);
         }
         self.total.merge(&other.total);
         self.instructions += other.instructions;
@@ -222,8 +232,8 @@ impl ConfidenceReport {
         for class in PredictionClass::ALL {
             add(&self.class(class), class.level());
         }
-        for (level, stats) in &self.unclassed_levels {
-            add(stats, *level);
+        for level in ConfidenceLevel::ALL {
+            add(&self.unclassed_levels[level as usize], level);
         }
         confusion
     }
@@ -253,7 +263,8 @@ impl fmt::Display for ConfidenceReport {
                 self.mprate_mkp(class)
             )?;
         }
-        for (level, stats) in &self.unclassed_levels {
+        for level in ConfidenceLevel::ALL {
+            let stats = &self.unclassed_levels[level as usize];
             if stats.predictions == 0 {
                 continue;
             }

@@ -291,6 +291,36 @@ where
     /// `instructions` is the instruction count attributed to the branch
     /// record (forwarded to observers for MPKI accounting; pass the record's
     /// [`tage_traces::BranchRecord::instructions`] or 0 when irrelevant).
+    ///
+    /// # Example
+    ///
+    /// Cycle-interleaved models (the SMT fetch policy) drive branches one at
+    /// a time; a trained TAGE engine answers each step with the scheme's
+    /// confidence verdict:
+    ///
+    /// ```
+    /// use tage::{TageConfig, TagePredictor};
+    /// use tage_confidence::TageConfidenceClassifier;
+    /// use tage_sim::engine::SimEngine;
+    ///
+    /// let config = TageConfig::small();
+    /// let mut engine = SimEngine::new(
+    ///     TagePredictor::new(config.clone()),
+    ///     TageConfidenceClassifier::new(&config),
+    /// );
+    /// // A loop branch: taken three times, then falls through.
+    /// let mut mispredictions = 0;
+    /// for round in 0..200 {
+    ///     for i in 0..4 {
+    ///         let outcome = engine.step_branch(0x4000_1000, i != 3, 1, &mut ());
+    ///         if round > 50 && outcome.mispredicted {
+    ///             mispredictions += 1;
+    ///         }
+    ///     }
+    /// }
+    /// assert_eq!(engine.branches_executed(), 800);
+    /// assert!(mispredictions < 20, "TAGE captures a period-4 loop");
+    /// ```
     pub fn step_branch<O: EngineObserver<P>>(
         &mut self,
         pc: u64,
@@ -331,6 +361,32 @@ where
     /// Non-conditional records (calls, returns, jumps) contribute to the
     /// instruction accounting but are not predicted, as in the paper's
     /// methodology.
+    ///
+    /// The per-branch loop is allocation-free end to end for the TAGE path:
+    /// `TagePredictor::predict` collects its per-table observables in a
+    /// fixed-size stack scratch (see `tage::TableLookups`), so a run's heap
+    /// traffic is limited to whatever the observers themselves do.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tage::{TageConfig, TagePredictor};
+    /// use tage_confidence::TageConfidenceClassifier;
+    /// use tage_sim::engine::{ReportObserver, SimEngine};
+    /// use tage_traces::suites;
+    ///
+    /// let trace = suites::cbp1_like().trace("INT-1").unwrap().generate(5_000);
+    /// let config = TageConfig::small();
+    /// let mut engine = SimEngine::new(
+    ///     TagePredictor::new(config.clone()),
+    ///     TageConfidenceClassifier::new(&config),
+    /// ).with_warmup(1_000);
+    /// let mut report = ReportObserver::default();
+    /// let summary = engine.run(&trace, &mut report);
+    /// assert_eq!(summary.total_branches, 5_000);
+    /// assert_eq!(summary.measured_branches, 4_000);
+    /// assert_eq!(report.report.total().predictions, 4_000);
+    /// ```
     pub fn run<O: EngineObserver<P>>(&mut self, trace: &Trace, observer: &mut O) -> EngineSummary {
         let mut summary = EngineSummary::default();
         for record in trace.iter() {

@@ -185,8 +185,12 @@ impl TageConfig {
         if self.num_tagged_tables == 0 {
             return Err("at least one tagged table is required".to_string());
         }
-        if self.num_tagged_tables > 16 {
-            return Err("more than 16 tagged tables is not supported".to_string());
+        if self.num_tagged_tables > crate::prediction::MAX_TAGGED_TABLES {
+            return Err(format!(
+                "more than {} tagged tables is not supported (the prediction \
+                 scratch is sized for at most that many)",
+                crate::prediction::MAX_TAGGED_TABLES
+            ));
         }
         if !(1..=24).contains(&self.tagged_index_bits) {
             return Err("tagged_index_bits must be in 1..=24".to_string());

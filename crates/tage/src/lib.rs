@@ -27,6 +27,22 @@
 //!   (provider component, counter values, alternate prediction), which is all
 //!   the confidence classifier in `tage-confidence` needs.
 //!
+//! # Hot-path storage layout
+//!
+//! The predictor is built for simulation throughput as well as fidelity:
+//!
+//! * the tagged components live in [`tables::TageTables`], a flat
+//!   structure-of-arrays layout (contiguous tag / prediction-counter /
+//!   useful-counter arrays addressed with power-of-two shift-and-mask
+//!   indices), so the lookup's tag probes touch only the tag array;
+//! * each prediction's per-table observables land in the fixed-size
+//!   [`TableLookups`] scratch (`[TableLookup; MAX_TAGGED_TABLES]` on the
+//!   stack), so [`TagePredictor::predict`] and [`TagePredictor::update`]
+//!   perform **zero heap allocations**;
+//! * the pre-optimisation nested-`Vec` implementation is kept as
+//!   [`reference::ReferenceTagePredictor`], the executable specification the
+//!   fast path is pinned against (`tests/soa_parity.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -55,8 +71,12 @@ pub mod entry;
 pub mod folded;
 pub mod prediction;
 pub mod predictor;
+pub mod reference;
+pub mod tables;
 
 pub use automaton::CounterAutomaton;
 pub use config::{TageConfig, TageConfigBuilder};
-pub use prediction::{Provider, TagePrediction};
+pub use prediction::{Provider, TableLookup, TableLookups, TagePrediction, MAX_TAGGED_TABLES};
 pub use predictor::TagePredictor;
+pub use reference::ReferenceTagePredictor;
+pub use tables::TageTables;

@@ -9,6 +9,154 @@
 
 use core::fmt;
 
+/// Upper bound on the number of tagged components a [`crate::TageConfig`]
+/// may declare (enforced by [`crate::TageConfig::validate`]).
+///
+/// The bound exists so prediction-time state fits in the fixed-size
+/// [`TableLookups`] scratch: a lookup never touches the heap, whatever the
+/// configuration.
+pub const MAX_TAGGED_TABLES: usize = 16;
+
+/// The per-tagged-table result of one prediction lookup: the entry index the
+/// hash selected, the partial tag that was compared, and whether it matched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TableLookup {
+    /// Index of the selected entry within the table (fits in `u32`: table
+    /// index widths are at most 24 bits).
+    pub index: u32,
+    /// The partial tag computed for this (PC, history) pair.
+    pub tag: u16,
+    /// Whether the stored tag matched (`true` = the component hit).
+    pub hit: bool,
+}
+
+/// The fixed-size collection of per-table lookup results carried by a
+/// [`TagePrediction`].
+///
+/// This is the allocation-free replacement for the three `Vec`s
+/// (`table_indices`, `table_tags`, `table_hits`) the predictor used to build
+/// on every lookup: a `[TableLookup; MAX_TAGGED_TABLES]` scratch plus a
+/// length, living entirely on the stack. Equality compares only the live
+/// prefix, so two predictions agree iff their observable lookups agree.
+#[derive(Clone, Copy)]
+pub struct TableLookups {
+    entries: [TableLookup; MAX_TAGGED_TABLES],
+    len: u8,
+}
+
+impl TableLookups {
+    /// An empty scratch, ready for [`TableLookups::push`].
+    pub fn new() -> Self {
+        TableLookups {
+            entries: [TableLookup::default(); MAX_TAGGED_TABLES],
+            len: 0,
+        }
+    }
+
+    /// `tables` all-missing lookups (index 0, tag 0, no hit): the shape a
+    /// cold predictor produces. Useful for building fixtures in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables > MAX_TAGGED_TABLES`.
+    pub fn cold(tables: usize) -> Self {
+        assert!(tables <= MAX_TAGGED_TABLES);
+        TableLookups {
+            entries: [TableLookup::default(); MAX_TAGGED_TABLES],
+            len: tables as u8,
+        }
+    }
+
+    /// Appends one table's lookup result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch already holds [`MAX_TAGGED_TABLES`] lookups.
+    #[inline]
+    pub fn push(&mut self, lookup: TableLookup) {
+        self.entries[usize::from(self.len)] = lookup;
+        self.len += 1;
+    }
+
+    /// Number of tagged tables observed by this prediction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Returns `true` if no table lookups were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The entry index selected in table rank `t`.
+    #[inline]
+    pub fn index(&self, t: usize) -> usize {
+        self.as_slice()[t].index as usize
+    }
+
+    /// The partial tag computed for table rank `t`.
+    #[inline]
+    pub fn tag(&self, t: usize) -> u16 {
+        self.as_slice()[t].tag
+    }
+
+    /// Whether table rank `t` hit (tag match).
+    #[inline]
+    pub fn hit(&self, t: usize) -> bool {
+        self.as_slice()[t].hit
+    }
+
+    /// The live lookups as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[TableLookup] {
+        &self.entries[..usize::from(self.len)]
+    }
+
+    /// Iterates over the live lookups.
+    pub fn iter(&self) -> core::slice::Iter<'_, TableLookup> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for TableLookups {
+    fn default() -> Self {
+        TableLookups::new()
+    }
+}
+
+impl core::ops::Index<usize> for TableLookups {
+    type Output = TableLookup;
+
+    fn index(&self, t: usize) -> &TableLookup {
+        &self.as_slice()[t]
+    }
+}
+
+impl<'a> IntoIterator for &'a TableLookups {
+    type Item = &'a TableLookup;
+    type IntoIter = core::slice::Iter<'a, TableLookup>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for TableLookups {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TableLookups {}
+
+impl fmt::Debug for TableLookups {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
 /// Which component provided the final (or alternate) prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provider {
@@ -52,7 +200,11 @@ impl fmt::Display for Provider {
 /// update phase reuses exactly the values the prediction used (as the
 /// hardware would), and so the structure is self-contained for confidence
 /// classification.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The structure is `Copy` and lives entirely on the stack: the per-table
+/// observables sit in the fixed-size [`TableLookups`] scratch, so producing
+/// a prediction performs **zero heap allocations**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TagePrediction {
     /// The final predicted direction.
     pub taken: bool,
@@ -74,12 +226,9 @@ pub struct TagePrediction {
     /// the provider's counter (the `USE_ALT_ON_NA` path for newly allocated
     /// entries).
     pub used_alternate: bool,
-    /// Per-tagged-table index computed for this prediction.
-    pub table_indices: Vec<usize>,
-    /// Per-tagged-table partial tag computed for this prediction.
-    pub table_tags: Vec<u16>,
-    /// Which tagged tables hit (tag match) for this prediction.
-    pub table_hits: Vec<bool>,
+    /// Per-tagged-table lookup results (index, partial tag, hit) in the
+    /// allocation-free fixed-size scratch.
+    pub tables: TableLookups,
     /// The bimodal table index for this prediction.
     pub bimodal_index: usize,
     /// The value of the bimodal counter at prediction time.
@@ -146,9 +295,7 @@ mod tests {
             alternate_taken: false,
             alternate_provider: Provider::Bimodal,
             used_alternate: false,
-            table_indices: vec![0; 4],
-            table_tags: vec![0; 4],
-            table_hits: vec![false; 4],
+            tables: TableLookups::cold(4),
             bimodal_index: 0,
             bimodal_counter: 1,
         }
@@ -180,6 +327,59 @@ mod tests {
         assert!(p.bimodal_weak());
         p.bimodal_counter = 2;
         assert!(!p.bimodal_weak());
+    }
+
+    #[test]
+    fn table_lookups_push_and_accessors() {
+        let mut lookups = TableLookups::new();
+        assert!(lookups.is_empty());
+        lookups.push(TableLookup {
+            index: 17,
+            tag: 0x1ab,
+            hit: true,
+        });
+        lookups.push(TableLookup {
+            index: 3,
+            tag: 0x2cd,
+            hit: false,
+        });
+        assert_eq!(lookups.len(), 2);
+        assert_eq!(lookups.index(0), 17);
+        assert_eq!(lookups.tag(0), 0x1ab);
+        assert!(lookups.hit(0));
+        assert!(!lookups.hit(1));
+        assert_eq!(lookups[1].index, 3);
+        assert_eq!(lookups.iter().filter(|l| l.hit).count(), 1);
+    }
+
+    #[test]
+    fn table_lookups_equality_ignores_dead_slots() {
+        let mut a = TableLookups::new();
+        let mut b = TableLookups::new();
+        a.push(TableLookup {
+            index: 1,
+            tag: 2,
+            hit: true,
+        });
+        b.push(TableLookup {
+            index: 1,
+            tag: 2,
+            hit: true,
+        });
+        assert_eq!(a, b);
+        b.push(TableLookup::default());
+        assert_ne!(a, b, "different live lengths must not compare equal");
+        assert_eq!(TableLookups::cold(4).len(), 4);
+        assert!(!TableLookups::cold(4).hit(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_lookups_overflow_panics() {
+        let mut lookups = TableLookups::new();
+        for _ in 0..=MAX_TAGGED_TABLES {
+            lookups.push(TableLookup::default());
+        }
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! The TAGE predictor proper: prediction, update and allocation.
+//!
+//! The hot path is engineered to be allocation-free: the tagged components
+//! live in the flat structure-of-arrays [`TageTables`] storage, and a
+//! lookup's per-table observables are collected in the fixed-size
+//! [`TableLookups`] scratch carried inside [`TagePrediction`], so
+//! [`TagePredictor::predict`] and [`TagePredictor::update`] never touch the
+//! heap. `tests/soa_parity.rs` pins this implementation bit-for-bit against
+//! the nested-`Vec` [`crate::reference::ReferenceTagePredictor`].
 
 use tage_predictors::counter::SignedCounter;
 use tage_predictors::history::HistoryRegister;
@@ -6,9 +14,9 @@ use tage_predictors::{BranchPredictor, Prediction, PredictorCore};
 use tage_traces::SplitMix64;
 
 use crate::config::TageConfig;
-use crate::entry::TaggedEntry;
 use crate::folded::FoldedHistory;
-use crate::prediction::{Provider, TagePrediction};
+use crate::prediction::{Provider, TableLookup, TableLookups, TagePrediction};
+use crate::tables::TageTables;
 
 /// Internal event counters, useful for tests and for reporting predictor
 /// behaviour alongside experiment results.
@@ -46,7 +54,7 @@ pub struct TagePredictor {
     config: TageConfig,
     history_lengths: Vec<usize>,
     bimodal: Vec<SignedCounter>,
-    tables: Vec<Vec<TaggedEntry>>,
+    tables: TageTables,
     history: HistoryRegister,
     index_folds: Vec<FoldedHistory>,
     tag_folds_a: Vec<FoldedHistory>,
@@ -69,12 +77,12 @@ impl TagePredictor {
             panic!("invalid TAGE configuration: {reason}");
         }
         let history_lengths = config.history_lengths();
-        let tagged_entries = config.tagged_entries();
-        let tables =
-            vec![
-                vec![TaggedEntry::new(config.counter_bits, config.useful_bits); tagged_entries];
-                config.num_tagged_tables
-            ];
+        let tables = TageTables::new(
+            config.num_tagged_tables,
+            config.tagged_index_bits,
+            config.counter_bits,
+            config.useful_bits,
+        );
         let bimodal =
             vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
         let history = HistoryRegister::new(config.max_history + 8);
@@ -144,38 +152,37 @@ impl TagePredictor {
         ((pc >> 2) & (self.bimodal.len() as u64 - 1)) as usize
     }
 
-    /// Computes the tagged-table index for table rank `t` and `pc`.
-    fn table_index(&self, t: usize, pc: u64) -> usize {
-        let bits = self.config.tagged_index_bits as u64;
-        let mask = (1u64 << bits) - 1;
-        let hashed_pc = (pc >> 2) ^ (pc >> (bits + t as u64 + 1));
-        ((hashed_pc ^ self.index_folds[t].value()) & mask) as usize
-    }
-
-    /// Computes the partial tag for table rank `t` and `pc`.
-    fn table_tag(&self, t: usize, pc: u64) -> u16 {
-        let mask = (1u64 << self.config.tag_bits) - 1;
-        (((pc >> 2) ^ self.tag_folds_a[t].value() ^ (self.tag_folds_b[t].value() << 1)) & mask)
-            as u16
-    }
-
     /// Looks the predictor up for the conditional branch at `pc`.
     ///
     /// This does not modify any predictor state, so it can be called
     /// repeatedly (e.g. by a confidence estimator *and* the simulation
-    /// loop) before the matching [`TagePredictor::update`].
+    /// loop) before the matching [`TagePredictor::update`]. The lookup is
+    /// allocation-free: every per-table observable lands in the returned
+    /// prediction's fixed-size [`TableLookups`] scratch.
     pub fn predict(&self, pc: u64) -> TagePrediction {
         let num_tables = self.config.num_tagged_tables;
-        let mut table_indices = Vec::with_capacity(num_tables);
-        let mut table_tags = Vec::with_capacity(num_tables);
-        let mut table_hits = Vec::with_capacity(num_tables);
-        for t in 0..num_tables {
-            let idx = self.table_index(t, pc);
-            let tag = self.table_tag(t, pc);
-            let hit = self.tables[t][idx].tag == tag;
-            table_indices.push(idx);
-            table_tags.push(tag);
-            table_hits.push(hit);
+        let mut lookups = TableLookups::new();
+        // Zipping the folded-history registers avoids three bounds checks
+        // per table; the arithmetic is exactly `table_index`/`table_tag`.
+        let index_bits = u64::from(self.config.tagged_index_bits);
+        let index_mask = (1u64 << index_bits) - 1;
+        let tag_mask = (1u64 << self.config.tag_bits) - 1;
+        let hashed_base = pc >> 2;
+        let folds = self
+            .index_folds
+            .iter()
+            .zip(&self.tag_folds_a)
+            .zip(&self.tag_folds_b);
+        for (t, ((index_fold, tag_fold_a), tag_fold_b)) in folds.enumerate() {
+            let hashed_pc = hashed_base ^ (pc >> (index_bits + t as u64 + 1));
+            let idx = ((hashed_pc ^ index_fold.value()) & index_mask) as usize;
+            let tag =
+                ((hashed_base ^ tag_fold_a.value() ^ (tag_fold_b.value() << 1)) & tag_mask) as u16;
+            lookups.push(TableLookup {
+                index: idx as u32,
+                tag,
+                hit: self.tables.tag(t, idx) == tag,
+            });
         }
 
         let bimodal_index = self.bimodal_index(pc);
@@ -183,23 +190,23 @@ impl TagePredictor {
         let bimodal_taken = bimodal_counter.predict_taken();
 
         // Provider: hitting component with the longest history.
-        let provider_table = (0..num_tables).rev().find(|&t| table_hits[t]);
+        let provider_table = (0..num_tables).rev().find(|&t| lookups.hit(t));
         // Alternate: next hitting component, else the bimodal prediction.
-        let alternate_table = provider_table.and_then(|p| (0..p).rev().find(|&t| table_hits[t]));
+        let alternate_table = provider_table.and_then(|p| (0..p).rev().find(|&t| lookups.hit(t)));
 
         let (alternate_taken, alternate_provider) = match alternate_table {
             Some(t) => {
-                let entry = &self.tables[t][table_indices[t]];
-                (entry.ctr.predict_taken(), Provider::Tagged { table: t })
+                let ctr = self.tables.ctr(t, lookups.index(t));
+                (ctr.predict_taken(), Provider::Tagged { table: t })
             }
             None => (bimodal_taken, Provider::Bimodal),
         };
 
         match provider_table {
             Some(t) => {
-                let entry = &self.tables[t][table_indices[t]];
-                let provider_taken = entry.ctr.predict_taken();
-                let weak = entry.ctr.is_weak();
+                let ctr = self.tables.ctr(t, lookups.index(t));
+                let provider_taken = ctr.predict_taken();
+                let weak = ctr.is_weak();
                 // Use the alternate prediction for (likely newly allocated)
                 // weak entries when USE_ALT_ON_NA is non-negative.
                 let use_alt = weak && self.use_alt_on_na.value() >= 0;
@@ -211,15 +218,13 @@ impl TagePredictor {
                 TagePrediction {
                     taken,
                     provider: Provider::Tagged { table: t },
-                    provider_counter: entry.ctr.value(),
-                    provider_magnitude: entry.ctr.centered_magnitude(),
+                    provider_counter: ctr.value(),
+                    provider_magnitude: ctr.centered_magnitude(),
                     provider_weak: weak,
                     alternate_taken,
                     alternate_provider,
                     used_alternate: use_alt,
-                    table_indices,
-                    table_tags,
-                    table_hits,
+                    tables: lookups,
                     bimodal_index,
                     bimodal_counter: bimodal_counter.value(),
                 }
@@ -233,9 +238,7 @@ impl TagePredictor {
                 alternate_taken: bimodal_taken,
                 alternate_provider: Provider::Bimodal,
                 used_alternate: false,
-                table_indices,
-                table_tags,
-                table_hits,
+                tables: lookups,
                 bimodal_index,
                 bimodal_counter: bimodal_counter.value(),
             },
@@ -259,12 +262,7 @@ impl TagePredictor {
         // 1. Periodic graceful reset of the useful counters.
         self.tick += 1;
         if self.tick.is_multiple_of(self.config.useful_reset_period) {
-            let phase = self.reset_phase;
-            for table in self.tables.iter_mut() {
-                for entry in table.iter_mut() {
-                    entry.useful.clear_bit(phase);
-                }
-            }
+            self.tables.clear_useful_bit(self.reset_phase);
             self.reset_phase = (self.reset_phase + 1) % self.config.useful_bits;
             self.stats.useful_resets += 1;
         }
@@ -272,39 +270,37 @@ impl TagePredictor {
         // 2. Update the provider component.
         match prediction.provider {
             Provider::Tagged { table } => {
-                let idx = prediction.table_indices[table];
-                let provider_taken;
-                {
-                    let entry = &mut self.tables[table][idx];
-                    provider_taken = entry.ctr.predict_taken();
+                let idx = prediction.tables.index(table);
+                let provider_taken = self.tables.ctr(table, idx).predict_taken();
 
-                    // USE_ALT_ON_NA management: when the provider entry is
-                    // weak (newly allocated) and the alternate prediction
-                    // disagrees with it, learn which of the two tends to be
-                    // right.
-                    if prediction.provider_weak && prediction.alternate_taken != provider_taken {
-                        if prediction.alternate_taken == taken {
-                            self.use_alt_on_na.increment();
-                        } else {
-                            self.use_alt_on_na.decrement();
-                        }
+                // USE_ALT_ON_NA management: when the provider entry is
+                // weak (newly allocated) and the alternate prediction
+                // disagrees with it, learn which of the two tends to be
+                // right.
+                if prediction.provider_weak && prediction.alternate_taken != provider_taken {
+                    if prediction.alternate_taken == taken {
+                        self.use_alt_on_na.increment();
+                    } else {
+                        self.use_alt_on_na.decrement();
                     }
-
-                    // Useful counter: updated when the provider and the
-                    // alternate prediction disagree.
-                    if prediction.alternate_taken != provider_taken {
-                        if provider_taken == taken {
-                            entry.useful.increment();
-                        } else {
-                            entry.useful.decrement();
-                        }
-                    }
-
-                    // Prediction counter, through the configured automaton.
-                    self.config
-                        .automaton
-                        .update_counter(&mut entry.ctr, taken, &mut self.rng);
                 }
+
+                // Useful counter: updated when the provider and the
+                // alternate prediction disagree.
+                if prediction.alternate_taken != provider_taken {
+                    if provider_taken == taken {
+                        self.tables.useful_mut(table, idx).increment();
+                    } else {
+                        self.tables.useful_mut(table, idx).decrement();
+                    }
+                }
+
+                // Prediction counter, through the configured automaton.
+                self.config.automaton.update_counter(
+                    self.tables.ctr_mut(table, idx),
+                    taken,
+                    &mut self.rng,
+                );
             }
             Provider::Bimodal => {
                 let idx = prediction.bimodal_index;
@@ -331,45 +327,55 @@ impl TagePredictor {
     /// Allocates at most one entry in a table with rank `first_candidate` or
     /// higher, following the paper's policy: choose among useless entries
     /// (`u == 0`), initialise the counter to weak-correct and `u` to zero.
+    ///
+    /// The candidate scan is a single allocation-free pass: candidates are
+    /// consumed as they are found (prefer shorter histories, skip forward
+    /// pseudo-randomly so allocations spread over the candidate tables — the
+    /// geometric choice of the reference TAGE implementations), consulting
+    /// the RNG exactly as the old collect-then-scan code did.
     fn allocate(&mut self, first_candidate: usize, taken: bool, prediction: &TagePrediction) {
         let num_tables = self.config.num_tagged_tables;
-        let candidates: Vec<usize> = (first_candidate..num_tables)
-            .filter(|&t| self.tables[t][prediction.table_indices[t]].is_allocatable())
-            .collect();
-        if candidates.is_empty() {
+        let mut chosen: Option<usize> = None;
+        for t in first_candidate..num_tables {
+            if !self.tables.is_allocatable(t, prediction.tables.index(t)) {
+                continue;
+            }
+            if chosen.is_some() && self.rng.chance(0.5) {
+                break;
+            }
+            chosen = Some(t);
+        }
+        let Some(chosen) = chosen else {
             // No victim: age all would-be victims so that an entry frees up
             // soon (standard TAGE behaviour).
             for t in first_candidate..num_tables {
-                let idx = prediction.table_indices[t];
-                self.tables[t][idx].useful.decrement();
+                let idx = prediction.tables.index(t);
+                self.tables.useful_mut(t, idx).decrement();
             }
             self.stats.allocation_failures += 1;
             return;
-        }
-        // Prefer shorter histories, but skip forward pseudo-randomly so that
-        // allocations spread over the candidate tables (geometric choice, as
-        // in the reference TAGE implementations).
-        let mut chosen = candidates[0];
-        for &candidate in &candidates[1..] {
-            if self.rng.chance(0.5) {
-                break;
-            }
-            chosen = candidate;
-        }
-        let idx = prediction.table_indices[chosen];
-        let tag = prediction.table_tags[chosen];
-        self.tables[chosen][idx].allocate(tag, taken);
+        };
+        let idx = prediction.tables.index(chosen);
+        let tag = prediction.tables.tag(chosen);
+        self.tables.allocate(chosen, idx, tag, taken);
         self.stats.allocations += 1;
     }
 
     /// Pushes the resolved outcome into the global history and keeps every
     /// folded register consistent.
     fn push_history(&mut self, taken: bool) {
-        for t in 0..self.config.num_tagged_tables {
-            let evicted = self.history.bit(self.history_lengths[t] - 1);
-            self.index_folds[t].update(taken, evicted);
-            self.tag_folds_a[t].update(taken, evicted);
-            self.tag_folds_b[t].update(taken, evicted);
+        let folds = self
+            .index_folds
+            .iter_mut()
+            .zip(&mut self.tag_folds_a)
+            .zip(&mut self.tag_folds_b);
+        for (&length, ((index_fold, tag_fold_a), tag_fold_b)) in
+            self.history_lengths.iter().zip(folds)
+        {
+            let evicted = self.history.bit(length - 1);
+            index_fold.update(taken, evicted);
+            tag_fold_a.update(taken, evicted);
+            tag_fold_b.update(taken, evicted);
         }
         self.history.push(taken);
     }

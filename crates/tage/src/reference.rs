@@ -1,0 +1,383 @@
+//! The nested-`Vec` reference TAGE implementation.
+//!
+//! [`ReferenceTagePredictor`] preserves the predictor exactly as it was
+//! before the storage layer moved to the flat structure-of-arrays layout of
+//! [`crate::tables::TageTables`]: tagged components stored as
+//! `Vec<Vec<TaggedEntry>>`, per-lookup scratch collected in freshly
+//! allocated `Vec`s, and the allocation policy scanning a collected
+//! candidate list. It is deliberately *not* fast — it is the executable
+//! specification the optimised [`crate::TagePredictor`] is pinned against.
+//!
+//! `tests/soa_parity.rs` drives both implementations in lockstep over
+//! randomized configurations and seeded trace mixes and asserts bit-identical
+//! [`TagePrediction`]s (including the per-table lookup metadata), statistics
+//! and `USE_ALT_ON_NA` movement. If you change predictor behaviour on
+//! purpose, change it **here and in [`crate::TagePredictor`]**, or the
+//! parity suite will fail.
+
+use tage_predictors::counter::SignedCounter;
+use tage_predictors::history::HistoryRegister;
+use tage_traces::SplitMix64;
+
+use crate::config::TageConfig;
+use crate::entry::TaggedEntry;
+use crate::folded::FoldedHistory;
+use crate::prediction::{Provider, TableLookup, TableLookups, TagePrediction};
+use crate::predictor::TageStats;
+
+/// The pre-SoA TAGE predictor: identical observable behaviour to
+/// [`crate::TagePredictor`], nested-`Vec` storage and per-call heap scratch.
+///
+/// See the [module documentation](self) for why this type exists.
+#[derive(Debug, Clone)]
+pub struct ReferenceTagePredictor {
+    config: TageConfig,
+    history_lengths: Vec<usize>,
+    bimodal: Vec<SignedCounter>,
+    tables: Vec<Vec<TaggedEntry>>,
+    history: HistoryRegister,
+    index_folds: Vec<FoldedHistory>,
+    tag_folds_a: Vec<FoldedHistory>,
+    tag_folds_b: Vec<FoldedHistory>,
+    use_alt_on_na: SignedCounter,
+    rng: SplitMix64,
+    tick: u64,
+    reset_phase: u8,
+    stats: TageStats,
+}
+
+impl ReferenceTagePredictor {
+    /// Creates a reference predictor for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not pass [`TageConfig::validate`].
+    pub fn new(config: TageConfig) -> Self {
+        if let Err(reason) = config.validate() {
+            panic!("invalid TAGE configuration: {reason}");
+        }
+        let history_lengths = config.history_lengths();
+        let tagged_entries = config.tagged_entries();
+        let tables =
+            vec![
+                vec![TaggedEntry::new(config.counter_bits, config.useful_bits); tagged_entries];
+                config.num_tagged_tables
+            ];
+        let bimodal =
+            vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
+        let history = HistoryRegister::new(config.max_history + 8);
+        let index_folds = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tagged_index_bits as usize))
+            .collect();
+        let tag_folds_a = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, config.tag_bits as usize))
+            .collect();
+        let tag_folds_b = history_lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l, (config.tag_bits - 1).max(1) as usize))
+            .collect();
+        let use_alt_on_na = SignedCounter::new(config.use_alt_on_na_bits);
+        let rng = SplitMix64::new(config.rng_seed);
+        ReferenceTagePredictor {
+            history_lengths,
+            bimodal,
+            tables,
+            history,
+            index_folds,
+            tag_folds_a,
+            tag_folds_b,
+            use_alt_on_na,
+            rng,
+            tick: 0,
+            reset_phase: 0,
+            stats: TageStats::default(),
+            config,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    /// Internal event counters.
+    pub fn stats(&self) -> TageStats {
+        self.stats
+    }
+
+    /// The current value of the `USE_ALT_ON_NA` counter.
+    pub fn use_alt_on_na(&self) -> i8 {
+        self.use_alt_on_na.value()
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & (self.bimodal.len() as u64 - 1)) as usize
+    }
+
+    fn table_index(&self, t: usize, pc: u64) -> usize {
+        let bits = self.config.tagged_index_bits as u64;
+        let mask = (1u64 << bits) - 1;
+        let hashed_pc = (pc >> 2) ^ (pc >> (bits + t as u64 + 1));
+        ((hashed_pc ^ self.index_folds[t].value()) & mask) as usize
+    }
+
+    fn table_tag(&self, t: usize, pc: u64) -> u16 {
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        (((pc >> 2) ^ self.tag_folds_a[t].value() ^ (self.tag_folds_b[t].value() << 1)) & mask)
+            as u16
+    }
+
+    /// Looks the predictor up for the conditional branch at `pc`, building
+    /// the per-table scratch in per-call `Vec`s as the pre-SoA code did.
+    pub fn predict(&self, pc: u64) -> TagePrediction {
+        let num_tables = self.config.num_tagged_tables;
+        let mut table_indices = Vec::with_capacity(num_tables);
+        let mut table_tags = Vec::with_capacity(num_tables);
+        let mut table_hits = Vec::with_capacity(num_tables);
+        for t in 0..num_tables {
+            let idx = self.table_index(t, pc);
+            let tag = self.table_tag(t, pc);
+            let hit = self.tables[t][idx].tag == tag;
+            table_indices.push(idx);
+            table_tags.push(tag);
+            table_hits.push(hit);
+        }
+
+        let bimodal_index = self.bimodal_index(pc);
+        let bimodal_counter = self.bimodal[bimodal_index];
+        let bimodal_taken = bimodal_counter.predict_taken();
+
+        let provider_table = (0..num_tables).rev().find(|&t| table_hits[t]);
+        let alternate_table = provider_table.and_then(|p| (0..p).rev().find(|&t| table_hits[t]));
+
+        let (alternate_taken, alternate_provider) = match alternate_table {
+            Some(t) => {
+                let entry = &self.tables[t][table_indices[t]];
+                (entry.ctr.predict_taken(), Provider::Tagged { table: t })
+            }
+            None => (bimodal_taken, Provider::Bimodal),
+        };
+
+        let mut lookups = TableLookups::new();
+        for t in 0..num_tables {
+            lookups.push(TableLookup {
+                index: table_indices[t] as u32,
+                tag: table_tags[t],
+                hit: table_hits[t],
+            });
+        }
+
+        match provider_table {
+            Some(t) => {
+                let entry = &self.tables[t][table_indices[t]];
+                let provider_taken = entry.ctr.predict_taken();
+                let weak = entry.ctr.is_weak();
+                let use_alt = weak && self.use_alt_on_na.value() >= 0;
+                let taken = if use_alt {
+                    alternate_taken
+                } else {
+                    provider_taken
+                };
+                TagePrediction {
+                    taken,
+                    provider: Provider::Tagged { table: t },
+                    provider_counter: entry.ctr.value(),
+                    provider_magnitude: entry.ctr.centered_magnitude(),
+                    provider_weak: weak,
+                    alternate_taken,
+                    alternate_provider,
+                    used_alternate: use_alt,
+                    tables: lookups,
+                    bimodal_index,
+                    bimodal_counter: bimodal_counter.value(),
+                }
+            }
+            None => TagePrediction {
+                taken: bimodal_taken,
+                provider: Provider::Bimodal,
+                provider_counter: bimodal_counter.value(),
+                provider_magnitude: bimodal_counter.centered_magnitude(),
+                provider_weak: bimodal_counter.is_weak(),
+                alternate_taken: bimodal_taken,
+                alternate_provider: Provider::Bimodal,
+                used_alternate: false,
+                tables: lookups,
+                bimodal_index,
+                bimodal_counter: bimodal_counter.value(),
+            },
+        }
+    }
+
+    /// Updates the predictor with the resolved outcome of the branch at
+    /// `pc`, using the pre-SoA update sequence.
+    pub fn update(&mut self, pc: u64, taken: bool, prediction: &TagePrediction) {
+        debug_assert_eq!(self.bimodal_index(pc), prediction.bimodal_index);
+        self.stats.updates += 1;
+        if prediction.taken != taken {
+            self.stats.mispredictions += 1;
+        }
+
+        self.tick += 1;
+        if self.tick.is_multiple_of(self.config.useful_reset_period) {
+            let phase = self.reset_phase;
+            for table in self.tables.iter_mut() {
+                for entry in table.iter_mut() {
+                    entry.useful.clear_bit(phase);
+                }
+            }
+            self.reset_phase = (self.reset_phase + 1) % self.config.useful_bits;
+            self.stats.useful_resets += 1;
+        }
+
+        match prediction.provider {
+            Provider::Tagged { table } => {
+                let idx = prediction.tables.index(table);
+                let entry = &mut self.tables[table][idx];
+                let provider_taken = entry.ctr.predict_taken();
+
+                if prediction.provider_weak && prediction.alternate_taken != provider_taken {
+                    if prediction.alternate_taken == taken {
+                        self.use_alt_on_na.increment();
+                    } else {
+                        self.use_alt_on_na.decrement();
+                    }
+                }
+
+                if prediction.alternate_taken != provider_taken {
+                    if provider_taken == taken {
+                        entry.useful.increment();
+                    } else {
+                        entry.useful.decrement();
+                    }
+                }
+
+                self.config
+                    .automaton
+                    .update_counter(&mut entry.ctr, taken, &mut self.rng);
+            }
+            Provider::Bimodal => {
+                let idx = prediction.bimodal_index;
+                self.bimodal[idx].update(taken);
+            }
+        }
+
+        if prediction.taken != taken {
+            let first_candidate = match prediction.provider {
+                Provider::Bimodal => 0,
+                Provider::Tagged { table } => table + 1,
+            };
+            if first_candidate < self.config.num_tagged_tables {
+                self.allocate(first_candidate, taken, prediction);
+            }
+        }
+
+        self.push_history(taken);
+    }
+
+    /// The pre-SoA allocation policy: collect the allocatable candidates
+    /// into a per-call `Vec`, then scan with pseudo-random skip-forward.
+    fn allocate(&mut self, first_candidate: usize, taken: bool, prediction: &TagePrediction) {
+        let num_tables = self.config.num_tagged_tables;
+        let candidates: Vec<usize> = (first_candidate..num_tables)
+            .filter(|&t| self.tables[t][prediction.tables.index(t)].is_allocatable())
+            .collect();
+        if candidates.is_empty() {
+            for t in first_candidate..num_tables {
+                let idx = prediction.tables.index(t);
+                self.tables[t][idx].useful.decrement();
+            }
+            self.stats.allocation_failures += 1;
+            return;
+        }
+        let mut chosen = candidates[0];
+        for &candidate in &candidates[1..] {
+            if self.rng.chance(0.5) {
+                break;
+            }
+            chosen = candidate;
+        }
+        let idx = prediction.tables.index(chosen);
+        let tag = prediction.tables.tag(chosen);
+        self.tables[chosen][idx].allocate(tag, taken);
+        self.stats.allocations += 1;
+    }
+
+    fn push_history(&mut self, taken: bool) {
+        for t in 0..self.config.num_tagged_tables {
+            let evicted = self.history.bit(self.history_lengths[t] - 1);
+            self.index_folds[t].update(taken, evicted);
+            self.tag_folds_a[t].update(taken, evicted);
+            self.tag_folds_b[t].update(taken, evicted);
+        }
+        self.history.push(taken);
+    }
+
+    /// Resets all dynamic state while keeping the configuration.
+    pub fn reset(&mut self) {
+        let config = self.config.clone();
+        *self = ReferenceTagePredictor::new(config);
+    }
+}
+
+/// Engine-facing interface, so the reference implementation can be driven
+/// through `tage_sim::engine::SimEngine` for same-host before/after
+/// comparisons (the `throughput` bin's `engine_reference_nested_vec`
+/// measurement).
+impl tage_predictors::PredictorCore for ReferenceTagePredictor {
+    type Lookup = TagePrediction;
+
+    fn lookup(&mut self, pc: u64) -> TagePrediction {
+        ReferenceTagePredictor::predict(self, pc)
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, lookup: &TagePrediction) {
+        ReferenceTagePredictor::update(self, pc, taken, lookup)
+    }
+
+    fn reset(&mut self) {
+        ReferenceTagePredictor::reset(self)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits()
+    }
+
+    fn name(&self) -> String {
+        format!("{} (reference)", self.config.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_predictor_learns_a_biased_branch() {
+        let mut p = ReferenceTagePredictor::new(TageConfig::small());
+        let mut misses = 0;
+        for _ in 0..200 {
+            let pred = p.predict(0x400100);
+            if !pred.taken {
+                misses += 1;
+            }
+            p.update(0x400100, true, &pred);
+        }
+        assert!(misses <= 3, "misses = {misses}");
+        assert_eq!(p.stats().updates, 200);
+    }
+
+    #[test]
+    fn reference_reset_restores_cold_state() {
+        let mut p = ReferenceTagePredictor::new(TageConfig::small());
+        for _ in 0..50 {
+            let pred = p.predict(0x400200);
+            p.update(0x400200, true, &pred);
+        }
+        p.reset();
+        assert_eq!(p.stats().updates, 0);
+        assert!(p.predict(0x400200).provider.is_bimodal());
+        assert_eq!(p.use_alt_on_na(), -1);
+    }
+}

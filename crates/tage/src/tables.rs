@@ -1,0 +1,211 @@
+//! Flat structure-of-arrays storage for the tagged TAGE components.
+//!
+//! The predictor used to store its tagged components as
+//! `Vec<Vec<TaggedEntry>>` — one heap allocation per table, with tag,
+//! prediction counter and useful counter interleaved per entry. The hot
+//! lookup path only needs the *tags* (one compare per table), so the
+//! interleaved layout dragged the counters through the cache on every probe.
+//!
+//! [`TageTables`] flattens all tables of a predictor into three contiguous
+//! arrays — one per field — indexed by `(table_rank << index_bits) | entry`.
+//! Each table's entry count is a power of two ([`crate::TageConfig`]
+//! enforces it), so the flat index is a shift and an OR, and a whole-storage
+//! sweep (the periodic graceful useful-counter reset) is a single linear
+//! pass over one array.
+//!
+//! The layout is an exact bit-for-bit re-arrangement of the nested-`Vec`
+//! storage: `tests/soa_parity.rs` pins equivalence against
+//! [`crate::reference::ReferenceTagePredictor`], which retains the old
+//! layout as an executable specification.
+
+use tage_predictors::counter::{SignedCounter, UnsignedCounter};
+
+use crate::entry::TaggedEntry;
+
+/// All tagged components of one predictor in a flat structure-of-arrays
+/// layout: three parallel arrays of `num_tables << index_bits` elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageTables {
+    /// Partial tags, one `u16` per entry (the only array the lookup probes).
+    tags: Box<[u16]>,
+    /// Signed prediction counters.
+    ctrs: Box<[SignedCounter]>,
+    /// Unsigned useful counters.
+    useful: Box<[UnsignedCounter]>,
+    /// log2 of the per-table entry count; the flat index of entry `idx` of
+    /// table `t` is `(t << index_bits) | idx`.
+    index_bits: u32,
+    num_tables: usize,
+}
+
+impl TageTables {
+    /// Creates `num_tables` empty tables of `1 << index_bits` entries each,
+    /// with counters of the given widths (all entries start in the
+    /// never-allocated state, exactly like [`TaggedEntry::new`]).
+    pub fn new(num_tables: usize, index_bits: u32, counter_bits: u8, useful_bits: u8) -> Self {
+        let total = num_tables << index_bits;
+        TageTables {
+            tags: vec![0u16; total].into_boxed_slice(),
+            ctrs: vec![SignedCounter::new(counter_bits); total].into_boxed_slice(),
+            useful: vec![UnsignedCounter::new(useful_bits); total].into_boxed_slice(),
+            index_bits,
+            num_tables,
+        }
+    }
+
+    /// Number of tagged tables.
+    #[inline]
+    pub fn num_tables(&self) -> usize {
+        self.num_tables
+    }
+
+    /// Number of entries per table.
+    #[inline]
+    pub fn entries_per_table(&self) -> usize {
+        1 << self.index_bits
+    }
+
+    /// The flat array offset of entry `idx` of table `t`.
+    #[inline]
+    fn flat(&self, t: usize, idx: usize) -> usize {
+        debug_assert!(t < self.num_tables);
+        debug_assert!(idx < self.entries_per_table());
+        (t << self.index_bits) | idx
+    }
+
+    /// The stored partial tag of entry `idx` of table `t`.
+    #[inline]
+    pub fn tag(&self, t: usize, idx: usize) -> u16 {
+        self.tags[self.flat(t, idx)]
+    }
+
+    /// The prediction counter of entry `idx` of table `t`.
+    #[inline]
+    pub fn ctr(&self, t: usize, idx: usize) -> SignedCounter {
+        self.ctrs[self.flat(t, idx)]
+    }
+
+    /// Mutable access to the prediction counter of entry `idx` of table `t`.
+    #[inline]
+    pub fn ctr_mut(&mut self, t: usize, idx: usize) -> &mut SignedCounter {
+        let flat = self.flat(t, idx);
+        &mut self.ctrs[flat]
+    }
+
+    /// The useful counter of entry `idx` of table `t`.
+    #[inline]
+    pub fn useful(&self, t: usize, idx: usize) -> UnsignedCounter {
+        self.useful[self.flat(t, idx)]
+    }
+
+    /// Mutable access to the useful counter of entry `idx` of table `t`.
+    #[inline]
+    pub fn useful_mut(&mut self, t: usize, idx: usize) -> &mut UnsignedCounter {
+        let flat = self.flat(t, idx);
+        &mut self.useful[flat]
+    }
+
+    /// Returns `true` if entry `idx` of table `t` may be reclaimed by the
+    /// allocation policy (its useful counter is null).
+    #[inline]
+    pub fn is_allocatable(&self, t: usize, idx: usize) -> bool {
+        self.useful[self.flat(t, idx)].is_zero()
+    }
+
+    /// Re-initialises entry `idx` of table `t` for a newly allocated
+    /// (PC, history) pair, mirroring [`TaggedEntry::allocate`]: weak-correct
+    /// counter, zero useful counter.
+    #[inline]
+    pub fn allocate(&mut self, t: usize, idx: usize, tag: u16, taken: bool) {
+        let flat = self.flat(t, idx);
+        self.tags[flat] = tag;
+        self.ctrs[flat].set_weak(taken);
+        self.useful[flat].reset();
+    }
+
+    /// One step of the graceful useful-counter reset: clears bit `phase` of
+    /// every useful counter, across all tables, in a single linear pass.
+    pub fn clear_useful_bit(&mut self, phase: u8) {
+        for counter in self.useful.iter_mut() {
+            counter.clear_bit(phase);
+        }
+    }
+
+    /// A by-value [`TaggedEntry`] view of entry `idx` of table `t`, for
+    /// diagnostics and tests (the storage itself never materialises
+    /// entries).
+    pub fn entry(&self, t: usize, idx: usize) -> TaggedEntry {
+        let flat = self.flat(t, idx);
+        TaggedEntry {
+            tag: self.tags[flat],
+            ctr: self.ctrs[flat],
+            useful: self.useful[flat],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tables_match_fresh_entries() {
+        let tables = TageTables::new(4, 8, 3, 2);
+        assert_eq!(tables.num_tables(), 4);
+        assert_eq!(tables.entries_per_table(), 256);
+        let reference = TaggedEntry::new(3, 2);
+        for t in 0..4 {
+            for idx in [0usize, 1, 128, 255] {
+                assert_eq!(tables.entry(t, idx), reference);
+                assert!(tables.is_allocatable(t, idx));
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_mirrors_tagged_entry_allocate() {
+        let mut tables = TageTables::new(2, 4, 3, 2);
+        let mut reference = TaggedEntry::new(3, 2);
+        tables.allocate(1, 7, 0x1ab, true);
+        reference.allocate(0x1ab, true);
+        assert_eq!(tables.entry(1, 7), reference);
+        // Entries in other tables at the same index are untouched.
+        assert_eq!(tables.entry(0, 7), TaggedEntry::new(3, 2));
+        assert_eq!(tables.tag(1, 7), 0x1ab);
+        assert!(tables.ctr(1, 7).predict_taken());
+    }
+
+    #[test]
+    fn useful_mutation_is_per_entry() {
+        let mut tables = TageTables::new(2, 4, 3, 2);
+        tables.useful_mut(0, 3).increment();
+        assert!(!tables.is_allocatable(0, 3));
+        assert!(tables.is_allocatable(0, 4));
+        assert!(tables.is_allocatable(1, 3));
+        assert_eq!(tables.useful(0, 3).value(), 1);
+    }
+
+    #[test]
+    fn clear_useful_bit_sweeps_every_table() {
+        let mut tables = TageTables::new(3, 4, 3, 2);
+        for t in 0..3 {
+            for idx in 0..16 {
+                tables.useful_mut(t, idx).increment();
+            }
+        }
+        tables.clear_useful_bit(0);
+        for t in 0..3 {
+            for idx in 0..16 {
+                assert!(tables.is_allocatable(t, idx), "t={t} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn ctr_mut_updates_only_the_target() {
+        let mut tables = TageTables::new(2, 4, 3, 2);
+        tables.ctr_mut(1, 2).increment();
+        assert_eq!(tables.ctr(1, 2).value(), 0);
+        assert_eq!(tables.ctr(0, 2).value(), -1);
+    }
+}

@@ -10,11 +10,17 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
 echo "== throughput smoke =="
-cargo run --release --bin throughput 50000 BENCH_throughput.json
+# Writes to an untracked path: the tracked BENCH_throughput.json records
+# milestone entries only (see docs/BENCHMARKS.md), so routine verification
+# must not dirty the working tree.
+cargo run --release --bin throughput 50000 target/BENCH_throughput.json
 
 echo "verify: OK"
