@@ -1,0 +1,264 @@
+//! `tage-bench` — the cross-product campaign runner.
+//!
+//! Expands a declarative predictor × confidence-scheme × suite grid into
+//! sweep points, executes them through the generic simulation engine with a
+//! work-stealing queue over points, and writes a versioned JSON campaign
+//! report (see `docs/CAMPAIGNS.md` for the grid format and schema).
+//!
+//! ```text
+//! tage-bench [--predictors LIST] [--schemes LIST] [--suites LIST]
+//!            [--branches N] [--workers N] [--label STR] [--out PATH]
+//!            [--no-timing] [--list]
+//! tage-bench --check PATH
+//! ```
+//!
+//! Lists are comma-separated grid tokens; `--list` prints every known axis
+//! value. `--check` structurally validates an existing report (schema
+//! version + required fields) and exits non-zero on mismatch — the CI
+//! campaign-smoke job runs it on the artifact it just produced.
+
+use std::process::ExitCode;
+
+use tage_bench::campaign::{run_campaign, validate_report, CampaignSpec, SCHEMA_VERSION};
+use tage_bench::cli;
+use tage_sim::engine::default_parallelism;
+use tage_sim::point::{PredictorSpec, SchemeSpec};
+use tage_traces::suites;
+
+/// The default smoke grid: one TAGE size and one baseline predictor, the
+/// storage-free scheme against one baseline estimator, over the mini suite.
+const DEFAULT_PREDICTORS: &str = "tage-16k,gshare";
+const DEFAULT_SCHEMES: &str = "storage-free,jrs-classic";
+const DEFAULT_SUITES: &str = "cbp1-mini";
+const DEFAULT_BRANCHES: usize = 20_000;
+
+struct Options {
+    predictors: String,
+    schemes: String,
+    suites: String,
+    branches: usize,
+    workers: usize,
+    label: String,
+    out: Option<String>,
+    include_timing: bool,
+    list: bool,
+    check: Option<String>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        predictors: DEFAULT_PREDICTORS.to_string(),
+        schemes: DEFAULT_SCHEMES.to_string(),
+        suites: DEFAULT_SUITES.to_string(),
+        branches: DEFAULT_BRANCHES,
+        workers: default_parallelism(),
+        label: "campaign".to_string(),
+        out: None,
+        include_timing: true,
+        list: false,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--predictors" => options.predictors = cli::require_value(&mut args, "--predictors")?,
+            "--schemes" => options.schemes = cli::require_value(&mut args, "--schemes")?,
+            "--suites" => options.suites = cli::require_value(&mut args, "--suites")?,
+            "--branches" => {
+                let value = cli::require_value(&mut args, "--branches")?;
+                options.branches = cli::parse_count("--branches", &value)?;
+            }
+            "--workers" => {
+                let value = cli::require_value(&mut args, "--workers")?;
+                options.workers = cli::parse_count("--workers", &value)?;
+            }
+            "--label" => options.label = cli::require_value(&mut args, "--label")?,
+            "--out" => options.out = Some(cli::require_value(&mut args, "--out")?),
+            "--no-timing" => options.include_timing = false,
+            "--list" => options.list = true,
+            "--check" => options.check = Some(cli::require_value(&mut args, "--check")?),
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (see --list or docs/CAMPAIGNS.md)"
+                ))
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn parse_axis<T>(
+    axis: &str,
+    list: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    known: &[String],
+) -> Result<Vec<T>, String> {
+    let mut values = Vec::new();
+    for token in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match parse(token) {
+            Some(value) => values.push(value),
+            None => {
+                return Err(format!(
+                    "unknown {axis} token \"{token}\" (known: {})",
+                    known.join(", ")
+                ))
+            }
+        }
+    }
+    if values.is_empty() {
+        return Err(format!("the {axis} axis is empty"));
+    }
+    Ok(values)
+}
+
+fn print_axes() {
+    println!(
+        "predictor tokens: {}",
+        PredictorSpec::known_tokens().join(", ")
+    );
+    println!(
+        "scheme tokens:    {}",
+        SchemeSpec::known_tokens().join(", ")
+    );
+    println!("suite tokens:     {}", suites::REGISTRY.join(", "));
+    println!();
+    println!("(storage-free pairs with TAGE predictors only; other cells are skipped)");
+}
+
+fn check_report(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(error) => {
+            eprintln!("--check: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match validate_report(&json) {
+        Ok(summary) => {
+            println!(
+                "{path}: valid campaign report (schema {}, {} points, {} skipped)",
+                summary.schema, summary.points, summary.skipped
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("--check: {path}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("tage-bench: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.list {
+        print_axes();
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &options.check {
+        return check_report(path);
+    }
+
+    let spec = {
+        let predictors = parse_axis(
+            "predictor",
+            &options.predictors,
+            PredictorSpec::parse,
+            &PredictorSpec::known_tokens(),
+        );
+        let schemes = parse_axis(
+            "scheme",
+            &options.schemes,
+            SchemeSpec::parse,
+            &SchemeSpec::known_tokens(),
+        );
+        let suite_names: Vec<String> = suites::REGISTRY.iter().map(|s| s.to_string()).collect();
+        let suites = parse_axis("suite", &options.suites, suites::by_name, &suite_names);
+        match (predictors, schemes, suites) {
+            (Ok(predictors), Ok(schemes), Ok(suites)) => CampaignSpec {
+                label: options.label.clone(),
+                predictors,
+                schemes,
+                suites,
+                branches_per_trace: options.branches,
+            },
+            (predictors, schemes, suites) => {
+                for error in [predictors.err(), schemes.err(), suites.err()]
+                    .into_iter()
+                    .flatten()
+                {
+                    eprintln!("tage-bench: {error}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    println!(
+        "== tage-bench campaign \"{}\" — {} × {} × {} grid, {} branches/trace, {} workers ==",
+        spec.label,
+        spec.predictors.len(),
+        spec.schemes.len(),
+        spec.suites.len(),
+        spec.branches_per_trace,
+        options.workers,
+    );
+    let report = run_campaign(&spec, options.workers);
+    if report.points.is_empty() {
+        eprintln!(
+            "tage-bench: the grid produced no executable points ({} skipped)",
+            report.skipped.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<14} {:<15} {:<11} {:>11} {:>10} {:>10} {:>10}",
+        "predictor", "scheme", "suite", "predictions", "mean_mpki", "high_pcov", "seconds"
+    );
+    for point in &report.points {
+        let result = &point.result;
+        println!(
+            "{:<14} {:<15} {:<11} {:>11} {:>10.3} {:>10.3} {:>10.3}",
+            result.predictor,
+            result.scheme,
+            result.suite,
+            result.total_predictions(),
+            result.mean_mpki(),
+            result
+                .aggregate
+                .level_pcov(tage_confidence::ConfidenceLevel::High),
+            point.wall_seconds,
+        );
+    }
+    for skipped in &report.skipped {
+        println!(
+            "skipped        {} × {} on {}: {}",
+            skipped.predictor, skipped.scheme, skipped.suite, skipped.reason
+        );
+    }
+    println!();
+    println!(
+        "{} points in {:.3}s on {} workers ({} steals), schema {}",
+        report.points.len(),
+        report.wall_seconds,
+        report.workers,
+        report.steals,
+        SCHEMA_VERSION
+    );
+
+    if let Some(path) = &options.out {
+        let json = report.render_json(options.include_timing);
+        if let Err(error) = std::fs::write(path, &json) {
+            eprintln!("tage-bench: could not write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

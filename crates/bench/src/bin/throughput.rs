@@ -13,14 +13,27 @@
 //! schema; re-running with the same label replaces the last entry).
 //!
 //! Run with:
-//! `cargo run --release --bin throughput [branches] [json-path] [label]`
+//! `cargo run --release --bin throughput -- [branches] [--out PATH]
+//! [--baseline PATH] [--label STR] [--check-regression[=TOLERANCE]]`
+//!
+//! `--baseline` seeds the written trajectory from a different file than
+//! `--out`: CI and `scripts/verify.sh` point `--baseline` at the committed
+//! milestone file and `--out` at an untracked path, so routine runs never
+//! dirty the working tree (this replaces the old copy-the-file-first dance).
+//! `--check-regression` compares this run against the latest baseline
+//! milestone and exits non-zero below `TOLERANCE × milestone` (default
+//! 0.5). The compared metric is the same-host `engine_single_trace /
+//! engine_reference_nested_vec` speedup ratio whenever both sides carry it
+//! (host-speed-immune; raw branches/sec only as a fallback for old
+//! milestones), so the gate catches hot-path collapses without going red on
+//! slower CI hosts.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use tage::{CounterAutomaton, ReferenceTagePredictor, TageConfig, TagePredictor};
-use tage_bench::{branches_from_args, print_header, trajectory};
+use tage_bench::{cli, print_header, trajectory, DEFAULT_BRANCHES_PER_TRACE};
 use tage_confidence::TageConfidenceClassifier;
 use tage_sim::engine::{default_parallelism, ReportObserver, SimEngine};
 use tage_sim::runner::RunOptions;
@@ -99,8 +112,66 @@ impl Measurement {
     }
 }
 
+/// CLI options of the throughput bin.
+struct Options {
+    branches: usize,
+    /// Path the trajectory is written to.
+    out: String,
+    /// Path existing trajectory entries are seeded from (defaults to `out`,
+    /// preserving the original read-append-rewrite behaviour).
+    baseline: Option<String>,
+    label: String,
+    /// `Some(tolerance)` when `--check-regression` is requested.
+    regression_tolerance: Option<f64>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        branches: DEFAULT_BRANCHES_PER_TRACE,
+        out: "BENCH_throughput.json".to_string(),
+        baseline: None,
+        label: "current".to_string(),
+        regression_tolerance: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut saw_positional = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => options.out = cli::require_value(&mut args, "--out")?,
+            "--baseline" => options.baseline = Some(cli::require_value(&mut args, "--baseline")?),
+            "--label" => options.label = cli::require_value(&mut args, "--label")?,
+            "--check-regression" => options.regression_tolerance = Some(0.5),
+            _ if arg.starts_with("--check-regression=") => {
+                let value = &arg["--check-regression=".len()..];
+                let tolerance: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--check-regression: not a number: {value}"))?;
+                if !(tolerance > 0.0 && tolerance.is_finite()) {
+                    return Err(format!(
+                        "--check-regression: tolerance must be positive and finite (got {value})"
+                    ));
+                }
+                options.regression_tolerance = Some(tolerance);
+            }
+            _ if !saw_positional && !arg.starts_with("--") => {
+                saw_positional = true;
+                options.branches = cli::parse_count("branches", &arg)?;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(options)
+}
+
 fn main() {
-    let branches = branches_from_args();
+    let options = match parse_options() {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("throughput: {error}");
+            std::process::exit(1);
+        }
+    };
+    let branches = options.branches;
     print_header(
         "Throughput smoke — simulated branches per second, heap allocations per branch",
         branches,
@@ -215,24 +286,23 @@ fn main() {
     }
 
     // Append to the machine-readable trajectory (hand-rolled JSON: no deps).
-    let json_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-    let label = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "current".to_string());
+    // Entries are seeded from --baseline when given (the committed milestone
+    // file), otherwise from the output file itself; CI and verify.sh use a
+    // committed baseline with an untracked --out so routine runs never dirty
+    // the working tree.
+    let seed_path = options.baseline.as_deref().unwrap_or(&options.out);
     // Never clobber history: the trajectory file is an append-only record
     // across PRs, so an existing file that cannot be read or yields no
     // entries (truncated, hand-mangled) blocks the write instead of being
     // silently replaced by this run's single entry.
     let mut entries = Vec::new();
     let mut trajectory_writable = true;
-    match std::fs::read_to_string(&json_path) {
+    match std::fs::read_to_string(seed_path) {
         Ok(existing) => {
             entries = trajectory::existing_entries(&existing);
             if entries.is_empty() && !existing.trim().is_empty() {
                 eprintln!(
-                    "refusing to overwrite {json_path}: existing content has no extractable \
+                    "refusing to build on {seed_path}: existing content has no extractable \
                      trajectory entries (corrupt file?) — fix or remove it first"
                 );
                 trajectory_writable = false;
@@ -240,21 +310,95 @@ fn main() {
         }
         Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
         Err(error) => {
-            eprintln!("refusing to overwrite {json_path}: cannot read existing file: {error}");
+            eprintln!("refusing to build on {seed_path}: cannot read existing file: {error}");
             trajectory_writable = false;
         }
     }
-    if trajectory_writable {
-        let rendered: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
-        trajectory::push_entry(&mut entries, trajectory::render_entry(&label, &rendered));
-        let json = trajectory::render_file(default_parallelism(), &entries);
-        match std::fs::write(&json_path, json) {
-            Ok(()) => println!("wrote {json_path} (entry \"{label}\")"),
-            Err(error) => eprintln!("could not write {json_path}: {error}"),
+
+    // Regression gate (--check-regression): compare this run against the
+    // newest seeded milestone carrying an `engine_single_trace` rate, before
+    // this run's own entry lands in the list. When both the milestone and
+    // this run also carry `engine_reference_nested_vec`, the comparison uses
+    // the SoA/reference *speedup ratio* instead of the raw rate: the ratio
+    // is measured same-host, same-process on both sides, so the gate does
+    // not go red just because CI runs on a slower machine than the one that
+    // recorded the milestone. Raw rates are the fallback for milestones
+    // predating the reference measurement.
+    let mut regression_ok = true;
+    if let Some(tolerance) = options.regression_tolerance {
+        let rate_of = |name: &str| {
+            measurements
+                .iter()
+                .find(|m| m.name == name)
+                .map(Measurement::branches_per_second)
+                .filter(|rate| *rate > 0.0)
+        };
+        let milestone = entries.iter().rev().find_map(|entry| {
+            trajectory::entry_measurement(entry, "engine_single_trace", "branches_per_sec")
+                .filter(|rate| *rate > 0.0)
+                .map(|rate| {
+                    let reference = trajectory::entry_measurement(
+                        entry,
+                        "engine_reference_nested_vec",
+                        "branches_per_sec",
+                    )
+                    .filter(|r| *r > 0.0);
+                    (
+                        trajectory::entry_label(entry).unwrap_or_default(),
+                        rate,
+                        reference,
+                    )
+                })
+        });
+        match (rate_of("engine_single_trace"), milestone) {
+            (Some(current_rate), Some((milestone_label, milestone_rate, milestone_reference))) => {
+                let (metric, current, baseline) =
+                    match (rate_of("engine_reference_nested_vec"), milestone_reference) {
+                        (Some(current_ref), Some(milestone_ref)) => (
+                            "engine_single_trace/reference speedup",
+                            current_rate / current_ref,
+                            milestone_rate / milestone_ref,
+                        ),
+                        _ => (
+                            "engine_single_trace branches/sec",
+                            current_rate,
+                            milestone_rate,
+                        ),
+                    };
+                let floor = tolerance * baseline;
+                if current < floor {
+                    eprintln!(
+                        "REGRESSION: {metric} at {current:.3} is below {tolerance} x the \
+                         \"{milestone_label}\" milestone ({baseline:.3}, floor {floor:.3})"
+                    );
+                    regression_ok = false;
+                } else {
+                    println!(
+                        "regression check OK: {metric} {current:.3} >= {tolerance} x {baseline:.3} \
+                         (milestone \"{milestone_label}\")"
+                    );
+                }
+            }
+            _ => println!(
+                "regression check skipped: no engine_single_trace milestone found in {seed_path}"
+            ),
         }
     }
 
-    if !hot_path_clean || !trajectory_writable {
+    if trajectory_writable {
+        let rendered: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+        trajectory::push_entry(
+            &mut entries,
+            trajectory::render_entry(&options.label, &rendered),
+        );
+        let json = trajectory::render_file(default_parallelism(), &entries);
+        match std::fs::write(&options.out, json) {
+            Ok(()) => println!("wrote {} (entry \"{}\")", options.out, options.label),
+            Err(error) => eprintln!("could not write {}: {error}", options.out),
+        }
+    }
+
+    if !hot_path_clean || !trajectory_writable || !regression_ok {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,537 @@
+//! Cross-product campaign runner behind the `tage-bench` binary.
+//!
+//! A campaign is a declarative grid — predictor × confidence-scheme × suite
+//! — expanded into [`SweepPoint`]s and executed through the generic engine
+//! with a **work-stealing queue over whole points**: each worker owns a
+//! deque of point indices, drains its own front, and steals from the back of
+//! the most-loaded sibling when it runs dry. This is the scheduling layer
+//! the per-trace `par_map` sharding cannot provide: a grid mixes 256 Kbit
+//! TAGE points with tiny bimodal points, so static round-robin placement
+//! alone would leave workers idle behind the heavy tail.
+//!
+//! Results land in per-point slots and are reported in grid-expansion order,
+//! so the campaign report is **deterministic**: the same grid produces a
+//! byte-identical report at any worker count, except for the explicitly
+//! timing-carrying fields (per-point `wall_seconds` / `branches_per_sec` and
+//! the trailing `timing` object), which [`CampaignReport::render_json`] can
+//! omit. The JSON schema is versioned ([`SCHEMA_VERSION`]) and
+//! [`validate_report`] structurally checks a rendered report, which is what
+//! `tage-bench --check` and the CI campaign-smoke job run.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use tage_confidence::ConfidenceLevel;
+use tage_sim::point::{run_point, PointResult, PredictorSpec, SchemeSpec, SweepPoint};
+use tage_traces::Suite;
+
+use crate::jsonish;
+
+/// Current schema version of the campaign report.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The `campaign` discriminator field every report carries.
+pub const CAMPAIGN_NAME: &str = "tage-bench";
+
+/// A declarative campaign grid: the axis values plus the per-trace length.
+#[derive(Debug)]
+pub struct CampaignSpec {
+    /// Label recorded in the report (e.g. a PR or experiment name).
+    pub label: String,
+    /// Predictor axis.
+    pub predictors: Vec<PredictorSpec>,
+    /// Confidence-scheme axis.
+    pub schemes: Vec<SchemeSpec>,
+    /// Suite axis.
+    pub suites: Vec<Suite>,
+    /// Conditional branches generated per trace of every suite.
+    pub branches_per_trace: usize,
+}
+
+/// A grid cell that cannot execute (e.g. storage-free × gshare), recorded in
+/// the report instead of silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedPoint {
+    /// Predictor label.
+    pub predictor: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Suite name.
+    pub suite: String,
+    /// Why the cell cannot run.
+    pub reason: String,
+}
+
+impl CampaignSpec {
+    /// Expands the cross product into executable sweep points (in
+    /// deterministic predictor-major order) plus the skipped cells.
+    pub fn expand(&self) -> (Vec<SweepPoint>, Vec<SkippedPoint>) {
+        let mut points = Vec::new();
+        let mut skipped = Vec::new();
+        for predictor in &self.predictors {
+            for scheme in &self.schemes {
+                for suite in &self.suites {
+                    let point = SweepPoint {
+                        predictor: predictor.clone(),
+                        scheme: *scheme,
+                        suite: suite.clone(),
+                    };
+                    match point.validate() {
+                        Ok(()) => points.push(point),
+                        Err(reason) => skipped.push(SkippedPoint {
+                            predictor: predictor.label(),
+                            scheme: scheme.label(),
+                            suite: suite.name().to_string(),
+                            reason: reason.to_string(),
+                        }),
+                    }
+                }
+            }
+        }
+        (points, skipped)
+    }
+}
+
+/// Scheduling statistics of one [`steal_map`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Tasks executed by a worker other than the one they were placed on.
+    pub steals: u64,
+}
+
+/// Applies `f` to every item across `workers` scoped threads with **work
+/// stealing**, returning results in input order.
+///
+/// Items are dealt round-robin onto per-worker deques; a worker pops its own
+/// queue from the front and, when empty, steals from the *back* of the
+/// most-loaded sibling. Because every result is written to its own slot, the
+/// output is identical for any worker count — only the schedule (reported in
+/// [`StealStats`]) varies. With `workers <= 1` the closure runs inline.
+pub fn steal_map<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, StealStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        let results = items.iter().map(&f).collect();
+        return (
+            results,
+            StealStats {
+                workers: 1,
+                steals: 0,
+            },
+        );
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let steals = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let steals = &steals;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(index) = next_task(queues, me, steals) {
+                    let result = f(&items[index]);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task executed")
+        })
+        .collect();
+    (
+        results,
+        StealStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// Pops the worker's own queue, or steals from the back of the most-loaded
+/// sibling. Returns `None` only when every queue is empty (tasks never
+/// re-enter a queue, so that means the tail of the campaign is already
+/// running elsewhere).
+fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize, steals: &AtomicU64) -> Option<usize> {
+    if let Some(index) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(index);
+    }
+    loop {
+        let mut victim: Option<(usize, usize)> = None;
+        for (q, queue) in queues.iter().enumerate() {
+            if q == me {
+                continue;
+            }
+            let len = queue.lock().expect("queue poisoned").len();
+            if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                victim = Some((q, len));
+            }
+        }
+        let (q, _) = victim?;
+        // The victim may have been drained between the scan and this lock;
+        // rescan in that case.
+        if let Some(index) = queues[q].lock().expect("queue poisoned").pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(index);
+        }
+    }
+}
+
+/// One executed point plus its (non-deterministic) wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPointReport {
+    /// The point's deterministic result.
+    pub result: PointResult,
+    /// Wall-clock seconds the point took on its worker.
+    pub wall_seconds: f64,
+}
+
+/// The full outcome of a campaign run.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Campaign label.
+    pub label: String,
+    /// Branches per trace every point used.
+    pub branches_per_trace: usize,
+    /// Predictor axis, as grid tokens.
+    pub grid_predictors: Vec<String>,
+    /// Scheme axis, as grid tokens.
+    pub grid_schemes: Vec<String>,
+    /// Suite axis, as suite names.
+    pub grid_suites: Vec<String>,
+    /// Executed points, in grid-expansion order.
+    pub points: Vec<CampaignPointReport>,
+    /// Grid cells that could not execute.
+    pub skipped: Vec<SkippedPoint>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Cross-worker steals the scheduler performed.
+    pub steals: u64,
+    /// Wall-clock seconds of the whole campaign.
+    pub wall_seconds: f64,
+}
+
+/// Expands and executes a campaign across `workers` threads, stealing work
+/// across sweep points.
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignReport {
+    let (points, skipped) = spec.expand();
+    let start = Instant::now();
+    let (results, stats) = steal_map(&points, workers, |point| {
+        let point_start = Instant::now();
+        let result = run_point(point, spec.branches_per_trace)
+            .expect("expand() only emits validated points");
+        CampaignPointReport {
+            result,
+            wall_seconds: point_start.elapsed().as_secs_f64(),
+        }
+    });
+    CampaignReport {
+        label: spec.label.clone(),
+        branches_per_trace: spec.branches_per_trace,
+        grid_predictors: spec.predictors.iter().map(PredictorSpec::label).collect(),
+        grid_schemes: spec.schemes.iter().map(SchemeSpec::label).collect(),
+        grid_suites: spec.suites.iter().map(|s| s.name().to_string()).collect(),
+        points: results,
+        skipped,
+        workers: stats.workers,
+        steals: stats.steals,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn render_token_array(tokens: &[String]) -> String {
+    let quoted: Vec<String> = tokens
+        .iter()
+        .map(|t| format!("\"{}\"", jsonish::escape(t)))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+impl CampaignReport {
+    /// Renders the versioned JSON report.
+    ///
+    /// With `include_timing == false` every wall-clock-derived field
+    /// (per-point `wall_seconds` / `branches_per_sec`, the trailing `timing`
+    /// object) is omitted, and the rendered bytes are identical for any
+    /// worker count — the determinism contract the campaign tests pin.
+    pub fn render_json(&self, include_timing: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(" \"campaign\": \"{CAMPAIGN_NAME}\",\n"));
+        out.push_str(&format!(" \"schema\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!(
+            " \"label\": \"{}\",\n",
+            jsonish::escape(&self.label)
+        ));
+        out.push_str(&format!(
+            " \"branches_per_trace\": {},\n",
+            self.branches_per_trace
+        ));
+        out.push_str(" \"grid\": {\n");
+        out.push_str(&format!(
+            "  \"predictors\": {},\n",
+            render_token_array(&self.grid_predictors)
+        ));
+        out.push_str(&format!(
+            "  \"schemes\": {},\n",
+            render_token_array(&self.grid_schemes)
+        ));
+        out.push_str(&format!(
+            "  \"suites\": {}\n",
+            render_token_array(&self.grid_suites)
+        ));
+        out.push_str(" },\n");
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|point| self.render_point(point, include_timing))
+            .collect();
+        if points.is_empty() {
+            out.push_str(" \"points\": [],\n");
+        } else {
+            out.push_str(&format!(" \"points\": [\n{}\n ],\n", points.join(",\n")));
+        }
+        let skipped: Vec<String> = self
+            .skipped
+            .iter()
+            .map(|s| {
+                format!(
+                    "  {{\"predictor\": \"{}\", \"scheme\": \"{}\", \"suite\": \"{}\", \"reason\": \"{}\"}}",
+                    jsonish::escape(&s.predictor),
+                    jsonish::escape(&s.scheme),
+                    jsonish::escape(&s.suite),
+                    jsonish::escape(&s.reason)
+                )
+            })
+            .collect();
+        if skipped.is_empty() {
+            out.push_str(" \"skipped\": []");
+        } else {
+            out.push_str(&format!(" \"skipped\": [\n{}\n ]", skipped.join(",\n")));
+        }
+        if include_timing {
+            out.push_str(",\n \"timing\": {\n");
+            out.push_str(&format!("  \"workers\": {},\n", self.workers));
+            out.push_str(&format!("  \"steals\": {},\n", self.steals));
+            out.push_str(&format!("  \"wall_seconds\": {:.6}\n", self.wall_seconds));
+            out.push_str(" }\n}\n");
+        } else {
+            out.push_str("\n}\n");
+        }
+        out
+    }
+
+    fn render_point(&self, point: &CampaignPointReport, include_timing: bool) -> String {
+        let result = &point.result;
+        let predictions = result.total_predictions();
+        let mispredictions: u64 = result.traces.iter().map(|t| t.mispredictions).sum();
+        let instructions: u64 = result.traces.iter().map(|t| t.instructions).sum();
+        let mut fields = vec![
+            format!("\"predictor\": \"{}\"", jsonish::escape(&result.predictor)),
+            format!("\"scheme\": \"{}\"", jsonish::escape(&result.scheme)),
+            format!("\"suite\": \"{}\"", jsonish::escape(&result.suite)),
+            format!("\"traces\": {}", result.traces.len()),
+            format!("\"predictions\": {predictions}"),
+            format!("\"mispredictions\": {mispredictions}"),
+            format!("\"instructions\": {instructions}"),
+            format!("\"mean_mpki\": {:.6}", result.mean_mpki()),
+            format!("\"aggregate_mkp\": {:.6}", result.aggregate.mkp()),
+            format!(
+                "\"high_pcov\": {:.6}",
+                result.aggregate.level_pcov(ConfidenceLevel::High)
+            ),
+            format!(
+                "\"high_mprate_mkp\": {:.6}",
+                result.aggregate.level_mprate_mkp(ConfidenceLevel::High)
+            ),
+        ];
+        if include_timing {
+            fields.push(format!("\"wall_seconds\": {:.6}", point.wall_seconds));
+            let rate = if point.wall_seconds > 0.0 {
+                predictions as f64 / point.wall_seconds
+            } else {
+                0.0
+            };
+            fields.push(format!("\"branches_per_sec\": {rate:.0}"));
+        }
+        format!("  {{{}}}", fields.join(", "))
+    }
+}
+
+/// Summary of a structurally valid campaign report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidatedReport {
+    /// Schema version the report carries.
+    pub schema: u32,
+    /// Number of executed points.
+    pub points: usize,
+    /// Number of skipped grid cells.
+    pub skipped: usize,
+}
+
+/// Structurally validates a rendered campaign report: discriminator, schema
+/// version, and the required fields of every point. This is the check the
+/// CI campaign-smoke job runs on the uploaded artifact.
+pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
+    if jsonish::string_field(json, "campaign").as_deref() != Some(CAMPAIGN_NAME) {
+        return Err(format!(
+            "missing or wrong \"campaign\" discriminator (expected \"{CAMPAIGN_NAME}\")"
+        ));
+    }
+    let schema = jsonish::number_field(json, "schema")
+        .ok_or_else(|| "missing \"schema\" version".to_string())?;
+    if schema != f64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "unsupported schema version {schema} (this build reads {SCHEMA_VERSION})"
+        ));
+    }
+    let points = jsonish::extract_array_objects(json, "points");
+    if points.is_empty() {
+        return Err("report contains no executed points".to_string());
+    }
+    for (i, point) in points.iter().enumerate() {
+        for key in ["predictor", "scheme", "suite"] {
+            if jsonish::string_field(point, key).is_none() {
+                return Err(format!("point {i} is missing string field \"{key}\""));
+            }
+        }
+        for key in [
+            "traces",
+            "predictions",
+            "mispredictions",
+            "instructions",
+            "mean_mpki",
+            "aggregate_mkp",
+            "high_pcov",
+            "high_mprate_mkp",
+        ] {
+            if jsonish::number_field(point, key).is_none() {
+                return Err(format!("point {i} is missing numeric field \"{key}\""));
+            }
+        }
+    }
+    let skipped = jsonish::extract_array_objects(json, "skipped");
+    Ok(ValidatedReport {
+        schema: SCHEMA_VERSION,
+        points: points.len(),
+        skipped: skipped.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_traces::suites;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            label: "test".to_string(),
+            predictors: vec![
+                PredictorSpec::parse("tage-16k").unwrap(),
+                PredictorSpec::parse("gshare").unwrap(),
+            ],
+            schemes: vec![
+                SchemeSpec::parse("storage-free").unwrap(),
+                SchemeSpec::parse("jrs-classic").unwrap(),
+            ],
+            suites: vec![suites::cbp1_mini()],
+            branches_per_trace: 1_000,
+        }
+    }
+
+    #[test]
+    fn expansion_crosses_axes_and_skips_invalid_cells() {
+        let (points, skipped) = tiny_spec().expand();
+        // 2 predictors × 2 schemes × 1 suite = 4 cells, one of which
+        // (gshare × storage-free) cannot run.
+        assert_eq!(points.len(), 3);
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].predictor, "gshare");
+        assert_eq!(skipped[0].scheme, "storage-free");
+        assert!(skipped[0].reason.contains("TAGE"));
+    }
+
+    #[test]
+    fn steal_map_is_order_preserving_and_worker_count_independent() {
+        let items: Vec<u64> = (0..53).collect();
+        let (serial, stats) = steal_map(&items, 1, |&x| x * 3);
+        assert_eq!(stats.steals, 0);
+        for workers in [2, 3, 8, 64] {
+            let (parallel, stats) = steal_map(&items, workers, |&x| x * 3);
+            assert_eq!(parallel, serial, "workers = {workers}");
+            assert!(stats.workers <= items.len());
+        }
+        let empty: Vec<u64> = Vec::new();
+        let (results, _) = steal_map(&empty, 4, |&x: &u64| x);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn steal_map_steals_from_loaded_workers() {
+        // Worker 0's items are slow, the rest are instant: the only way the
+        // fast workers stay busy is by stealing worker 0's backlog.
+        let items: Vec<usize> = (0..32).collect();
+        let (results, stats) = steal_map(&items, 4, |&i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 2
+        });
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(
+            stats.steals > 0,
+            "uneven per-worker load must trigger steals (got {stats:?})"
+        );
+    }
+
+    #[test]
+    fn campaign_report_renders_and_validates() {
+        let report = run_campaign(&tiny_spec(), 2);
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.skipped.len(), 1);
+        let json = report.render_json(true);
+        let validated = validate_report(&json).expect("rendered report validates");
+        assert_eq!(validated.schema, SCHEMA_VERSION);
+        assert_eq!(validated.points, 3);
+        assert_eq!(validated.skipped, 1);
+        assert!(json.contains("\"wall_seconds\""));
+        // The deterministic rendering drops every timing field.
+        let bare = report.render_json(false);
+        assert!(!bare.contains("wall_seconds"));
+        assert!(!bare.contains("branches_per_sec"));
+        assert!(!bare.contains("\"timing\""));
+        validate_report(&bare).expect("timing-free report still validates");
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report("{\"campaign\": \"other\"}").is_err());
+        let wrong_schema =
+            "{\"campaign\": \"tage-bench\", \"schema\": 99, \"points\": [{\"predictor\": \"x\"}]}";
+        let error = validate_report(wrong_schema).unwrap_err();
+        assert!(error.contains("schema"));
+        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": []}";
+        assert!(validate_report(no_points).unwrap_err().contains("points"));
+        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
+        assert!(validate_report(missing_field)
+            .unwrap_err()
+            .contains("predictions"));
+    }
+}

@@ -1,5 +1,5 @@
 //! Benchmark harness: shared helpers for the table/figure regeneration
-//! binaries.
+//! binaries, plus the [`campaign`] cross-product runner behind `tage-bench`.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
 //! (see `DESIGN.md` for the experiment index). They all accept an optional
@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod campaign;
 
 /// Default number of conditional branches simulated per trace by the
 /// experiment binaries.
@@ -32,32 +34,64 @@ pub fn print_header(what: &str, branches: usize) {
     println!();
 }
 
-pub mod trajectory {
-    //! Helpers for the `BENCH_throughput.json` benchmark-trajectory file.
-    //!
-    //! The file is an append-only series of measurement entries (see
-    //! `docs/BENCHMARKS.md` for the schema): every `throughput` run appends
-    //! one labelled entry, so the file records how hot-path performance moved
-    //! across PRs. The workspace has no JSON dependency, so these helpers do
-    //! the minimal structural work on the formats the `throughput` bin
-    //! itself writes: extracting the existing entries (including migrating
-    //! the schema-1 file that predates the trajectory) and re-rendering the
-    //! file with a new entry appended.
-    //!
-    //! Re-running with the *same* label replaces the last entry instead of
-    //! appending, so repeated local `verify.sh` runs do not grow the file.
+pub mod cli {
+    //! Tiny flag-parsing helpers shared by the bench binaries (the
+    //! workspace carries no argument-parsing dependency).
 
-    /// Current schema version of the trajectory file.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// Pulls the value following `flag` from the argument iterator.
+    pub fn require_value(
+        args: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<String, String> {
+        args.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
 
-    /// Label under which a schema-1 file's measurements are preserved when
-    /// the file is first migrated to the trajectory schema.
-    pub const LEGACY_LABEL: &str = "nested-vec baseline (schema 1)";
+    /// Parses a count argument, allowing `_` separators (`200_000`).
+    pub fn parse_count(what: &str, value: &str) -> Result<usize, String> {
+        value
+            .replace('_', "")
+            .parse()
+            .map_err(|_| format!("{what}: not a number: {value}"))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn count_parsing_accepts_separators_and_rejects_garbage() {
+            assert_eq!(parse_count("branches", "200_000"), Ok(200_000));
+            assert_eq!(parse_count("branches", "42"), Ok(42));
+            let error = parse_count("--workers", "four").unwrap_err();
+            assert!(error.contains("--workers") && error.contains("four"));
+        }
+
+        #[test]
+        fn require_value_reports_the_flag_name() {
+            let mut args = vec!["x".to_string()].into_iter();
+            assert_eq!(require_value(&mut args, "--out"), Ok("x".to_string()));
+            assert!(require_value(&mut args, "--out")
+                .unwrap_err()
+                .contains("--out"));
+        }
+    }
+}
+
+pub mod jsonish {
+    //! Minimal structural helpers for the hand-rolled JSON files the bench
+    //! binaries read and write (the workspace has no JSON dependency).
+    //!
+    //! These are not a JSON parser: they do exactly the structural work the
+    //! `BENCH_throughput.json` trajectory and the campaign reports need —
+    //! extracting the objects of a named array (brace-balanced,
+    //! string-literal aware), pulling one string or numeric field out of an
+    //! object, and escaping strings for embedding.
 
     /// Extracts the raw JSON objects of an array field named `key` from
     /// `json`, using brace balancing (string-literal aware). Returns an
     /// empty vector if the field is absent.
-    fn extract_array_objects(json: &str, key: &str) -> Vec<String> {
+    pub fn extract_array_objects(json: &str, key: &str) -> Vec<String> {
         let needle = format!("\"{key}\":");
         let Some(start) = json.find(&needle) else {
             return Vec::new();
@@ -105,6 +139,113 @@ pub mod trajectory {
         objects
     }
 
+    /// Extracts the (unescaped) value of the string field `key` from a JSON
+    /// object, if present.
+    pub fn string_field(object: &str, key: &str) -> Option<String> {
+        let needle = format!("\"{key}\":");
+        let start = object.find(&needle)? + needle.len();
+        let rest = object[start..].trim_start().strip_prefix('"')?;
+        let mut value = String::new();
+        let mut escaped = false;
+        for c in rest.chars() {
+            if escaped {
+                value.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(value);
+            } else {
+                value.push(c);
+            }
+        }
+        None
+    }
+
+    /// Extracts the value of the numeric field `key` from a JSON object, if
+    /// present and parseable.
+    pub fn number_field(object: &str, key: &str) -> Option<f64> {
+        let needle = format!("\"{key}\":");
+        let start = object.find(&needle)? + needle.len();
+        let rest = object[start..].trim_start();
+        let end = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// Escapes a string for embedding in a JSON string literal: quotes and
+    /// backslashes are escaped, control characters are replaced by spaces.
+    pub fn escape(value: &str) -> String {
+        let mut escaped = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                c if c.is_control() => escaped.push(' '),
+                c => escaped.push(c),
+            }
+        }
+        escaped
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fields_extract_from_simple_objects() {
+            let obj = r#"{"name": "engine", "rate": 123456.5, "neg": -2e3}"#;
+            assert_eq!(string_field(obj, "name").as_deref(), Some("engine"));
+            assert_eq!(number_field(obj, "rate"), Some(123456.5));
+            assert_eq!(number_field(obj, "neg"), Some(-2000.0));
+            assert_eq!(string_field(obj, "missing"), None);
+            assert_eq!(number_field(obj, "name"), None);
+        }
+
+        #[test]
+        fn escape_handles_quotes_backslashes_and_controls() {
+            assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+            assert_eq!(escape("a\nb"), "a b");
+        }
+
+        #[test]
+        fn array_extraction_is_string_aware() {
+            let json = r#"{"items": [ {"v": "has { and ] inside"}, {"v": 2} ]}"#;
+            let objects = extract_array_objects(json, "items");
+            assert_eq!(objects.len(), 2);
+            assert_eq!(
+                string_field(&objects[0], "v").as_deref(),
+                Some("has { and ] inside")
+            );
+        }
+    }
+}
+
+pub mod trajectory {
+    //! Helpers for the `BENCH_throughput.json` benchmark-trajectory file.
+    //!
+    //! The file is an append-only series of measurement entries (see
+    //! `docs/BENCHMARKS.md` for the schema): every `throughput` run appends
+    //! one labelled entry, so the file records how hot-path performance moved
+    //! across PRs. The workspace has no JSON dependency, so these helpers do
+    //! the minimal structural work on the formats the `throughput` bin
+    //! itself writes: extracting the existing entries (including migrating
+    //! the schema-1 file that predates the trajectory) and re-rendering the
+    //! file with a new entry appended.
+    //!
+    //! Re-running with the *same* label replaces the last entry instead of
+    //! appending, so repeated local `verify.sh` runs do not grow the file.
+
+    /// Current schema version of the trajectory file.
+    pub const SCHEMA_VERSION: u32 = 2;
+
+    /// Label under which a schema-1 file's measurements are preserved when
+    /// the file is first migrated to the trajectory schema.
+    pub const LEGACY_LABEL: &str = "nested-vec baseline (schema 1)";
+
+    use crate::jsonish::{self, extract_array_objects};
+
     /// Extracts the existing trajectory entries from a previously written
     /// `BENCH_throughput.json`, whatever its schema:
     ///
@@ -123,40 +264,21 @@ pub mod trajectory {
         vec![render_entry(LEGACY_LABEL, &measurements)]
     }
 
-    /// Escapes a label for embedding in a JSON string literal: quotes and
-    /// backslashes are escaped, control characters are replaced by spaces.
-    fn escape_label(label: &str) -> String {
-        let mut escaped = String::with_capacity(label.len());
-        for c in label.chars() {
-            match c {
-                '"' => escaped.push_str("\\\""),
-                '\\' => escaped.push_str("\\\\"),
-                c if c.is_control() => escaped.push(' '),
-                c => escaped.push(c),
-            }
-        }
-        escaped
-    }
-
     /// Extracts an entry's `label` value (unescaped), if present.
     pub fn entry_label(entry: &str) -> Option<String> {
-        let start = entry.find("\"label\":")? + "\"label\":".len();
-        let rest = entry[start..].trim_start().strip_prefix('"')?;
-        let mut label = String::new();
-        let mut escaped = false;
-        for c in rest.chars() {
-            if escaped {
-                label.push(c);
-                escaped = false;
-            } else if c == '\\' {
-                escaped = true;
-            } else if c == '"' {
-                return Some(label);
-            } else {
-                label.push(c);
-            }
-        }
-        None
+        jsonish::string_field(entry, "label")
+    }
+
+    /// Extracts the numeric `field` of the measurement named `name` inside a
+    /// trajectory entry — e.g. the `branches_per_sec` of
+    /// `engine_single_trace`, which the `throughput` bin's
+    /// `--check-regression` mode compares against the latest committed
+    /// milestone.
+    pub fn entry_measurement(entry: &str, name: &str, field: &str) -> Option<f64> {
+        extract_array_objects(entry, "measurements")
+            .iter()
+            .find(|m| jsonish::string_field(m, "name").as_deref() == Some(name))
+            .and_then(|m| jsonish::number_field(m, field))
     }
 
     /// Renders one trajectory entry from a label and raw measurement
@@ -168,7 +290,7 @@ pub mod trajectory {
             .collect();
         format!(
             "  {{\n   \"label\": \"{}\",\n   \"measurements\": [\n{}\n   ]\n  }}",
-            escape_label(label),
+            jsonish::escape(label),
             measurements.join(",\n")
         )
     }
@@ -293,6 +415,23 @@ pub mod trajectory {
             assert!(existing_entries("{}").is_empty());
             assert!(existing_entries("not json at all").is_empty());
             assert_eq!(entry_label("{}"), None);
+        }
+
+        #[test]
+        fn entry_measurement_extracts_named_rates() {
+            let entries = existing_entries(LEGACY);
+            let rate = entry_measurement(&entries[0], "engine_single_trace", "branches_per_sec");
+            assert_eq!(rate, Some(4642755.0));
+            let seconds = entry_measurement(&entries[0], "suite_parallel", "seconds");
+            assert_eq!(seconds, Some(0.022130));
+            assert_eq!(
+                entry_measurement(&entries[0], "missing_measurement", "branches_per_sec"),
+                None
+            );
+            assert_eq!(
+                entry_measurement(&entries[0], "engine_single_trace", "missing_field"),
+                None
+            );
         }
 
         #[test]

@@ -1,0 +1,117 @@
+//! Campaign determinism contract: the same grid renders a byte-identical
+//! JSON report at any worker count (modulo the explicitly timing-carrying
+//! fields), and the report round-trips through the schema validation.
+
+use tage_bench::campaign::{
+    run_campaign, steal_map, validate_report, CampaignSpec, SCHEMA_VERSION,
+};
+use tage_bench::jsonish;
+use tage_sim::point::{PredictorSpec, SchemeSpec};
+use tage_traces::suites;
+
+fn grid() -> CampaignSpec {
+    CampaignSpec {
+        label: "determinism".to_string(),
+        predictors: vec![
+            PredictorSpec::parse("tage-16k").unwrap(),
+            PredictorSpec::parse("gshare").unwrap(),
+            PredictorSpec::parse("perceptron").unwrap(),
+        ],
+        schemes: vec![
+            SchemeSpec::parse("storage-free").unwrap(),
+            SchemeSpec::parse("self-confidence").unwrap(),
+        ],
+        suites: vec![suites::cbp1_mini()],
+        branches_per_trace: 2_000,
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts() {
+    let serial = run_campaign(&grid(), 1).render_json(false);
+    for workers in [2, 4, 8] {
+        let parallel = run_campaign(&grid(), workers).render_json(false);
+        assert_eq!(
+            serial, parallel,
+            "timing-free report must not depend on worker count (workers = {workers})"
+        );
+    }
+}
+
+#[test]
+fn timing_fields_are_the_only_difference_between_renders() {
+    let report = run_campaign(&grid(), 4);
+    let with_timing = report.render_json(true);
+    let without = report.render_json(false);
+    assert!(with_timing.contains("\"wall_seconds\""));
+    assert!(with_timing.contains("\"timing\""));
+    assert!(!without.contains("\"wall_seconds\""));
+    assert!(!without.contains("\"timing\""));
+
+    // Point for point, every deterministic field is identical across the
+    // two renders; the timing render only adds wall-clock fields.
+    let timed_points = jsonish::extract_array_objects(&with_timing, "points");
+    let bare_points = jsonish::extract_array_objects(&without, "points");
+    assert_eq!(timed_points.len(), bare_points.len());
+    assert!(!bare_points.is_empty());
+    for (timed, bare) in timed_points.iter().zip(&bare_points) {
+        for key in ["predictor", "scheme", "suite"] {
+            assert_eq!(
+                jsonish::string_field(timed, key),
+                jsonish::string_field(bare, key)
+            );
+        }
+        for key in [
+            "traces",
+            "predictions",
+            "mispredictions",
+            "instructions",
+            "mean_mpki",
+            "aggregate_mkp",
+            "high_pcov",
+            "high_mprate_mkp",
+        ] {
+            assert_eq!(
+                jsonish::number_field(timed, key),
+                jsonish::number_field(bare, key),
+                "{key}"
+            );
+        }
+        assert!(jsonish::number_field(timed, "wall_seconds").is_some());
+        assert!(jsonish::number_field(bare, "wall_seconds").is_none());
+    }
+}
+
+#[test]
+fn report_round_trips_through_schema_validation() {
+    let report = run_campaign(&grid(), 2);
+    for include_timing in [true, false] {
+        let json = report.render_json(include_timing);
+        let validated = validate_report(&json).expect("rendered report validates");
+        assert_eq!(validated.schema, SCHEMA_VERSION);
+        assert_eq!(validated.points, report.points.len());
+        assert_eq!(validated.skipped, report.skipped.len());
+    }
+    // Tampering with the schema version must be rejected.
+    let json = report.render_json(false);
+    let tampered = json.replace(&format!("\"schema\": {SCHEMA_VERSION}"), "\"schema\": 9999");
+    assert!(validate_report(&tampered).is_err());
+}
+
+#[test]
+fn steal_map_with_heterogeneous_point_costs_stays_deterministic() {
+    // Simulated mixed-size workload: the value is a function of the index
+    // only, but the runtime varies wildly — results must not.
+    let items: Vec<u64> = (0..40).collect();
+    let slow = |&i: &u64| {
+        if i % 5 == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        i.wrapping_mul(2654435761)
+    };
+    let (reference, _) = steal_map(&items, 1, slow);
+    for workers in [3, 7] {
+        let (results, _) = steal_map(&items, workers, slow);
+        assert_eq!(results, reference);
+    }
+}

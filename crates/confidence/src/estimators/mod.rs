@@ -17,9 +17,11 @@
 
 mod jrs;
 mod self_confidence;
+mod spec;
 
 pub use jrs::{JrsEstimator, JrsIndexing};
 pub use self_confidence::SelfConfidenceEstimator;
+pub use spec::EstimatorSpec;
 
 use tage_predictors::Prediction;
 

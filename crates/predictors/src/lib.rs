@@ -45,6 +45,7 @@ pub mod gshare;
 pub mod history;
 pub mod perceptron;
 pub mod predictor;
+pub mod spec;
 
 pub use bimodal::BimodalPredictor;
 pub use gehl::GehlPredictor;
@@ -53,3 +54,4 @@ pub use perceptron::PerceptronPredictor;
 pub use predictor::{
     BranchPredictor, MarginPredictor, Prediction, PredictionOutcome, PredictorCore,
 };
+pub use spec::BaselinePredictorSpec;

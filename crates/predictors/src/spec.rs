@@ -1,0 +1,117 @@
+//! Enumerable baseline-predictor configurations for sweep grids.
+//!
+//! The campaign runner (`tage-bench`) expands declarative grids over
+//! predictor kinds. For the baseline predictors of this crate the grid axis
+//! values are the variants of [`BaselinePredictorSpec`]: each one is a named,
+//! fully-parameterised configuration that can be parsed from a CLI token,
+//! enumerated for `--list`, and stamped into a cold predictor instance per
+//! sweep point.
+
+use crate::{
+    BimodalPredictor, BranchPredictor, GehlPredictor, GsharePredictor, PerceptronPredictor,
+};
+
+/// A named, buildable baseline-predictor configuration — one value of the
+/// predictor axis of a sweep grid.
+///
+/// The parameters mirror the configurations the comparison experiments use:
+/// moderate table sizes that fit the synthetic traces' footprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselinePredictorSpec {
+    /// Smith's 2-bit bimodal table, `2^12` counters.
+    Bimodal,
+    /// McFarling's gshare, `2^14` counters × 14 history bits.
+    Gshare,
+    /// Hashed perceptron, 256 rows × 24 history bits.
+    Perceptron,
+    /// O-GEHL-style predictor, 6 tables × `2^11` counters, histories 2..64.
+    Gehl,
+}
+
+impl BaselinePredictorSpec {
+    /// Every baseline configuration, in grid-axis order.
+    pub const ALL: [BaselinePredictorSpec; 4] = [
+        BaselinePredictorSpec::Bimodal,
+        BaselinePredictorSpec::Gshare,
+        BaselinePredictorSpec::Perceptron,
+        BaselinePredictorSpec::Gehl,
+    ];
+
+    /// The stable grid token naming this configuration (what `--predictors`
+    /// parses and the campaign report records).
+    pub fn token(&self) -> &'static str {
+        match self {
+            BaselinePredictorSpec::Bimodal => "bimodal",
+            BaselinePredictorSpec::Gshare => "gshare",
+            BaselinePredictorSpec::Perceptron => "perceptron",
+            BaselinePredictorSpec::Gehl => "gehl",
+        }
+    }
+
+    /// Parses a grid token back into a configuration.
+    pub fn parse(token: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|spec| spec.token() == token)
+    }
+
+    /// Builds a cold predictor instance of this configuration.
+    pub fn build(&self) -> Box<dyn BranchPredictor + Send> {
+        match self {
+            BaselinePredictorSpec::Bimodal => Box::new(BimodalPredictor::new(12)),
+            BaselinePredictorSpec::Gshare => Box::new(GsharePredictor::new(14, 14)),
+            BaselinePredictorSpec::Perceptron => Box::new(PerceptronPredictor::new(256, 24)),
+            BaselinePredictorSpec::Gehl => Box::new(GehlPredictor::new(6, 11, 2, 64)),
+        }
+    }
+
+    /// A margin threshold suited to this predictor's self-confidence scale:
+    /// counter-based predictors saturate at tiny margins, neural predictors
+    /// produce wide sums.
+    pub fn self_confidence_threshold(&self) -> i64 {
+        match self {
+            BaselinePredictorSpec::Bimodal | BaselinePredictorSpec::Gshare => 1,
+            BaselinePredictorSpec::Perceptron => 40,
+            BaselinePredictorSpec::Gehl => 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip_and_are_unique() {
+        for spec in BaselinePredictorSpec::ALL {
+            assert_eq!(BaselinePredictorSpec::parse(spec.token()), Some(spec));
+        }
+        let mut tokens: Vec<&str> = BaselinePredictorSpec::ALL.map(|s| s.token()).to_vec();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), BaselinePredictorSpec::ALL.len());
+        assert_eq!(BaselinePredictorSpec::parse("tage-16k"), None);
+    }
+
+    #[test]
+    fn every_spec_builds_a_working_predictor() {
+        for spec in BaselinePredictorSpec::ALL {
+            let mut predictor = spec.build();
+            let prediction = predictor.predict(0x4000);
+            predictor.update(0x4000, true, &prediction);
+            assert!(predictor.storage_bits() > 0, "{}", spec.token());
+            assert!(spec.self_confidence_threshold() > 0);
+        }
+    }
+
+    #[test]
+    fn built_instances_are_independent() {
+        let spec = BaselinePredictorSpec::Gshare;
+        let mut a = spec.build();
+        let b = spec.build();
+        for _ in 0..8 {
+            let p = a.predict(0x77);
+            a.update(0x77, true, &p);
+        }
+        let mut b = b;
+        assert_eq!(b.predict(0x77).margin, 1, "sibling stays cold");
+    }
+}

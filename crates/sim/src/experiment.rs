@@ -2,10 +2,13 @@
 //!
 //! Each function here computes the data behind one (or several) of the
 //! paper's evaluation artefacts; the `tage-bench` binaries only format the
-//! returned rows. Every function is built on the engine-backed
-//! [`run_suite`], so each suite evaluation — including every point of the
-//! probability sweep and the ablations — is sharded per trace across the
-//! available hardware threads with deterministic, bit-identical aggregation.
+//! returned rows. Every sweep is a grid of [`TageSweepPoint`]s handed to the
+//! shared point-runner [`run_tage_sweep`] — the functions only *expand the
+//! axis* (probability exponents, window lengths, counter widths, automaton
+//! on/off) and *format the rows*. Each point's suite evaluation is sharded
+//! per trace across the available hardware threads with deterministic,
+//! bit-identical aggregation; larger cross products run through the
+//! `tage-bench` campaign runner, which steals work across whole points.
 //! The mapping to the paper is:
 //!
 //! | paper artefact | function |
@@ -25,6 +28,7 @@ use tage::{CounterAutomaton, TageConfig};
 use tage_confidence::{ConfidenceLevel, PredictionClass};
 use tage_traces::Suite;
 
+use crate::point::{run_tage_sweep, TageSweepPoint};
 use crate::runner::RunOptions;
 use crate::suite::{run_suite, SuiteRunResult};
 
@@ -67,20 +71,23 @@ pub struct Table1Row {
 /// Reproduces Table 1: the three simulated configurations and their mean
 /// misprediction rates on both suites.
 pub fn table1(cbp1: &Suite, cbp2: &Suite, branches_per_trace: usize) -> Vec<Table1Row> {
-    standard_configs()
+    let points: Vec<TageSweepPoint> = standard_configs()
         .into_iter()
-        .map(|config| {
-            let r1 = run_suite(&config, cbp1, branches_per_trace, &RunOptions::default());
-            let r2 = run_suite(&config, cbp2, branches_per_trace, &RunOptions::default());
-            Table1Row {
-                config_name: config.name.clone(),
-                storage_bits: config.storage_bits(),
-                num_tables: config.num_tagged_tables + 1,
-                min_history: config.min_history,
-                max_history: config.max_history,
-                cbp1_mpki: r1.mean_mpki(),
-                cbp2_mpki: r2.mean_mpki(),
-            }
+        .map(TageSweepPoint::new)
+        .collect();
+    let r1 = run_tage_sweep(&points, cbp1, branches_per_trace);
+    let r2 = run_tage_sweep(&points, cbp2, branches_per_trace);
+    points
+        .iter()
+        .zip(r1.iter().zip(&r2))
+        .map(|(point, (r1, r2))| Table1Row {
+            config_name: point.config.name.clone(),
+            storage_bits: point.config.storage_bits(),
+            num_tables: point.config.num_tagged_tables + 1,
+            min_history: point.config.min_history,
+            max_history: point.config.max_history,
+            cbp1_mpki: r1.mean_mpki(),
+            cbp2_mpki: r2.mean_mpki(),
         })
         .collect()
 }
@@ -272,21 +279,27 @@ pub fn probability_sweep(
     branches_per_trace: usize,
     exponents: &[u32],
 ) -> Vec<ProbabilitySweepRow> {
-    exponents
+    let points: Vec<TageSweepPoint> = exponents
         .iter()
         .map(|&exp| {
-            let config = base_config
-                .clone()
-                .with_automaton(CounterAutomaton::probabilistic(exp));
-            let result = run_suite(&config, suite, branches_per_trace, &RunOptions::default());
-            ProbabilitySweepRow {
-                log2_inverse_probability: exp,
-                probability: 1.0 / f64::from(1u32 << exp),
-                high_pcov: result.aggregate.level_pcov(ConfidenceLevel::High),
-                high_mpcov: result.aggregate.level_mpcov(ConfidenceLevel::High),
-                high_mprate_mkp: result.aggregate.level_mprate_mkp(ConfidenceLevel::High),
-                mpki: result.mean_mpki(),
-            }
+            TageSweepPoint::new(
+                base_config
+                    .clone()
+                    .with_automaton(CounterAutomaton::probabilistic(exp)),
+            )
+        })
+        .collect();
+    let results = run_tage_sweep(&points, suite, branches_per_trace);
+    exponents
+        .iter()
+        .zip(&results)
+        .map(|(&exp, result)| ProbabilitySweepRow {
+            log2_inverse_probability: exp,
+            probability: 1.0 / f64::from(1u32 << exp),
+            high_pcov: result.aggregate.level_pcov(ConfidenceLevel::High),
+            high_mpcov: result.aggregate.level_mpcov(ConfidenceLevel::High),
+            high_mprate_mkp: result.aggregate.level_mprate_mkp(ConfidenceLevel::High),
+            mpki: result.mean_mpki(),
         })
         .collect()
 }
@@ -375,21 +388,28 @@ impl AutomatonCostRow {
 /// Measures the accuracy cost of the modified automaton for every
 /// configuration over the given suites.
 pub fn automaton_cost(suites: &[&Suite], branches_per_trace: usize) -> Vec<AutomatonCostRow> {
-    let mut rows = Vec::new();
-    for config in standard_configs() {
-        for suite in suites {
-            let standard = run_suite(&config, suite, branches_per_trace, &RunOptions::default());
-            let modified_config = config
+    // The grid: for every configuration, a standard-automaton point followed
+    // by its modified-automaton twin; run once per suite.
+    let points: Vec<TageSweepPoint> = standard_configs()
+        .into_iter()
+        .flat_map(|config| {
+            let modified = config
                 .clone()
                 .with_automaton(CounterAutomaton::paper_default());
-            let modified = run_suite(
-                &modified_config,
-                suite,
-                branches_per_trace,
-                &RunOptions::default(),
-            );
+            [TageSweepPoint::new(config), TageSweepPoint::new(modified)]
+        })
+        .collect();
+    let per_suite: Vec<Vec<SuiteRunResult>> = suites
+        .iter()
+        .map(|suite| run_tage_sweep(&points, suite, branches_per_trace))
+        .collect();
+    let mut rows = Vec::new();
+    for pair_index in 0..points.len() / 2 {
+        for (suite, results) in suites.iter().zip(&per_suite) {
+            let standard = &results[2 * pair_index];
+            let modified = &results[2 * pair_index + 1];
             rows.push(AutomatonCostRow {
-                config_name: config.name.clone(),
+                config_name: standard.config_name.clone(),
                 suite_name: suite.name().to_string(),
                 standard_mpki: standard.mean_mpki(),
                 modified_mpki: modified.mean_mpki(),
@@ -420,20 +440,25 @@ pub fn window_ablation(
     branches_per_trace: usize,
     windows: &[u32],
 ) -> Vec<WindowAblationRow> {
-    windows
+    let points: Vec<TageSweepPoint> = windows
         .iter()
-        .map(|&window| {
-            let options = RunOptions {
+        .map(|&window| TageSweepPoint {
+            config: config.clone(),
+            options: RunOptions {
                 bim_miss_window: window,
                 ..RunOptions::default()
-            };
-            let result = run_suite(config, suite, branches_per_trace, &options);
-            WindowAblationRow {
-                window,
-                medium_bim_pcov: result.aggregate.pcov(PredictionClass::MediumConfBim),
-                medium_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::MediumConfBim),
-                high_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::HighConfBim),
-            }
+            },
+        })
+        .collect();
+    let results = run_tage_sweep(&points, suite, branches_per_trace);
+    windows
+        .iter()
+        .zip(&results)
+        .map(|(&window, result)| WindowAblationRow {
+            window,
+            medium_bim_pcov: result.aggregate.pcov(PredictionClass::MediumConfBim),
+            medium_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::MediumConfBim),
+            high_bim_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::HighConfBim),
         })
         .collect()
 }
@@ -459,21 +484,27 @@ pub fn counter_width_ablation(
     branches_per_trace: usize,
     widths: &[u8],
 ) -> Vec<CounterWidthAblationRow> {
-    widths
+    let points: Vec<TageSweepPoint> = widths
         .iter()
         .map(|&bits| {
-            let config = base_config
-                .to_builder()
-                .counter_bits(bits)
-                .build()
-                .expect("ablation configuration must be valid");
-            let result = run_suite(&config, suite, branches_per_trace, &RunOptions::default());
-            CounterWidthAblationRow {
-                counter_bits: bits,
-                mpki: result.mean_mpki(),
-                saturated_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::Stag),
-                saturated_pcov: result.aggregate.pcov(PredictionClass::Stag),
-            }
+            TageSweepPoint::new(
+                base_config
+                    .to_builder()
+                    .counter_bits(bits)
+                    .build()
+                    .expect("ablation configuration must be valid"),
+            )
+        })
+        .collect();
+    let results = run_tage_sweep(&points, suite, branches_per_trace);
+    widths
+        .iter()
+        .zip(&results)
+        .map(|(&bits, result)| CounterWidthAblationRow {
+            counter_bits: bits,
+            mpki: result.mean_mpki(),
+            saturated_mprate_mkp: result.aggregate.mprate_mkp(PredictionClass::Stag),
+            saturated_pcov: result.aggregate.pcov(PredictionClass::Stag),
         })
         .collect()
 }
@@ -491,16 +522,9 @@ mod tests {
     use super::*;
     use tage_traces::{suites, Suite};
 
-    /// A 4-trace subset so the experiment tests stay fast.
+    /// The registry's 4-trace subset so the experiment tests stay fast.
     fn mini_suite() -> Suite {
-        let full = suites::cbp1_like();
-        Suite::new(
-            "CBP-1-mini",
-            ["FP-1", "INT-2", "MM-5", "SERV-2"]
-                .iter()
-                .map(|name| full.trace(name).unwrap().clone())
-                .collect(),
-        )
+        suites::cbp1_mini()
     }
 
     const N: usize = 8_000;

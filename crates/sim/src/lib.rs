@@ -14,9 +14,14 @@
 //! * [`suite`] — runs whole workload suites (the CBP-1-like and CBP-2-like
 //!   20-trace sets) in parallel, one worker per trace, and aggregates the
 //!   results deterministically;
+//! * [`point`] — sweep points, the reusable unit of work behind campaign
+//!   grids (`tage-bench`) and the experiment sweeps: one predictor ×
+//!   confidence-scheme × suite cell executed through the engine with
+//!   deterministic, thread-placement-independent results;
 //! * [`experiment`] — the building blocks behind each table and figure of
 //!   the paper (class distributions, three-level summaries, probability
-//!   sweeps, automaton accuracy cost, ablations);
+//!   sweeps, automaton accuracy cost, ablations), expressed as grids of
+//!   sweep points;
 //! * [`baseline`] — runs the storage-based baseline confidence estimators
 //!   (JRS, enhanced JRS, self-confidence on perceptron/GEHL) for comparison;
 //! * [`gating`] — a fetch-gating / throttling model, the motivating
@@ -48,11 +53,16 @@ pub mod baseline;
 pub mod engine;
 pub mod experiment;
 pub mod gating;
+pub mod point;
 pub mod report;
 pub mod runner;
 pub mod smt;
 pub mod suite;
 
 pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
+pub use point::{
+    run_point, run_tage_sweep, PointResult, PointTraceMetrics, PredictorSpec, SchemeSpec,
+    SweepPoint, TageSweepPoint,
+};
 pub use runner::{run_trace, RunOptions, TraceRunResult};
 pub use suite::{run_suite, run_suite_with_parallelism, SuiteRunResult};

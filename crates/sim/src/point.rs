@@ -1,0 +1,532 @@
+//! Sweep points: the reusable unit of work behind campaign grids and the
+//! experiment sweeps.
+//!
+//! A [`SweepPoint`] is one cell of a predictor × confidence-scheme × suite
+//! cross product. [`run_point`] executes it — every trace of the point's
+//! suite through the generic [`SimEngine`], with a
+//! cold predictor per trace — and returns exact integer counters plus the
+//! aggregate [`ConfidenceReport`], so a point's result is deterministic and
+//! independent of where (which thread, which order) it ran. The campaign
+//! runner (`tage-bench`) work-steals whole points across workers; the
+//! experiment sweeps of [`crate::experiment`] are thin grids of
+//! [`TageSweepPoint`]s over the same machinery.
+//!
+//! The grid axes are enumerable:
+//!
+//! * predictors — the six TAGE variants (three sizes × standard/modified
+//!   automaton) plus every [`BaselinePredictorSpec`];
+//! * schemes — the paper's storage-free TAGE classification plus every
+//!   [`EstimatorSpec`] baseline.
+//!
+//! Not every combination is meaningful: the storage-free classification
+//! observes TAGE internals, so it only pairs with TAGE predictors.
+//! [`SweepPoint::validate`] reports such holes and the campaign runner skips
+//! them (counting the skips) instead of failing the grid.
+
+use core::fmt;
+
+use tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage_confidence::estimators::EstimatorSpec;
+use tage_confidence::{ConfidenceReport, EstimatorScheme};
+use tage_predictors::{BaselinePredictorSpec, MarginPredictor};
+use tage_traces::Suite;
+
+use crate::engine::{ReportObserver, SimEngine};
+
+/// One value of the predictor axis of a sweep grid.
+#[derive(Debug, Clone)]
+pub enum PredictorSpec {
+    /// A TAGE configuration (the paper's predictor, storage-free capable).
+    Tage(TageConfig),
+    /// A baseline predictor from the prior art.
+    Baseline(BaselinePredictorSpec),
+}
+
+/// The TAGE grid variants: the three paper sizes, each with the modified
+/// (probabilistic 1/128) automaton under the plain token and the standard
+/// automaton under the `-std` suffix.
+pub fn tage_variants() -> Vec<(String, TageConfig)> {
+    let mut variants = Vec::with_capacity(6);
+    for config in [
+        TageConfig::small(),
+        TageConfig::medium(),
+        TageConfig::large(),
+    ] {
+        let base = config.name.to_ascii_lowercase();
+        variants.push((
+            base.clone(),
+            config
+                .clone()
+                .with_automaton(CounterAutomaton::paper_default()),
+        ));
+        variants.push((format!("{base}-std"), config));
+    }
+    variants
+}
+
+impl PredictorSpec {
+    /// Every grid token the predictor axis accepts, in listing order.
+    pub fn known_tokens() -> Vec<String> {
+        let mut tokens: Vec<String> = tage_variants().into_iter().map(|(t, _)| t).collect();
+        tokens.extend(
+            BaselinePredictorSpec::ALL
+                .iter()
+                .map(|s| s.token().to_string()),
+        );
+        tokens
+    }
+
+    /// Parses a grid token into a predictor spec.
+    pub fn parse(token: &str) -> Option<Self> {
+        if let Some((_, config)) = tage_variants().into_iter().find(|(t, _)| t == token) {
+            return Some(PredictorSpec::Tage(config));
+        }
+        BaselinePredictorSpec::parse(token).map(PredictorSpec::Baseline)
+    }
+
+    /// The stable label naming this spec in reports: the parse token for
+    /// every grid-enumerable configuration, and an honest
+    /// `<name>-p<log2(1/p)>` description for programmatically built TAGE
+    /// configs with a non-standard, non-paper automaton.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorSpec::Tage(config) => {
+                let base = config.name.to_ascii_lowercase();
+                if config.automaton == CounterAutomaton::paper_default() {
+                    base
+                } else if config.automaton == CounterAutomaton::Standard {
+                    format!("{base}-std")
+                } else {
+                    let exponent = -config.automaton.saturation_probability().log2();
+                    format!("{base}-p{exponent:.0}")
+                }
+            }
+            PredictorSpec::Baseline(spec) => spec.token().to_string(),
+        }
+    }
+
+    /// Whether this predictor exposes the TAGE observables the storage-free
+    /// classification needs.
+    pub fn supports_storage_free(&self) -> bool {
+        matches!(self, PredictorSpec::Tage(_))
+    }
+
+    /// The self-confidence margin threshold suited to this predictor's
+    /// margin scale.
+    pub fn self_confidence_threshold(&self) -> i64 {
+        match self {
+            // TAGE margins are counter distances from the weak state: a
+            // 3-bit counter saturates at margin 4, so 2 splits weak/strong.
+            PredictorSpec::Tage(_) => 2,
+            PredictorSpec::Baseline(spec) => spec.self_confidence_threshold(),
+        }
+    }
+}
+
+/// One value of the confidence-scheme axis of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// The paper's storage-free TAGE classification.
+    StorageFree,
+    /// A storage-based baseline estimator.
+    Estimator(EstimatorSpec),
+}
+
+/// The grid token of the storage-free scheme.
+pub const STORAGE_FREE_TOKEN: &str = "storage-free";
+
+impl SchemeSpec {
+    /// Every grid token the scheme axis accepts, in listing order.
+    pub fn known_tokens() -> Vec<String> {
+        let mut tokens = vec![STORAGE_FREE_TOKEN.to_string()];
+        tokens.extend(EstimatorSpec::ALL.iter().map(|s| s.token().to_string()));
+        tokens
+    }
+
+    /// Parses a grid token into a scheme spec.
+    pub fn parse(token: &str) -> Option<Self> {
+        if token == STORAGE_FREE_TOKEN {
+            return Some(SchemeSpec::StorageFree);
+        }
+        EstimatorSpec::parse(token).map(SchemeSpec::Estimator)
+    }
+
+    /// The stable label naming this spec in reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::StorageFree => STORAGE_FREE_TOKEN.to_string(),
+            SchemeSpec::Estimator(spec) => spec.token().to_string(),
+        }
+    }
+}
+
+/// One cell of a predictor × scheme × suite cross product.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The predictor configuration.
+    pub predictor: PredictorSpec,
+    /// The confidence scheme grading its predictions.
+    pub scheme: SchemeSpec,
+    /// The workload suite the pair runs over.
+    pub suite: Suite,
+}
+
+/// Why a sweep point cannot run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidPoint {
+    /// The storage-free classification was paired with a non-TAGE predictor.
+    StorageFreeNeedsTage {
+        /// Label of the offending predictor.
+        predictor: String,
+    },
+}
+
+impl fmt::Display for InvalidPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidPoint::StorageFreeNeedsTage { predictor } => write!(
+                f,
+                "storage-free classification requires a TAGE predictor (got {predictor})"
+            ),
+        }
+    }
+}
+
+impl SweepPoint {
+    /// Checks that the predictor/scheme pairing is executable.
+    pub fn validate(&self) -> Result<(), InvalidPoint> {
+        if matches!(self.scheme, SchemeSpec::StorageFree) && !self.predictor.supports_storage_free()
+        {
+            return Err(InvalidPoint::StorageFreeNeedsTage {
+                predictor: self.predictor.label(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Exact per-trace counters of one point run (everything needed for MPKI /
+/// MKP without any floating-point state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointTraceMetrics {
+    /// Trace name.
+    pub trace_name: String,
+    /// Conditional branches measured.
+    pub predictions: u64,
+    /// Mispredictions among them.
+    pub mispredictions: u64,
+    /// Instructions attributed to the measured region.
+    pub instructions: u64,
+}
+
+impl PointTraceMetrics {
+    /// Misprediction rate in mispredictions per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// The outcome of running one sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointResult {
+    /// Label of the predictor axis value.
+    pub predictor: String,
+    /// Label of the scheme axis value.
+    pub scheme: String,
+    /// Suite name.
+    pub suite: String,
+    /// Per-trace exact counters, in suite order.
+    pub traces: Vec<PointTraceMetrics>,
+    /// Aggregate confidence report over the whole suite.
+    pub aggregate: ConfidenceReport,
+}
+
+impl PointResult {
+    /// Arithmetic mean of the per-trace MPKI values.
+    pub fn mean_mpki(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces.iter().map(PointTraceMetrics::mpki).sum::<f64>() / self.traces.len() as f64
+    }
+
+    /// Total measured conditional branches over the suite.
+    pub fn total_predictions(&self) -> u64 {
+        self.traces.iter().map(|t| t.predictions).sum()
+    }
+}
+
+/// Executes one sweep point: every trace of the suite, cold predictor and
+/// scheme per trace, serial within the point (cross-point parallelism is the
+/// campaign scheduler's job, which keeps each point's result independent of
+/// thread count).
+pub fn run_point(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+) -> Result<PointResult, InvalidPoint> {
+    point.validate()?;
+    let mut traces = Vec::with_capacity(point.suite.traces().len());
+    let mut aggregate = ConfidenceReport::new();
+    for spec in point.suite.traces() {
+        let trace = spec.generate(branches_per_trace);
+        let (report, predictions, mispredictions, instructions) = run_point_trace(point, &trace);
+        aggregate.merge(&report);
+        traces.push(PointTraceMetrics {
+            trace_name: spec.name().to_string(),
+            predictions,
+            mispredictions,
+            instructions,
+        });
+    }
+    Ok(PointResult {
+        predictor: point.predictor.label(),
+        scheme: point.scheme.label(),
+        suite: point.suite.name().to_string(),
+        traces,
+        aggregate,
+    })
+}
+
+fn run_point_trace(
+    point: &SweepPoint,
+    trace: &tage_traces::Trace,
+) -> (ConfidenceReport, u64, u64, u64) {
+    // The paper's own path has a canonical runner; don't duplicate its loop.
+    if let (PredictorSpec::Tage(config), SchemeSpec::StorageFree) =
+        (&point.predictor, &point.scheme)
+    {
+        let result = crate::runner::run_trace(config, trace, &crate::runner::RunOptions::default());
+        let mispredictions = result.report.total().mispredictions;
+        return (
+            result.report,
+            result.conditional_branches,
+            mispredictions,
+            result.instructions,
+        );
+    }
+    let mut observer = ReportObserver::default();
+    let summary = match (&point.predictor, &point.scheme) {
+        (PredictorSpec::Tage(_), SchemeSpec::StorageFree) => {
+            unreachable!("handled by the early return above")
+        }
+        (PredictorSpec::Tage(config), SchemeSpec::Estimator(estimator)) => {
+            let predictor = TagePredictor::new(config.clone());
+            let scheme =
+                EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
+            let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
+            engine.run(trace, &mut observer)
+        }
+        (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
+            let predictor = baseline.build();
+            let scheme =
+                EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
+            let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
+            engine.run(trace, &mut observer)
+        }
+        (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
+            unreachable!("validate() rejects storage-free on baseline predictors")
+        }
+    };
+    (
+        observer.report,
+        summary.measured_branches,
+        summary.measured_mispredictions,
+        summary.measured_instructions,
+    )
+}
+
+/// One point of a TAGE-only experiment sweep: a configuration plus run
+/// options, executed over a whole suite. The experiment functions of
+/// [`crate::experiment`] express their axes (probability exponents, window
+/// lengths, counter widths, automaton on/off) as grids of these.
+#[derive(Debug, Clone)]
+pub struct TageSweepPoint {
+    /// The predictor configuration of this point.
+    pub config: TageConfig,
+    /// The run options of this point.
+    pub options: crate::runner::RunOptions,
+}
+
+impl TageSweepPoint {
+    /// A point with default run options.
+    pub fn new(config: TageConfig) -> Self {
+        TageSweepPoint {
+            config,
+            options: crate::runner::RunOptions::default(),
+        }
+    }
+}
+
+/// Runs every TAGE sweep point over `suite` and returns the results in
+/// point order. Each point's suite run is itself sharded per trace (see
+/// [`crate::suite::run_suite`]), so sweeps inherit the engine's
+/// deterministic parallel aggregation.
+pub fn run_tage_sweep(
+    points: &[TageSweepPoint],
+    suite: &Suite,
+    branches_per_trace: usize,
+) -> Vec<crate::suite::SuiteRunResult> {
+    points
+        .iter()
+        .map(|point| {
+            crate::suite::run_suite(&point.config, suite, branches_per_trace, &point.options)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_traces::suites;
+
+    fn mini() -> Suite {
+        suites::cbp1_mini()
+    }
+
+    #[test]
+    fn predictor_tokens_parse_and_label_round_trip() {
+        let tokens = PredictorSpec::known_tokens();
+        assert_eq!(tokens.len(), 10, "6 TAGE variants + 4 baselines");
+        for token in &tokens {
+            let spec = PredictorSpec::parse(token).expect("known token parses");
+            assert_eq!(&spec.label(), token);
+        }
+        assert!(PredictorSpec::parse("nonsense").is_none());
+        assert!(PredictorSpec::parse("tage-16k")
+            .unwrap()
+            .supports_storage_free());
+        assert!(!PredictorSpec::parse("gshare")
+            .unwrap()
+            .supports_storage_free());
+    }
+
+    #[test]
+    fn programmatic_tage_configs_get_honest_labels() {
+        let spec = PredictorSpec::Tage(
+            TageConfig::small().with_automaton(CounterAutomaton::probabilistic(5)),
+        );
+        assert_eq!(spec.label(), "tage-16k-p5");
+        let std = PredictorSpec::Tage(TageConfig::small());
+        assert_eq!(std.label(), "tage-16k-std");
+        // paper_default is probabilistic(7): the plain token, not "-p7".
+        let paper = PredictorSpec::Tage(
+            TageConfig::small().with_automaton(CounterAutomaton::paper_default()),
+        );
+        assert_eq!(paper.label(), "tage-16k");
+    }
+
+    #[test]
+    fn scheme_tokens_parse_and_label_round_trip() {
+        let tokens = SchemeSpec::known_tokens();
+        assert_eq!(tokens.len(), 4, "storage-free + 3 estimators");
+        for token in &tokens {
+            let spec = SchemeSpec::parse(token).expect("known token parses");
+            assert_eq!(&spec.label(), token);
+        }
+        assert!(SchemeSpec::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn storage_free_on_baseline_is_rejected() {
+        let point = SweepPoint {
+            predictor: PredictorSpec::parse("gshare").unwrap(),
+            scheme: SchemeSpec::StorageFree,
+            suite: mini(),
+        };
+        let error = point.validate().unwrap_err();
+        assert!(error.to_string().contains("gshare"));
+        assert!(run_point(&point, 500).is_err());
+    }
+
+    #[test]
+    fn storage_free_point_matches_the_suite_runner() {
+        let suite = mini();
+        let config = TageConfig::small().with_automaton(CounterAutomaton::paper_default());
+        let point = SweepPoint {
+            predictor: PredictorSpec::Tage(config.clone()),
+            scheme: SchemeSpec::StorageFree,
+            suite: suite.clone(),
+        };
+        let result = run_point(&point, 3_000).unwrap();
+        let reference = crate::suite::run_suite(
+            &config,
+            &suite,
+            3_000,
+            &crate::runner::RunOptions::default(),
+        );
+        assert_eq!(result.aggregate, reference.aggregate);
+        assert_eq!(result.traces.len(), 4);
+        for (ours, theirs) in result.traces.iter().zip(&reference.traces) {
+            assert_eq!(ours.trace_name, theirs.trace_name);
+            assert_eq!(ours.predictions, theirs.report.total().predictions);
+            assert_eq!(ours.mispredictions, theirs.report.total().mispredictions);
+            assert!((ours.mpki() - theirs.mpki()).abs() < 1e-12);
+        }
+        assert!((result.mean_mpki() - reference.mean_mpki()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_valid_axis_combination_runs() {
+        let suite = Suite::new("one", vec![mini().trace("INT-2").unwrap().clone()]);
+        for predictor_token in PredictorSpec::known_tokens() {
+            // One TAGE size is enough here; skip the larger tables.
+            if predictor_token.contains("64k") || predictor_token.contains("256k") {
+                continue;
+            }
+            for scheme_token in SchemeSpec::known_tokens() {
+                let point = SweepPoint {
+                    predictor: PredictorSpec::parse(&predictor_token).unwrap(),
+                    scheme: SchemeSpec::parse(&scheme_token).unwrap(),
+                    suite: suite.clone(),
+                };
+                if point.validate().is_err() {
+                    continue;
+                }
+                let result = run_point(&point, 1_000).unwrap();
+                assert_eq!(
+                    result.total_predictions(),
+                    1_000,
+                    "{predictor_token} × {scheme_token}"
+                );
+                assert_eq!(result.predictor, predictor_token);
+                assert_eq!(result.scheme, scheme_token);
+            }
+        }
+    }
+
+    #[test]
+    fn point_runs_are_deterministic() {
+        let point = SweepPoint {
+            predictor: PredictorSpec::parse("perceptron").unwrap(),
+            scheme: SchemeSpec::parse("self-confidence").unwrap(),
+            suite: mini(),
+        };
+        let a = run_point(&point, 2_000).unwrap();
+        let b = run_point(&point, 2_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tage_sweep_matches_individual_suite_runs() {
+        let suite = mini();
+        let points = vec![
+            TageSweepPoint::new(TageConfig::small()),
+            TageSweepPoint {
+                config: TageConfig::small(),
+                options: crate::runner::RunOptions {
+                    bim_miss_window: 0,
+                    ..crate::runner::RunOptions::default()
+                },
+            },
+        ];
+        let results = run_tage_sweep(&points, &suite, 2_000);
+        assert_eq!(results.len(), 2);
+        let direct = crate::suite::run_suite(&points[0].config, &suite, 2_000, &points[0].options);
+        assert_eq!(results[0], direct);
+        assert_ne!(results[0].aggregate, results[1].aggregate);
+    }
+}

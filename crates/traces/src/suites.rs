@@ -341,9 +341,43 @@ pub fn cbp2_like() -> Suite {
     Suite::new("CBP-2-like", traces)
 }
 
-/// Returns both suites.
+/// Builds a 4-trace subset of the CBP-1-like suite (one trace per workload
+/// category), sized for smoke tests and CI campaign grids.
+pub fn cbp1_mini() -> Suite {
+    let full = cbp1_like();
+    Suite::new(
+        "CBP-1-mini",
+        ["FP-1", "INT-2", "MM-5", "SERV-2"]
+            .iter()
+            .map(|name| {
+                full.trace(name)
+                    .expect("mini suite names exist in CBP-1-like")
+                    .clone()
+            })
+            .collect(),
+    )
+}
+
+/// Returns both full suites.
 pub fn all_suites() -> Vec<Suite> {
     vec![cbp1_like(), cbp2_like()]
+}
+
+/// The registry tokens accepted by [`by_name`], in listing order.
+pub const REGISTRY: [&str; 3] = ["cbp1", "cbp2", "cbp1-mini"];
+
+/// Looks a suite up by registry token or display name.
+///
+/// Accepted spellings (case-insensitive): `cbp1` / `CBP-1-like`, `cbp2` /
+/// `CBP-2-like`, and `cbp1-mini` / `CBP-1-mini` for the 4-trace smoke
+/// subset.
+pub fn by_name(name: &str) -> Option<Suite> {
+    match name.to_ascii_lowercase().as_str() {
+        "cbp1" | "cbp-1" | "cbp-1-like" => Some(cbp1_like()),
+        "cbp2" | "cbp-2" | "cbp-2-like" => Some(cbp2_like()),
+        "cbp1-mini" | "cbp-1-mini" => Some(cbp1_mini()),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +416,26 @@ mod tests {
         assert!(suite.trace("nonexistent").is_none());
         let suite = cbp2_like();
         assert!(suite.trace("300.twolf").is_some());
+    }
+
+    #[test]
+    fn registry_resolves_every_token() {
+        for token in REGISTRY {
+            assert!(by_name(token).is_some(), "{token}");
+        }
+        assert_eq!(by_name("cbp1").unwrap().name(), "CBP-1-like");
+        assert_eq!(by_name("CBP-2-like").unwrap().name(), "CBP-2-like");
+        assert!(by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn mini_suite_has_one_trace_per_category() {
+        let mini = cbp1_mini();
+        assert_eq!(mini.traces().len(), 4);
+        assert_eq!(mini.name(), "CBP-1-mini");
+        for name in ["FP-1", "INT-2", "MM-5", "SERV-2"] {
+            assert!(mini.trace(name).is_some(), "{name}");
+        }
     }
 
     #[test]

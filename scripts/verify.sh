@@ -17,10 +17,21 @@ echo "== tier-1: cargo build --release && cargo test -q =="
 cargo build --release
 cargo test -q
 
-echo "== throughput smoke =="
-# Writes to an untracked path: the tracked BENCH_throughput.json records
-# milestone entries only (see docs/BENCHMARKS.md), so routine verification
-# must not dirty the working tree.
-cargo run --release --bin throughput 50000 target/BENCH_throughput.json
+echo "== throughput smoke (+ regression gate) =="
+# --baseline seeds from the tracked milestone file while --out keeps routine
+# runs on an untracked path (see docs/BENCHMARKS.md), so verification never
+# dirties the working tree; --check-regression fails the run if the
+# same-host SoA/reference speedup ratio drops below 0.5x the latest
+# committed milestone's ratio (host-speed-immune, see docs/BENCHMARKS.md).
+cargo run --release --bin throughput -- 50000 \
+  --baseline BENCH_throughput.json --out target/BENCH_throughput.json \
+  --check-regression
+
+echo "== campaign smoke (tage-bench) =="
+# Tiny default grid (2 predictors x 2 schemes x 1 suite); the --check pass
+# validates the report's schema (see docs/CAMPAIGNS.md).
+cargo run --release --bin tage-bench -- --branches 10000 --label verify \
+  --out target/campaign-smoke.json
+cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
 echo "verify: OK"
