@@ -7,23 +7,35 @@
 //!
 //! ```text
 //! tage-bench [--predictors LIST] [--schemes LIST] [--suites LIST]
-//!            [--branches N] [--workers N] [--label STR] [--out PATH]
-//!            [--no-timing] [--list]
+//!            [--trace-dir DIR]... [--branches N] [--workers N]
+//!            [--label STR] [--out PATH] [--no-timing] [--list]
+//! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! ```
 //!
 //! Lists are comma-separated grid tokens; `--list` prints every known axis
-//! value. `--check` structurally validates an existing report (schema
-//! version + required fields) and exits non-zero on mismatch — the CI
-//! campaign-smoke job runs it on the artifact it just produced.
+//! value. Suites stream — synthetic registry tokens generate records on the
+//! fly, and `--trace-dir` adds a file-backed suite over every `*.trace`
+//! file in a directory, read chunk by chunk through
+//! `tage_traces::source::BinaryFileSource` (when only `--trace-dir` suites
+//! are given the synthetic default is dropped). `--export-traces` writes
+//! the selected synthetic suites to disk as binary traces (streamed, never
+//! materialized) so a follow-up run can consume them with `--trace-dir` —
+//! this is what the CI campaign-smoke job does. `--check` structurally
+//! validates an existing report (schema version + required fields) and
+//! exits non-zero on mismatch.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use tage_bench::campaign::{run_campaign, validate_report, CampaignSpec, SCHEMA_VERSION};
 use tage_bench::cli;
 use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
+use tage_traces::source::{BranchSource, SourceSuite, SyntheticSource};
 use tage_traces::suites;
+use tage_traces::writer::StreamingTraceWriter;
+use tage_traces::BranchRecord;
 
 /// The default smoke grid: one TAGE size and one baseline predictor, the
 /// storage-free scheme against one baseline estimator, over the mini suite.
@@ -36,6 +48,8 @@ struct Options {
     predictors: String,
     schemes: String,
     suites: String,
+    suites_explicit: bool,
+    trace_dirs: Vec<String>,
     branches: usize,
     workers: usize,
     label: String,
@@ -43,6 +57,7 @@ struct Options {
     include_timing: bool,
     list: bool,
     check: Option<String>,
+    export_traces: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -50,6 +65,8 @@ fn parse_options() -> Result<Options, String> {
         predictors: DEFAULT_PREDICTORS.to_string(),
         schemes: DEFAULT_SCHEMES.to_string(),
         suites: DEFAULT_SUITES.to_string(),
+        suites_explicit: false,
+        trace_dirs: Vec::new(),
         branches: DEFAULT_BRANCHES,
         workers: default_parallelism(),
         label: "campaign".to_string(),
@@ -57,13 +74,20 @@ fn parse_options() -> Result<Options, String> {
         include_timing: true,
         list: false,
         check: None,
+        export_traces: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--predictors" => options.predictors = cli::require_value(&mut args, "--predictors")?,
             "--schemes" => options.schemes = cli::require_value(&mut args, "--schemes")?,
-            "--suites" => options.suites = cli::require_value(&mut args, "--suites")?,
+            "--suites" => {
+                options.suites = cli::require_value(&mut args, "--suites")?;
+                options.suites_explicit = true;
+            }
+            "--trace-dir" => options
+                .trace_dirs
+                .push(cli::require_value(&mut args, "--trace-dir")?),
             "--branches" => {
                 let value = cli::require_value(&mut args, "--branches")?;
                 options.branches = cli::parse_count("--branches", &value)?;
@@ -77,6 +101,9 @@ fn parse_options() -> Result<Options, String> {
             "--no-timing" => options.include_timing = false,
             "--list" => options.list = true,
             "--check" => options.check = Some(cli::require_value(&mut args, "--check")?),
+            "--export-traces" => {
+                options.export_traces = Some(cli::require_value(&mut args, "--export-traces")?)
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other} (see --list or docs/CAMPAIGNS.md)"
@@ -85,6 +112,53 @@ fn parse_options() -> Result<Options, String> {
         }
     }
     Ok(options)
+}
+
+/// Streams every trace of the selected synthetic suites to
+/// `dir/<trace>.trace` as binary files — generator to disk through a
+/// bounded buffer, no materialized `Trace` in between.
+fn export_traces(dir: &str, suite_list: &str, branches: usize) -> Result<(), String> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut batch = vec![BranchRecord::default(); 4096];
+    let mut exported = 0usize;
+    for token in suite_list
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+    {
+        let suite =
+            suites::by_name(token).ok_or_else(|| format!("unknown suite token \"{token}\""))?;
+        for spec in suite.traces() {
+            let path = dir.join(format!("{}.trace", spec.name()));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            let mut writer = StreamingTraceWriter::new(std::io::BufWriter::new(file), spec.name())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let mut source = SyntheticSource::from_spec(spec, branches);
+            loop {
+                let filled = source
+                    .next_batch(&mut batch)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                if filled == 0 {
+                    break;
+                }
+                for record in &batch[..filled] {
+                    writer
+                        .push(record)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                }
+            }
+            let records = writer.records_written();
+            writer
+                .finish()
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("exported {} ({records} records)", path.display());
+            exported += 1;
+        }
+    }
+    println!("{exported} traces exported to {}", dir.display());
+    Ok(())
 }
 
 fn parse_axis<T>(
@@ -121,6 +195,7 @@ fn print_axes() {
         SchemeSpec::known_tokens().join(", ")
     );
     println!("suite tokens:     {}", suites::REGISTRY.join(", "));
+    println!("file suites:      --trace-dir DIR (streams every *.trace file, sorted)");
     println!();
     println!("(storage-free pairs with TAGE predictors only; other cells are skipped)");
 }
@@ -163,6 +238,15 @@ fn main() -> ExitCode {
     if let Some(path) = &options.check {
         return check_report(path);
     }
+    if let Some(dir) = &options.export_traces {
+        return match export_traces(dir, &options.suites, options.branches) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(error) => {
+                eprintln!("tage-bench: --export-traces: {error}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let spec = {
         let predictors = parse_axis(
@@ -178,7 +262,26 @@ fn main() -> ExitCode {
             &SchemeSpec::known_tokens(),
         );
         let suite_names: Vec<String> = suites::REGISTRY.iter().map(|s| s.to_string()).collect();
-        let suites = parse_axis("suite", &options.suites, suites::by_name, &suite_names);
+        // Synthetic registry suites stream through SyntheticSources; an
+        // unmodified default is dropped when file-backed suites are given.
+        let suites = if options.trace_dirs.is_empty() || options.suites_explicit {
+            parse_axis("suite", &options.suites, suites::by_name, &suite_names).map(|list| {
+                list.iter()
+                    .map(SourceSuite::from_suite)
+                    .collect::<Vec<SourceSuite>>()
+            })
+        } else {
+            Ok(Vec::new())
+        };
+        let suites = suites.and_then(|mut list| {
+            for dir in &options.trace_dirs {
+                match SourceSuite::from_dir(dir) {
+                    Ok(suite) => list.push(suite),
+                    Err(error) => return Err(format!("--trace-dir {dir}: {error}")),
+                }
+            }
+            Ok(list)
+        });
         match (predictors, schemes, suites) {
             (Ok(predictors), Ok(schemes), Ok(suites)) => CampaignSpec {
                 label: options.label.clone(),
@@ -208,7 +311,13 @@ fn main() -> ExitCode {
         spec.branches_per_trace,
         options.workers,
     );
-    let report = run_campaign(&spec, options.workers);
+    let report = match run_campaign(&spec, options.workers) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("tage-bench: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
     if report.points.is_empty() {
         eprintln!(
             "tage-bench: the grid produced no executable points ({} skipped)",

@@ -24,8 +24,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use tage_confidence::ConfidenceLevel;
-use tage_sim::point::{run_point, PointResult, PredictorSpec, SchemeSpec, SweepPoint};
-use tage_traces::Suite;
+use tage_sim::point::{run_point, PointError, PointResult, PredictorSpec, SchemeSpec, SweepPoint};
+use tage_traces::source::SourceSuite;
 
 use crate::jsonish;
 
@@ -36,6 +36,11 @@ pub const SCHEMA_VERSION: u32 = 1;
 pub const CAMPAIGN_NAME: &str = "tage-bench";
 
 /// A declarative campaign grid: the axis values plus the per-trace length.
+///
+/// The suite axis holds streaming [`SourceSuite`]s — synthetic registry
+/// suites (convert a [`tage_traces::Suite`] with `.into()`) or file-backed
+/// suites over on-disk binary traces (`SourceSuite::from_dir`) — so a
+/// campaign never materializes its workloads.
 #[derive(Debug)]
 pub struct CampaignSpec {
     /// Label recorded in the report (e.g. a PR or experiment name).
@@ -45,8 +50,9 @@ pub struct CampaignSpec {
     /// Confidence-scheme axis.
     pub schemes: Vec<SchemeSpec>,
     /// Suite axis.
-    pub suites: Vec<Suite>,
-    /// Conditional branches generated per trace of every suite.
+    pub suites: Vec<SourceSuite>,
+    /// Conditional branches generated per trace of every synthetic suite
+    /// (file-backed sources yield whatever their files hold).
     pub branches_per_trace: usize,
 }
 
@@ -229,30 +235,39 @@ pub struct CampaignReport {
 
 /// Expands and executes a campaign across `workers` threads, stealing work
 /// across sweep points.
-pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignReport {
+///
+/// # Errors
+///
+/// Returns the first [`PointError`] in grid-expansion order when a point's
+/// sources fail to open or read (e.g. a trace file of a file-backed suite
+/// vanished); invalid predictor/scheme pairings are not errors — they are
+/// recorded as skipped cells.
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport, PointError> {
     let (points, skipped) = spec.expand();
     let start = Instant::now();
     let (results, stats) = steal_map(&points, workers, |point| {
         let point_start = Instant::now();
-        let result = run_point(point, spec.branches_per_trace)
-            .expect("expand() only emits validated points");
-        CampaignPointReport {
+        run_point(point, spec.branches_per_trace).map(|result| CampaignPointReport {
             result,
             wall_seconds: point_start.elapsed().as_secs_f64(),
-        }
+        })
     });
-    CampaignReport {
+    let mut reports = Vec::with_capacity(results.len());
+    for result in results {
+        reports.push(result?);
+    }
+    Ok(CampaignReport {
         label: spec.label.clone(),
         branches_per_trace: spec.branches_per_trace,
         grid_predictors: spec.predictors.iter().map(PredictorSpec::label).collect(),
         grid_schemes: spec.schemes.iter().map(SchemeSpec::label).collect(),
         grid_suites: spec.suites.iter().map(|s| s.name().to_string()).collect(),
-        points: results,
+        points: reports,
         skipped,
         workers: stats.workers,
         steals: stats.steals,
         wall_seconds: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 fn render_token_array(tokens: &[String]) -> String {
@@ -450,7 +465,7 @@ mod tests {
                 SchemeSpec::parse("storage-free").unwrap(),
                 SchemeSpec::parse("jrs-classic").unwrap(),
             ],
-            suites: vec![suites::cbp1_mini()],
+            suites: vec![suites::cbp1_mini().into()],
             branches_per_trace: 1_000,
         }
     }
@@ -502,7 +517,7 @@ mod tests {
 
     #[test]
     fn campaign_report_renders_and_validates() {
-        let report = run_campaign(&tiny_spec(), 2);
+        let report = run_campaign(&tiny_spec(), 2).expect("synthetic grids run");
         assert_eq!(report.points.len(), 3);
         assert_eq!(report.skipped.len(), 1);
         let json = report.render_json(true);
@@ -517,6 +532,56 @@ mod tests {
         assert!(!bare.contains("branches_per_sec"));
         assert!(!bare.contains("\"timing\""));
         validate_report(&bare).expect("timing-free report still validates");
+    }
+
+    #[test]
+    fn file_backed_campaign_matches_the_synthetic_grid() {
+        use tage_traces::writer::TraceWriter;
+        let suite = suites::cbp1_mini();
+        let dir = std::env::temp_dir().join(format!("tage-campaign-files-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for spec in suite.traces() {
+            std::fs::write(
+                dir.join(format!("{}.trace", spec.name())),
+                TraceWriter::to_binary_bytes(&spec.generate(1_000)),
+            )
+            .unwrap();
+        }
+        let files = SourceSuite::from_dir(&dir).unwrap();
+        let file_spec = CampaignSpec {
+            label: "file".to_string(),
+            predictors: vec![PredictorSpec::parse("tage-16k").unwrap()],
+            schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+            suites: vec![files],
+            branches_per_trace: 1_000,
+        };
+        let file_report = run_campaign(&file_spec, 2).expect("file grid runs");
+        let synthetic_spec = CampaignSpec {
+            suites: vec![suites::cbp1_mini().into()],
+            label: "file".to_string(),
+            predictors: vec![PredictorSpec::parse("tage-16k").unwrap()],
+            schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+            branches_per_trace: 1_000,
+        };
+        let synthetic_report = run_campaign(&synthetic_spec, 2).unwrap();
+        // Same predictions/mispredictions point for point — only the suite
+        // labels (directory vs registry name) differ.
+        assert_eq!(file_report.points.len(), synthetic_report.points.len());
+        for (file, synthetic) in file_report.points.iter().zip(&synthetic_report.points) {
+            let mut file_traces = file.result.traces.clone();
+            file_traces.sort_by(|a, b| a.trace_name.cmp(&b.trace_name));
+            let mut synthetic_traces = synthetic.result.traces.clone();
+            synthetic_traces.sort_by(|a, b| a.trace_name.cmp(&b.trace_name));
+            assert_eq!(file_traces, synthetic_traces);
+            assert_eq!(file.result.aggregate, synthetic.result.aggregate);
+        }
+        // A vanished trace file surfaces as a campaign error, not a panic.
+        for spec in suite.traces() {
+            std::fs::remove_file(dir.join(format!("{}.trace", spec.name()))).unwrap();
+        }
+        let error = run_campaign(&file_spec, 2).unwrap_err();
+        assert!(matches!(error, PointError::Source(_)), "{error}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -21,16 +21,16 @@ fn grid() -> CampaignSpec {
             SchemeSpec::parse("storage-free").unwrap(),
             SchemeSpec::parse("self-confidence").unwrap(),
         ],
-        suites: vec![suites::cbp1_mini()],
+        suites: vec![suites::cbp1_mini().into()],
         branches_per_trace: 2_000,
     }
 }
 
 #[test]
 fn reports_are_byte_identical_across_thread_counts() {
-    let serial = run_campaign(&grid(), 1).render_json(false);
+    let serial = run_campaign(&grid(), 1).unwrap().render_json(false);
     for workers in [2, 4, 8] {
-        let parallel = run_campaign(&grid(), workers).render_json(false);
+        let parallel = run_campaign(&grid(), workers).unwrap().render_json(false);
         assert_eq!(
             serial, parallel,
             "timing-free report must not depend on worker count (workers = {workers})"
@@ -40,7 +40,7 @@ fn reports_are_byte_identical_across_thread_counts() {
 
 #[test]
 fn timing_fields_are_the_only_difference_between_renders() {
-    let report = run_campaign(&grid(), 4);
+    let report = run_campaign(&grid(), 4).unwrap();
     let with_timing = report.render_json(true);
     let without = report.render_json(false);
     assert!(with_timing.contains("\"wall_seconds\""));
@@ -84,7 +84,7 @@ fn timing_fields_are_the_only_difference_between_renders() {
 
 #[test]
 fn report_round_trips_through_schema_validation() {
-    let report = run_campaign(&grid(), 2);
+    let report = run_campaign(&grid(), 2).unwrap();
     for include_timing in [true, false] {
         let json = report.render_json(include_timing);
         let validated = validate_report(&json).expect("rendered report validates");

@@ -54,7 +54,9 @@ use std::sync::Mutex;
 use tage_confidence::scheme::{Assessment, ConfidenceScheme};
 use tage_confidence::ConfidenceReport;
 use tage_predictors::{PredictionOutcome, PredictorCore};
-use tage_traces::Trace;
+use tage_traces::format::FormatError;
+use tage_traces::source::{BranchSource, SliceSource};
+use tage_traces::{BranchRecord, Trace};
 
 /// Everything the engine knows about one executed conditional branch,
 /// handed to every [`EngineObserver`].
@@ -212,6 +214,11 @@ pub struct EngineSummary {
     pub total_branches: u64,
 }
 
+/// Number of records [`SimEngine::run_source`] pulls from a
+/// [`BranchSource`] per batch — the engine's only per-run record footprint
+/// when streaming.
+pub const SOURCE_BATCH_RECORDS: usize = 4096;
+
 /// The generic simulation engine: one predictor, one confidence scheme, one
 /// execution path for every experiment.
 ///
@@ -227,6 +234,10 @@ where
     scheme: S,
     warmup_branches: u64,
     conditional_seen: u64,
+    /// Reusable batch buffer for [`SimEngine::run_source`]; allocated once
+    /// at construction so streaming runs stay allocation-free in steady
+    /// state.
+    batch: Vec<BranchRecord>,
 }
 
 impl<P, S> SimEngine<P, S>
@@ -241,6 +252,7 @@ where
             scheme,
             warmup_branches: 0,
             conditional_seen: 0,
+            batch: vec![BranchRecord::default(); SOURCE_BATCH_RECORDS],
         }
     }
 
@@ -388,28 +400,114 @@ where
     /// assert_eq!(report.report.total().predictions, 4_000);
     /// ```
     pub fn run<O: EngineObserver<P>>(&mut self, trace: &Trace, observer: &mut O) -> EngineSummary {
+        let mut source = SliceSource::from_trace(trace);
+        self.run_source(&mut source, observer)
+            .expect("in-memory slice sources are infallible")
+    }
+
+    /// Drives the engine over every record of a streaming [`BranchSource`]
+    /// — the out-of-core counterpart of [`SimEngine::run`], and the path
+    /// `run` itself is an adapter over (a [`SliceSource`] wrapping the
+    /// trace).
+    ///
+    /// Records are pulled in batches of [`SOURCE_BATCH_RECORDS`] into a
+    /// buffer the engine allocated at construction, so the engine's resident
+    /// record memory is bounded by the batch size no matter how long the
+    /// stream is, and steady-state streaming performs no heap allocation.
+    /// Results are bit-identical to running the materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`FormatError`] the source reports (IO failure,
+    /// corrupt or truncated record). In-memory and synthetic sources never
+    /// fail.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tage::{TageConfig, TagePredictor};
+    /// use tage_confidence::TageConfidenceClassifier;
+    /// use tage_sim::engine::{ReportObserver, SimEngine};
+    /// use tage_traces::source::SyntheticSource;
+    /// use tage_traces::suites;
+    ///
+    /// let spec = suites::cbp1_like().trace("INT-1").unwrap().clone();
+    /// // Stream 5 000 branches straight out of the generator — no Vec of
+    /// // records is ever materialized.
+    /// let mut source = SyntheticSource::from_spec(&spec, 5_000);
+    /// let config = TageConfig::small();
+    /// let mut engine = SimEngine::new(
+    ///     TagePredictor::new(config.clone()),
+    ///     TageConfidenceClassifier::new(&config),
+    /// );
+    /// let mut report = ReportObserver::default();
+    /// let summary = engine.run_source(&mut source, &mut report).unwrap();
+    /// assert_eq!(summary.total_branches, 5_000);
+    /// // Identical to running the materialized trace:
+    /// let trace = spec.generate(5_000);
+    /// let mut engine2 = SimEngine::new(
+    ///     TagePredictor::new(config.clone()),
+    ///     TageConfidenceClassifier::new(&config),
+    /// );
+    /// let mut report2 = ReportObserver::default();
+    /// assert_eq!(engine2.run(&trace, &mut report2), summary);
+    /// assert_eq!(report.report, report2.report);
+    /// ```
+    pub fn run_source<Src, O>(
+        &mut self,
+        source: &mut Src,
+        observer: &mut O,
+    ) -> Result<EngineSummary, FormatError>
+    where
+        Src: BranchSource + ?Sized,
+        O: EngineObserver<P>,
+    {
+        // The batch buffer and the predictor both live in `self`; take the
+        // buffer out for the duration of the run (alloc-free) so the borrow
+        // checker sees disjoint ownership.
+        let mut batch = std::mem::take(&mut self.batch);
+        let result = self.drive_source(source, observer, &mut batch);
+        self.batch = batch;
+        result
+    }
+
+    fn drive_source<Src, O>(
+        &mut self,
+        source: &mut Src,
+        observer: &mut O,
+        batch: &mut [BranchRecord],
+    ) -> Result<EngineSummary, FormatError>
+    where
+        Src: BranchSource + ?Sized,
+        O: EngineObserver<P>,
+    {
         let mut summary = EngineSummary::default();
-        for record in trace.iter() {
-            if !record.kind.is_conditional() {
-                let in_measurement = self.conditional_seen >= self.warmup_branches;
-                observer.on_instructions(record.instructions(), in_measurement);
-                if in_measurement {
-                    summary.measured_instructions += record.instructions();
-                }
-                continue;
+        loop {
+            let filled = source.next_batch(batch)?;
+            if filled == 0 {
+                return Ok(summary);
             }
-            let outcome =
-                self.step_branch(record.pc, record.taken, record.instructions(), observer);
-            summary.total_branches += 1;
-            if outcome.in_measurement {
-                summary.measured_branches += 1;
-                summary.measured_instructions += record.instructions();
-                if outcome.mispredicted {
-                    summary.measured_mispredictions += 1;
+            for record in &batch[..filled] {
+                if !record.kind.is_conditional() {
+                    let in_measurement = self.conditional_seen >= self.warmup_branches;
+                    observer.on_instructions(record.instructions(), in_measurement);
+                    if in_measurement {
+                        summary.measured_instructions += record.instructions();
+                    }
+                    continue;
+                }
+                let outcome =
+                    self.step_branch(record.pc, record.taken, record.instructions(), observer);
+                summary.total_branches += 1;
+                if outcome.in_measurement {
+                    summary.measured_branches += 1;
+                    summary.measured_instructions += record.instructions();
+                    if outcome.mispredicted {
+                        summary.measured_mispredictions += 1;
+                    }
                 }
             }
         }
-        summary
     }
 }
 
@@ -619,6 +717,36 @@ mod tests {
             }
         }
         assert_eq!(step_report.report, run_report.report);
+    }
+
+    #[test]
+    fn run_source_matches_run_for_every_source_kind() {
+        use tage_traces::source::{SliceSource, SyntheticSource};
+        let spec = suites::cbp1_like().trace("SERV-2").unwrap().clone();
+        let trace = spec.generate(4_000);
+
+        let mut reference = tage_engine().with_warmup(500);
+        let mut reference_report = ReportObserver::default();
+        let reference_summary = reference.run(&trace, &mut reference_report);
+
+        let mut slice = tage_engine().with_warmup(500);
+        let mut slice_report = ReportObserver::default();
+        let slice_summary = slice
+            .run_source(&mut SliceSource::from_trace(&trace), &mut slice_report)
+            .unwrap();
+        assert_eq!(slice_summary, reference_summary);
+        assert_eq!(slice_report.report, reference_report.report);
+
+        let mut synthetic = tage_engine().with_warmup(500);
+        let mut synthetic_report = ReportObserver::default();
+        let synthetic_summary = synthetic
+            .run_source(
+                &mut SyntheticSource::from_spec(&spec, 4_000),
+                &mut synthetic_report,
+            )
+            .unwrap();
+        assert_eq!(synthetic_summary, reference_summary);
+        assert_eq!(synthetic_report.report, reference_report.report);
     }
 
     #[test]

@@ -23,6 +23,8 @@ use core::fmt;
 use tage::{TageConfig, TagePredictor};
 use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
 use tage_predictors::PredictorCore;
+use tage_traces::format::FormatError;
+use tage_traces::source::{BranchSource, SliceSource};
 use tage_traces::Trace;
 
 use crate::engine::{BranchEvent, EngineObserver, SimEngine};
@@ -235,21 +237,39 @@ pub fn simulate_gating(
     policy: GatingPolicy,
     model: &GatingModel,
 ) -> GatingResult {
+    let mut source = SliceSource::from_trace(trace);
+    simulate_gating_source(config, &mut source, policy, model)
+        .expect("in-memory slice sources are infallible")
+}
+
+/// [`simulate_gating`] over a streaming [`BranchSource`], so front-end
+/// energy studies run on out-of-core traces too.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] the source reports.
+pub fn simulate_gating_source<S: BranchSource + ?Sized>(
+    config: &TageConfig,
+    source: &mut S,
+    policy: GatingPolicy,
+    model: &GatingModel,
+) -> Result<GatingResult, FormatError> {
     let mut engine = SimEngine::new(
         TagePredictor::new(config.clone()),
         TageConfidenceClassifier::new(config),
     );
+    let trace_name = source.name().to_string();
     let mut observer = GatingObserver::new(policy, *model);
-    let summary = engine.run(trace, &mut observer);
-    GatingResult {
-        trace_name: trace.name().to_string(),
+    let summary = engine.run_source(source, &mut observer)?;
+    Ok(GatingResult {
+        trace_name,
         policy,
         branches: summary.measured_branches,
         mispredictions: summary.measured_mispredictions,
         wrong_path_fetched: observer.wrong_path_fetched,
         slots_lost_on_correct: observer.slots_lost_on_correct,
         wrong_path_avoided: observer.wrong_path_avoided,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -326,6 +346,28 @@ mod tests {
         assert!(three.wrong_path_fetched < never.wrong_path_fetched);
         assert!(three.waste_per_branch() < never.waste_per_branch());
         assert!(three.loss_per_branch() > 0.0);
+    }
+
+    #[test]
+    fn source_driven_gating_matches_the_materialized_path() {
+        use tage_traces::source::SyntheticSource;
+        let spec = suites::cbp1_like().trace("MM-5").unwrap().clone();
+        let trace = spec.generate(30_000);
+        let reference = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::gate_low(),
+            &GatingModel::default(),
+        );
+        let mut source = SyntheticSource::from_spec(&spec, 30_000);
+        let streamed = simulate_gating_source(
+            &config(),
+            &mut source,
+            GatingPolicy::gate_low(),
+            &GatingModel::default(),
+        )
+        .unwrap();
+        assert_eq!(streamed, reference);
     }
 
     #[test]

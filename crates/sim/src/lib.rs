@@ -6,14 +6,21 @@
 //! * [`engine`] — the generic, predictor-agnostic simulation engine: one
 //!   execution path driving any predictor × confidence-scheme pair with
 //!   pluggable per-branch observers, plus the communication-free parallel
-//!   sharding helper behind every suite run. Everything below is a thin
-//!   assembly of it;
+//!   sharding helper behind every suite run. Consumes either a materialized
+//!   trace ([`SimEngine::run`]) or a streaming
+//!   [`tage_traces::source::BranchSource`] ([`engine::SimEngine::run_source`])
+//!   with bounded record memory. Everything below is a thin assembly of it;
 //! * [`runner`] — runs a TAGE predictor plus the storage-free confidence
-//!   classifier over one trace and produces a per-class
+//!   classifier over one trace or source and produces a per-class
 //!   [`tage_confidence::ConfidenceReport`];
 //! * [`suite`] — runs whole workload suites (the CBP-1-like and CBP-2-like
-//!   20-trace sets) in parallel, one worker per trace, and aggregates the
-//!   results deterministically;
+//!   20-trace sets, or file-backed
+//!   [`tage_traces::source::SourceSuite`]s) in parallel, one worker per
+//!   source stream, and aggregates the results deterministically;
+//! * [`segment`] — history-warmed segment sharding: splits one very long
+//!   source into N ranges, replays a warmup prefix per range with statistics
+//!   suppressed, and merges deterministically — parallelism *within* a
+//!   trace;
 //! * [`point`] — sweep points, the reusable unit of work behind campaign
 //!   grids (`tage-bench`) and the experiment sweeps: one predictor ×
 //!   confidence-scheme × suite cell executed through the engine with
@@ -56,13 +63,17 @@ pub mod gating;
 pub mod point;
 pub mod report;
 pub mod runner;
+pub mod segment;
 pub mod smt;
 pub mod suite;
 
 pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
 pub use point::{
-    run_point, run_tage_sweep, PointResult, PointTraceMetrics, PredictorSpec, SchemeSpec,
-    SweepPoint, TageSweepPoint,
+    run_point, run_tage_sweep, PointError, PointResult, PointTraceMetrics, PredictorSpec,
+    SchemeSpec, SweepPoint, TageSweepPoint,
 };
-pub use runner::{run_trace, RunOptions, TraceRunResult};
-pub use suite::{run_suite, run_suite_with_parallelism, SuiteRunResult};
+pub use runner::{run_source, run_trace, RunOptions, TraceRunResult};
+pub use segment::{
+    run_segmented_source, run_suite_segmented, SegmentOptions, SegmentPlan, SegmentedRunResult,
+};
+pub use suite::{run_suite, run_suite_sources, run_suite_with_parallelism, SuiteRunResult};

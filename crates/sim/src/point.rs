@@ -29,6 +29,8 @@ use tage::{CounterAutomaton, TageConfig, TagePredictor};
 use tage_confidence::estimators::EstimatorSpec;
 use tage_confidence::{ConfidenceReport, EstimatorScheme};
 use tage_predictors::{BaselinePredictorSpec, MarginPredictor};
+use tage_traces::format::FormatError;
+use tage_traces::source::{AnySource, BranchSource, SourceSuite};
 use tage_traces::Suite;
 
 use crate::engine::{ReportObserver, SimEngine};
@@ -161,14 +163,19 @@ impl SchemeSpec {
 }
 
 /// One cell of a predictor × scheme × suite cross product.
+///
+/// The suite axis is a streaming [`SourceSuite`]: synthetic workloads are
+/// generated on the fly and file-backed suites are read chunk by chunk, so
+/// running a point never materializes a trace. A synthetic [`Suite`]
+/// converts with [`SweepPoint::over_suite`] or `suite.into()`.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The predictor configuration.
     pub predictor: PredictorSpec,
     /// The confidence scheme grading its predictions.
     pub scheme: SchemeSpec,
-    /// The workload suite the pair runs over.
-    pub suite: Suite,
+    /// The workload sources the pair runs over.
+    pub suite: SourceSuite,
 }
 
 /// Why a sweep point cannot run.
@@ -193,6 +200,15 @@ impl fmt::Display for InvalidPoint {
 }
 
 impl SweepPoint {
+    /// A point over a synthetic suite (streamed trace by trace).
+    pub fn over_suite(predictor: PredictorSpec, scheme: SchemeSpec, suite: &Suite) -> Self {
+        SweepPoint {
+            predictor,
+            scheme,
+            suite: SourceSuite::from_suite(suite),
+        }
+    }
+
     /// Checks that the predictor/scheme pairing is executable.
     pub fn validate(&self) -> Result<(), InvalidPoint> {
         if matches!(self.scheme, SchemeSpec::StorageFree) && !self.predictor.supports_storage_free()
@@ -260,23 +276,64 @@ impl PointResult {
     }
 }
 
-/// Executes one sweep point: every trace of the suite, cold predictor and
-/// scheme per trace, serial within the point (cross-point parallelism is the
-/// campaign scheduler's job, which keeps each point's result independent of
-/// thread count).
-pub fn run_point(
-    point: &SweepPoint,
-    branches_per_trace: usize,
-) -> Result<PointResult, InvalidPoint> {
+/// Why a sweep point run failed.
+#[derive(Debug)]
+pub enum PointError {
+    /// The predictor/scheme pairing cannot execute.
+    Invalid(InvalidPoint),
+    /// A source of the point's suite could not be opened or read.
+    Source(FormatError),
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Invalid(invalid) => invalid.fmt(f),
+            PointError::Source(error) => write!(f, "source error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PointError::Invalid(_) => None,
+            PointError::Source(error) => Some(error),
+        }
+    }
+}
+
+impl From<InvalidPoint> for PointError {
+    fn from(invalid: InvalidPoint) -> Self {
+        PointError::Invalid(invalid)
+    }
+}
+
+impl From<FormatError> for PointError {
+    fn from(error: FormatError) -> Self {
+        PointError::Source(error)
+    }
+}
+
+/// Executes one sweep point: every source of the suite streamed through the
+/// engine, cold predictor and scheme per source, serial within the point
+/// (cross-point parallelism is the campaign scheduler's job, which keeps
+/// each point's result independent of thread count).
+///
+/// `branches_per_trace` sizes synthetic sources; file-backed sources yield
+/// whatever their file holds.
+pub fn run_point(point: &SweepPoint, branches_per_trace: usize) -> Result<PointResult, PointError> {
     point.validate()?;
-    let mut traces = Vec::with_capacity(point.suite.traces().len());
+    let mut traces = Vec::with_capacity(point.suite.sources().len());
     let mut aggregate = ConfidenceReport::new();
-    for spec in point.suite.traces() {
-        let trace = spec.generate(branches_per_trace);
-        let (report, predictions, mispredictions, instructions) = run_point_trace(point, &trace);
+    for spec in point.suite.sources() {
+        let mut source = spec.open(branches_per_trace)?;
+        let trace_name = source.name().to_string();
+        let (report, predictions, mispredictions, instructions) =
+            run_point_source(point, &mut source)?;
         aggregate.merge(&report);
         traces.push(PointTraceMetrics {
-            trace_name: spec.name().to_string(),
+            trace_name,
             predictions,
             mispredictions,
             instructions,
@@ -291,22 +348,23 @@ pub fn run_point(
     })
 }
 
-fn run_point_trace(
+fn run_point_source(
     point: &SweepPoint,
-    trace: &tage_traces::Trace,
-) -> (ConfidenceReport, u64, u64, u64) {
+    source: &mut AnySource,
+) -> Result<(ConfidenceReport, u64, u64, u64), FormatError> {
     // The paper's own path has a canonical runner; don't duplicate its loop.
     if let (PredictorSpec::Tage(config), SchemeSpec::StorageFree) =
         (&point.predictor, &point.scheme)
     {
-        let result = crate::runner::run_trace(config, trace, &crate::runner::RunOptions::default());
+        let result =
+            crate::runner::run_source(config, source, &crate::runner::RunOptions::default())?;
         let mispredictions = result.report.total().mispredictions;
-        return (
+        return Ok((
             result.report,
             result.conditional_branches,
             mispredictions,
             result.instructions,
-        );
+        ));
     }
     let mut observer = ReportObserver::default();
     let summary = match (&point.predictor, &point.scheme) {
@@ -318,25 +376,25 @@ fn run_point_trace(
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
-            engine.run(trace, &mut observer)
+            engine.run_source(source, &mut observer)?
         }
         (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
             let predictor = baseline.build();
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
-            engine.run(trace, &mut observer)
+            engine.run_source(source, &mut observer)?
         }
         (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
             unreachable!("validate() rejects storage-free on baseline predictors")
         }
     };
-    (
+    Ok((
         observer.report,
         summary.measured_branches,
         summary.measured_mispredictions,
         summary.measured_instructions,
-    )
+    ))
 }
 
 /// One point of a TAGE-only experiment sweep: a configuration plus run
@@ -432,25 +490,27 @@ mod tests {
 
     #[test]
     fn storage_free_on_baseline_is_rejected() {
-        let point = SweepPoint {
-            predictor: PredictorSpec::parse("gshare").unwrap(),
-            scheme: SchemeSpec::StorageFree,
-            suite: mini(),
-        };
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("gshare").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        );
         let error = point.validate().unwrap_err();
         assert!(error.to_string().contains("gshare"));
-        assert!(run_point(&point, 500).is_err());
+        let run_error = run_point(&point, 500).unwrap_err();
+        assert!(matches!(run_error, PointError::Invalid(_)));
+        assert!(run_error.to_string().contains("gshare"));
     }
 
     #[test]
     fn storage_free_point_matches_the_suite_runner() {
         let suite = mini();
         let config = TageConfig::small().with_automaton(CounterAutomaton::paper_default());
-        let point = SweepPoint {
-            predictor: PredictorSpec::Tage(config.clone()),
-            scheme: SchemeSpec::StorageFree,
-            suite: suite.clone(),
-        };
+        let point = SweepPoint::over_suite(
+            PredictorSpec::Tage(config.clone()),
+            SchemeSpec::StorageFree,
+            &suite,
+        );
         let result = run_point(&point, 3_000).unwrap();
         let reference = crate::suite::run_suite(
             &config,
@@ -478,11 +538,11 @@ mod tests {
                 continue;
             }
             for scheme_token in SchemeSpec::known_tokens() {
-                let point = SweepPoint {
-                    predictor: PredictorSpec::parse(&predictor_token).unwrap(),
-                    scheme: SchemeSpec::parse(&scheme_token).unwrap(),
-                    suite: suite.clone(),
-                };
+                let point = SweepPoint::over_suite(
+                    PredictorSpec::parse(&predictor_token).unwrap(),
+                    SchemeSpec::parse(&scheme_token).unwrap(),
+                    &suite,
+                );
                 if point.validate().is_err() {
                     continue;
                 }
@@ -500,11 +560,11 @@ mod tests {
 
     #[test]
     fn point_runs_are_deterministic() {
-        let point = SweepPoint {
-            predictor: PredictorSpec::parse("perceptron").unwrap(),
-            scheme: SchemeSpec::parse("self-confidence").unwrap(),
-            suite: mini(),
-        };
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("perceptron").unwrap(),
+            SchemeSpec::parse("self-confidence").unwrap(),
+            &mini(),
+        );
         let a = run_point(&point, 2_000).unwrap();
         let b = run_point(&point, 2_000).unwrap();
         assert_eq!(a, b);

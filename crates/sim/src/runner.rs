@@ -11,6 +11,8 @@ use core::fmt;
 
 use tage::{TageConfig, TagePrediction, TagePredictor};
 use tage_confidence::{AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier};
+use tage_traces::format::FormatError;
+use tage_traces::source::{BranchSource, SliceSource};
 use tage_traces::Trace;
 
 use crate::engine::{BranchEvent, EngineObserver, ReportObserver, SimEngine};
@@ -103,8 +105,8 @@ impl fmt::Display for TraceRunResult {
 /// predictor whenever an adaptation window closes. It runs after the report
 /// observer and before the predictor trains, exactly as the bespoke loop
 /// did.
-struct AdaptiveObserver {
-    controller: AdaptiveSaturationController,
+pub(crate) struct AdaptiveObserver {
+    pub(crate) controller: AdaptiveSaturationController,
 }
 
 impl<'p> EngineObserver<&'p mut TagePredictor> for AdaptiveObserver {
@@ -128,9 +130,44 @@ impl<'p> EngineObserver<&'p mut TagePredictor> for AdaptiveObserver {
 ///
 /// Non-conditional records (calls, returns, jumps) contribute to the
 /// instruction count but are not predicted, as in the paper's methodology.
+///
+/// This is the materialized-trace adapter over [`run_source`]; results are
+/// bit-identical across the two entry points.
 pub fn run_trace(config: &TageConfig, trace: &Trace, options: &RunOptions) -> TraceRunResult {
+    let mut source = SliceSource::from_trace(trace);
+    run_source(config, &mut source, options).expect("in-memory slice sources are infallible")
+}
+
+/// Runs a TAGE predictor built from `config` over a streaming
+/// [`BranchSource`] — the out-of-core counterpart of [`run_trace`]: the only
+/// record memory in flight is the engine's fixed batch buffer (plus whatever
+/// fixed chunk the source itself holds).
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] the source reports.
+///
+/// # Example
+///
+/// ```
+/// use tage::TageConfig;
+/// use tage_sim::runner::{run_source, RunOptions};
+/// use tage_traces::source::SyntheticSource;
+/// use tage_traces::suites;
+///
+/// let spec = suites::cbp1_like().trace("INT-1").unwrap().clone();
+/// let mut source = SyntheticSource::from_spec(&spec, 5_000);
+/// let result = run_source(&TageConfig::small(), &mut source, &RunOptions::default()).unwrap();
+/// assert_eq!(result.trace_name, "INT-1");
+/// assert_eq!(result.conditional_branches, 5_000);
+/// ```
+pub fn run_source<S: BranchSource + ?Sized>(
+    config: &TageConfig,
+    source: &mut S,
+    options: &RunOptions,
+) -> Result<TraceRunResult, FormatError> {
     let mut predictor = TagePredictor::new(config.clone());
-    run_trace_with_predictor(&mut predictor, trace, options)
+    run_source_with_predictor(&mut predictor, source, options)
 }
 
 /// Runs an already-constructed predictor over a trace (allowing state to be
@@ -140,6 +177,21 @@ pub fn run_trace_with_predictor(
     trace: &Trace,
     options: &RunOptions,
 ) -> TraceRunResult {
+    let mut source = SliceSource::from_trace(trace);
+    run_source_with_predictor(predictor, &mut source, options)
+        .expect("in-memory slice sources are infallible")
+}
+
+/// Runs an already-constructed predictor over a streaming source.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] the source reports.
+pub fn run_source_with_predictor<S: BranchSource + ?Sized>(
+    predictor: &mut TagePredictor,
+    source: &mut S,
+    options: &RunOptions,
+) -> Result<TraceRunResult, FormatError> {
     let config = predictor.config().clone();
     let classifier = TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
     let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
@@ -149,19 +201,20 @@ pub fn run_trace_with_predictor(
         predictor.set_automaton(observer.controller.automaton());
     }
 
+    let trace_name = source.name().to_string();
     let mut report = ReportObserver::default();
     let mut engine =
         SimEngine::new(&mut *predictor, classifier).with_warmup(options.warmup_branches);
-    let summary = engine.run(trace, &mut (&mut report, adaptive.as_mut()));
+    let summary = engine.run_source(source, &mut (&mut report, adaptive.as_mut()))?;
 
-    TraceRunResult {
-        trace_name: trace.name().to_string(),
+    Ok(TraceRunResult {
+        trace_name,
         config_name: config.name.clone(),
         report: report.report,
         conditional_branches: summary.measured_branches,
         instructions: summary.measured_instructions,
         final_saturation_probability: predictor.config().automaton.saturation_probability(),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ use core::fmt;
 
 use tage::{TageConfig, TagePredictor};
 use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
-use tage_traces::Trace;
+use tage_traces::format::FormatError;
+use tage_traces::source::{BranchSource, SliceSource};
+use tage_traces::{BranchRecord, Trace};
 
 use crate::engine::SimEngine;
 
@@ -93,20 +95,32 @@ impl fmt::Display for SmtRunResult {
 /// the model.
 const RESOLVE_DELAY: u64 = 8;
 
-struct ThreadState<'a> {
-    records: Vec<&'a tage_traces::BranchRecord>,
-    next: usize,
+/// Records a hardware thread's stream cursor holds in memory at a time.
+const THREAD_BATCH_RECORDS: usize = 1024;
+
+struct ThreadState<S: BranchSource> {
+    source: S,
+    batch: Vec<BranchRecord>,
+    filled: usize,
+    cursor: usize,
+    /// The next conditional branch to fetch, if any.
+    staged: Option<BranchRecord>,
+    stream_done: bool,
     engine: SimEngine<TagePredictor, TageConfidenceClassifier>,
     /// (resolve_cycle, was_not_high_confidence, was_mispredicted)
     in_flight: Vec<(u64, bool, bool)>,
     result: SmtThreadResult,
 }
 
-impl<'a> ThreadState<'a> {
-    fn new(config: &TageConfig, trace: &'a Trace) -> Self {
+impl<S: BranchSource> ThreadState<S> {
+    fn new(config: &TageConfig, source: S) -> Self {
         ThreadState {
-            records: trace.iter().filter(|r| r.kind.is_conditional()).collect(),
-            next: 0,
+            source,
+            batch: vec![BranchRecord::default(); THREAD_BATCH_RECORDS],
+            filled: 0,
+            cursor: 0,
+            staged: None,
+            stream_done: false,
             engine: SimEngine::new(
                 TagePredictor::new(config.clone()),
                 TageConfidenceClassifier::new(config),
@@ -116,8 +130,30 @@ impl<'a> ThreadState<'a> {
         }
     }
 
+    /// Pulls records (skipping non-conditional ones — only conditional
+    /// branches occupy fetch slots in this model) until a conditional branch
+    /// is staged or the stream ends.
+    fn stage(&mut self) -> Result<(), FormatError> {
+        while self.staged.is_none() && !self.stream_done {
+            if self.cursor == self.filled {
+                self.filled = self.source.next_batch(&mut self.batch)?;
+                self.cursor = 0;
+                if self.filled == 0 {
+                    self.stream_done = true;
+                    break;
+                }
+            }
+            let record = self.batch[self.cursor];
+            self.cursor += 1;
+            if record.kind.is_conditional() {
+                self.staged = Some(record);
+            }
+        }
+        Ok(())
+    }
+
     fn exhausted(&self) -> bool {
-        self.next >= self.records.len()
+        self.staged.is_none() && self.stream_done
     }
 
     fn unresolved_low_confidence(&self) -> usize {
@@ -134,16 +170,14 @@ impl<'a> ThreadState<'a> {
     }
 
     fn fetch_one(&mut self, cycle: u64) {
-        if self.exhausted() {
+        let Some(record) = self.staged.take() else {
             return;
-        }
+        };
         // Fetching while an older branch of this thread is actually
         // mispredicted means these slots are wrong-path work.
         if self.has_unresolved_misprediction() {
             self.result.wrong_path_slots += 1;
         }
-        let record = self.records[self.next];
-        self.next += 1;
         let step = self
             .engine
             .step_branch(record.pc, record.taken, record.instructions(), &mut ());
@@ -171,10 +205,37 @@ pub fn simulate_smt(
     thread1: &Trace,
     policy: SmtFetchPolicy,
 ) -> SmtRunResult {
+    simulate_smt_sources(
+        config,
+        [
+            SliceSource::from_trace(thread0),
+            SliceSource::from_trace(thread1),
+        ],
+        policy,
+    )
+    .expect("in-memory slice sources are infallible")
+}
+
+/// [`simulate_smt`] over two streaming [`BranchSource`]s: each hardware
+/// thread pulls its records through a bounded cursor, so multi-gigabyte
+/// co-run traces never materialize.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] either source reports.
+pub fn simulate_smt_sources<S: BranchSource>(
+    config: &TageConfig,
+    sources: [S; 2],
+    policy: SmtFetchPolicy,
+) -> Result<SmtRunResult, FormatError> {
+    let [source0, source1] = sources;
     let mut threads = [
-        ThreadState::new(config, thread0),
-        ThreadState::new(config, thread1),
+        ThreadState::new(config, source0),
+        ThreadState::new(config, source1),
     ];
+    for t in threads.iter_mut() {
+        t.stage()?;
+    }
     let mut cycle = 0u64;
     let mut last = 1usize;
     while threads.iter().all(|t| !t.exhausted()) {
@@ -195,13 +256,14 @@ pub fn simulate_smt(
             }
         };
         threads[pick].fetch_one(cycle);
+        threads[pick].stage()?;
         last = pick;
     }
-    SmtRunResult {
+    Ok(SmtRunResult {
         policy,
         threads: [threads[0].result, threads[1].result],
         cycles: cycle,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -249,6 +311,29 @@ mod tests {
             cc.total_wrong_path_slots(),
             rr.total_wrong_path_slots()
         );
+    }
+
+    #[test]
+    fn source_driven_smt_matches_the_materialized_path() {
+        use tage_traces::source::SyntheticSource;
+        let suite = suites::cbp1_like();
+        let spec_a = suite.trace("FP-1").unwrap().clone();
+        let spec_b = suite.trace("MM-5").unwrap().clone();
+        let a = spec_a.generate(6_000);
+        let b = spec_b.generate(6_000);
+        for policy in [SmtFetchPolicy::RoundRobin, SmtFetchPolicy::ConfidenceCount] {
+            let reference = simulate_smt(&config(), &a, &b, policy);
+            let streamed = simulate_smt_sources(
+                &config(),
+                [
+                    SyntheticSource::from_spec(&spec_a, 6_000),
+                    SyntheticSource::from_spec(&spec_b, 6_000),
+                ],
+                policy,
+            )
+            .unwrap();
+            assert_eq!(streamed, reference, "{policy}");
+        }
     }
 
     #[test]

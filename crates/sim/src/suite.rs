@@ -1,21 +1,27 @@
 //! Running whole workload suites and aggregating the results.
 //!
-//! Suite runs are sharded per trace across scoped threads
-//! ([`crate::engine::par_map`]): every trace is generated and simulated on
-//! its own worker with a cold predictor, and the per-trace reports are
-//! merged into the aggregate in suite order as they stream back. Because
-//! each trace run is deterministic and fully independent, the parallel
-//! result is **bit-identical** to a serial run — wall-clock drops from
-//! `sum(traces)` to roughly `max(trace)`.
+//! Suite runs are sharded per source across scoped threads
+//! ([`crate::engine::par_map`]): every worker opens its own stream from the
+//! suite's [`SourceSpec`]s — an on-the-fly synthetic generator, or a
+//! bounded-memory binary file reader — and drives it through the engine with
+//! a cold predictor. No trace is ever materialized: the classic
+//! [`run_suite`] over a synthetic [`Suite`] is itself a thin adapter that
+//! streams each trace instead of calling `generate`. Per-source reports are
+//! merged into the aggregate in suite order as they stream back, so the
+//! parallel result is **bit-identical** to a serial run — wall-clock drops
+//! from `sum(traces)` to roughly `max(trace)`. For parallelism *within* one
+//! very long source, see [`crate::segment`].
 
 use core::fmt;
 
 use tage::TageConfig;
 use tage_confidence::ConfidenceReport;
+use tage_traces::format::FormatError;
+use tage_traces::source::{SourceSpec, SourceSuite};
 use tage_traces::Suite;
 
 use crate::engine::{default_parallelism, par_map};
-use crate::runner::{run_trace, RunOptions, TraceRunResult};
+use crate::runner::{run_source, RunOptions, TraceRunResult};
 
 /// The outcome of running one predictor configuration over every trace of a
 /// suite.
@@ -90,6 +96,10 @@ pub fn run_suite(
 /// `workers == 1` runs the traces serially on the calling thread; any worker
 /// count produces the same, bit-identical result (per-trace runs are
 /// independent and deterministic, and aggregation happens in suite order).
+///
+/// Each worker streams its trace through a
+/// [`tage_traces::source::SyntheticSource`] instead of materializing it, so
+/// suite memory is bounded by `workers ×` the engine batch size.
 pub fn run_suite_with_parallelism(
     config: &TageConfig,
     suite: &Suite,
@@ -97,20 +107,54 @@ pub fn run_suite_with_parallelism(
     options: &RunOptions,
     workers: usize,
 ) -> SuiteRunResult {
-    let traces = par_map(suite.traces(), workers, |spec| {
-        let trace = spec.generate(branches_per_trace);
-        run_trace(config, &trace, options)
+    run_suite_sources(
+        config,
+        &SourceSuite::from_suite(suite),
+        branches_per_trace,
+        options,
+        workers,
+    )
+    .expect("synthetic sources are infallible")
+}
+
+/// Runs `config` over every source of a streaming [`SourceSuite`] — the
+/// out-of-core generalization of [`run_suite`]: sources may be synthetic
+/// generators or on-disk binary traces, and every worker opens its own
+/// independent stream.
+///
+/// `conditional_branches` sizes synthetic sources; file-backed sources yield
+/// whatever their file holds.
+///
+/// # Errors
+///
+/// Returns the first [`FormatError`] in suite order when a source cannot be
+/// opened or read (the remaining sources still execute, their results are
+/// discarded).
+pub fn run_suite_sources(
+    config: &TageConfig,
+    suite: &SourceSuite,
+    conditional_branches: usize,
+    options: &RunOptions,
+    workers: usize,
+) -> Result<SuiteRunResult, FormatError> {
+    let outcomes = par_map(suite.sources(), workers, |spec: &SourceSpec| {
+        let mut source = spec.open(conditional_branches)?;
+        run_source(config, &mut source, options)
     });
+    let mut traces = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        traces.push(outcome?);
+    }
     let mut aggregate = ConfidenceReport::new();
     for result in &traces {
         aggregate.merge(&result.report);
     }
-    SuiteRunResult {
+    Ok(SuiteRunResult {
         suite_name: suite.name().to_string(),
         config_name: config.name.clone(),
         traces,
         aggregate,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -157,6 +201,34 @@ mod tests {
         }
         let default = run_suite(&config, &suite, 3_000, &RunOptions::default());
         assert_eq!(serial, default);
+    }
+
+    #[test]
+    fn file_backed_suite_matches_the_synthetic_path_bit_for_bit() {
+        use tage_traces::writer::TraceWriter;
+        let suite = tiny_suite();
+        let config = TageConfig::small();
+        let reference = run_suite(&config, &suite, 2_000, &RunOptions::default());
+
+        let dir = std::env::temp_dir().join(format!("tage-suite-files-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for spec in suite.traces() {
+            let path = dir.join(format!("{}.trace", spec.name()));
+            std::fs::write(&path, TraceWriter::to_binary_bytes(&spec.generate(2_000))).unwrap();
+            paths.push(path);
+        }
+        let files = SourceSuite::from_files("tiny", paths);
+        for workers in [1, 4] {
+            let streamed =
+                run_suite_sources(&config, &files, 2_000, &RunOptions::default(), workers).unwrap();
+            assert_eq!(streamed.traces.len(), reference.traces.len());
+            for (ours, theirs) in streamed.traces.iter().zip(&reference.traces) {
+                assert_eq!(ours, theirs, "workers = {workers}");
+            }
+            assert_eq!(streamed.aggregate, reference.aggregate);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

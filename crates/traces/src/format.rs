@@ -15,7 +15,7 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
-use crate::record::BranchKind;
+use crate::record::{BranchKind, BranchRecord};
 
 /// Magic bytes identifying the binary trace format.
 pub const MAGIC: [u8; 4] = *b"TAGT";
@@ -37,16 +37,51 @@ pub fn kind_to_byte(kind: BranchKind) -> u8 {
     }
 }
 
-/// Decodes a branch kind from its binary encoding.
-pub fn kind_from_byte(byte: u8) -> Result<BranchKind, FormatError> {
+/// Decodes a branch kind from its binary encoding. Returns `None` for bytes
+/// that encode no kind; readers turn that into a
+/// [`FormatError::InvalidKind`] carrying the byte offset of the corrupt
+/// record.
+pub fn kind_from_byte(byte: u8) -> Option<BranchKind> {
     match byte {
-        0 => Ok(BranchKind::Conditional),
-        1 => Ok(BranchKind::Unconditional),
-        2 => Ok(BranchKind::Call),
-        3 => Ok(BranchKind::Return),
-        4 => Ok(BranchKind::Indirect),
-        other => Err(FormatError::InvalidKind(other)),
+        0 => Some(BranchKind::Conditional),
+        1 => Some(BranchKind::Unconditional),
+        2 => Some(BranchKind::Call),
+        3 => Some(BranchKind::Return),
+        4 => Some(BranchKind::Indirect),
+        _ => None,
     }
+}
+
+/// Decodes one binary-format record from exactly [`RECORD_BYTES`] bytes.
+///
+/// `offset` is the byte offset of the record's first byte in the underlying
+/// stream; it is only used to report *where* a corrupt record sits.
+///
+/// # Errors
+///
+/// Returns [`FormatError::InvalidKind`] (with `offset`) when the flag byte
+/// encodes no branch kind.
+///
+/// # Panics
+///
+/// Panics if `bytes` is not exactly [`RECORD_BYTES`] long.
+pub fn decode_record(bytes: &[u8], offset: u64) -> Result<BranchRecord, FormatError> {
+    assert_eq!(bytes.len(), RECORD_BYTES, "one encoded record expected");
+    let pc = u64::from_le_bytes(bytes[0..8].try_into().expect("slice length"));
+    let target = u64::from_le_bytes(bytes[8..16].try_into().expect("slice length"));
+    let flags = bytes[16];
+    let gap = u32::from_le_bytes(bytes[17..21].try_into().expect("slice length"));
+    let kind = kind_from_byte(flags & 0x7F).ok_or(FormatError::InvalidKind {
+        byte: flags & 0x7F,
+        offset,
+    })?;
+    Ok(BranchRecord {
+        pc,
+        target,
+        taken: flags & 0x80 != 0,
+        kind,
+        gap,
+    })
 }
 
 /// Encodes a branch kind as the single letter used by the text format.
@@ -82,7 +117,12 @@ pub enum FormatError {
     /// The file uses an unsupported format version.
     UnsupportedVersion(u32),
     /// An invalid branch-kind byte was encountered in a binary trace.
-    InvalidKind(u8),
+    InvalidKind {
+        /// The offending kind byte.
+        byte: u8,
+        /// Byte offset of the corrupt record in the stream.
+        offset: u64,
+    },
     /// An invalid branch-kind letter was encountered in a text trace.
     InvalidKindLetter(char),
     /// A malformed line was encountered in a text trace.
@@ -92,8 +132,12 @@ pub enum FormatError {
         /// Description of what was wrong.
         reason: String,
     },
-    /// The trace ended in the middle of a record.
-    TruncatedRecord,
+    /// The trace ended in the middle of a record (or before its declared
+    /// record count).
+    TruncatedRecord {
+        /// Byte offset where the incomplete record starts.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -107,12 +151,17 @@ impl fmt::Display for FormatError {
                     "unsupported trace format version {v}, expected {VERSION}"
                 )
             }
-            FormatError::InvalidKind(b) => write!(f, "invalid branch kind byte {b}"),
+            FormatError::InvalidKind { byte, offset } => {
+                write!(f, "invalid branch kind byte {byte} at byte offset {offset}")
+            }
             FormatError::InvalidKindLetter(c) => write!(f, "invalid branch kind letter '{c}'"),
             FormatError::MalformedLine { line, reason } => {
                 write!(f, "malformed line {line}: {reason}")
             }
-            FormatError::TruncatedRecord => write!(f, "trace ended in the middle of a record"),
+            FormatError::TruncatedRecord { offset } => write!(
+                f,
+                "trace ended in the middle of a record at byte offset {offset}"
+            ),
         }
     }
 }
@@ -164,14 +213,30 @@ mod tests {
 
     #[test]
     fn invalid_encodings_are_rejected() {
-        assert!(matches!(
-            kind_from_byte(42),
-            Err(FormatError::InvalidKind(42))
-        ));
+        assert_eq!(kind_from_byte(42), None);
         assert!(matches!(
             kind_from_letter('x'),
             Err(FormatError::InvalidKindLetter('x'))
         ));
+    }
+
+    #[test]
+    fn decode_record_reports_corruption_offset() {
+        let mut bytes = [0u8; RECORD_BYTES];
+        bytes[16] = 0x80 | 2; // taken call
+        let record = decode_record(&bytes, 99).unwrap();
+        assert!(record.taken);
+        assert_eq!(record.kind, BranchKind::Call);
+        bytes[16] = 0x7F; // no such kind
+        let err = decode_record(&bytes, 1234).unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::InvalidKind {
+                byte: 0x7F,
+                offset: 1234
+            }
+        ));
+        assert!(format!("{err}").contains("1234"));
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! 1. a compact in-memory trace model ([`BranchRecord`], [`Trace`]),
 //! 2. a binary and a text on-disk format with a reader and a writer
 //!    ([`reader::TraceReader`], [`writer::TraceWriter`]) so that externally
-//!    converted CBP-style traces can be plugged in, and
-//! 3. deterministic synthetic workload generators ([`synthetic`]) together
+//!    converted CBP-style traces can be plugged in,
+//! 3. streaming [`source::BranchSource`]s — chunked, out-of-core record
+//!    streams (zero-copy slices, bounded-memory binary files, on-the-fly
+//!    synthetic generation) that the simulation engine consumes without
+//!    materializing whole traces, and
+//! 4. deterministic synthetic workload generators ([`synthetic`]) together
 //!    with two 20-trace suites ([`suites::cbp1_like`], [`suites::cbp2_like`])
 //!    that act as stand-ins for the championship sets. The generators model
 //!    the statistical structure that the paper's observations depend on:
@@ -37,6 +41,7 @@ pub mod format;
 pub mod reader;
 pub mod record;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod suites;
 pub mod synthetic;
@@ -45,6 +50,10 @@ pub mod writer;
 
 pub use record::{BranchKind, BranchRecord};
 pub use rng::SplitMix64;
+pub use source::{
+    AnySource, BinaryFileSource, BranchSource, SliceSource, SourceSpec, SourceSuite,
+    SyntheticSource, Take,
+};
 pub use stats::TraceStats;
 pub use suites::{Suite, TraceSpec};
 pub use trace::Trace;

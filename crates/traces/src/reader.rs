@@ -1,10 +1,58 @@
 //! Reading traces from the binary or text format.
+//!
+//! [`TraceReader`] materializes a whole [`Trace`] in memory; for out-of-core
+//! consumption of large binary traces use
+//! [`crate::source::BinaryFileSource`], which shares the header parser
+//! ([`read_binary_header`]) and the record decoder
+//! ([`crate::format::decode_record`]) with this module but never holds more
+//! than one fixed-size chunk of records.
 
 use std::io::{BufRead, BufReader, Read};
 
-use crate::format::{kind_from_byte, kind_from_letter, FormatError, MAGIC, RECORD_BYTES, VERSION};
+use crate::format::{decode_record, kind_from_letter, FormatError, MAGIC, RECORD_BYTES, VERSION};
 use crate::record::BranchRecord;
 use crate::trace::Trace;
+
+/// The parsed fixed header of a binary trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryHeader {
+    /// The trace name carried in the header.
+    pub name: String,
+    /// Declared record count; `None` for traces written by the streaming
+    /// writer (sentinel count), which are read until end-of-file.
+    pub declared_records: Option<u64>,
+    /// Byte offset of the first record (i.e. the encoded header size).
+    pub data_offset: u64,
+}
+
+/// Reads and validates the binary-trace header (magic, version, name and
+/// record count) from the start of `reader`.
+///
+/// # Errors
+///
+/// Returns a [`FormatError`] if the magic bytes or version do not match, or
+/// the underlying reader fails.
+pub fn read_binary_header<R: Read>(reader: &mut R) -> Result<BinaryHeader, FormatError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let version = read_u32(reader)?;
+    if version != VERSION {
+        return Err(FormatError::UnsupportedVersion(version));
+    }
+    let name_len = read_u32(reader)? as usize;
+    let mut name_bytes = vec![0u8; name_len];
+    reader.read_exact(&mut name_bytes)?;
+    let name = String::from_utf8_lossy(&name_bytes).into_owned();
+    let count = read_u64(reader)?;
+    Ok(BinaryHeader {
+        name,
+        declared_records: (count != u64::MAX).then_some(count),
+        data_offset: (4 + 4 + 4 + name_len + 8) as u64,
+    })
+}
 
 /// Reads branch traces written by [`crate::writer::TraceWriter`].
 ///
@@ -36,40 +84,30 @@ impl TraceReader {
     /// # Errors
     ///
     /// Returns a [`FormatError`] if the stream is not a valid binary trace or
-    /// the underlying reader fails.
+    /// the underlying reader fails. Corrupt or truncated records report the
+    /// byte offset at which they sit.
     pub fn read_binary<R: Read>(reader: R) -> Result<Trace, FormatError> {
         let mut reader = BufReader::new(reader);
-        let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(FormatError::BadMagic(magic));
-        }
-        let version = read_u32(&mut reader)?;
-        if version != VERSION {
-            return Err(FormatError::UnsupportedVersion(version));
-        }
-        let name_len = read_u32(&mut reader)? as usize;
-        let mut name_bytes = vec![0u8; name_len];
-        reader.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8_lossy(&name_bytes).into_owned();
-        let count = read_u64(&mut reader)?;
-        let streaming = count == u64::MAX;
+        let header = read_binary_header(&mut reader)?;
+        let streaming = header.declared_records.is_none();
+        let count = header.declared_records.unwrap_or(0);
 
         let capacity = if streaming { 1024 } else { count as usize };
-        let mut trace = Trace::with_capacity(name, capacity.min(1 << 24));
+        let mut trace = Trace::with_capacity(header.name, capacity.min(1 << 24));
         let mut buf = [0u8; RECORD_BYTES];
         let mut read_so_far = 0u64;
         loop {
             if !streaming && read_so_far == count {
                 break;
             }
-            match read_record(&mut reader, &mut buf)? {
+            let offset = header.data_offset + read_so_far * RECORD_BYTES as u64;
+            match read_record(&mut reader, &mut buf, offset)? {
                 Some(record) => {
                     trace.push(record);
                     read_so_far += 1;
                 }
                 None if streaming => break,
-                None => return Err(FormatError::TruncatedRecord),
+                None => return Err(FormatError::TruncatedRecord { offset }),
             }
         }
         Ok(trace)
@@ -143,29 +181,22 @@ fn parse_text_line(line: &str, line_no: usize) -> Result<BranchRecord, FormatErr
 fn read_record<R: Read>(
     reader: &mut R,
     buf: &mut [u8; RECORD_BYTES],
+    offset: u64,
 ) -> Result<Option<BranchRecord>, FormatError> {
-    match read_exact_or_eof(reader, buf)? {
+    match read_exact_or_eof(reader, buf, offset)? {
         false => Ok(None),
-        true => {
-            let pc = u64::from_le_bytes(buf[0..8].try_into().expect("slice length"));
-            let target = u64::from_le_bytes(buf[8..16].try_into().expect("slice length"));
-            let flags = buf[16];
-            let gap = u32::from_le_bytes(buf[17..21].try_into().expect("slice length"));
-            let kind = kind_from_byte(flags & 0x7F)?;
-            Ok(Some(BranchRecord {
-                pc,
-                target,
-                taken: flags & 0x80 != 0,
-                kind,
-                gap,
-            }))
-        }
+        true => decode_record(buf, offset).map(Some),
     }
 }
 
 /// Reads exactly `buf.len()` bytes, returning `Ok(false)` on a clean EOF at a
-/// record boundary and an error on EOF in the middle of a record.
-fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, FormatError> {
+/// record boundary and an error on EOF in the middle of a record. `offset` is
+/// the stream offset of `buf`'s first byte, reported on truncation.
+fn read_exact_or_eof<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    offset: u64,
+) -> Result<bool, FormatError> {
     let mut filled = 0;
     while filled < buf.len() {
         let n = reader.read(&mut buf[filled..])?;
@@ -173,7 +204,7 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool, Fo
             return if filled == 0 {
                 Ok(false)
             } else {
-                Err(FormatError::TruncatedRecord)
+                Err(FormatError::TruncatedRecord { offset })
             };
         }
         filled += n;
@@ -215,7 +246,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_truncated_record() {
+    fn rejects_truncated_record_with_its_offset() {
         let trace = Trace::from_records(
             "t",
             vec![
@@ -226,7 +257,54 @@ mod tests {
         let mut bytes = TraceWriter::to_binary_bytes(&trace);
         bytes.truncate(bytes.len() - 5);
         let err = TraceReader::read_binary(&bytes[..]).unwrap_err();
-        assert!(matches!(err, FormatError::TruncatedRecord));
+        // The second record starts one full record past the header.
+        let header_len = (4 + 4 + 4 + "t".len() + 8) as u64;
+        let expected = header_len + RECORD_BYTES as u64;
+        assert!(
+            matches!(err, FormatError::TruncatedRecord { offset } if offset == expected),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn reports_corrupt_kind_byte_offset() {
+        let trace = Trace::from_records(
+            "t",
+            vec![
+                BranchRecord::conditional(1, true),
+                BranchRecord::conditional(2, false),
+            ],
+        );
+        let mut bytes = TraceWriter::to_binary_bytes(&trace);
+        let header_len = 4 + 4 + 4 + "t".len() + 8;
+        // Corrupt the flags byte of the second record.
+        let corrupt_at = header_len + RECORD_BYTES + 16;
+        bytes[corrupt_at] = 0x55;
+        let err = TraceReader::read_binary(&bytes[..]).unwrap_err();
+        let record_offset = (header_len + RECORD_BYTES) as u64;
+        assert!(
+            matches!(
+                err,
+                FormatError::InvalidKind { byte: 0x55, offset } if offset == record_offset
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn header_parses_streaming_and_counted_traces() {
+        let trace = Trace::from_records("abc", vec![BranchRecord::conditional(1, true)]);
+        let bytes = TraceWriter::to_binary_bytes(&trace);
+        let header = read_binary_header(&mut &bytes[..]).unwrap();
+        assert_eq!(header.name, "abc");
+        assert_eq!(header.declared_records, Some(1));
+        assert_eq!(header.data_offset, 4 + 4 + 4 + 3 + 8);
+
+        let mut writer = crate::writer::StreamingTraceWriter::new(Vec::new(), "s").unwrap();
+        writer.push(&BranchRecord::conditional(1, true)).unwrap();
+        let bytes = writer.finish().unwrap();
+        let header = read_binary_header(&mut &bytes[..]).unwrap();
+        assert_eq!(header.declared_records, None);
     }
 
     #[test]

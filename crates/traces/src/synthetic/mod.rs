@@ -28,4 +28,4 @@ mod program;
 
 pub use behavior::{BehaviorKind, BranchBehavior, GlobalOutcomeHistory};
 pub use profile::{BehaviorMix, WorkloadProfile};
-pub use program::{SyntheticProgram, SyntheticTraceBuilder};
+pub use program::{StreamCursor, SyntheticProgram, SyntheticTraceBuilder};

@@ -120,56 +120,14 @@ impl SyntheticProgram {
     /// Generates `branch_count` *conditional* branch records, advancing the
     /// program state. Call/return records emitted at routine boundaries are
     /// additional to `branch_count`.
+    ///
+    /// This is the one-shot convenience over [`StreamCursor`]: the records
+    /// pushed here are bit-identical to pulling them one at a time from a
+    /// cursor with the same target, in chunks of any size.
     pub fn generate(&mut self, branch_count: usize, trace: &mut Trace) {
-        let mut emitted = 0usize;
-        while emitted < branch_count {
-            let routine_index = self.pick_next_routine();
-            self.current_routine = routine_index;
-            // Immutable borrows end before the mutable routine borrow below.
-            let (entry_pc, branch_len) = {
-                let r = &self.routines[routine_index];
-                (r.entry_pc, r.branches.len())
-            };
-            if self.emit_calls {
-                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
-                trace.push(BranchRecord {
-                    pc: entry_pc,
-                    target: entry_pc + 0x40,
-                    taken: true,
-                    kind: BranchKind::Call,
-                    gap,
-                });
-            }
-            for b in 0..branch_len {
-                if emitted >= branch_count {
-                    break;
-                }
-                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
-                let routine = &mut self.routines[routine_index];
-                let branch = &mut routine.branches[b];
-                let taken = branch.behavior.next_outcome(&self.history, &mut branch.rng);
-                self.history.push(taken);
-                let pc = branch.pc;
-                let target = if taken { pc + 0x80 } else { pc + 4 };
-                trace.push(BranchRecord {
-                    pc,
-                    target,
-                    taken,
-                    kind: BranchKind::Conditional,
-                    gap,
-                });
-                emitted += 1;
-            }
-            if self.emit_calls {
-                let gap = self.walker_rng.next_gap(self.gap_mean, 255);
-                trace.push(BranchRecord {
-                    pc: entry_pc + 0x40 + branch_len as u64 * BRANCH_STRIDE,
-                    target: entry_pc,
-                    taken: true,
-                    kind: BranchKind::Return,
-                    gap,
-                });
-            }
+        let mut cursor = StreamCursor::new(branch_count);
+        while let Some(record) = cursor.next_record(self) {
+            trace.push(record);
         }
     }
 
@@ -188,6 +146,132 @@ impl SyntheticProgram {
         {
             Ok(i) => i,
             Err(i) => i.min(self.routines.len() - 1),
+        }
+    }
+}
+
+/// Where a [`StreamCursor`] stands inside the program walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WalkPhase {
+    /// About to pick the next routine (or stop if the target is met).
+    PickRoutine,
+    /// Walking the branches of the current routine.
+    Branch {
+        routine: usize,
+        entry_pc: u64,
+        branch_len: usize,
+        index: usize,
+    },
+}
+
+/// A resumable walk over a [`SyntheticProgram`]: yields the exact record
+/// sequence [`SyntheticProgram::generate`] would push, one record at a time,
+/// so callers can stream a synthetic workload in chunks of any size without
+/// materializing it.
+///
+/// The cursor is the generator behind [`crate::source::SyntheticSource`]; the
+/// truncation point depends only on the cursor's *total* conditional-branch
+/// target, never on how the pull is batched, which is what makes streamed
+/// and materialized runs bit-identical.
+#[derive(Debug, Clone)]
+pub struct StreamCursor {
+    /// Conditional branches still to emit.
+    remaining: usize,
+    phase: WalkPhase,
+}
+
+impl StreamCursor {
+    /// A cursor that will emit exactly `conditional_branches` conditional
+    /// records (plus the call/return records the profile asks for).
+    pub fn new(conditional_branches: usize) -> Self {
+        StreamCursor {
+            remaining: conditional_branches,
+            phase: WalkPhase::PickRoutine,
+        }
+    }
+
+    /// Conditional branches the cursor has yet to emit.
+    pub fn remaining_conditional(&self) -> usize {
+        self.remaining
+    }
+
+    /// Advances the walk by one record; `None` once the conditional-branch
+    /// target has been met (and the trailing return, if any, emitted).
+    pub fn next_record(&mut self, program: &mut SyntheticProgram) -> Option<BranchRecord> {
+        loop {
+            match self.phase {
+                WalkPhase::PickRoutine => {
+                    if self.remaining == 0 {
+                        return None;
+                    }
+                    let routine = program.pick_next_routine();
+                    program.current_routine = routine;
+                    let (entry_pc, branch_len) = {
+                        let r = &program.routines[routine];
+                        (r.entry_pc, r.branches.len())
+                    };
+                    self.phase = WalkPhase::Branch {
+                        routine,
+                        entry_pc,
+                        branch_len,
+                        index: 0,
+                    };
+                    if program.emit_calls {
+                        let gap = program.walker_rng.next_gap(program.gap_mean, 255);
+                        return Some(BranchRecord {
+                            pc: entry_pc,
+                            target: entry_pc + 0x40,
+                            taken: true,
+                            kind: BranchKind::Call,
+                            gap,
+                        });
+                    }
+                }
+                WalkPhase::Branch {
+                    routine,
+                    entry_pc,
+                    branch_len,
+                    index,
+                } => {
+                    if index >= branch_len || self.remaining == 0 {
+                        // Routine walked (or target met mid-routine): close it.
+                        self.phase = WalkPhase::PickRoutine;
+                        if program.emit_calls {
+                            let gap = program.walker_rng.next_gap(program.gap_mean, 255);
+                            return Some(BranchRecord {
+                                pc: entry_pc + 0x40 + branch_len as u64 * BRANCH_STRIDE,
+                                target: entry_pc,
+                                taken: true,
+                                kind: BranchKind::Return,
+                                gap,
+                            });
+                        }
+                        continue;
+                    }
+                    let gap = program.walker_rng.next_gap(program.gap_mean, 255);
+                    let branch = &mut program.routines[routine].branches[index];
+                    let taken = branch
+                        .behavior
+                        .next_outcome(&program.history, &mut branch.rng);
+                    program.history.push(taken);
+                    let pc = branch.pc;
+                    let target = if taken { pc + 0x80 } else { pc + 4 };
+                    self.phase = WalkPhase::Branch {
+                        routine,
+                        entry_pc,
+                        branch_len,
+                        index: index + 1,
+                    };
+                    self.remaining -= 1;
+                    return Some(BranchRecord {
+                        pc,
+                        target,
+                        taken,
+                        kind: BranchKind::Conditional,
+                        gap,
+                    });
+                }
+            }
         }
     }
 }
@@ -343,6 +427,35 @@ mod tests {
         let mut profile = WorkloadProfile::integer_like();
         profile.static_branches = 0;
         SyntheticProgram::from_profile(&profile, 0);
+    }
+
+    #[test]
+    fn stream_cursor_matches_one_shot_generation_at_any_chunking() {
+        for mut profile in [WorkloadProfile::integer_like(), WorkloadProfile::fp_like()] {
+            for emit_calls in [false, true] {
+                profile.emit_calls = emit_calls;
+                let mut reference = SyntheticProgram::from_profile(&profile, 77);
+                let mut expected = Trace::new("ref");
+                reference.generate(2_500, &mut expected);
+
+                // Pull the same walk through a cursor in awkward chunk sizes.
+                let mut program = SyntheticProgram::from_profile(&profile, 77);
+                let mut cursor = StreamCursor::new(2_500);
+                let mut streamed = Vec::new();
+                let mut chunk = 1usize;
+                'outer: loop {
+                    for _ in 0..chunk {
+                        match cursor.next_record(&mut program) {
+                            Some(record) => streamed.push(record),
+                            None => break 'outer,
+                        }
+                    }
+                    chunk = (chunk * 3 + 1) % 97 + 1;
+                }
+                assert_eq!(streamed, expected.records(), "emit_calls = {emit_calls}");
+                assert_eq!(cursor.remaining_conditional(), 0);
+            }
+        }
     }
 
     #[test]

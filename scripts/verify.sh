@@ -34,4 +34,19 @@ cargo run --release --bin tage-bench -- --branches 10000 --label verify \
   --out target/campaign-smoke.json
 cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
+echo "== streaming smoke (BranchSource) =="
+# Out-of-core pipeline: generator -> disk -> chunked BinaryFileSource ->
+# engine, asserting bit-parity with the materialized run
+# (docs/STREAMING.md).
+cargo run --release --example streaming_ingestion
+# File-backed campaign: export the mini suite as binary traces, run a 2x2
+# grid over them through BinaryFileSource, validate the report schema.
+rm -rf target/verify-traces
+cargo run --release --bin tage-bench -- --export-traces target/verify-traces \
+  --suites cbp1-mini --branches 10000
+cargo run --release --bin tage-bench -- --trace-dir target/verify-traces \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --label verify-file --out target/campaign-file-smoke.json
+cargo run --release --bin tage-bench -- --check target/campaign-file-smoke.json
+
 echo "verify: OK"
