@@ -7,8 +7,9 @@
 //!
 //! ```text
 //! tage-bench [--predictors LIST] [--schemes LIST] [--suites LIST]
-//!            [--trace-dir DIR]... [--branches N] [--workers N]
-//!            [--label STR] [--out PATH] [--no-timing] [--list]
+//!            [--scenario LIST] [--trace-dir DIR]... [--branches N]
+//!            [--workers N] [--label STR] [--out PATH] [--no-timing]
+//!            [--list]
 //! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! ```
@@ -32,6 +33,7 @@ use tage_bench::campaign::{run_campaign, validate_report, CampaignSpec, SCHEMA_V
 use tage_bench::cli;
 use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
+use tage_sim::scenarios::ScenarioSpec;
 use tage_traces::source::{BranchSource, SourceSuite, SyntheticSource};
 use tage_traces::suites;
 use tage_traces::writer::StreamingTraceWriter;
@@ -42,6 +44,7 @@ use tage_traces::BranchRecord;
 const DEFAULT_PREDICTORS: &str = "tage-16k,gshare";
 const DEFAULT_SCHEMES: &str = "storage-free,jrs-classic";
 const DEFAULT_SUITES: &str = "cbp1-mini";
+const DEFAULT_SCENARIOS: &str = "baseline";
 const DEFAULT_BRANCHES: usize = 20_000;
 
 struct Options {
@@ -49,6 +52,7 @@ struct Options {
     schemes: String,
     suites: String,
     suites_explicit: bool,
+    scenarios: String,
     trace_dirs: Vec<String>,
     branches: usize,
     workers: usize,
@@ -66,6 +70,7 @@ fn parse_options() -> Result<Options, String> {
         schemes: DEFAULT_SCHEMES.to_string(),
         suites: DEFAULT_SUITES.to_string(),
         suites_explicit: false,
+        scenarios: DEFAULT_SCENARIOS.to_string(),
         trace_dirs: Vec::new(),
         branches: DEFAULT_BRANCHES,
         workers: default_parallelism(),
@@ -84,6 +89,9 @@ fn parse_options() -> Result<Options, String> {
             "--suites" => {
                 options.suites = cli::require_value(&mut args, "--suites")?;
                 options.suites_explicit = true;
+            }
+            "--scenario" | "--scenarios" => {
+                options.scenarios = cli::require_value(&mut args, "--scenario")?
             }
             "--trace-dir" => options
                 .trace_dirs
@@ -195,6 +203,10 @@ fn print_axes() {
         SchemeSpec::known_tokens().join(", ")
     );
     println!("suite tokens:     {}", suites::REGISTRY.join(", "));
+    println!(
+        "scenario tokens:  {}",
+        ScenarioSpec::known_tokens().join(", ")
+    );
     println!("file suites:      --trace-dir DIR (streams every *.trace file, sorted)");
     println!();
     println!("(storage-free pairs with TAGE predictors only; other cells are skipped)");
@@ -261,6 +273,12 @@ fn main() -> ExitCode {
             SchemeSpec::parse,
             &SchemeSpec::known_tokens(),
         );
+        let scenarios = parse_axis(
+            "scenario",
+            &options.scenarios,
+            ScenarioSpec::parse,
+            &ScenarioSpec::known_tokens(),
+        );
         let suite_names: Vec<String> = suites::REGISTRY.iter().map(|s| s.to_string()).collect();
         // Synthetic registry suites stream through SyntheticSources; an
         // unmodified default is dropped when file-backed suites are given.
@@ -282,18 +300,24 @@ fn main() -> ExitCode {
             }
             Ok(list)
         });
-        match (predictors, schemes, suites) {
-            (Ok(predictors), Ok(schemes), Ok(suites)) => CampaignSpec {
+        match (predictors, schemes, suites, scenarios) {
+            (Ok(predictors), Ok(schemes), Ok(suites), Ok(scenarios)) => CampaignSpec {
                 label: options.label.clone(),
                 predictors,
                 schemes,
                 suites,
+                scenarios,
                 branches_per_trace: options.branches,
             },
-            (predictors, schemes, suites) => {
-                for error in [predictors.err(), schemes.err(), suites.err()]
-                    .into_iter()
-                    .flatten()
+            (predictors, schemes, suites, scenarios) => {
+                for error in [
+                    predictors.err(),
+                    schemes.err(),
+                    suites.err(),
+                    scenarios.err(),
+                ]
+                .into_iter()
+                .flatten()
                 {
                     eprintln!("tage-bench: {error}");
                 }
@@ -303,11 +327,12 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "== tage-bench campaign \"{}\" — {} × {} × {} grid, {} branches/trace, {} workers ==",
+        "== tage-bench campaign \"{}\" — {} × {} × {} × {} grid, {} branches/trace, {} workers ==",
         spec.label,
         spec.predictors.len(),
         spec.schemes.len(),
         spec.suites.len(),
+        spec.scenarios.len(),
         spec.branches_per_trace,
         options.workers,
     );
@@ -327,16 +352,24 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{:<14} {:<15} {:<11} {:>11} {:>10} {:>10} {:>10}",
-        "predictor", "scheme", "suite", "predictions", "mean_mpki", "high_pcov", "seconds"
+        "{:<14} {:<15} {:<11} {:<17} {:>11} {:>10} {:>10} {:>10}",
+        "predictor",
+        "scheme",
+        "suite",
+        "scenario",
+        "predictions",
+        "mean_mpki",
+        "high_pcov",
+        "seconds"
     );
     for point in &report.points {
         let result = &point.result;
         println!(
-            "{:<14} {:<15} {:<11} {:>11} {:>10.3} {:>10.3} {:>10.3}",
+            "{:<14} {:<15} {:<11} {:<17} {:>11} {:>10.3} {:>10.3} {:>10.3}",
             result.predictor,
             result.scheme,
             result.suite,
+            result.scenario,
             result.total_predictions(),
             result.mean_mpki(),
             result
@@ -344,11 +377,14 @@ fn main() -> ExitCode {
                 .level_pcov(tage_confidence::ConfidenceLevel::High),
             point.wall_seconds,
         );
+        for (name, value) in &result.scenario_metrics {
+            println!("{:>46} {name} = {value:.3}", "");
+        }
     }
     for skipped in &report.skipped {
         println!(
-            "skipped        {} × {} on {}: {}",
-            skipped.predictor, skipped.scheme, skipped.suite, skipped.reason
+            "skipped        {} × {} × {} on {}: {}",
+            skipped.predictor, skipped.scheme, skipped.scenario, skipped.suite, skipped.reason
         );
     }
     println!();

@@ -1,7 +1,8 @@
 //! Cross-product campaign runner behind the `tage-bench` binary.
 //!
 //! A campaign is a declarative grid — predictor × confidence-scheme × suite
-//! — expanded into [`SweepPoint`]s and executed through the generic engine
+//! × scenario — expanded into [`SweepPoint`]s and executed through the
+//! generic engine
 //! with a **work-stealing queue over whole points**: each worker owns a
 //! deque of point indices, drains its own front, and steals from the back of
 //! the most-loaded sibling when it runs dry. This is the scheduling layer
@@ -25,12 +26,16 @@ use std::time::Instant;
 
 use tage_confidence::ConfidenceLevel;
 use tage_sim::point::{run_point, PointError, PointResult, PredictorSpec, SchemeSpec, SweepPoint};
+use tage_sim::scenarios::{ScenarioSpec, BASELINE_TOKEN};
 use tage_traces::source::SourceSuite;
 
 use crate::jsonish;
 
-/// Current schema version of the campaign report.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current schema version of the campaign report. Schema 2 added the
+/// scenario axis: every point carries a `"scenario"` label, non-baseline
+/// points carry a `"scenario_metrics"` object, and the grid lists its
+/// `"scenarios"` tokens.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The `campaign` discriminator field every report carries.
 pub const CAMPAIGN_NAME: &str = "tage-bench";
@@ -51,6 +56,8 @@ pub struct CampaignSpec {
     pub schemes: Vec<SchemeSpec>,
     /// Suite axis.
     pub suites: Vec<SourceSuite>,
+    /// Scenario axis ([`ScenarioSpec::Baseline`] is the plain measurement).
+    pub scenarios: Vec<ScenarioSpec>,
     /// Conditional branches generated per trace of every synthetic suite
     /// (file-backed sources yield whatever their files hold).
     pub branches_per_trace: usize,
@@ -66,32 +73,39 @@ pub struct SkippedPoint {
     pub scheme: String,
     /// Suite name.
     pub suite: String,
+    /// Scenario label.
+    pub scenario: String,
     /// Why the cell cannot run.
     pub reason: String,
 }
 
 impl CampaignSpec {
     /// Expands the cross product into executable sweep points (in
-    /// deterministic predictor-major order) plus the skipped cells.
+    /// deterministic predictor-major order, scenario innermost) plus the
+    /// skipped cells.
     pub fn expand(&self) -> (Vec<SweepPoint>, Vec<SkippedPoint>) {
         let mut points = Vec::new();
         let mut skipped = Vec::new();
         for predictor in &self.predictors {
             for scheme in &self.schemes {
                 for suite in &self.suites {
-                    let point = SweepPoint {
-                        predictor: predictor.clone(),
-                        scheme: *scheme,
-                        suite: suite.clone(),
-                    };
-                    match point.validate() {
-                        Ok(()) => points.push(point),
-                        Err(reason) => skipped.push(SkippedPoint {
-                            predictor: predictor.label(),
-                            scheme: scheme.label(),
-                            suite: suite.name().to_string(),
-                            reason: reason.to_string(),
-                        }),
+                    for scenario in &self.scenarios {
+                        let point = SweepPoint {
+                            predictor: predictor.clone(),
+                            scheme: *scheme,
+                            suite: suite.clone(),
+                            scenario: *scenario,
+                        };
+                        match point.validate() {
+                            Ok(()) => points.push(point),
+                            Err(reason) => skipped.push(SkippedPoint {
+                                predictor: predictor.label(),
+                                scheme: scheme.label(),
+                                suite: suite.name().to_string(),
+                                scenario: scenario.label().to_string(),
+                                reason: reason.to_string(),
+                            }),
+                        }
                     }
                 }
             }
@@ -221,6 +235,8 @@ pub struct CampaignReport {
     pub grid_schemes: Vec<String>,
     /// Suite axis, as suite names.
     pub grid_suites: Vec<String>,
+    /// Scenario axis, as grid tokens.
+    pub grid_scenarios: Vec<String>,
     /// Executed points, in grid-expansion order.
     pub points: Vec<CampaignPointReport>,
     /// Grid cells that could not execute.
@@ -262,6 +278,11 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRepor
         grid_predictors: spec.predictors.iter().map(PredictorSpec::label).collect(),
         grid_schemes: spec.schemes.iter().map(SchemeSpec::label).collect(),
         grid_suites: spec.suites.iter().map(|s| s.name().to_string()).collect(),
+        grid_scenarios: spec
+            .scenarios
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect(),
         points: reports,
         skipped,
         workers: stats.workers,
@@ -308,8 +329,12 @@ impl CampaignReport {
             render_token_array(&self.grid_schemes)
         ));
         out.push_str(&format!(
-            "  \"suites\": {}\n",
+            "  \"suites\": {},\n",
             render_token_array(&self.grid_suites)
+        ));
+        out.push_str(&format!(
+            "  \"scenarios\": {}\n",
+            render_token_array(&self.grid_scenarios)
         ));
         out.push_str(" },\n");
         let points: Vec<String> = self
@@ -327,10 +352,11 @@ impl CampaignReport {
             .iter()
             .map(|s| {
                 format!(
-                    "  {{\"predictor\": \"{}\", \"scheme\": \"{}\", \"suite\": \"{}\", \"reason\": \"{}\"}}",
+                    "  {{\"predictor\": \"{}\", \"scheme\": \"{}\", \"suite\": \"{}\", \"scenario\": \"{}\", \"reason\": \"{}\"}}",
                     jsonish::escape(&s.predictor),
                     jsonish::escape(&s.scheme),
                     jsonish::escape(&s.suite),
+                    jsonish::escape(&s.scenario),
                     jsonish::escape(&s.reason)
                 )
             })
@@ -361,6 +387,7 @@ impl CampaignReport {
             format!("\"predictor\": \"{}\"", jsonish::escape(&result.predictor)),
             format!("\"scheme\": \"{}\"", jsonish::escape(&result.scheme)),
             format!("\"suite\": \"{}\"", jsonish::escape(&result.suite)),
+            format!("\"scenario\": \"{}\"", jsonish::escape(&result.scenario)),
             format!("\"traces\": {}", result.traces.len()),
             format!("\"predictions\": {predictions}"),
             format!("\"mispredictions\": {mispredictions}"),
@@ -376,6 +403,14 @@ impl CampaignReport {
                 result.aggregate.level_mprate_mkp(ConfidenceLevel::High)
             ),
         ];
+        if !result.scenario_metrics.is_empty() {
+            let metrics: Vec<String> = result
+                .scenario_metrics
+                .iter()
+                .map(|(name, value)| format!("\"{}\": {value:.6}", jsonish::escape(name)))
+                .collect();
+            fields.push(format!("\"scenario_metrics\": {{{}}}", metrics.join(", ")));
+        }
         if include_timing {
             fields.push(format!("\"wall_seconds\": {:.6}", point.wall_seconds));
             let rate = if point.wall_seconds > 0.0 {
@@ -421,7 +456,7 @@ pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
         return Err("report contains no executed points".to_string());
     }
     for (i, point) in points.iter().enumerate() {
-        for key in ["predictor", "scheme", "suite"] {
+        for key in ["predictor", "scheme", "suite", "scenario"] {
             if jsonish::string_field(point, key).is_none() {
                 return Err(format!("point {i} is missing string field \"{key}\""));
             }
@@ -439,6 +474,13 @@ pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
             if jsonish::number_field(point, key).is_none() {
                 return Err(format!("point {i} is missing numeric field \"{key}\""));
             }
+        }
+        // Non-baseline scenario cells must carry their metrics object.
+        let scenario = jsonish::string_field(point, "scenario").expect("checked above");
+        if scenario != BASELINE_TOKEN && !point.contains("\"scenario_metrics\":") {
+            return Err(format!(
+                "point {i} runs scenario \"{scenario}\" but carries no \"scenario_metrics\""
+            ));
         }
     }
     let skipped = jsonish::extract_array_objects(json, "skipped");
@@ -466,6 +508,18 @@ mod tests {
                 SchemeSpec::parse("jrs-classic").unwrap(),
             ],
             suites: vec![suites::cbp1_mini().into()],
+            scenarios: vec![ScenarioSpec::Baseline],
+            branches_per_trace: 1_000,
+        }
+    }
+
+    fn scenario_spec() -> CampaignSpec {
+        CampaignSpec {
+            label: "scenario-grid".to_string(),
+            predictors: vec![PredictorSpec::parse("tage-16k").unwrap()],
+            schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+            suites: vec![suites::cbp1_mini().into()],
+            scenarios: ScenarioSpec::ALL.to_vec(),
             branches_per_trace: 1_000,
         }
     }
@@ -473,13 +527,52 @@ mod tests {
     #[test]
     fn expansion_crosses_axes_and_skips_invalid_cells() {
         let (points, skipped) = tiny_spec().expand();
-        // 2 predictors × 2 schemes × 1 suite = 4 cells, one of which
-        // (gshare × storage-free) cannot run.
+        // 2 predictors × 2 schemes × 1 suite × 1 scenario = 4 cells, one of
+        // which (gshare × storage-free) cannot run.
         assert_eq!(points.len(), 3);
         assert_eq!(skipped.len(), 1);
         assert_eq!(skipped[0].predictor, "gshare");
         assert_eq!(skipped[0].scheme, "storage-free");
+        assert_eq!(skipped[0].scenario, "baseline");
         assert!(skipped[0].reason.contains("TAGE"));
+    }
+
+    #[test]
+    fn scenario_axis_expands_innermost_and_runs_every_kind() {
+        let (points, skipped) = scenario_spec().expand();
+        assert_eq!(points.len(), ScenarioSpec::ALL.len());
+        assert!(skipped.is_empty());
+        let labels: Vec<&str> = points.iter().map(|p| p.scenario.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "baseline",
+                "recovery-energy",
+                "shared-predictor",
+                "prefetch-throttle"
+            ]
+        );
+
+        let report = run_campaign(&scenario_spec(), 2).expect("scenario grid runs");
+        assert_eq!(report.grid_scenarios.len(), 4);
+        let json = report.render_json(false);
+        let validated = validate_report(&json).expect("scenario report validates");
+        assert_eq!(validated.points, 4);
+        for point in jsonish::extract_array_objects(&json, "points") {
+            let scenario = jsonish::string_field(&point, "scenario").unwrap();
+            if scenario == "baseline" {
+                assert!(!point.contains("scenario_metrics"));
+            } else {
+                assert!(
+                    point.contains("\"scenario_metrics\": {"),
+                    "{scenario} cell must carry metrics: {point}"
+                );
+            }
+        }
+        // Spot-check one metric key per scenario kind.
+        assert!(json.contains("\"baseline_epki_nj\":"));
+        assert!(json.contains("\"shared_mean_mpki\":"));
+        assert!(json.contains("\"useless_avoided_pki\":"));
     }
 
     #[test]
@@ -553,6 +646,7 @@ mod tests {
             predictors: vec![PredictorSpec::parse("tage-16k").unwrap()],
             schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
             suites: vec![files],
+            scenarios: vec![ScenarioSpec::Baseline],
             branches_per_trace: 1_000,
         };
         let file_report = run_campaign(&file_spec, 2).expect("file grid runs");
@@ -561,6 +655,7 @@ mod tests {
             label: "file".to_string(),
             predictors: vec![PredictorSpec::parse("tage-16k").unwrap()],
             schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+            scenarios: vec![ScenarioSpec::Baseline],
             branches_per_trace: 1_000,
         };
         let synthetic_report = run_campaign(&synthetic_spec, 2).unwrap();
@@ -592,11 +687,26 @@ mod tests {
             "{\"campaign\": \"tage-bench\", \"schema\": 99, \"points\": [{\"predictor\": \"x\"}]}";
         let error = validate_report(wrong_schema).unwrap_err();
         assert!(error.contains("schema"));
-        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": []}";
+        // Schema-1 reports (pre-scenario) are explicitly unsupported now.
+        let schema_1 =
+            "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": [{\"predictor\": \"x\"}]}";
+        assert!(validate_report(schema_1).unwrap_err().contains("schema"));
+        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": []}";
         assert!(validate_report(no_points).unwrap_err().contains("points"));
-        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
+        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"traces\": 1}]}";
         assert!(validate_report(missing_field)
             .unwrap_err()
             .contains("predictions"));
+        // A schema-1-shaped point (no scenario label) is rejected.
+        let no_scenario = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
+        assert!(validate_report(no_scenario)
+            .unwrap_err()
+            .contains("scenario"));
+        // A non-baseline scenario cell without its metrics object is
+        // rejected.
+        let no_metrics = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"recovery-energy\", \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}]}";
+        assert!(validate_report(no_metrics)
+            .unwrap_err()
+            .contains("scenario_metrics"));
     }
 }

@@ -7,6 +7,7 @@ use tage_bench::campaign::{
 };
 use tage_bench::jsonish;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
+use tage_sim::scenarios::ScenarioSpec;
 use tage_traces::suites;
 
 fn grid() -> CampaignSpec {
@@ -22,6 +23,9 @@ fn grid() -> CampaignSpec {
             SchemeSpec::parse("self-confidence").unwrap(),
         ],
         suites: vec![suites::cbp1_mini().into()],
+        // The scenario axis rides the same determinism contract: every
+        // scenario kind is part of the pinned grid.
+        scenarios: ScenarioSpec::ALL.to_vec(),
         branches_per_trace: 2_000,
     }
 }
@@ -55,7 +59,7 @@ fn timing_fields_are_the_only_difference_between_renders() {
     assert_eq!(timed_points.len(), bare_points.len());
     assert!(!bare_points.is_empty());
     for (timed, bare) in timed_points.iter().zip(&bare_points) {
-        for key in ["predictor", "scheme", "suite"] {
+        for key in ["predictor", "scheme", "suite", "scenario"] {
             assert_eq!(
                 jsonish::string_field(timed, key),
                 jsonish::string_field(bare, key)

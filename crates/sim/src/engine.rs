@@ -74,8 +74,16 @@ pub struct BranchEvent<'a, L> {
     pub lookup: &'a L,
     /// Whether the branch falls inside the measured region (past warm-up).
     pub in_measurement: bool,
-    /// Instructions attributed to this branch record (the branch itself plus
-    /// its preceding non-branch gap).
+    /// Instructions attributed to **this record alone**: the branch
+    /// instruction itself plus the record's own non-branch gap
+    /// ([`tage_traces::BranchRecord::instructions`]).
+    ///
+    /// Instructions carried by intervening non-conditional records (calls,
+    /// returns, jumps — each with its own gap) are *not* folded in here;
+    /// they are delivered separately through
+    /// [`EngineObserver::on_instructions`]. An observer that sums both
+    /// streams therefore counts every trace instruction exactly once —
+    /// adding any part of one stream to the other double-counts.
     pub instructions: u64,
 }
 
@@ -86,7 +94,8 @@ pub struct BranchEvent<'a, L> {
 /// adaptive saturation controller of the paper's Section 6.2) needs to steer
 /// the predictor; pure collectors simply ignore the predictor argument.
 ///
-/// Observers compose structurally: `(&mut a, &mut b)` runs `a` then `b`, and
+/// Observers compose structurally: tuples of arity 2 through 6 run their
+/// elements left to right (`(&mut a, &mut b)` runs `a` then `b`), and
 /// `Option<O>` is a no-op when `None`.
 pub trait EngineObserver<P: PredictorCore> {
     /// Called once per conditional branch.
@@ -128,33 +137,31 @@ impl<P: PredictorCore, O: EngineObserver<P>> EngineObserver<P> for Option<O> {
     }
 }
 
-impl<P: PredictorCore, A: EngineObserver<P>, B: EngineObserver<P>> EngineObserver<P> for (A, B) {
-    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
-        self.0.on_branch(predictor, event);
-        self.1.on_branch(predictor, event);
-    }
+/// Observers compose structurally as tuples: `(a, b)` runs `a` then `b` for
+/// every event. Implemented for arities 2 through 6, so a scenario stack
+/// (report + energy + prefetch + controller, say) is one flat tuple instead
+/// of awkward nesting.
+macro_rules! impl_observer_tuple {
+    ($($observer:ident . $index:tt),+) => {
+        impl<P: PredictorCore, $($observer: EngineObserver<P>),+> EngineObserver<P>
+            for ($($observer,)+)
+        {
+            fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+                $(self.$index.on_branch(predictor, event);)+
+            }
 
-    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
-        self.0.on_instructions(instructions, in_measurement);
-        self.1.on_instructions(instructions, in_measurement);
-    }
+            fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+                $(self.$index.on_instructions(instructions, in_measurement);)+
+            }
+        }
+    };
 }
 
-impl<P: PredictorCore, A: EngineObserver<P>, B: EngineObserver<P>, C: EngineObserver<P>>
-    EngineObserver<P> for (A, B, C)
-{
-    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
-        self.0.on_branch(predictor, event);
-        self.1.on_branch(predictor, event);
-        self.2.on_branch(predictor, event);
-    }
-
-    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
-        self.0.on_instructions(instructions, in_measurement);
-        self.1.on_instructions(instructions, in_measurement);
-        self.2.on_instructions(instructions, in_measurement);
-    }
-}
+impl_observer_tuple!(A.0, B.1);
+impl_observer_tuple!(A.0, B.1, C.2);
+impl_observer_tuple!(A.0, B.1, C.2, D.3);
+impl_observer_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_observer_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 /// Accumulates a per-class [`ConfidenceReport`] (with instruction counts for
 /// MPKI) over the measured region of a run — the observer behind every
@@ -672,6 +679,62 @@ mod tests {
         assert_eq!(report.report.total().predictions, 2_000);
     }
 
+    /// Regression pin for the `BranchEvent::instructions` contract: the
+    /// event carries the record's own count only, non-conditional records
+    /// arrive via `on_instructions`, and summing both streams counts every
+    /// trace instruction exactly once (no double-count).
+    #[test]
+    fn instruction_accounting_sums_each_record_exactly_once() {
+        let trace = small_trace(4_000);
+        assert!(
+            trace.iter().any(|r| !r.kind.is_conditional()),
+            "the pin needs a trace with non-branch records"
+        );
+        let branch_own: u64 = trace
+            .iter()
+            .filter(|r| r.kind.is_conditional())
+            .map(|r| r.instructions())
+            .sum();
+        let non_branch: u64 = trace
+            .iter()
+            .filter(|r| !r.kind.is_conditional())
+            .map(|r| r.instructions())
+            .sum();
+        assert_eq!(branch_own + non_branch, trace.instruction_count());
+
+        /// Splits the two delivery paths so the test can see each stream.
+        #[derive(Default)]
+        struct SplitCounter {
+            via_events: u64,
+            via_notifications: u64,
+        }
+        impl<P: PredictorCore> EngineObserver<P> for SplitCounter {
+            fn on_branch(&mut self, _p: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+                self.via_events += event.instructions;
+            }
+            fn on_instructions(&mut self, instructions: u64, _in_measurement: bool) {
+                self.via_notifications += instructions;
+            }
+        }
+
+        let mut engine = tage_engine();
+        let mut report = ReportObserver::default();
+        let mut split = SplitCounter::default();
+        let summary = engine.run(&trace, &mut (&mut report, &mut split));
+        assert_eq!(
+            split.via_events, branch_own,
+            "events carry record-own counts"
+        );
+        assert_eq!(
+            split.via_notifications, non_branch,
+            "notifications carry exactly the non-branch records"
+        );
+        // The ReportObserver (which sums both streams) and the engine
+        // summary both land on the trace total exactly once.
+        assert_eq!(report.report.instructions(), trace.instruction_count());
+        assert_eq!(summary.measured_instructions, trace.instruction_count());
+    }
+
     #[test]
     fn observers_compose_and_see_the_predictor() {
         struct CountHigh(u64);
@@ -690,6 +753,51 @@ mod tests {
             .level(tage_confidence::ConfidenceLevel::High)
             .predictions;
         assert_eq!(high.0, high_level);
+    }
+
+    #[test]
+    fn observer_tuples_compose_flat_up_to_arity_six() {
+        #[derive(Default)]
+        struct Count {
+            branches: u64,
+            instructions: u64,
+        }
+        impl<P: PredictorCore> EngineObserver<P> for Count {
+            fn on_branch(&mut self, _p: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+                self.branches += 1;
+                self.instructions += event.instructions;
+            }
+            fn on_instructions(&mut self, instructions: u64, _in_measurement: bool) {
+                self.instructions += instructions;
+            }
+        }
+        let trace = small_trace(600);
+        let mut engine = tage_engine();
+        let mut six = (
+            Count::default(),
+            Count::default(),
+            Count::default(),
+            Count::default(),
+            Count::default(),
+            Count::default(),
+        );
+        engine.run(&trace, &mut six);
+        for count in [&six.0, &six.1, &six.2, &six.3, &six.4, &six.5] {
+            assert_eq!(count.branches, 600);
+            assert_eq!(count.instructions, trace.instruction_count());
+        }
+
+        let mut engine = tage_engine();
+        let mut four = (
+            Count::default(),
+            ReportObserver::default(),
+            Count::default(),
+            (),
+        );
+        engine.run(&trace, &mut four);
+        assert_eq!(four.0.branches, 600);
+        assert_eq!(four.2.branches, 600);
+        assert_eq!(four.1.report.total().predictions, 600);
     }
 
     #[test]

@@ -125,6 +125,9 @@ pub struct GatingResult {
     pub branches: u64,
     /// Mispredictions.
     pub mispredictions: u64,
+    /// Instructions attributed to the measured region — the denominator of
+    /// every per-kilo-instruction rate this result reports.
+    pub measured_instructions: u64,
     /// Wrong-path instructions fetched (energy waste).
     pub wrong_path_fetched: f64,
     /// Fetch slots lost by gating/throttling branches that were actually
@@ -135,14 +138,28 @@ pub struct GatingResult {
 }
 
 impl GatingResult {
-    /// Wrong-path instructions fetched per kilo-instruction of useful work
-    /// (a proxy for front-end energy waste).
+    /// Wrong-path instructions fetched per *branch* (a proxy for front-end
+    /// energy waste normalized to prediction count; see
+    /// [`GatingResult::waste_mpki`] for the per-kilo-instruction rate).
     pub fn waste_per_branch(&self) -> f64 {
         if self.branches == 0 {
             0.0
         } else {
             self.wrong_path_fetched / self.branches as f64
         }
+    }
+
+    /// Wrong-path instructions fetched per kilo-instruction of useful work
+    /// — the energy-waste rate on the same denominator as MPKI, using the
+    /// measured instruction count the run actually observed.
+    pub fn waste_mpki(&self) -> f64 {
+        crate::per_kilo_instruction(self.wrong_path_fetched, self.measured_instructions)
+    }
+
+    /// Fetch slots lost per kilo-instruction of useful work (the
+    /// performance cost on the MPKI denominator).
+    pub fn loss_mpki(&self) -> f64 {
+        crate::per_kilo_instruction(self.slots_lost_on_correct, self.measured_instructions)
     }
 
     /// Fetch slots lost per branch (a proxy for the performance cost of the
@@ -266,6 +283,7 @@ pub fn simulate_gating_source<S: BranchSource + ?Sized>(
         policy,
         branches: summary.measured_branches,
         mispredictions: summary.measured_mispredictions,
+        measured_instructions: summary.measured_instructions,
         wrong_path_fetched: observer.wrong_path_fetched,
         slots_lost_on_correct: observer.slots_lost_on_correct,
         wrong_path_avoided: observer.wrong_path_avoided,
@@ -345,7 +363,37 @@ mod tests {
         );
         assert!(three.wrong_path_fetched < never.wrong_path_fetched);
         assert!(three.waste_per_branch() < never.waste_per_branch());
+        assert!(three.waste_mpki() < never.waste_mpki());
         assert!(three.loss_per_branch() > 0.0);
+        assert!(three.loss_mpki() > 0.0);
+    }
+
+    /// The per-kilo-instruction rates divide by the measured instruction
+    /// count, not the branch count — the regression the `waste_per_branch`
+    /// doc mix-up hid.
+    #[test]
+    fn waste_mpki_normalizes_by_instructions_not_branches() {
+        let trace = trace();
+        let result = simulate_gating(
+            &config(),
+            &trace,
+            GatingPolicy::never(),
+            &GatingModel::default(),
+        );
+        assert_eq!(result.measured_instructions, trace.instruction_count());
+        assert!(
+            result.measured_instructions > result.branches,
+            "traces carry non-branch instructions, so the two denominators differ"
+        );
+        let expected_mpki =
+            result.wrong_path_fetched * 1000.0 / result.measured_instructions as f64;
+        assert!((result.waste_mpki() - expected_mpki).abs() < 1e-12);
+        let expected_per_branch = result.wrong_path_fetched / result.branches as f64;
+        assert!((result.waste_per_branch() - expected_per_branch).abs() < 1e-12);
+        assert!(
+            result.waste_mpki() < result.waste_per_branch() * 1000.0,
+            "per-KI waste must be measured against the larger instruction denominator"
+        );
     }
 
     #[test]

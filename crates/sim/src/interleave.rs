@@ -1,0 +1,360 @@
+//! The generic N-stream interleaving core shared by every cycle-interleaved
+//! model.
+//!
+//! The SMT fetch-policy model ([`crate::smt`]) and the N-core
+//! shared-predictor interference scenario
+//! ([`crate::scenarios::interference`]) both need the same machinery: N
+//! streaming [`BranchSource`]s, each staged one conditional branch at a
+//! time through a bounded cursor, and a cycle loop that grants each cycle's
+//! slot to one stream according to an arbitration policy. This module holds
+//! that machinery once — [`StreamLane`] is the per-stream cursor (bounded
+//! batch buffer, staged conditional branch, non-branch instruction
+//! accounting) and [`interleave`] is the arbitration loop, parameterized
+//! over an [`InterleaveDriver`] that owns the model-specific state (engines,
+//! in-flight windows, per-core counters).
+//!
+//! The two-thread SMT model is exactly this core at N = 2 — the refactor is
+//! pinned bit-identical to the historical hardcoded implementation by
+//! `crate::smt`'s tests.
+
+use tage_traces::format::FormatError;
+use tage_traces::source::BranchSource;
+use tage_traces::BranchRecord;
+
+/// Records a lane's stream cursor holds in memory at a time.
+pub const LANE_BATCH_RECORDS: usize = 1024;
+
+/// One hardware stream of an interleaved model: a streaming source pulled
+/// through a bounded batch buffer, with the next conditional branch staged
+/// for fetch and the instruction counts of skipped non-conditional records
+/// (calls, returns, jumps) accumulated for per-stream MPKI accounting.
+#[derive(Debug)]
+pub struct StreamLane<S> {
+    name: String,
+    source: S,
+    batch: Vec<BranchRecord>,
+    filled: usize,
+    cursor: usize,
+    staged: Option<BranchRecord>,
+    stream_done: bool,
+    /// Instructions of non-conditional records consumed while seeking the
+    /// staged branch, not yet attributed to an executed branch.
+    pending_instructions: u64,
+}
+
+impl<S: BranchSource> StreamLane<S> {
+    /// Wraps a source with the default [`LANE_BATCH_RECORDS`] cursor.
+    pub fn new(source: S) -> Self {
+        StreamLane {
+            name: source.name().to_string(),
+            source,
+            batch: vec![BranchRecord::default(); LANE_BATCH_RECORDS],
+            filled: 0,
+            cursor: 0,
+            staged: None,
+            stream_done: false,
+            pending_instructions: 0,
+        }
+    }
+
+    /// The stream's name (taken from the source at construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Pulls records until a conditional branch is staged or the stream
+    /// ends. Only conditional branches occupy fetch slots in the
+    /// interleaved models; skipped records contribute their instruction
+    /// counts to [`StreamLane::take_pending_instructions`].
+    pub fn stage(&mut self) -> Result<(), FormatError> {
+        while self.staged.is_none() && !self.stream_done {
+            if self.cursor == self.filled {
+                self.filled = self.source.next_batch(&mut self.batch)?;
+                self.cursor = 0;
+                if self.filled == 0 {
+                    self.stream_done = true;
+                    break;
+                }
+            }
+            let record = self.batch[self.cursor];
+            self.cursor += 1;
+            if record.kind.is_conditional() {
+                self.staged = Some(record);
+            } else {
+                self.pending_instructions += record.instructions();
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the stream has no staged branch and nothing left to pull.
+    pub fn exhausted(&self) -> bool {
+        self.staged.is_none() && self.stream_done
+    }
+
+    /// Takes the staged conditional branch, leaving the lane empty until the
+    /// next [`StreamLane::stage`] call.
+    pub fn take_staged(&mut self) -> Option<BranchRecord> {
+        self.staged.take()
+    }
+
+    /// Drains the instruction count of the non-conditional records consumed
+    /// since the last drain (they precede the currently staged branch in
+    /// stream order).
+    pub fn take_pending_instructions(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_instructions)
+    }
+}
+
+/// When the [`interleave`] loop stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop as soon as any lane runs dry — the multiprogrammed-study
+    /// convention (all streams present for the whole co-run region).
+    AnyExhausted,
+    /// Run until every lane is fully consumed (exhausted lanes no longer
+    /// receive fetch slots) — full-trace accounting per stream.
+    AllExhausted,
+}
+
+/// The model-specific half of an interleaved simulation: owns the engines
+/// and counters, decides which live lane gets each cycle's fetch slot, and
+/// executes the staged branch it is handed.
+pub trait InterleaveDriver {
+    /// Called once at the start of every cycle, before arbitration (the SMT
+    /// model resolves in-flight branches here).
+    fn begin_cycle(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// Picks the lane that fetches this cycle. `alive[i]` is `false` for
+    /// exhausted lanes; the returned index must name a live lane. Under
+    /// [`StopCondition::AnyExhausted`] every lane is always live here.
+    fn arbitrate(&mut self, cycle: u64, alive: &[bool]) -> usize;
+
+    /// Executes the picked lane's staged conditional branch.
+    /// `gap_instructions` is the instruction count of the non-conditional
+    /// records that preceded this branch on the lane since its previous
+    /// fetch.
+    fn execute(&mut self, lane: usize, record: &BranchRecord, gap_instructions: u64, cycle: u64);
+
+    /// Called once per lane after the loop stops with the lane's
+    /// still-unattributed non-conditional instruction count: records the
+    /// lane already consumed while staging but has not yet charged to a
+    /// fetched branch. Under [`StopCondition::AllExhausted`] that is
+    /// exactly the trailing records after the lane's last conditional
+    /// branch, completing exact per-lane instruction accounting. Under
+    /// [`StopCondition::AnyExhausted`] a lane cut short mid-stream still
+    /// has a staged branch and unread records that are **not** included —
+    /// drivers needing full-stream denominators must use `AllExhausted`.
+    fn finish_lane(&mut self, lane: usize, gap_instructions: u64) {
+        let _ = (lane, gap_instructions);
+    }
+}
+
+/// Runs the cycle-interleaved arbitration loop over `lanes` until `stop`
+/// holds, returning the number of fetch cycles simulated.
+///
+/// Every cycle: `begin_cycle`, then one live lane picked by
+/// [`InterleaveDriver::arbitrate`] fetches its staged branch through
+/// [`InterleaveDriver::execute`] and re-stages. The loop is deterministic in
+/// (lanes, driver): no worker threads, no wall-clock inputs.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] any lane's source reports.
+pub fn interleave<S: BranchSource, D: InterleaveDriver>(
+    lanes: &mut [StreamLane<S>],
+    driver: &mut D,
+    stop: StopCondition,
+) -> Result<u64, FormatError> {
+    for lane in lanes.iter_mut() {
+        lane.stage()?;
+    }
+    let mut alive = vec![false; lanes.len()];
+    let mut cycle = 0u64;
+    loop {
+        let mut any = false;
+        let mut all = !lanes.is_empty();
+        for (slot, lane) in alive.iter_mut().zip(lanes.iter()) {
+            *slot = !lane.exhausted();
+            any |= *slot;
+            all &= *slot;
+        }
+        let running = match stop {
+            StopCondition::AnyExhausted => all,
+            StopCondition::AllExhausted => any,
+        };
+        if !running {
+            break;
+        }
+        cycle += 1;
+        driver.begin_cycle(cycle);
+        let pick = driver.arbitrate(cycle, &alive);
+        assert!(
+            alive[pick],
+            "arbitrate must pick a live lane (picked {pick})"
+        );
+        let record = lanes[pick]
+            .take_staged()
+            .expect("a live lane has a staged branch");
+        let gap = lanes[pick].take_pending_instructions();
+        driver.execute(pick, &record, gap, cycle);
+        lanes[pick].stage()?;
+    }
+    for (index, lane) in lanes.iter_mut().enumerate() {
+        let leftover = lane.take_pending_instructions();
+        driver.finish_lane(index, leftover);
+    }
+    Ok(cycle)
+}
+
+/// Round-robin pick: the first live lane strictly after `last` in rotation
+/// order. With every lane alive this is `(last + 1) % n`, the classic
+/// alternation; exhausted lanes are skipped.
+///
+/// # Panics
+///
+/// Panics if no lane is alive.
+pub fn next_round_robin(last: usize, alive: &[bool]) -> usize {
+    let n = alive.len();
+    (1..=n)
+        .map(|step| (last + step) % n)
+        .find(|&lane| alive[lane])
+        .expect("at least one lane must be alive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_traces::source::SliceSource;
+    use tage_traces::suites;
+
+    /// A driver that just logs (lane, pc, gap) in fetch order, round-robin.
+    struct Recorder {
+        fetched: Vec<(usize, u64, u64)>,
+        finished: Vec<(usize, u64)>,
+        last: usize,
+    }
+
+    impl InterleaveDriver for Recorder {
+        fn arbitrate(&mut self, _cycle: u64, alive: &[bool]) -> usize {
+            self.last = next_round_robin(self.last, alive);
+            self.last
+        }
+
+        fn execute(&mut self, lane: usize, record: &BranchRecord, gap: u64, _cycle: u64) {
+            self.fetched.push((lane, record.pc, gap));
+        }
+
+        fn finish_lane(&mut self, lane: usize, gap: u64) {
+            self.finished.push((lane, gap));
+        }
+    }
+
+    fn recorder(lanes: usize) -> Recorder {
+        Recorder {
+            fetched: Vec::new(),
+            finished: Vec::new(),
+            last: lanes - 1,
+        }
+    }
+
+    #[test]
+    fn all_exhausted_covers_every_record_and_instruction_exactly_once() {
+        let suite = suites::cbp1_like();
+        let traces = [
+            suite.trace("FP-1").unwrap().generate(500),
+            suite.trace("MM-5").unwrap().generate(300),
+            suite.trace("INT-1").unwrap().generate(400),
+        ];
+        let mut lanes: Vec<StreamLane<SliceSource<'_>>> = traces
+            .iter()
+            .map(|t| StreamLane::new(SliceSource::from_trace(t)))
+            .collect();
+        let mut driver = recorder(lanes.len());
+        let cycles = interleave(&mut lanes, &mut driver, StopCondition::AllExhausted).unwrap();
+
+        // One fetch per cycle; every conditional branch fetched exactly once.
+        assert_eq!(cycles as usize, driver.fetched.len());
+        for (lane, trace) in traces.iter().enumerate() {
+            let fetched: Vec<u64> = driver
+                .fetched
+                .iter()
+                .filter(|(l, _, _)| *l == lane)
+                .map(|(_, pc, _)| *pc)
+                .collect();
+            let expected: Vec<u64> = trace
+                .iter()
+                .filter(|r| r.kind.is_conditional())
+                .map(|r| r.pc)
+                .collect();
+            assert_eq!(fetched, expected, "lane {lane} fetch order");
+
+            // Gap instructions (per fetch) + branch counts + trailing drain
+            // reconstruct the trace's instruction total exactly once.
+            let gaps: u64 = driver
+                .fetched
+                .iter()
+                .filter(|(l, _, _)| *l == lane)
+                .map(|(_, _, gap)| gap)
+                .sum();
+            let branches: u64 = trace
+                .iter()
+                .filter(|r| r.kind.is_conditional())
+                .map(|r| r.instructions())
+                .sum();
+            let trailing = driver
+                .finished
+                .iter()
+                .find(|(l, _)| *l == lane)
+                .map(|(_, gap)| *gap)
+                .unwrap_or(0);
+            assert_eq!(
+                gaps + branches + trailing,
+                trace.instruction_count(),
+                "lane {lane} instruction accounting"
+            );
+        }
+    }
+
+    #[test]
+    fn any_exhausted_stops_at_the_shortest_lane() {
+        let suite = suites::cbp1_like();
+        let long = suite.trace("FP-1").unwrap().generate(1_000);
+        let short = suite.trace("MM-5").unwrap().generate(100);
+        let mut lanes = vec![
+            StreamLane::new(SliceSource::from_trace(&long)),
+            StreamLane::new(SliceSource::from_trace(&short)),
+        ];
+        let mut driver = recorder(2);
+        interleave(&mut lanes, &mut driver, StopCondition::AnyExhausted).unwrap();
+        let short_fetches = driver.fetched.iter().filter(|(l, _, _)| *l == 1).count();
+        assert_eq!(short_fetches, 100, "the short lane is fully consumed");
+        let long_fetches = driver.fetched.iter().filter(|(l, _, _)| *l == 0).count();
+        assert!(
+            long_fetches <= 101,
+            "the long lane stops with the short one (got {long_fetches})"
+        );
+    }
+
+    #[test]
+    fn round_robin_skips_dead_lanes() {
+        let alive = [true, false, true, false];
+        assert_eq!(next_round_robin(0, &alive), 2);
+        assert_eq!(next_round_robin(2, &alive), 0);
+        assert_eq!(next_round_robin(3, &alive), 0);
+        let all = [true, true, true];
+        assert_eq!(next_round_robin(2, &all), 0);
+        assert_eq!(next_round_robin(0, &all), 1);
+    }
+
+    #[test]
+    fn empty_lane_set_is_a_no_op() {
+        let mut lanes: Vec<StreamLane<SliceSource<'_>>> = Vec::new();
+        let mut driver = recorder(1);
+        let cycles = interleave(&mut lanes, &mut driver, StopCondition::AllExhausted).unwrap();
+        assert_eq!(cycles, 0);
+        assert!(driver.fetched.is_empty());
+    }
+}

@@ -34,8 +34,15 @@
 //! * [`gating`] — a fetch-gating / throttling model, the motivating
 //!   application for confidence estimation (energy saved on wrong-path
 //!   fetch vs. slots lost on gated correct predictions);
-//! * [`smt`] — a two-thread SMT fetch-policy model where confidence steers
+//! * [`interleave`] — the generic N-stream cycle-interleaving core (staged
+//!   stream lanes + arbitration loop) shared by the SMT model and the
+//!   shared-predictor interference scenario;
+//! * [`smt`] — an N-thread SMT fetch-policy model where confidence steers
 //!   fetch priority;
+//! * [`scenarios`] — the campaign-runnable confidence scenarios
+//!   (misprediction-recovery energy, N-core shared-predictor interference,
+//!   confidence-driven prefetch throttling) as composable engine
+//!   observers, with the [`scenarios::ScenarioSpec`] grid axis;
 //! * [`report`] — plain-text table rendering used by the `tage-bench`
 //!   binaries to print paper-style tables.
 //!
@@ -60,9 +67,11 @@ pub mod baseline;
 pub mod engine;
 pub mod experiment;
 pub mod gating;
+pub mod interleave;
 pub mod point;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod segment;
 pub mod smt;
 pub mod suite;
@@ -73,7 +82,18 @@ pub use point::{
     SchemeSpec, SweepPoint, TageSweepPoint,
 };
 pub use runner::{run_source, run_trace, RunOptions, TraceRunResult};
+pub use scenarios::ScenarioSpec;
 pub use segment::{
     run_segmented_source, run_suite_segmented, SegmentOptions, SegmentPlan, SegmentedRunResult,
 };
 pub use suite::{run_suite, run_suite_sources, run_suite_with_parallelism, SuiteRunResult};
+
+/// `amount` per kilo-instruction, 0 on an empty run — the shared
+/// zero-guarded denominator behind every per-KI rate the crate reports.
+pub(crate) fn per_kilo_instruction(amount: f64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        amount * 1000.0 / instructions as f64
+    }
+}

@@ -2,8 +2,8 @@
 //! experiment sweeps.
 //!
 //! A [`SweepPoint`] is one cell of a predictor × confidence-scheme × suite
-//! cross product. [`run_point`] executes it — every trace of the point's
-//! suite through the generic [`SimEngine`], with a
+//! × scenario cross product. [`run_point`] executes it — every trace of the
+//! point's suite through the generic [`SimEngine`], with a
 //! cold predictor per trace — and returns exact integer counters plus the
 //! aggregate [`ConfidenceReport`], so a point's result is deterministic and
 //! independent of where (which thread, which order) it ran. The campaign
@@ -16,7 +16,16 @@
 //! * predictors — the six TAGE variants (three sizes × standard/modified
 //!   automaton) plus every [`BaselinePredictorSpec`];
 //! * schemes — the paper's storage-free TAGE classification plus every
-//!   [`EstimatorSpec`] baseline.
+//!   [`EstimatorSpec`] baseline;
+//! * scenarios — the confidence applications of [`crate::scenarios`]
+//!   (recovery energy, shared-predictor interference, prefetch throttling)
+//!   or the plain [`ScenarioSpec::Baseline`] measurement. Observer-style
+//!   scenarios ride along the normal per-source runs without altering the
+//!   prediction stream; the shared-predictor scenario adds one interleaved
+//!   pass over the suite's sources and compares it against the private
+//!   per-source counters the point measured anyway. Scenario metrics land
+//!   in [`PointResult::scenario_metrics`] as deterministically ordered
+//!   name/value pairs.
 //!
 //! Not every combination is meaningful: the storage-free classification
 //! observes TAGE internals, so it only pairs with TAGE predictors.
@@ -27,13 +36,17 @@ use core::fmt;
 
 use tage::{CounterAutomaton, TageConfig, TagePredictor};
 use tage_confidence::estimators::EstimatorSpec;
-use tage_confidence::{ConfidenceReport, EstimatorScheme};
-use tage_predictors::{BaselinePredictorSpec, MarginPredictor};
+use tage_confidence::{ConfidenceReport, EstimatorScheme, TageConfidenceClassifier};
+use tage_predictors::{BaselinePredictorSpec, MarginPredictor, PredictorCore};
 use tage_traces::format::FormatError;
 use tage_traces::source::{AnySource, BranchSource, SourceSuite};
 use tage_traces::Suite;
 
-use crate::engine::{ReportObserver, SimEngine};
+use crate::engine::{BranchEvent, EngineObserver, ReportObserver, SimEngine};
+use crate::scenarios::energy::RecoveryEnergyObserver;
+use crate::scenarios::interference::{run_shared_predictor, SharedRunResult};
+use crate::scenarios::prefetch::PrefetchObserver;
+use crate::scenarios::ScenarioSpec;
 
 /// One value of the predictor axis of a sweep grid.
 #[derive(Debug, Clone)]
@@ -162,7 +175,7 @@ impl SchemeSpec {
     }
 }
 
-/// One cell of a predictor × scheme × suite cross product.
+/// One cell of a predictor × scheme × suite × scenario cross product.
 ///
 /// The suite axis is a streaming [`SourceSuite`]: synthetic workloads are
 /// generated on the fly and file-backed suites are read chunk by chunk, so
@@ -176,6 +189,9 @@ pub struct SweepPoint {
     pub scheme: SchemeSpec,
     /// The workload sources the pair runs over.
     pub suite: SourceSuite,
+    /// The scenario measured on top of the run
+    /// ([`ScenarioSpec::Baseline`] for plain measurement).
+    pub scenario: ScenarioSpec,
 }
 
 /// Why a sweep point cannot run.
@@ -200,13 +216,21 @@ impl fmt::Display for InvalidPoint {
 }
 
 impl SweepPoint {
-    /// A point over a synthetic suite (streamed trace by trace).
+    /// A point over a synthetic suite (streamed trace by trace), measuring
+    /// the plain baseline scenario.
     pub fn over_suite(predictor: PredictorSpec, scheme: SchemeSpec, suite: &Suite) -> Self {
         SweepPoint {
             predictor,
             scheme,
             suite: SourceSuite::from_suite(suite),
+            scenario: ScenarioSpec::Baseline,
         }
+    }
+
+    /// Replaces the scenario axis value (builder style).
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Checks that the predictor/scheme pairing is executable.
@@ -238,12 +262,16 @@ pub struct PointTraceMetrics {
 impl PointTraceMetrics {
     /// Misprediction rate in mispredictions per kilo-instruction.
     pub fn mpki(&self) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.mispredictions as f64 * 1000.0 / self.instructions as f64
-        }
+        crate::per_kilo_instruction(self.mispredictions as f64, self.instructions)
     }
+}
+
+/// Arithmetic mean of the per-trace MPKI values, 0 over an empty slice.
+fn mean_trace_mpki(traces: &[PointTraceMetrics]) -> f64 {
+    if traces.is_empty() {
+        return 0.0;
+    }
+    traces.iter().map(PointTraceMetrics::mpki).sum::<f64>() / traces.len() as f64
 }
 
 /// The outcome of running one sweep point.
@@ -255,19 +283,22 @@ pub struct PointResult {
     pub scheme: String,
     /// Suite name.
     pub suite: String,
+    /// Label of the scenario axis value.
+    pub scenario: String,
     /// Per-trace exact counters, in suite order.
     pub traces: Vec<PointTraceMetrics>,
     /// Aggregate confidence report over the whole suite.
     pub aggregate: ConfidenceReport,
+    /// Scenario metrics as deterministically ordered name/value pairs
+    /// (empty for the baseline scenario). The names are stable report keys;
+    /// see `docs/SCENARIOS.md` for each scenario's metric set.
+    pub scenario_metrics: Vec<(String, f64)>,
 }
 
 impl PointResult {
     /// Arithmetic mean of the per-trace MPKI values.
     pub fn mean_mpki(&self) -> f64 {
-        if self.traces.is_empty() {
-            return 0.0;
-        }
-        self.traces.iter().map(PointTraceMetrics::mpki).sum::<f64>() / self.traces.len() as f64
+        mean_trace_mpki(&self.traces)
     }
 
     /// Total measured conditional branches over the suite.
@@ -315,22 +346,67 @@ impl From<FormatError> for PointError {
     }
 }
 
+/// The observer-style scenarios, riding along a point's normal per-source
+/// runs (the shared-predictor scenario runs its own pass instead). One
+/// accumulator persists across every source of the suite, so the metrics
+/// aggregate the whole point.
+enum ScenarioObserver {
+    None,
+    Energy(Box<RecoveryEnergyObserver>),
+    Prefetch(Box<PrefetchObserver>),
+}
+
+impl ScenarioObserver {
+    fn for_spec(scenario: ScenarioSpec) -> Self {
+        match scenario {
+            ScenarioSpec::RecoveryEnergy => ScenarioObserver::Energy(Box::default()),
+            ScenarioSpec::PrefetchThrottle => ScenarioObserver::Prefetch(Box::default()),
+            ScenarioSpec::Baseline | ScenarioSpec::SharedPredictor => ScenarioObserver::None,
+        }
+    }
+}
+
+impl<P: PredictorCore> EngineObserver<P> for ScenarioObserver {
+    fn on_branch(&mut self, predictor: &mut P, event: &BranchEvent<'_, P::Lookup>) {
+        match self {
+            ScenarioObserver::None => {}
+            ScenarioObserver::Energy(observer) => observer.on_branch(predictor, event),
+            ScenarioObserver::Prefetch(observer) => observer.on_branch(predictor, event),
+        }
+    }
+
+    fn on_instructions(&mut self, instructions: u64, in_measurement: bool) {
+        match self {
+            ScenarioObserver::None => {}
+            ScenarioObserver::Energy(observer) => {
+                EngineObserver::<P>::on_instructions(&mut **observer, instructions, in_measurement)
+            }
+            ScenarioObserver::Prefetch(observer) => {
+                EngineObserver::<P>::on_instructions(&mut **observer, instructions, in_measurement)
+            }
+        }
+    }
+}
+
 /// Executes one sweep point: every source of the suite streamed through the
 /// engine, cold predictor and scheme per source, serial within the point
 /// (cross-point parallelism is the campaign scheduler's job, which keeps
-/// each point's result independent of thread count).
+/// each point's result independent of thread count). Scenario observers
+/// ride along; the shared-predictor scenario adds one interleaved pass over
+/// the suite after the per-source runs.
 ///
 /// `branches_per_trace` sizes synthetic sources; file-backed sources yield
 /// whatever their file holds.
 pub fn run_point(point: &SweepPoint, branches_per_trace: usize) -> Result<PointResult, PointError> {
     point.validate()?;
+    let mut scenario_observer = ScenarioObserver::for_spec(point.scenario);
     let mut traces = Vec::with_capacity(point.suite.sources().len());
     let mut aggregate = ConfidenceReport::new();
     for spec in point.suite.sources() {
         let mut source = spec.open(branches_per_trace)?;
         let trace_name = source.name().to_string();
         let (report, predictions, mispredictions, instructions) =
-            run_point_source(point, &mut source)?;
+            run_point_source(point, &mut source, &mut scenario_observer)?;
         aggregate.merge(&report);
         traces.push(PointTraceMetrics {
             trace_name,
@@ -339,25 +415,129 @@ pub fn run_point(point: &SweepPoint, branches_per_trace: usize) -> Result<PointR
             instructions,
         });
     }
+    let scenario_metrics = match (&scenario_observer, point.scenario) {
+        (ScenarioObserver::Energy(observer), _) => vec![
+            ("baseline_epki_nj".to_string(), observer.baseline_epki()),
+            ("confidence_epki_nj".to_string(), observer.confidence_epki()),
+            ("savings_pct".to_string(), observer.savings_pct()),
+            ("checkpoints".to_string(), observer.checkpoints as f64),
+        ],
+        (ScenarioObserver::Prefetch(observer), _) => vec![
+            (
+                "useless_avoided_pki".to_string(),
+                observer.useless_avoided_pki(),
+            ),
+            (
+                "coverage_lost_pki".to_string(),
+                observer.coverage_lost_pki(),
+            ),
+            (
+                "useless_issued_pki".to_string(),
+                observer.useless_issued_pki(),
+            ),
+            (
+                "useful_issued_pki".to_string(),
+                observer.useful_issued_pki(),
+            ),
+        ],
+        (ScenarioObserver::None, ScenarioSpec::SharedPredictor) => {
+            let shared = run_point_shared(point, branches_per_trace)?;
+            shared_predictor_metrics(&shared, &traces)
+        }
+        (ScenarioObserver::None, _) => Vec::new(),
+    };
     Ok(PointResult {
         predictor: point.predictor.label(),
         scheme: point.scheme.label(),
         suite: point.suite.name().to_string(),
+        scenario: point.scenario.label().to_string(),
         traces,
         aggregate,
+        scenario_metrics,
     })
+}
+
+/// Compares the shared-predictor pass against the private per-source
+/// counters the point already measured (same sources, same order).
+fn shared_predictor_metrics(
+    shared: &SharedRunResult,
+    private: &[PointTraceMetrics],
+) -> Vec<(String, f64)> {
+    let private_mpki = mean_trace_mpki(private);
+    let private_mispredictions: u64 = private.iter().map(|t| t.mispredictions).sum();
+    vec![
+        ("cores".to_string(), shared.cores.len() as f64),
+        ("shared_mean_mpki".to_string(), shared.mean_mpki()),
+        ("private_mean_mpki".to_string(), private_mpki),
+        (
+            "mpki_degradation".to_string(),
+            shared.mean_mpki() - private_mpki,
+        ),
+        (
+            "shared_mispredictions".to_string(),
+            shared.total_mispredictions() as f64,
+        ),
+        (
+            "private_mispredictions".to_string(),
+            private_mispredictions as f64,
+        ),
+    ]
+}
+
+/// The shared-predictor interference pass: every suite source opened as one
+/// core's stream, interleaved round-robin into a single engine built for
+/// the point's predictor × scheme cell.
+fn run_point_shared(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+) -> Result<SharedRunResult, PointError> {
+    let mut sources = Vec::with_capacity(point.suite.sources().len());
+    for spec in point.suite.sources() {
+        sources.push(spec.open(branches_per_trace)?);
+    }
+    let shared = match (&point.predictor, &point.scheme) {
+        (PredictorSpec::Tage(config), SchemeSpec::StorageFree) => {
+            let mut engine = SimEngine::new(
+                TagePredictor::new(config.clone()),
+                TageConfidenceClassifier::new(config),
+            );
+            run_shared_predictor(&mut engine, sources)?
+        }
+        (PredictorSpec::Tage(config), SchemeSpec::Estimator(estimator)) => {
+            let scheme =
+                EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
+            let mut engine =
+                SimEngine::new(MarginPredictor(TagePredictor::new(config.clone())), scheme);
+            run_shared_predictor(&mut engine, sources)?
+        }
+        (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
+            let scheme =
+                EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
+            let mut engine = SimEngine::new(MarginPredictor(baseline.build()), scheme);
+            run_shared_predictor(&mut engine, sources)?
+        }
+        (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
+            unreachable!("validate() rejects storage-free on baseline predictors")
+        }
+    };
+    Ok(shared)
 }
 
 fn run_point_source(
     point: &SweepPoint,
     source: &mut AnySource,
+    scenario_observer: &mut ScenarioObserver,
 ) -> Result<(ConfidenceReport, u64, u64, u64), FormatError> {
     // The paper's own path has a canonical runner; don't duplicate its loop.
     if let (PredictorSpec::Tage(config), SchemeSpec::StorageFree) =
         (&point.predictor, &point.scheme)
     {
-        let result =
-            crate::runner::run_source(config, source, &crate::runner::RunOptions::default())?;
+        let result = crate::runner::run_source_observed(
+            config,
+            source,
+            &crate::runner::RunOptions::default(),
+            scenario_observer,
+        )?;
         let mispredictions = result.report.total().mispredictions;
         return Ok((
             result.report,
@@ -376,14 +556,14 @@ fn run_point_source(
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
-            engine.run_source(source, &mut observer)?
+            engine.run_source(source, &mut (&mut observer, &mut *scenario_observer))?
         }
         (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
             let predictor = baseline.build();
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
-            engine.run_source(source, &mut observer)?
+            engine.run_source(source, &mut (&mut observer, &mut *scenario_observer))?
         }
         (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
             unreachable!("validate() rejects storage-free on baseline predictors")
@@ -568,6 +748,138 @@ mod tests {
         let a = run_point(&point, 2_000).unwrap();
         let b = run_point(&point, 2_000).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_scenario_reports_no_metrics() {
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        );
+        let result = run_point(&point, 1_000).unwrap();
+        assert_eq!(result.scenario, "baseline");
+        assert!(result.scenario_metrics.is_empty());
+    }
+
+    /// Observer-style scenarios must not perturb the prediction stream: the
+    /// point's counters and aggregate report are bit-identical to the
+    /// baseline run, with the metrics added on top.
+    #[test]
+    fn observer_scenarios_leave_the_measurement_bit_identical() {
+        let base = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        );
+        let reference = run_point(&base, 2_000).unwrap();
+        for scenario in [ScenarioSpec::RecoveryEnergy, ScenarioSpec::PrefetchThrottle] {
+            let result = run_point(&base.clone().with_scenario(scenario), 2_000).unwrap();
+            assert_eq!(result.traces, reference.traces, "{scenario}");
+            assert_eq!(result.aggregate, reference.aggregate, "{scenario}");
+            assert_eq!(result.scenario, scenario.label());
+            assert!(!result.scenario_metrics.is_empty(), "{scenario}");
+            for (name, value) in &result.scenario_metrics {
+                assert!(value.is_finite(), "{scenario}: {name} = {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_energy_scenario_aggregates_over_the_whole_suite() {
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        )
+        .with_scenario(ScenarioSpec::RecoveryEnergy);
+        let result = run_point(&point, 3_000).unwrap();
+        let metric = |name: &str| {
+            result
+                .scenario_metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert!(metric("baseline_epki_nj") > 0.0);
+        assert!(metric("confidence_epki_nj") > 0.0);
+        assert!(
+            metric("checkpoints") > 0.0
+                && metric("checkpoints") <= result.total_predictions() as f64
+        );
+    }
+
+    #[test]
+    fn shared_predictor_scenario_measures_interference_against_the_private_run() {
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        )
+        .with_scenario(ScenarioSpec::SharedPredictor);
+        let result = run_point(&point, 4_000).unwrap();
+        let metric = |name: &str| {
+            result
+                .scenario_metrics
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+        };
+        assert_eq!(metric("cores"), result.traces.len() as f64);
+        // The private side of the comparison is exactly this point's own
+        // measurement.
+        assert!((metric("private_mean_mpki") - result.mean_mpki()).abs() < 1e-12);
+        let private: u64 = result.traces.iter().map(|t| t.mispredictions).sum();
+        assert_eq!(metric("private_mispredictions"), private as f64);
+        assert!(
+            metric("shared_mispredictions") > metric("private_mispredictions"),
+            "sharing one predictor across {} cores must cost accuracy (shared {} vs private {})",
+            result.traces.len(),
+            metric("shared_mispredictions"),
+            metric("private_mispredictions")
+        );
+        assert!(metric("mpki_degradation") > 0.0);
+    }
+
+    #[test]
+    fn scenarios_run_on_every_valid_predictor_scheme_cell() {
+        let suite = Suite::new(
+            "two",
+            vec![
+                mini().trace("FP-1").unwrap().clone(),
+                mini().trace("INT-2").unwrap().clone(),
+            ],
+        );
+        for predictor_token in ["tage-16k", "gshare"] {
+            for scheme_token in ["storage-free", "self-confidence"] {
+                for scenario in ScenarioSpec::ALL {
+                    let point = SweepPoint::over_suite(
+                        PredictorSpec::parse(predictor_token).unwrap(),
+                        SchemeSpec::parse(scheme_token).unwrap(),
+                        &suite,
+                    )
+                    .with_scenario(scenario);
+                    if point.validate().is_err() {
+                        continue;
+                    }
+                    let result = run_point(&point, 800).unwrap();
+                    assert_eq!(
+                        result.total_predictions(),
+                        1_600,
+                        "{predictor_token} × {scheme_token} × {scenario}"
+                    );
+                    assert_eq!(result.scenario, scenario.label());
+                    if scenario != ScenarioSpec::Baseline {
+                        assert!(
+                            !result.scenario_metrics.is_empty(),
+                            "{predictor_token} × {scheme_token} × {scenario}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

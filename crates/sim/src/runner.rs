@@ -170,6 +170,32 @@ pub fn run_source<S: BranchSource + ?Sized>(
     run_source_with_predictor(&mut predictor, source, options)
 }
 
+/// [`run_source`] with an extra [`EngineObserver`] riding along — the hook
+/// the scenario observers (`crate::scenarios`) use to watch the *exact*
+/// canonical TAGE + storage-free run without duplicating its assembly.
+///
+/// The extra observer runs after the report observer (and the adaptive
+/// controller, when enabled) for every branch and instruction notification;
+/// it does not alter the prediction stream, so the returned
+/// [`TraceRunResult`] is bit-identical to the plain [`run_source`] run.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] the source reports.
+pub fn run_source_observed<S, O>(
+    config: &TageConfig,
+    source: &mut S,
+    options: &RunOptions,
+    extra: &mut O,
+) -> Result<TraceRunResult, FormatError>
+where
+    S: BranchSource + ?Sized,
+    O: for<'p> EngineObserver<&'p mut TagePredictor>,
+{
+    let mut predictor = TagePredictor::new(config.clone());
+    run_source_with_predictor_observed(&mut predictor, source, options, extra)
+}
+
 /// Runs an already-constructed predictor over a trace (allowing state to be
 /// carried across traces, or a pre-warmed predictor to be reused).
 pub fn run_trace_with_predictor(
@@ -192,6 +218,25 @@ pub fn run_source_with_predictor<S: BranchSource + ?Sized>(
     source: &mut S,
     options: &RunOptions,
 ) -> Result<TraceRunResult, FormatError> {
+    run_source_with_predictor_observed(predictor, source, options, &mut ())
+}
+
+/// [`run_source_with_predictor`] with an extra observer riding along (see
+/// [`run_source_observed`]).
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] the source reports.
+pub fn run_source_with_predictor_observed<S, O>(
+    predictor: &mut TagePredictor,
+    source: &mut S,
+    options: &RunOptions,
+    extra: &mut O,
+) -> Result<TraceRunResult, FormatError>
+where
+    S: BranchSource + ?Sized,
+    O: for<'p> EngineObserver<&'p mut TagePredictor>,
+{
     let config = predictor.config().clone();
     let classifier = TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
     let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
@@ -205,7 +250,7 @@ pub fn run_source_with_predictor<S: BranchSource + ?Sized>(
     let mut report = ReportObserver::default();
     let mut engine =
         SimEngine::new(&mut *predictor, classifier).with_warmup(options.warmup_branches);
-    let summary = engine.run_source(source, &mut (&mut report, adaptive.as_mut()))?;
+    let summary = engine.run_source(source, &mut (&mut report, adaptive.as_mut(), extra))?;
 
     Ok(TraceRunResult {
         trace_name,

@@ -1,18 +1,23 @@
-//! A two-thread SMT fetch-policy model driven by branch confidence.
+//! An N-thread SMT fetch-policy model driven by branch confidence.
 //!
 //! Controlling SMT resource allocation through the fetch policy is one of
 //! the confidence applications the paper cites (Luo et al.). The model here
-//! interleaves two traces as two hardware threads sharing one fetch port:
+//! interleaves N traces as N hardware threads sharing one fetch port:
 //! every cycle the port is granted to one thread. The confidence-driven
-//! policy deprioritises the thread with more unresolved low-confidence
+//! policy deprioritises threads with more unresolved low-confidence
 //! branches in flight, so a thread that is likely on the wrong path does not
 //! hog the shared front-end; the baseline policy is round-robin (ICOUNT-like
 //! fairness without confidence information).
 //!
 //! Each hardware thread owns a [`SimEngine`] and fetches through
 //! [`SimEngine::step_branch`], so the per-branch predict → classify → train
-//! sequence is byte-for-byte the one every other experiment runs; only the
-//! cycle-level arbitration lives here.
+//! sequence is byte-for-byte the one every other experiment runs. The
+//! staging cursors and the cycle loop are the shared
+//! [`crate::interleave`] core (also behind the N-core shared-predictor
+//! interference scenario); only the fetch-policy arbitration and the
+//! in-flight bookkeeping live here. At N = 2 the generic loop is
+//! bit-identical to the historical two-thread implementation — pinned by
+//! this module's tests.
 
 use core::fmt;
 
@@ -23,13 +28,16 @@ use tage_traces::source::{BranchSource, SliceSource};
 use tage_traces::{BranchRecord, Trace};
 
 use crate::engine::SimEngine;
+use crate::interleave::{
+    interleave, next_round_robin, InterleaveDriver, StopCondition, StreamLane,
+};
 
-/// Fetch arbitration policies for the two-thread model.
+/// Fetch arbitration policies for the SMT model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SmtFetchPolicy {
     /// Alternate between the threads irrespective of confidence.
     RoundRobin,
-    /// Grant fetch to the thread with fewer unresolved low- or
+    /// Grant fetch to the thread with fewest unresolved low- or
     /// medium-confidence branches (ties broken round-robin).
     ConfidenceCount,
 }
@@ -55,7 +63,32 @@ pub struct SmtThreadResult {
     pub wrong_path_slots: u64,
 }
 
-/// Outcome of the two-thread SMT fetch simulation.
+/// Outcome of the N-thread SMT fetch simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtNRunResult {
+    /// Policy simulated.
+    pub policy: SmtFetchPolicy,
+    /// Per-thread results, in input order.
+    pub threads: Vec<SmtThreadResult>,
+    /// Total fetch cycles simulated.
+    pub cycles: u64,
+}
+
+impl SmtNRunResult {
+    /// Total wrong-path fetch slots over all threads — the quantity a
+    /// confidence-aware policy is meant to reduce.
+    pub fn total_wrong_path_slots(&self) -> u64 {
+        self.threads.iter().map(|t| t.wrong_path_slots).sum()
+    }
+
+    /// Total branches fetched over all threads.
+    pub fn total_branches(&self) -> u64 {
+        self.threads.iter().map(|t| t.branches).sum()
+    }
+}
+
+/// Outcome of the two-thread SMT fetch simulation (the classic pairing; a
+/// fixed-arity view of [`SmtNRunResult`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmtRunResult {
     /// Policy simulated.
@@ -67,8 +100,7 @@ pub struct SmtRunResult {
 }
 
 impl SmtRunResult {
-    /// Total wrong-path fetch slots over both threads — the quantity a
-    /// confidence-aware policy is meant to reduce.
+    /// Total wrong-path fetch slots over both threads.
     pub fn total_wrong_path_slots(&self) -> u64 {
         self.threads.iter().map(|t| t.wrong_path_slots).sum()
     }
@@ -95,32 +127,18 @@ impl fmt::Display for SmtRunResult {
 /// the model.
 const RESOLVE_DELAY: u64 = 8;
 
-/// Records a hardware thread's stream cursor holds in memory at a time.
-const THREAD_BATCH_RECORDS: usize = 1024;
-
-struct ThreadState<S: BranchSource> {
-    source: S,
-    batch: Vec<BranchRecord>,
-    filled: usize,
-    cursor: usize,
-    /// The next conditional branch to fetch, if any.
-    staged: Option<BranchRecord>,
-    stream_done: bool,
+/// One hardware thread's model state: its private engine, the in-flight
+/// branch window, and the accumulated counters.
+struct SmtCore {
     engine: SimEngine<TagePredictor, TageConfidenceClassifier>,
     /// (resolve_cycle, was_not_high_confidence, was_mispredicted)
     in_flight: Vec<(u64, bool, bool)>,
     result: SmtThreadResult,
 }
 
-impl<S: BranchSource> ThreadState<S> {
-    fn new(config: &TageConfig, source: S) -> Self {
-        ThreadState {
-            source,
-            batch: vec![BranchRecord::default(); THREAD_BATCH_RECORDS],
-            filled: 0,
-            cursor: 0,
-            staged: None,
-            stream_done: false,
+impl SmtCore {
+    fn new(config: &TageConfig) -> Self {
+        SmtCore {
             engine: SimEngine::new(
                 TagePredictor::new(config.clone()),
                 TageConfidenceClassifier::new(config),
@@ -128,32 +146,6 @@ impl<S: BranchSource> ThreadState<S> {
             in_flight: Vec::new(),
             result: SmtThreadResult::default(),
         }
-    }
-
-    /// Pulls records (skipping non-conditional ones — only conditional
-    /// branches occupy fetch slots in this model) until a conditional branch
-    /// is staged or the stream ends.
-    fn stage(&mut self) -> Result<(), FormatError> {
-        while self.staged.is_none() && !self.stream_done {
-            if self.cursor == self.filled {
-                self.filled = self.source.next_batch(&mut self.batch)?;
-                self.cursor = 0;
-                if self.filled == 0 {
-                    self.stream_done = true;
-                    break;
-                }
-            }
-            let record = self.batch[self.cursor];
-            self.cursor += 1;
-            if record.kind.is_conditional() {
-                self.staged = Some(record);
-            }
-        }
-        Ok(())
-    }
-
-    fn exhausted(&self) -> bool {
-        self.staged.is_none() && self.stream_done
     }
 
     fn unresolved_low_confidence(&self) -> usize {
@@ -168,24 +160,64 @@ impl<S: BranchSource> ThreadState<S> {
         self.in_flight
             .retain(|(resolve_at, _, _)| *resolve_at > cycle);
     }
+}
 
-    fn fetch_one(&mut self, cycle: u64) {
-        let Some(record) = self.staged.take() else {
-            return;
-        };
-        // Fetching while an older branch of this thread is actually
-        // mispredicted means these slots are wrong-path work.
-        if self.has_unresolved_misprediction() {
-            self.result.wrong_path_slots += 1;
+/// The fetch-policy arbitration over N private cores, as an
+/// [`InterleaveDriver`].
+struct SmtDriver {
+    cores: Vec<SmtCore>,
+    policy: SmtFetchPolicy,
+    last: usize,
+}
+
+impl InterleaveDriver for SmtDriver {
+    fn begin_cycle(&mut self, cycle: u64) {
+        for core in self.cores.iter_mut() {
+            core.resolve(cycle);
         }
-        let step = self
+    }
+
+    fn arbitrate(&mut self, _cycle: u64, alive: &[bool]) -> usize {
+        let pick = match self.policy {
+            SmtFetchPolicy::RoundRobin => next_round_robin(self.last, alive),
+            SmtFetchPolicy::ConfidenceCount => {
+                // Scan live lanes in rotation order starting after the last
+                // grant; a strictly lower unresolved count wins, so ties
+                // fall to the round-robin successor.
+                let n = alive.len();
+                let mut best: Option<(usize, usize)> = None;
+                for step in 1..=n {
+                    let lane = (self.last + step) % n;
+                    if !alive[lane] {
+                        continue;
+                    }
+                    let low = self.cores[lane].unresolved_low_confidence();
+                    if best.is_none_or(|(_, count)| low < count) {
+                        best = Some((lane, low));
+                    }
+                }
+                best.expect("at least one lane is alive").0
+            }
+        };
+        self.last = pick;
+        pick
+    }
+
+    fn execute(&mut self, lane: usize, record: &BranchRecord, _gap: u64, cycle: u64) {
+        let core = &mut self.cores[lane];
+        // Fetching while an older branch of this thread is actually
+        // mispredicted means this slot is wrong-path work.
+        if core.has_unresolved_misprediction() {
+            core.result.wrong_path_slots += 1;
+        }
+        let step = core
             .engine
             .step_branch(record.pc, record.taken, record.instructions(), &mut ());
-        self.result.branches += 1;
+        core.result.branches += 1;
         if step.mispredicted {
-            self.result.mispredictions += 1;
+            core.result.mispredictions += 1;
         }
-        self.in_flight.push((
+        core.in_flight.push((
             cycle + RESOLVE_DELAY,
             step.assessment.level != ConfidenceLevel::High,
             step.mispredicted,
@@ -228,41 +260,49 @@ pub fn simulate_smt_sources<S: BranchSource>(
     sources: [S; 2],
     policy: SmtFetchPolicy,
 ) -> Result<SmtRunResult, FormatError> {
-    let [source0, source1] = sources;
-    let mut threads = [
-        ThreadState::new(config, source0),
-        ThreadState::new(config, source1),
-    ];
-    for t in threads.iter_mut() {
-        t.stage()?;
-    }
-    let mut cycle = 0u64;
-    let mut last = 1usize;
-    while threads.iter().all(|t| !t.exhausted()) {
-        cycle += 1;
-        for t in threads.iter_mut() {
-            t.resolve(cycle);
-        }
-        let pick = match policy {
-            SmtFetchPolicy::RoundRobin => 1 - last,
-            SmtFetchPolicy::ConfidenceCount => {
-                let low0 = threads[0].unresolved_low_confidence();
-                let low1 = threads[1].unresolved_low_confidence();
-                match low0.cmp(&low1) {
-                    std::cmp::Ordering::Less => 0,
-                    std::cmp::Ordering::Greater => 1,
-                    std::cmp::Ordering::Equal => 1 - last,
-                }
-            }
-        };
-        threads[pick].fetch_one(cycle);
-        threads[pick].stage()?;
-        last = pick;
-    }
+    let result = simulate_smt_n_sources(config, Vec::from(sources), policy)?;
     Ok(SmtRunResult {
+        policy: result.policy,
+        threads: [result.threads[0], result.threads[1]],
+        cycles: result.cycles,
+    })
+}
+
+/// The N-thread generalization: every source is one hardware thread; each
+/// thread owns a private predictor + classifier, and one branch is fetched
+/// per cycle under `policy`. The run stops when any thread exhausts its
+/// stream (the multiprogrammed co-run convention).
+///
+/// At `sources.len() == 2` this is bit-identical to the historical
+/// two-thread model.
+///
+/// # Errors
+///
+/// Propagates the first [`FormatError`] any source reports.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty.
+pub fn simulate_smt_n_sources<S: BranchSource>(
+    config: &TageConfig,
+    sources: Vec<S>,
+    policy: SmtFetchPolicy,
+) -> Result<SmtNRunResult, FormatError> {
+    assert!(
+        !sources.is_empty(),
+        "the SMT model needs at least one thread"
+    );
+    let mut lanes: Vec<StreamLane<S>> = sources.into_iter().map(StreamLane::new).collect();
+    let mut driver = SmtDriver {
+        cores: lanes.iter().map(|_| SmtCore::new(config)).collect(),
         policy,
-        threads: [threads[0].result, threads[1].result],
-        cycles: cycle,
+        last: lanes.len() - 1,
+    };
+    let cycles = interleave(&mut lanes, &mut driver, StopCondition::AnyExhausted)?;
+    Ok(SmtNRunResult {
+        policy,
+        threads: driver.cores.into_iter().map(|c| c.result).collect(),
+        cycles,
     })
 }
 
@@ -270,10 +310,59 @@ pub fn simulate_smt_sources<S: BranchSource>(
 mod tests {
     use super::*;
     use tage::CounterAutomaton;
+    use tage_traces::source::SyntheticSource;
     use tage_traces::suites;
 
     fn config() -> TageConfig {
         TageConfig::small().with_automaton(CounterAutomaton::paper_default())
+    }
+
+    /// The interleave refactor must not move a single counter: these exact
+    /// values were produced by the pre-refactor hardcoded two-thread loop
+    /// (FP-1 × MM-5 at 8 000 branches, TAGE-16K with the paper automaton).
+    #[test]
+    fn generic_interleaver_at_n2_matches_the_pre_refactor_model_bit_for_bit() {
+        let suite = suites::cbp1_like();
+        let a = suite.trace("FP-1").unwrap().generate(8_000);
+        let b = suite.trace("MM-5").unwrap().generate(8_000);
+
+        let rr = simulate_smt(&config(), &a, &b, SmtFetchPolicy::RoundRobin);
+        assert_eq!(rr.cycles, 15_999);
+        assert_eq!(
+            rr.threads[0],
+            SmtThreadResult {
+                branches: 8_000,
+                mispredictions: 472,
+                wrong_path_slots: 1_274,
+            }
+        );
+        assert_eq!(
+            rr.threads[1],
+            SmtThreadResult {
+                branches: 7_999,
+                mispredictions: 1_056,
+                wrong_path_slots: 2_524,
+            }
+        );
+
+        let cc = simulate_smt(&config(), &a, &b, SmtFetchPolicy::ConfidenceCount);
+        assert_eq!(cc.cycles, 14_548);
+        assert_eq!(
+            cc.threads[0],
+            SmtThreadResult {
+                branches: 8_000,
+                mispredictions: 472,
+                wrong_path_slots: 1_399,
+            }
+        );
+        assert_eq!(
+            cc.threads[1],
+            SmtThreadResult {
+                branches: 6_548,
+                mispredictions: 890,
+                wrong_path_slots: 1_916,
+            }
+        );
     }
 
     #[test]
@@ -315,7 +404,6 @@ mod tests {
 
     #[test]
     fn source_driven_smt_matches_the_materialized_path() {
-        use tage_traces::source::SyntheticSource;
         let suite = suites::cbp1_like();
         let spec_a = suite.trace("FP-1").unwrap().clone();
         let spec_b = suite.trace("MM-5").unwrap().clone();
@@ -334,6 +422,39 @@ mod tests {
             .unwrap();
             assert_eq!(streamed, reference, "{policy}");
         }
+    }
+
+    #[test]
+    fn four_way_smt_runs_every_thread_and_stops_at_the_first_exhausted() {
+        let suite = suites::cbp1_like();
+        let specs = ["FP-1", "MM-5", "INT-1", "SERV-2"];
+        for policy in [SmtFetchPolicy::RoundRobin, SmtFetchPolicy::ConfidenceCount] {
+            let sources: Vec<SyntheticSource> = specs
+                .iter()
+                .map(|name| SyntheticSource::from_spec(suite.trace(name).unwrap(), 3_000))
+                .collect();
+            let result = simulate_smt_n_sources(&config(), sources, policy).unwrap();
+            assert_eq!(result.threads.len(), 4, "{policy}");
+            assert_eq!(result.total_branches(), result.cycles, "{policy}");
+            assert!(result.threads.iter().all(|t| t.branches > 0), "{policy}");
+            assert!(
+                result.threads.iter().any(|t| t.branches == 3_000),
+                "{policy}: some thread must run to completion"
+            );
+        }
+    }
+
+    #[test]
+    fn n_way_results_are_deterministic() {
+        let suite = suites::cbp1_like();
+        let run = || {
+            let sources: Vec<SyntheticSource> = ["FP-1", "MM-5", "INT-1"]
+                .iter()
+                .map(|name| SyntheticSource::from_spec(suite.trace(name).unwrap(), 2_000))
+                .collect();
+            simulate_smt_n_sources(&config(), sources, SmtFetchPolicy::ConfidenceCount).unwrap()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -34,6 +34,17 @@ cargo run --release --bin tage-bench -- --branches 10000 --label verify \
   --out target/campaign-smoke.json
 cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
+echo "== scenario smoke (tage-bench --scenario) =="
+# One cell per scenario kind (recovery-energy, shared-predictor,
+# prefetch-throttle) and the schema-2 validation of the scenario_metrics
+# the report must carry (docs/SCENARIOS.md).
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --scenario recovery-energy,shared-predictor,prefetch-throttle \
+  --branches 10000 --label verify-scenarios \
+  --out target/campaign-scenarios.json
+cargo run --release --bin tage-bench -- --check target/campaign-scenarios.json
+
 echo "== streaming smoke (BranchSource) =="
 # Out-of-core pipeline: generator -> disk -> chunked BinaryFileSource ->
 # engine, asserting bit-parity with the materialized run
