@@ -8,8 +8,8 @@
 //! ```text
 //! tage-bench [--predictors LIST] [--schemes LIST] [--suites LIST]
 //!            [--scenario LIST] [--trace-dir DIR]... [--branches N]
-//!            [--workers N] [--label STR] [--out PATH] [--no-timing]
-//!            [--list]
+//!            [--workers N] [--engine multilane|scalar] [--label STR]
+//!            [--out PATH] [--no-timing] [--list]
 //! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! ```
@@ -25,15 +25,24 @@
 //! this is what the CI campaign-smoke job does. `--check` structurally
 //! validates an existing report (schema version + required fields) and
 //! exits non-zero on mismatch.
+//!
+//! `--engine` picks the per-point execution path: `multilane` (the default)
+//! lane-batches each lane-batchable cell's suite through the lockstep
+//! engine; `scalar` forces the one-stream-at-a-time path everywhere. The
+//! two are bit-identical — timing-free reports byte-match across engines
+//! (CI verifies this) — so the flag is purely a throughput control.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use tage_bench::campaign::{run_campaign, validate_report, CampaignSpec, SCHEMA_VERSION};
+use tage_bench::campaign::{
+    run_campaign_with_engine, validate_report, CampaignSpec, SCHEMA_VERSION,
+};
 use tage_bench::cli;
 use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
 use tage_sim::scenarios::ScenarioSpec;
+use tage_sim::EngineKind;
 use tage_traces::source::{BranchSource, SourceSuite, SyntheticSource};
 use tage_traces::suites;
 use tage_traces::writer::StreamingTraceWriter;
@@ -56,6 +65,7 @@ struct Options {
     trace_dirs: Vec<String>,
     branches: usize,
     workers: usize,
+    engine: EngineKind,
     label: String,
     out: Option<String>,
     include_timing: bool,
@@ -74,6 +84,7 @@ fn parse_options() -> Result<Options, String> {
         trace_dirs: Vec::new(),
         branches: DEFAULT_BRANCHES,
         workers: default_parallelism(),
+        engine: EngineKind::Multilane,
         label: "campaign".to_string(),
         out: None,
         include_timing: true,
@@ -103,6 +114,18 @@ fn parse_options() -> Result<Options, String> {
             "--workers" => {
                 let value = cli::require_value(&mut args, "--workers")?;
                 options.workers = cli::parse_count("--workers", &value)?;
+            }
+            "--engine" => {
+                let value = cli::require_value(&mut args, "--engine")?;
+                options.engine = match value.as_str() {
+                    "multilane" => EngineKind::Multilane,
+                    "scalar" => EngineKind::Scalar,
+                    other => {
+                        return Err(format!(
+                            "unknown --engine \"{other}\" (known: multilane, scalar)"
+                        ))
+                    }
+                };
             }
             "--label" => options.label = cli::require_value(&mut args, "--label")?,
             "--out" => options.out = Some(cli::require_value(&mut args, "--out")?),
@@ -327,7 +350,7 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "== tage-bench campaign \"{}\" — {} × {} × {} × {} grid, {} branches/trace, {} workers ==",
+        "== tage-bench campaign \"{}\" — {} × {} × {} × {} grid, {} branches/trace, {} workers, {} engine ==",
         spec.label,
         spec.predictors.len(),
         spec.schemes.len(),
@@ -335,8 +358,12 @@ fn main() -> ExitCode {
         spec.scenarios.len(),
         spec.branches_per_trace,
         options.workers,
+        match options.engine {
+            EngineKind::Multilane => "multilane",
+            EngineKind::Scalar => "scalar",
+        },
     );
-    let report = match run_campaign(&spec, options.workers) {
+    let report = match run_campaign_with_engine(&spec, options.workers, options.engine) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("tage-bench: {error}");

@@ -46,9 +46,12 @@ use tage::{CounterAutomaton, ReferenceTagePredictor, TageConfig, TagePredictor};
 use tage_bench::{cli, print_header, trajectory, DEFAULT_BRANCHES_PER_TRACE};
 use tage_confidence::TageConfidenceClassifier;
 use tage_sim::engine::{default_parallelism, ReportObserver, SimEngine};
+use tage_sim::multilane::{MultilaneEngine, DEFAULT_LANES};
 use tage_sim::runner::RunOptions;
-use tage_sim::suite::run_suite;
-use tage_traces::source::{BinaryFileSource, SliceSource, SyntheticSource};
+use tage_sim::suite::SuiteScratch;
+use tage_traces::source::{
+    BinaryFileSource, BranchSource, SliceSource, SourceSuite, SyntheticSource,
+};
 use tage_traces::suites;
 use tage_traces::writer::TraceWriter;
 
@@ -286,7 +289,43 @@ fn main() {
         allocations,
     });
 
-    // 4. Streamed ingestion through the BranchSource API. Engines are
+    // 4. The lane-batched lockstep engine: DEFAULT_LANES copies of the same
+    //    stream advanced one branch per cycle through per-component passes.
+    //    The engine, sources and result slots are built (and warmed by one
+    //    full run) outside the timed region, so the timed rerun measures the
+    //    steady state and must be exactly allocation-free. Reported
+    //    throughput is the *aggregate* over all lanes; the regression gate
+    //    compares it against engine_single_trace as a same-host ratio.
+    {
+        let mut engine =
+            MultilaneEngine::new(config.clone(), &RunOptions::default(), DEFAULT_LANES);
+        let mut sources: Vec<SliceSource<'_>> = (0..DEFAULT_LANES)
+            .map(|_| SliceSource::from_trace(&trace))
+            .collect();
+        let mut results: Vec<_> = (0..DEFAULT_LANES)
+            .map(|_| MultilaneEngine::placeholder_result())
+            .collect();
+        engine
+            .run_into(&mut sources, &mut results)
+            .expect("slice sources are infallible");
+        for source in &mut sources {
+            source.reset().expect("slice sources rewind");
+        }
+        let (aggregate_branches, seconds, allocations) = timed_counting(|| {
+            engine
+                .run_into(&mut sources, &mut results)
+                .expect("slice sources are infallible");
+            results.iter().map(|r| r.conditional_branches).sum::<u64>()
+        });
+        measurements.push(Measurement {
+            name: "engine_multilane",
+            branches: aggregate_branches,
+            seconds,
+            allocations,
+        });
+    }
+
+    // 5. Streamed ingestion through the BranchSource API. Engines are
     //    constructed outside the timed regions (their fixed batch buffer is
     //    a construction-time allocation), so the timed loops measure the
     //    steady-state streaming hot path.
@@ -374,15 +413,29 @@ fn main() {
         });
     }
 
-    // 5. Whole-suite throughput with parallel per-trace sharding (trace
-    //    generation and result aggregation allocate; reported, not asserted).
+    // 6. Whole-suite throughput through the persistent SuiteScratch: all
+    //    sources opened once, one lane-batched engine, result buffers
+    //    refilled in place. The scratch is built and warmed by one full run
+    //    outside the timed region, so the timed rerun is required to perform
+    //    exactly zero heap allocations.
     let suite = suites::cbp1_like();
     let per_trace = (branches / 10).max(1_000);
-    let (result, seconds, allocations) =
-        timed_counting(|| run_suite(&config, &suite, per_trace, &RunOptions::default()));
+    let mut scratch = SuiteScratch::new(
+        &config,
+        &SourceSuite::from_suite(&suite),
+        per_trace,
+        &RunOptions::default(),
+        DEFAULT_LANES,
+    )
+    .expect("synthetic sources are infallible");
+    scratch.run().expect("synthetic sources are infallible");
+    let (suite_branches, seconds, allocations) = timed_counting(|| {
+        let result = scratch.run().expect("synthetic sources are infallible");
+        result.aggregate.total().predictions
+    });
     measurements.push(Measurement {
         name: "suite_parallel",
-        branches: result.aggregate.total().predictions,
+        branches: suite_branches,
         seconds,
         allocations,
     });
@@ -413,7 +466,11 @@ fn main() {
     let mut hot_path_clean = true;
     for m in &measurements {
         let budget = match m.name {
-            "predict_hot_path" | "engine_single_trace" | "engine_streamed_slice" => Some(0),
+            "predict_hot_path"
+            | "engine_single_trace"
+            | "engine_streamed_slice"
+            | "engine_multilane"
+            | "suite_parallel" => Some(0),
             "engine_streamed_file" => Some(FILE_SOURCE_FIXED_ALLOWANCE),
             _ => None,
         };
@@ -528,6 +585,51 @@ fn main() {
             }
             _ => println!(
                 "regression check skipped: no engine_single_trace milestone found in {seed_path}"
+            ),
+        }
+
+        // Second gate: the multilane/scalar aggregate speedup ratio. Like
+        // the SoA/reference ratio above it is measured same-host,
+        // same-process on both sides, so it survives host-speed changes;
+        // it catches the lockstep engine collapsing back to scalar speed.
+        let multilane_milestone = entries.iter().rev().find_map(|entry| {
+            let multilane =
+                trajectory::entry_measurement(entry, "engine_multilane", "branches_per_sec")
+                    .filter(|rate| *rate > 0.0)?;
+            let single =
+                trajectory::entry_measurement(entry, "engine_single_trace", "branches_per_sec")
+                    .filter(|rate| *rate > 0.0)?;
+            Some((
+                trajectory::entry_label(entry).unwrap_or_default(),
+                multilane / single,
+            ))
+        });
+        match (
+            rate_of("engine_multilane"),
+            rate_of("engine_single_trace"),
+            multilane_milestone,
+        ) {
+            (Some(multilane), Some(single), Some((milestone_label, baseline_ratio))) => {
+                let current = multilane / single;
+                let floor = tolerance * baseline_ratio;
+                if current < floor {
+                    eprintln!(
+                        "REGRESSION: engine_multilane/engine_single_trace speedup at \
+                         {current:.3} is below {tolerance} x the \"{milestone_label}\" \
+                         milestone ({baseline_ratio:.3}, floor {floor:.3})"
+                    );
+                    regression_ok = false;
+                } else {
+                    println!(
+                        "regression check OK: engine_multilane/engine_single_trace speedup \
+                         {current:.3} >= {tolerance} x {baseline_ratio:.3} (milestone \
+                         \"{milestone_label}\")"
+                    );
+                }
+            }
+            _ => println!(
+                "multilane regression check skipped: no engine_multilane milestone found in \
+                 {seed_path}"
             ),
         }
     }

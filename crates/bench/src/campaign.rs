@@ -25,8 +25,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use tage_confidence::ConfidenceLevel;
-use tage_sim::point::{run_point, PointError, PointResult, PredictorSpec, SchemeSpec, SweepPoint};
+use tage_sim::point::{
+    run_point_with_engine, PointError, PointResult, PredictorSpec, SchemeSpec, SweepPoint,
+};
 use tage_sim::scenarios::{ScenarioSpec, BASELINE_TOKEN};
+use tage_sim::EngineKind;
 use tage_traces::source::SourceSuite;
 
 use crate::jsonish;
@@ -259,13 +262,32 @@ pub struct CampaignReport {
 /// vanished); invalid predictor/scheme pairings are not errors — they are
 /// recorded as skipped cells.
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignReport, PointError> {
+    run_campaign_with_engine(spec, workers, EngineKind::Scalar)
+}
+
+/// [`run_campaign`] with an explicit engine choice for every point.
+///
+/// [`EngineKind::Multilane`] lane-batches each lane-batchable cell's suite
+/// inside its worker (unbatchable cells — estimator schemes, scenario
+/// observers — silently use the scalar path), composing with the
+/// cross-point work stealing: the scheduler still steals whole points; the
+/// engine choice only changes how one point burns its worker. Reports are
+/// bit-identical across engines — the campaign determinism contract extends
+/// over this axis, and `scripts/verify.sh` byte-diffs the two.
+pub fn run_campaign_with_engine(
+    spec: &CampaignSpec,
+    workers: usize,
+    engine: EngineKind,
+) -> Result<CampaignReport, PointError> {
     let (points, skipped) = spec.expand();
     let start = Instant::now();
     let (results, stats) = steal_map(&points, workers, |point| {
         let point_start = Instant::now();
-        run_point(point, spec.branches_per_trace).map(|result| CampaignPointReport {
-            result,
-            wall_seconds: point_start.elapsed().as_secs_f64(),
+        run_point_with_engine(point, spec.branches_per_trace, engine).map(|result| {
+            CampaignPointReport {
+                result,
+                wall_seconds: point_start.elapsed().as_secs_f64(),
+            }
         })
     });
     let mut reports = Vec::with_capacity(results.len());
@@ -606,6 +628,24 @@ mod tests {
             stats.steals > 0,
             "uneven per-worker load must trigger steals (got {stats:?})"
         );
+    }
+
+    #[test]
+    fn multilane_campaign_renders_byte_identical_reports() {
+        // The engine axis must not show up anywhere in a timing-free
+        // report: scalar and multilane runs of a mixed grid (batchable
+        // storage-free cells + unbatchable estimator and scenario cells)
+        // render the same bytes.
+        for spec in [tiny_spec(), scenario_spec()] {
+            let scalar = run_campaign_with_engine(&spec, 2, EngineKind::Scalar).unwrap();
+            let multilane = run_campaign_with_engine(&spec, 2, EngineKind::Multilane).unwrap();
+            assert_eq!(
+                scalar.render_json(false),
+                multilane.render_json(false),
+                "{}",
+                spec.label
+            );
+        }
     }
 
     #[test]

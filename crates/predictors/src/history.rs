@@ -116,6 +116,32 @@ impl HistoryRegister {
         folded
     }
 
+    /// The backing words, least-recent-outcome-last: bit `lag` lives at bit
+    /// `lag % 64` of word `lag / 64`.
+    ///
+    /// Batched simulators that advance many histories in lockstep keep the
+    /// register out-of-place (transposed across lanes) and use this together
+    /// with [`HistoryRegister::load_words`] to move the state across.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replaces the backing words with `words`, the writeback counterpart of
+    /// [`HistoryRegister::words`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not match the register's word count.
+    pub fn load_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            words.len(),
+            self.words.len(),
+            "load_words requires one word per backing word"
+        );
+        self.words.copy_from_slice(words);
+    }
+
     /// Clears the history.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
@@ -229,6 +255,26 @@ mod tests {
         }
         h.clear();
         assert!((0..100).all(|lag| !h.bit(lag)));
+    }
+
+    #[test]
+    fn words_roundtrip_through_load_words() {
+        let mut h = HistoryRegister::new(130);
+        for i in 0..97 {
+            h.push(i % 5 != 0);
+        }
+        let mut copy = HistoryRegister::new(130);
+        copy.load_words(h.words());
+        assert_eq!(copy, h);
+        copy.push(true);
+        h.push(true);
+        assert_eq!(copy.words(), h.words());
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per backing word")]
+    fn load_words_rejects_mismatched_lengths() {
+        HistoryRegister::new(128).load_words(&[0]);
     }
 
     #[test]

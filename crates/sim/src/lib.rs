@@ -13,10 +13,15 @@
 //! * [`runner`] — runs a TAGE predictor plus the storage-free confidence
 //!   classifier over one trace or source and produces a per-class
 //!   [`tage_confidence::ConfidenceReport`];
+//! * [`multilane`] — the lane-batched lockstep engine: K independent
+//!   streams advanced one branch per cycle with the per-branch loop
+//!   restructured into per-component passes (index/tag hashing, prefetch,
+//!   probe, train), bit-identical to the scalar path;
 //! * [`suite`] — runs whole workload suites (the CBP-1-like and CBP-2-like
 //!   20-trace sets, or file-backed
-//!   [`tage_traces::source::SourceSuite`]s) in parallel, one worker per
-//!   source stream, and aggregates the results deterministically;
+//!   [`tage_traces::source::SourceSuite`]s) in parallel — sources sharded
+//!   across workers, lane-batched within each worker — and aggregates the
+//!   results deterministically;
 //! * [`segment`] — history-warmed segment sharding: splits one very long
 //!   source into N ranges, replays a warmup prefix per range with statistics
 //!   suppressed, and merges deterministically — parallelism *within* a
@@ -68,6 +73,7 @@ pub mod engine;
 pub mod experiment;
 pub mod gating;
 pub mod interleave;
+pub mod multilane;
 pub mod point;
 pub mod report;
 pub mod runner;
@@ -77,16 +83,19 @@ pub mod smt;
 pub mod suite;
 
 pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
+pub use multilane::{run_specs_multilane, EngineKind, MultilaneEngine, DEFAULT_LANES};
 pub use point::{
-    run_point, run_tage_sweep, PointError, PointResult, PointTraceMetrics, PredictorSpec,
-    SchemeSpec, SweepPoint, TageSweepPoint,
+    run_point, run_point_with_engine, run_tage_sweep, PointError, PointResult, PointTraceMetrics,
+    PredictorSpec, SchemeSpec, SweepPoint, TageSweepPoint,
 };
 pub use runner::{run_source, run_trace, RunOptions, TraceRunResult};
 pub use scenarios::ScenarioSpec;
 pub use segment::{
     run_segmented_source, run_suite_segmented, SegmentOptions, SegmentPlan, SegmentedRunResult,
 };
-pub use suite::{run_suite, run_suite_sources, run_suite_with_parallelism, SuiteRunResult};
+pub use suite::{
+    run_suite, run_suite_sources, run_suite_with_parallelism, SuiteRunResult, SuiteScratch,
+};
 
 /// `amount` per kilo-instruction, 0 on an empty run — the shared
 /// zero-guarded denominator behind every per-KI rate the crate reports.

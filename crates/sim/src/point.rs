@@ -43,6 +43,7 @@ use tage_traces::source::{AnySource, BranchSource, SourceSuite};
 use tage_traces::Suite;
 
 use crate::engine::{BranchEvent, EngineObserver, ReportObserver, SimEngine};
+use crate::multilane::{run_specs_multilane, EngineKind, DEFAULT_LANES};
 use crate::scenarios::energy::RecoveryEnergyObserver;
 use crate::scenarios::interference::{run_shared_predictor, SharedRunResult};
 use crate::scenarios::prefetch::PrefetchObserver;
@@ -398,7 +399,82 @@ impl<P: PredictorCore> EngineObserver<P> for ScenarioObserver {
 /// `branches_per_trace` sizes synthetic sources; file-backed sources yield
 /// whatever their file holds.
 pub fn run_point(point: &SweepPoint, branches_per_trace: usize) -> Result<PointResult, PointError> {
+    run_point_with_engine(point, branches_per_trace, EngineKind::Scalar)
+}
+
+/// [`run_point`] with an explicit engine choice.
+///
+/// [`EngineKind::Multilane`] routes the point through the lane-batched
+/// lockstep engine when the cell is lane-batchable — the paper's TAGE ×
+/// storage-free pairing under the plain baseline scenario, which is every
+/// cell of the default campaign grid. Scenario observers and the
+/// storage-based estimator schemes hook the scalar per-branch loop, so those
+/// cells fall back to the scalar path. Either way the result is
+/// bit-identical; the choice is purely a throughput decision.
+pub fn run_point_with_engine(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+    engine: EngineKind,
+) -> Result<PointResult, PointError> {
     point.validate()?;
+    if engine == EngineKind::Multilane && point_is_lane_batchable(point) {
+        return run_point_multilane(point, branches_per_trace);
+    }
+    run_point_scalar(point, branches_per_trace)
+}
+
+/// Whether [`EngineKind::Multilane`] can actually batch this cell: the
+/// storage-free TAGE pairing with nothing observing individual branches.
+fn point_is_lane_batchable(point: &SweepPoint) -> bool {
+    matches!(point.predictor, PredictorSpec::Tage(_))
+        && point.scheme == SchemeSpec::StorageFree
+        && point.scenario == ScenarioSpec::Baseline
+}
+
+/// The lane-batched point path: all suite sources through one
+/// [`crate::multilane::MultilaneEngine`], [`DEFAULT_LANES`] streams in
+/// lockstep, then the same per-trace/aggregate assembly as the scalar path.
+fn run_point_multilane(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+) -> Result<PointResult, PointError> {
+    let PredictorSpec::Tage(config) = &point.predictor else {
+        unreachable!("point_is_lane_batchable() requires a TAGE predictor")
+    };
+    let results = run_specs_multilane(
+        config,
+        point.suite.sources(),
+        branches_per_trace,
+        &crate::runner::RunOptions::default(),
+        DEFAULT_LANES,
+    )?;
+    let mut aggregate = ConfidenceReport::new();
+    let mut traces = Vec::with_capacity(results.len());
+    for result in results {
+        let mispredictions = result.report.total().mispredictions;
+        aggregate.merge(&result.report);
+        traces.push(PointTraceMetrics {
+            trace_name: result.trace_name,
+            predictions: result.conditional_branches,
+            mispredictions,
+            instructions: result.instructions,
+        });
+    }
+    Ok(PointResult {
+        predictor: point.predictor.label(),
+        scheme: point.scheme.label(),
+        suite: point.suite.name().to_string(),
+        scenario: point.scenario.label().to_string(),
+        traces,
+        aggregate,
+        scenario_metrics: Vec::new(),
+    })
+}
+
+fn run_point_scalar(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+) -> Result<PointResult, PointError> {
     let mut scenario_observer = ScenarioObserver::for_spec(point.scenario);
     let mut traces = Vec::with_capacity(point.suite.sources().len());
     let mut aggregate = ConfidenceReport::new();
@@ -735,6 +811,42 @@ mod tests {
                 assert_eq!(result.predictor, predictor_token);
                 assert_eq!(result.scheme, scheme_token);
             }
+        }
+    }
+
+    #[test]
+    fn multilane_point_is_bit_identical_to_the_scalar_point() {
+        // The batchable cell: TAGE × storage-free × baseline scenario.
+        let point = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        );
+        let scalar = run_point_with_engine(&point, 2_000, EngineKind::Scalar).unwrap();
+        let multilane = run_point_with_engine(&point, 2_000, EngineKind::Multilane).unwrap();
+        assert_eq!(scalar, multilane);
+        assert_eq!(run_point(&point, 2_000).unwrap(), scalar);
+    }
+
+    #[test]
+    fn unbatchable_cells_fall_back_to_the_scalar_path() {
+        // An estimator scheme and a scenario observer both hook the scalar
+        // per-branch loop; Multilane must quietly produce the same result.
+        let estimator = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::parse("self-confidence").unwrap(),
+            &mini(),
+        );
+        let scenario = SweepPoint::over_suite(
+            PredictorSpec::parse("tage-16k").unwrap(),
+            SchemeSpec::StorageFree,
+            &mini(),
+        )
+        .with_scenario(ScenarioSpec::RecoveryEnergy);
+        for point in [estimator, scenario] {
+            let scalar = run_point_with_engine(&point, 1_000, EngineKind::Scalar).unwrap();
+            let multilane = run_point_with_engine(&point, 1_000, EngineKind::Multilane).unwrap();
+            assert_eq!(scalar, multilane);
         }
     }
 

@@ -13,14 +13,16 @@
 //! very long source, see [`crate::segment`].
 
 use core::fmt;
+use std::ops::Range;
 
 use tage::TageConfig;
 use tage_confidence::ConfidenceReport;
 use tage_traces::format::FormatError;
-use tage_traces::source::{SourceSpec, SourceSuite};
+use tage_traces::source::{AnySource, BranchSource, SourceSpec, SourceSuite};
 use tage_traces::Suite;
 
 use crate::engine::{default_parallelism, par_map};
+use crate::multilane::{run_specs_multilane, MultilaneEngine, DEFAULT_LANES};
 use crate::runner::{run_source, RunOptions, TraceRunResult};
 
 /// The outcome of running one predictor configuration over every trace of a
@@ -137,13 +139,36 @@ pub fn run_suite_sources(
     options: &RunOptions,
     workers: usize,
 ) -> Result<SuiteRunResult, FormatError> {
-    let outcomes = par_map(suite.sources(), workers, |spec: &SourceSpec| {
-        let mut source = spec.open(conditional_branches)?;
-        run_source(config, &mut source, options)
-    });
-    let mut traces = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        traces.push(outcome?);
+    let specs = suite.sources();
+    let mut traces = Vec::with_capacity(specs.len());
+    if options.adaptive_target_mkp.is_some() {
+        // The adaptive controller steers one predictor mid-run and has no
+        // batched equivalent: shard scalar runs, one worker per source.
+        let outcomes = par_map(specs, workers, |spec: &SourceSpec| {
+            let mut source = spec.open(conditional_branches)?;
+            run_source(config, &mut source, options)
+        });
+        for outcome in outcomes {
+            traces.push(outcome?);
+        }
+    } else {
+        // Sources shard across workers in contiguous chunks; each worker
+        // lane-batches its chunk through one multilane engine. Both levels
+        // are bit-identical to a serial scalar run, so any worker count
+        // (and any lane count) produces the same result.
+        let chunks = chunk_ranges(specs.len(), workers);
+        let outcomes = par_map(&chunks, workers, |range: &Range<usize>| {
+            run_specs_multilane(
+                config,
+                &specs[range.clone()],
+                conditional_branches,
+                options,
+                DEFAULT_LANES,
+            )
+        });
+        for outcome in outcomes {
+            traces.extend(outcome?);
+        }
     }
     let mut aggregate = ConfidenceReport::new();
     for result in &traces {
@@ -155,6 +180,101 @@ pub fn run_suite_sources(
         traces,
         aggregate,
     })
+}
+
+/// Splits `len` items into at most `workers` contiguous, balanced ranges —
+/// the per-worker shards of a multilane suite run. Chunk order equals suite
+/// order, so flattening per-chunk results preserves per-source order.
+fn chunk_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let chunks = workers.max(1).min(len);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// A reusable, allocation-free suite runner: sources opened once, one
+/// persistent [`MultilaneEngine`], and a [`SuiteRunResult`] whose buffers
+/// are refilled in place on every [`SuiteScratch::run`].
+///
+/// After the first run, a rerun performs **zero heap allocations**: sources
+/// rewind in place, lane predictors reset in place, and the per-trace
+/// results reuse their string capacity. The throughput bin's
+/// `suite_parallel` measurement gates on exactly this.
+#[derive(Debug)]
+pub struct SuiteScratch {
+    engine: MultilaneEngine,
+    sources: Vec<AnySource>,
+    result: SuiteRunResult,
+}
+
+impl SuiteScratch {
+    /// Opens every source of `suite` and prepares the persistent engine and
+    /// result buffers, running `lanes` streams in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FormatError`] opening any source.
+    pub fn new(
+        config: &TageConfig,
+        suite: &SourceSuite,
+        conditional_branches: usize,
+        options: &RunOptions,
+        lanes: usize,
+    ) -> Result<Self, FormatError> {
+        let mut sources = Vec::with_capacity(suite.sources().len());
+        for spec in suite.sources() {
+            sources.push(spec.open(conditional_branches)?);
+        }
+        let traces = (0..sources.len())
+            .map(|_| MultilaneEngine::placeholder_result())
+            .collect();
+        Ok(SuiteScratch {
+            engine: MultilaneEngine::new(config.clone(), options, lanes),
+            sources,
+            result: SuiteRunResult {
+                suite_name: suite.name().to_string(),
+                config_name: config.name.clone(),
+                traces,
+                aggregate: ConfidenceReport::new(),
+            },
+        })
+    }
+
+    /// Rewinds every source and reruns the whole suite, refilling the
+    /// retained result in place — bit-identical to [`run_suite_sources`]
+    /// with any worker count, and allocation-free after the first run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed [`FormatError`] any source reported while
+    /// rewinding or streaming.
+    pub fn run(&mut self) -> Result<&SuiteRunResult, FormatError> {
+        for source in &mut self.sources {
+            source.reset()?;
+        }
+        self.engine
+            .run_into(&mut self.sources, &mut self.result.traces)?;
+        self.result.aggregate = ConfidenceReport::new();
+        for trace in &self.result.traces {
+            self.result.aggregate.merge(&trace.report);
+        }
+        Ok(&self.result)
+    }
+
+    /// The result of the most recent [`SuiteScratch::run`].
+    pub fn result(&self) -> &SuiteRunResult {
+        &self.result
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +362,54 @@ mod tests {
         let fp = result.trace("FP-1").unwrap().mpki();
         let serv = result.trace("SERV-2").unwrap().mpki();
         assert!(serv > fp, "server {serv} MPKI should exceed FP {fp} MPKI");
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_in_order() {
+        for (len, workers) in [(0, 4), (1, 4), (5, 2), (8, 3), (20, 16), (3, 1), (7, 100)] {
+            let ranges = chunk_ranges(len, workers);
+            assert!(
+                ranges.len() <= workers.max(1),
+                "len {len} workers {workers}"
+            );
+            let flat: Vec<usize> = ranges.iter().flat_map(|r| r.clone()).collect();
+            assert_eq!(
+                flat,
+                (0..len).collect::<Vec<_>>(),
+                "len {len} workers {workers}"
+            );
+            if len > 0 {
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn suite_scratch_reruns_are_bit_identical_and_match_the_suite_runner() {
+        let suite = tiny_suite();
+        let config = TageConfig::small();
+        let options = RunOptions::default();
+        let reference = run_suite(&config, &suite, 2_000, &options);
+        let sources = SourceSuite::from_suite(&suite);
+        let mut scratch = SuiteScratch::new(&config, &sources, 2_000, &options, 2).unwrap();
+        let first = scratch.run().unwrap().clone();
+        assert_eq!(first, reference);
+        let second = scratch.run().unwrap();
+        assert_eq!(*second, reference, "reruns must be bit-identical");
+        assert_eq!(*scratch.result(), reference);
+    }
+
+    #[test]
+    fn adaptive_suite_runs_still_shard_and_aggregate() {
+        let suite = tiny_suite();
+        let config = TageConfig::small();
+        let options = RunOptions::adaptive();
+        let serial = run_suite_with_parallelism(&config, &suite, 2_000, &options, 1);
+        let parallel = run_suite_with_parallelism(&config, &suite, 2_000, &options, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.traces.len(), 2);
     }
 
     #[test]

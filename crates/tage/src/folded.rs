@@ -50,6 +50,19 @@ impl FoldedHistory {
         self.value
     }
 
+    /// Overwrites the folded value — the writeback half of the lane-batched
+    /// engine, which maintains the fold out-of-place in transposed arrays
+    /// and stores it back when a lane leaves the group.
+    ///
+    /// `value` must be a value this fold could have produced (i.e. fit in
+    /// `compressed_length` bits), which holds for anything read back from
+    /// [`FoldedHistory::value`] or from the masked batched update.
+    #[inline]
+    pub(crate) fn set_value(&mut self, value: u64) {
+        debug_assert_eq!(value >> self.compressed_length, 0);
+        self.value = value;
+    }
+
     /// The number of history bits folded.
     #[inline]
     pub fn original_length(&self) -> usize {

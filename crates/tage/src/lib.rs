@@ -61,7 +61,10 @@
 //! assert!(prediction.taken);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the software-prefetch hint in `tables`
+// carries the crate's only `#[allow(unsafe_code)]` (a prefetch cannot fault
+// and has no architectural effect).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -69,6 +72,7 @@ pub mod automaton;
 pub mod config;
 pub mod entry;
 pub mod folded;
+pub mod lanes;
 pub mod prediction;
 pub mod predictor;
 pub mod reference;
@@ -76,6 +80,7 @@ pub mod tables;
 
 pub use automaton::CounterAutomaton;
 pub use config::{TageConfig, TageConfigBuilder};
+pub use lanes::LaneGroup;
 pub use prediction::{Provider, TableLookup, TableLookups, TagePrediction, MAX_TAGGED_TABLES};
 pub use predictor::TagePredictor;
 pub use reference::ReferenceTagePredictor;

@@ -42,6 +42,10 @@ pub struct TableLookup {
 pub struct TableLookups {
     entries: [TableLookup; MAX_TAGGED_TABLES],
     len: u8,
+    /// Bit `t` set iff live slot `t` hit — maintained alongside the entries
+    /// so provider selection reads one word instead of re-scanning the
+    /// per-table hit flags. Bits at or above `len` are always zero.
+    hits: u16,
 }
 
 impl TableLookups {
@@ -50,6 +54,7 @@ impl TableLookups {
         TableLookups {
             entries: [TableLookup::default(); MAX_TAGGED_TABLES],
             len: 0,
+            hits: 0,
         }
     }
 
@@ -64,6 +69,7 @@ impl TableLookups {
         TableLookups {
             entries: [TableLookup::default(); MAX_TAGGED_TABLES],
             len: tables as u8,
+            hits: 0,
         }
     }
 
@@ -75,7 +81,43 @@ impl TableLookups {
     #[inline]
     pub fn push(&mut self, lookup: TableLookup) {
         self.entries[usize::from(self.len)] = lookup;
+        self.hits |= u16::from(lookup.hit) << self.len;
         self.len += 1;
+    }
+
+    /// Empties the scratch for in-place reuse without rewriting the dead
+    /// slots (equality and every accessor only look at the live prefix, so
+    /// stale entries beyond the new pushes are unobservable).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.hits = 0;
+    }
+
+    /// Declares the first `n` slots live with hit mask `hits`, for batched
+    /// writers that fill entries out of push order via
+    /// [`TableLookups::entry_mut`]. `hits` must agree with the per-entry
+    /// flags — bit `t` set iff slot `t` hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_TAGGED_TABLES`] or `hits` has bits at or
+    /// above `n`.
+    #[inline]
+    pub(crate) fn set_live(&mut self, n: usize, hits: u16) {
+        assert!(n <= MAX_TAGGED_TABLES);
+        debug_assert_eq!(hits >> n, 0, "hit mask flags a dead slot");
+        self.len = n as u8;
+        self.hits = hits;
+    }
+
+    /// Direct mutable access to slot `t` of the fixed scratch (live or
+    /// not) — the component-major assembly path of the lane-batched engine
+    /// writes one table rank across many predictions, then declares the
+    /// prefix live with [`TableLookups::set_live`].
+    #[inline]
+    pub(crate) fn entry_mut(&mut self, t: usize) -> &mut TableLookup {
+        &mut self.entries[t]
     }
 
     /// Number of tagged tables observed by this prediction.
@@ -106,6 +148,12 @@ impl TableLookups {
     #[inline]
     pub fn hit(&self, t: usize) -> bool {
         self.as_slice()[t].hit
+    }
+
+    /// The live hit flags as a bitmask: bit `t` set iff table rank `t` hit.
+    #[inline]
+    pub fn hit_mask(&self) -> u16 {
+        self.hits
     }
 
     /// The live lookups as a slice.
@@ -233,6 +281,27 @@ pub struct TagePrediction {
     pub bimodal_index: usize,
     /// The value of the bimodal counter at prediction time.
     pub bimodal_counter: i8,
+}
+
+impl Default for TagePrediction {
+    /// A cold placeholder (bimodal-provided, not taken, no lookups) — the
+    /// slot value batched engines pre-size their output buffers with before
+    /// resolving in place.
+    fn default() -> Self {
+        TagePrediction {
+            taken: false,
+            provider: Provider::Bimodal,
+            provider_counter: 0,
+            provider_magnitude: 0,
+            provider_weak: false,
+            alternate_taken: false,
+            alternate_provider: Provider::Bimodal,
+            used_alternate: false,
+            tables: TableLookups::new(),
+            bimodal_index: 0,
+            bimodal_counter: 0,
+        }
+    }
 }
 
 impl TagePrediction {

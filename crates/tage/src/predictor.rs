@@ -51,19 +51,23 @@ pub struct TageStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TagePredictor {
-    config: TageConfig,
-    history_lengths: Vec<usize>,
-    bimodal: Vec<SignedCounter>,
-    tables: TageTables,
-    history: HistoryRegister,
-    index_folds: Vec<FoldedHistory>,
-    tag_folds_a: Vec<FoldedHistory>,
-    tag_folds_b: Vec<FoldedHistory>,
-    use_alt_on_na: SignedCounter,
-    rng: SplitMix64,
-    tick: u64,
-    reset_phase: u8,
-    stats: TageStats,
+    pub(crate) config: TageConfig,
+    pub(crate) history_lengths: Vec<usize>,
+    pub(crate) bimodal: Vec<SignedCounter>,
+    pub(crate) tables: TageTables,
+    pub(crate) history: HistoryRegister,
+    pub(crate) index_folds: Vec<FoldedHistory>,
+    pub(crate) tag_folds_a: Vec<FoldedHistory>,
+    pub(crate) tag_folds_b: Vec<FoldedHistory>,
+    pub(crate) use_alt_on_na: SignedCounter,
+    pub(crate) rng: SplitMix64,
+    /// Updates left until the next periodic useful-counter reset — a
+    /// countdown from `config.useful_reset_period`, not an absolute tick:
+    /// testing a decrement for zero avoids the 64-bit remainder the
+    /// reference predictor pays on every update.
+    pub(crate) until_useful_reset: u64,
+    pub(crate) reset_phase: u8,
+    pub(crate) stats: TageStats,
 }
 
 impl TagePredictor {
@@ -110,7 +114,7 @@ impl TagePredictor {
             tag_folds_b,
             use_alt_on_na,
             rng,
-            tick: 0,
+            until_useful_reset: config.useful_reset_period,
             reset_phase: 0,
             stats: TageStats::default(),
             config,
@@ -160,7 +164,6 @@ impl TagePredictor {
     /// allocation-free: every per-table observable lands in the returned
     /// prediction's fixed-size [`TableLookups`] scratch.
     pub fn predict(&self, pc: u64) -> TagePrediction {
-        let num_tables = self.config.num_tagged_tables;
         let mut lookups = TableLookups::new();
         // Zipping the folded-history registers avoids three bounds checks
         // per table; the arithmetic is exactly `table_index`/`table_tag`.
@@ -184,15 +187,51 @@ impl TagePredictor {
                 hit: self.tables.tag(t, idx) == tag,
             });
         }
+        self.resolve(pc, lookups)
+    }
 
+    /// Resolves a completed set of per-table probes into the final
+    /// prediction: provider/alternate selection, `USE_ALT_ON_NA`, and the
+    /// full observable [`TagePrediction`].
+    ///
+    /// Shared verbatim by the scalar [`TagePredictor::predict`] and the
+    /// lane-batched [`crate::lanes::LaneGroup`] path, so the two cannot
+    /// drift apart.
+    pub(crate) fn resolve(&self, pc: u64, lookups: TableLookups) -> TagePrediction {
+        let mut out = TagePrediction {
+            tables: lookups,
+            ..TagePrediction::default()
+        };
+        self.resolve_into(pc, &mut out);
+        out
+    }
+
+    /// The in-place core of [`TagePredictor::resolve`]: reads the completed
+    /// probes from `out.tables` and writes every other field of `out`.
+    ///
+    /// Taking the lookups through the output slot lets the lane-batched
+    /// path assemble probes directly in its persistent per-lane buffers, so
+    /// the ~150-byte prediction is written exactly once per branch instead
+    /// of being copied through stack temporaries.
+    pub(crate) fn resolve_into(&self, pc: u64, out: &mut TagePrediction) {
+        let num_tables = self.config.num_tagged_tables;
+        let lookups = &out.tables;
         let bimodal_index = self.bimodal_index(pc);
         let bimodal_counter = self.bimodal[bimodal_index];
         let bimodal_taken = bimodal_counter.predict_taken();
 
+        // Selecting the provider and alternate from the maintained hit
+        // bitmask through `leading_zeros` is branch-free, where the natural
+        // backward `find` scans cost one data-dependent (and hence
+        // frequently mispredicted) branch each on the hot path.
+        let hit_mask = u32::from(lookups.hit_mask());
+        debug_assert_eq!(usize::from(lookups.hit_mask() >> num_tables), 0);
         // Provider: hitting component with the longest history.
-        let provider_table = (0..num_tables).rev().find(|&t| lookups.hit(t));
+        let provider_table = hit_mask.checked_ilog2().map(|t| t as usize);
         // Alternate: next hitting component, else the bimodal prediction.
-        let alternate_table = provider_table.and_then(|p| (0..p).rev().find(|&t| lookups.hit(t)));
+        let alternate_table = provider_table
+            .and_then(|p| (hit_mask & !(1u32 << p)).checked_ilog2())
+            .map(|t| t as usize);
 
         let (alternate_taken, alternate_provider) = match alternate_table {
             Some(t) => {
@@ -210,39 +249,32 @@ impl TagePredictor {
                 // Use the alternate prediction for (likely newly allocated)
                 // weak entries when USE_ALT_ON_NA is non-negative.
                 let use_alt = weak && self.use_alt_on_na.value() >= 0;
-                let taken = if use_alt {
+                out.taken = if use_alt {
                     alternate_taken
                 } else {
                     provider_taken
                 };
-                TagePrediction {
-                    taken,
-                    provider: Provider::Tagged { table: t },
-                    provider_counter: ctr.value(),
-                    provider_magnitude: ctr.centered_magnitude(),
-                    provider_weak: weak,
-                    alternate_taken,
-                    alternate_provider,
-                    used_alternate: use_alt,
-                    tables: lookups,
-                    bimodal_index,
-                    bimodal_counter: bimodal_counter.value(),
-                }
+                out.provider = Provider::Tagged { table: t };
+                out.provider_counter = ctr.value();
+                out.provider_magnitude = ctr.centered_magnitude();
+                out.provider_weak = weak;
+                out.alternate_taken = alternate_taken;
+                out.alternate_provider = alternate_provider;
+                out.used_alternate = use_alt;
             }
-            None => TagePrediction {
-                taken: bimodal_taken,
-                provider: Provider::Bimodal,
-                provider_counter: bimodal_counter.value(),
-                provider_magnitude: bimodal_counter.centered_magnitude(),
-                provider_weak: bimodal_counter.is_weak(),
-                alternate_taken: bimodal_taken,
-                alternate_provider: Provider::Bimodal,
-                used_alternate: false,
-                tables: lookups,
-                bimodal_index,
-                bimodal_counter: bimodal_counter.value(),
-            },
+            None => {
+                out.taken = bimodal_taken;
+                out.provider = Provider::Bimodal;
+                out.provider_counter = bimodal_counter.value();
+                out.provider_magnitude = bimodal_counter.centered_magnitude();
+                out.provider_weak = bimodal_counter.is_weak();
+                out.alternate_taken = bimodal_taken;
+                out.alternate_provider = Provider::Bimodal;
+                out.used_alternate = false;
+            }
         }
+        out.bimodal_index = bimodal_index;
+        out.bimodal_counter = bimodal_counter.value();
     }
 
     /// Updates the predictor with the resolved outcome of the branch at
@@ -254,14 +286,25 @@ impl TagePredictor {
             prediction.bimodal_index,
             "the prediction passed to update was computed for a different branch"
         );
+        self.update_counters(taken, prediction);
+
+        // 4. Advance the global history and the folded histories.
+        self.push_history(taken);
+    }
+
+    /// Steps 1–3 of [`TagePredictor::update`] (tick/graceful reset, provider
+    /// counter update, allocation) without the history advance, so batched
+    /// callers can sequence counter updates and history pushes separately.
+    pub(crate) fn update_counters(&mut self, taken: bool, prediction: &TagePrediction) {
         self.stats.updates += 1;
         if prediction.taken != taken {
             self.stats.mispredictions += 1;
         }
 
         // 1. Periodic graceful reset of the useful counters.
-        self.tick += 1;
-        if self.tick.is_multiple_of(self.config.useful_reset_period) {
+        self.until_useful_reset -= 1;
+        if self.until_useful_reset == 0 {
+            self.until_useful_reset = self.config.useful_reset_period;
             self.tables.clear_useful_bit(self.reset_phase);
             self.reset_phase = (self.reset_phase + 1) % self.config.useful_bits;
             self.stats.useful_resets += 1;
@@ -271,7 +314,10 @@ impl TagePredictor {
         match prediction.provider {
             Provider::Tagged { table } => {
                 let idx = prediction.tables.index(table);
-                let provider_taken = self.tables.ctr(table, idx).predict_taken();
+                // The provider counter cannot have moved since the matching
+                // predict, so its recorded value stands in for a (random,
+                // usually L1-missing) reload of the table entry.
+                let provider_taken = prediction.provider_counter >= 0;
 
                 // USE_ALT_ON_NA management: when the provider entry is
                 // weak (newly allocated) and the alternate prediction
@@ -319,9 +365,6 @@ impl TagePredictor {
                 self.allocate(first_candidate, taken, prediction);
             }
         }
-
-        // 4. Advance the global history and the folded histories.
-        self.push_history(taken);
     }
 
     /// Allocates at most one entry in a table with rank `first_candidate` or
@@ -363,7 +406,7 @@ impl TagePredictor {
 
     /// Pushes the resolved outcome into the global history and keeps every
     /// folded register consistent.
-    fn push_history(&mut self, taken: bool) {
+    pub(crate) fn push_history(&mut self, taken: bool) {
         let folds = self
             .index_folds
             .iter_mut()
@@ -382,9 +425,30 @@ impl TagePredictor {
 
     /// Resets all dynamic state (tables, histories, counters, statistics)
     /// while keeping the configuration.
+    ///
+    /// The reset happens in place without heap allocation, and restores the
+    /// exact state of a freshly constructed predictor (pinned by tests), so
+    /// a multilane runner can recycle a predictor for the next stream on a
+    /// lane without perturbing allocation counts.
     pub fn reset(&mut self) {
-        let config = self.config.clone();
-        *self = TagePredictor::new(config);
+        self.tables.clear();
+        self.bimodal
+            .fill(SignedCounter::new(self.config.bimodal_counter_bits));
+        self.history.clear();
+        for fold in &mut self.index_folds {
+            fold.clear();
+        }
+        for fold in &mut self.tag_folds_a {
+            fold.clear();
+        }
+        for fold in &mut self.tag_folds_b {
+            fold.clear();
+        }
+        self.use_alt_on_na = SignedCounter::new(self.config.use_alt_on_na_bits);
+        self.rng = SplitMix64::new(self.config.rng_seed);
+        self.until_useful_reset = self.config.useful_reset_period;
+        self.reset_phase = 0;
+        self.stats = TageStats::default();
     }
 }
 
@@ -555,6 +619,35 @@ mod tests {
         let outcomes: Vec<bool> = (0..200).map(|i| i % 2 == 0).collect();
         run_branch(&mut p, 0x400600, &outcomes);
         assert!(p.stats().useful_resets >= 3);
+    }
+
+    #[test]
+    fn in_place_reset_is_bit_identical_to_a_fresh_predictor() {
+        let config = TageConfig::small();
+        let mut reset = TagePredictor::new(config.clone());
+        let mut rng = SplitMix64::new(77);
+        for i in 0..5_000u64 {
+            let pc = 0x400000 + (i % 97) * 8;
+            let taken = rng.chance(0.6);
+            let pred = reset.predict(pc);
+            reset.update(pc, taken, &pred);
+        }
+        reset.reset();
+        let mut fresh = TagePredictor::new(config);
+        assert_eq!(reset.stats(), fresh.stats());
+        // Drive both through the same stream: every observable prediction
+        // (tables, counters, RNG-driven allocations) must stay identical.
+        let mut rng = SplitMix64::new(99);
+        for i in 0..5_000u64 {
+            let pc = 0x500000 + (i % 131) * 4;
+            let taken = rng.chance(0.4);
+            let a = reset.predict(pc);
+            let b = fresh.predict(pc);
+            assert_eq!(a, b, "diverged at step {i}");
+            reset.update(pc, taken, &a);
+            fresh.update(pc, taken, &b);
+        }
+        assert_eq!(reset.stats(), fresh.stats());
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct TageTables {
     /// table `t` is `(t << index_bits) | idx`.
     index_bits: u32,
     num_tables: usize,
+    /// Width of the prediction counters (kept for in-place [`TageTables::clear`]).
+    counter_bits: u8,
+    /// Width of the useful counters (kept for in-place [`TageTables::clear`]).
+    useful_bits: u8,
 }
 
 impl TageTables {
@@ -50,7 +54,18 @@ impl TageTables {
             useful: vec![UnsignedCounter::new(useful_bits); total].into_boxed_slice(),
             index_bits,
             num_tables,
+            counter_bits,
+            useful_bits,
         }
+    }
+
+    /// Restores every entry to the never-allocated state in place, without
+    /// touching the heap — bit-for-bit identical to a freshly constructed
+    /// [`TageTables`] of the same shape.
+    pub fn clear(&mut self) {
+        self.tags.fill(0);
+        self.ctrs.fill(SignedCounter::new(self.counter_bits));
+        self.useful.fill(UnsignedCounter::new(self.useful_bits));
     }
 
     /// Number of tagged tables.
@@ -77,6 +92,26 @@ impl TageTables {
     #[inline]
     pub fn tag(&self, t: usize, idx: usize) -> u16 {
         self.tags[self.flat(t, idx)]
+    }
+
+    /// [`TageTables::tag`] without the flat-array bounds check, for the
+    /// lane-batched probe loop where it is the only branch left.
+    ///
+    /// # Safety contract (checked in debug builds)
+    ///
+    /// `t` must be below [`TageTables::num_tables`] and `idx` below
+    /// [`TageTables::entries_per_table`]; the probe loop guarantees both by
+    /// construction (`t` ranges over the table count and `idx` is hashed
+    /// through the index mask).
+    #[inline]
+    #[allow(unsafe_code)]
+    pub(crate) fn tag_unchecked(&self, t: usize, idx: usize) -> u16 {
+        let flat = self.flat(t, idx);
+        debug_assert!(flat < self.tags.len());
+        // SAFETY: `flat` interleaves a table rank below `num_tables` with a
+        // masked index below `entries_per_table`, and `tags` was sized to
+        // exactly `num_tables << index_bits` entries at construction.
+        unsafe { *self.tags.get_unchecked(flat) }
     }
 
     /// The prediction counter of entry `idx` of table `t`.
@@ -131,6 +166,26 @@ impl TageTables {
         }
     }
 
+    /// Hints the CPU to pull the cache line holding the tag of entry `idx`
+    /// of table `t` into cache ahead of the actual probe.
+    ///
+    /// This is a pure scheduling hint: it never changes architectural state,
+    /// and it compiles to nothing on targets without a prefetch intrinsic.
+    #[inline]
+    pub fn prefetch_tag(&self, t: usize, idx: usize) {
+        let flat = self.flat(t, idx);
+        prefetch(core::ptr::addr_of!(self.tags[flat]).cast());
+    }
+
+    /// Hints the CPU to pull the cache lines holding the prediction and
+    /// useful counters of entry `idx` of table `t` ahead of an update.
+    #[inline]
+    pub fn prefetch_counters(&self, t: usize, idx: usize) {
+        let flat = self.flat(t, idx);
+        prefetch(core::ptr::addr_of!(self.ctrs[flat]).cast());
+        prefetch(core::ptr::addr_of!(self.useful[flat]).cast());
+    }
+
     /// A by-value [`TaggedEntry`] view of entry `idx` of table `t`, for
     /// diagnostics and tests (the storage itself never materialises
     /// entries).
@@ -143,6 +198,24 @@ impl TageTables {
         }
     }
 }
+
+/// Issues a read prefetch for the cache line containing `ptr`.
+///
+/// Prefetching cannot fault and never changes architectural state — the
+/// intrinsic is a scheduling hint only — so this helper is the one place
+/// the crate permits `unsafe` (the crate is otherwise `deny(unsafe_code)`).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[inline(always)]
+pub(crate) fn prefetch(ptr: *const u8) {
+    use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+    unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr.cast()) }
+}
+
+/// Portable fallback: no prefetch hint available, do nothing.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub(crate) fn prefetch(_ptr: *const u8) {}
 
 #[cfg(test)]
 mod tests {
@@ -199,6 +272,25 @@ mod tests {
                 assert!(tables.is_allocatable(t, idx), "t={t} idx={idx}");
             }
         }
+    }
+
+    #[test]
+    fn clear_restores_the_freshly_constructed_state() {
+        let mut tables = TageTables::new(3, 4, 3, 2);
+        tables.allocate(1, 7, 0x2b, true);
+        tables.useful_mut(2, 9).increment();
+        tables.ctr_mut(0, 5).increment();
+        tables.clear();
+        assert_eq!(tables, TageTables::new(3, 4, 3, 2));
+    }
+
+    #[test]
+    fn prefetch_hints_are_pure() {
+        let tables = TageTables::new(2, 4, 3, 2);
+        let before = tables.clone();
+        tables.prefetch_tag(1, 3);
+        tables.prefetch_counters(0, 15);
+        assert_eq!(tables, before);
     }
 
     #[test]

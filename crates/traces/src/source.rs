@@ -411,7 +411,6 @@ impl BranchSource for BinaryFileSource {
 pub struct SyntheticSource {
     name: String,
     profile: WorkloadProfile,
-    seed: u64,
     conditional_branches: usize,
     program: SyntheticProgram,
     cursor: StreamCursor,
@@ -435,7 +434,6 @@ impl SyntheticSource {
         SyntheticSource {
             name: name.into(),
             profile,
-            seed,
             conditional_branches,
             program,
             cursor: StreamCursor::new(conditional_branches),
@@ -459,21 +457,13 @@ impl BranchSource for SyntheticSource {
     }
 
     fn next_batch(&mut self, buf: &mut [BranchRecord]) -> Result<usize, FormatError> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match self.cursor.next_record(&mut self.program) {
-                Some(record) => {
-                    buf[filled] = record;
-                    filled += 1;
-                }
-                None => break,
-            }
-        }
-        Ok(filled)
+        Ok(self.cursor.next_batch(&mut self.program, buf))
     }
 
     fn reset(&mut self) -> Result<(), FormatError> {
-        self.program = SyntheticProgram::from_profile(&self.profile, self.seed);
+        // In-place, allocation-free rewind: suite scratch buffers rerun the
+        // same source many times without touching the heap.
+        self.program.rewind();
         self.cursor = StreamCursor::new(self.conditional_branches);
         Ok(())
     }

@@ -231,6 +231,29 @@ impl BranchBehavior {
         }
     }
 
+    /// Restores the behaviour to its just-constructed state (loop and
+    /// pattern positions, phase counters). Stateless models are untouched;
+    /// nothing is allocated.
+    pub fn reset(&mut self) {
+        match self {
+            BranchBehavior::Loop { position, .. } => *position = 0,
+            BranchBehavior::Pattern { position, .. } => *position = 0,
+            BranchBehavior::Phased {
+                even,
+                odd,
+                executed,
+                ..
+            } => {
+                *executed = 0;
+                even.reset();
+                odd.reset();
+            }
+            BranchBehavior::Biased { .. }
+            | BranchBehavior::HistoryParity { .. }
+            | BranchBehavior::PathHash { .. } => {}
+        }
+    }
+
     /// Computes the next outcome of this branch and advances its internal
     /// state.
     pub fn next_outcome(&mut self, history: &GlobalOutcomeHistory, rng: &mut SplitMix64) -> bool {

@@ -22,6 +22,10 @@ struct StaticBranch {
     behavior: BranchBehavior,
     /// Per-branch random stream so that behaviours are independent.
     rng: SplitMix64,
+    /// The stream's construction-time state, kept so
+    /// [`SyntheticProgram::rewind`] can restore it without re-instantiating
+    /// the program.
+    initial_rng: SplitMix64,
 }
 
 /// A routine: a straight-line run of static branches executed together.
@@ -48,6 +52,9 @@ pub struct SyntheticProgram {
     history: GlobalOutcomeHistory,
     current_routine: usize,
     routine_locality: f64,
+    /// The construction seed, kept so [`SyntheticProgram::rewind`] can
+    /// restore the walker stream in place.
+    seed: u64,
 }
 
 impl SyntheticProgram {
@@ -75,10 +82,12 @@ impl SyntheticProgram {
             for b in 0..in_this {
                 let pc = entry_pc + 0x40 + b as u64 * BRANCH_STRIDE;
                 let behavior = sample_behavior(profile, &mut rng);
+                let branch_rng = rng.split();
                 branches.push(StaticBranch {
                     pc,
                     behavior,
-                    rng: rng.split(),
+                    initial_rng: branch_rng.clone(),
+                    rng: branch_rng,
                 });
             }
             // Zipf-like weight: hot routines get most of the execution.
@@ -104,7 +113,25 @@ impl SyntheticProgram {
             history: GlobalOutcomeHistory::new(),
             current_routine: 0,
             routine_locality: profile.routine_locality,
+            seed,
         }
+    }
+
+    /// Rewinds the program to its just-constructed state without touching
+    /// the heap: every static branch's behaviour and random stream, the
+    /// walker stream, the global history and the current routine go back to
+    /// exactly what [`SyntheticProgram::from_profile`] produced, so the next
+    /// walk replays the same record sequence bit for bit.
+    pub fn rewind(&mut self) {
+        for routine in &mut self.routines {
+            for branch in &mut routine.branches {
+                branch.behavior.reset();
+                branch.rng = branch.initial_rng.clone();
+            }
+        }
+        self.walker_rng = SplitMix64::new(self.seed ^ 0x0000_5741_4C4B_4552_u64);
+        self.history = GlobalOutcomeHistory::new();
+        self.current_routine = 0;
     }
 
     /// Number of routines in the program.
@@ -273,6 +300,114 @@ impl StreamCursor {
                 }
             }
         }
+    }
+
+    /// Fills the front of `buf` with the next records of the walk and
+    /// returns how many were written (0 once the target is met).
+    ///
+    /// This produces exactly the records `next_record` would, but fills each
+    /// routine's run of conditional branches in one tight inner loop instead
+    /// of re-dispatching on the walk phase per record — the fast path behind
+    /// [`crate::source::SyntheticSource`].
+    pub fn next_batch(
+        &mut self,
+        program: &mut SyntheticProgram,
+        buf: &mut [BranchRecord],
+    ) -> usize {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.phase {
+                WalkPhase::PickRoutine => {
+                    if self.remaining == 0 {
+                        break;
+                    }
+                    let routine = program.pick_next_routine();
+                    program.current_routine = routine;
+                    let (entry_pc, branch_len) = {
+                        let r = &program.routines[routine];
+                        (r.entry_pc, r.branches.len())
+                    };
+                    self.phase = WalkPhase::Branch {
+                        routine,
+                        entry_pc,
+                        branch_len,
+                        index: 0,
+                    };
+                    if program.emit_calls {
+                        let gap = program.walker_rng.next_gap(program.gap_mean, 255);
+                        buf[filled] = BranchRecord {
+                            pc: entry_pc,
+                            target: entry_pc + 0x40,
+                            taken: true,
+                            kind: BranchKind::Call,
+                            gap,
+                        };
+                        filled += 1;
+                    }
+                }
+                WalkPhase::Branch {
+                    routine,
+                    entry_pc,
+                    branch_len,
+                    index,
+                } => {
+                    if index >= branch_len || self.remaining == 0 {
+                        self.phase = WalkPhase::PickRoutine;
+                        if program.emit_calls {
+                            let gap = program.walker_rng.next_gap(program.gap_mean, 255);
+                            buf[filled] = BranchRecord {
+                                pc: entry_pc + 0x40 + branch_len as u64 * BRANCH_STRIDE,
+                                target: entry_pc,
+                                taken: true,
+                                kind: BranchKind::Return,
+                                gap,
+                            };
+                            filled += 1;
+                        }
+                        continue;
+                    }
+                    // Tight inner loop: emit consecutive branches of this
+                    // routine until the routine, the conditional target or
+                    // the buffer runs out. Identical per-record arithmetic
+                    // and RNG consumption order (gap before outcome) as
+                    // `next_record`.
+                    let run = (branch_len - index)
+                        .min(self.remaining)
+                        .min(buf.len() - filled);
+                    let SyntheticProgram {
+                        routines,
+                        walker_rng,
+                        history,
+                        gap_mean,
+                        ..
+                    } = program;
+                    let branches = &mut routines[routine].branches[index..index + run];
+                    for (slot, branch) in buf[filled..filled + run].iter_mut().zip(branches) {
+                        let gap = walker_rng.next_gap(*gap_mean, 255);
+                        let taken = branch.behavior.next_outcome(history, &mut branch.rng);
+                        history.push(taken);
+                        let pc = branch.pc;
+                        let target = if taken { pc + 0x80 } else { pc + 4 };
+                        *slot = BranchRecord {
+                            pc,
+                            target,
+                            taken,
+                            kind: BranchKind::Conditional,
+                            gap,
+                        };
+                    }
+                    filled += run;
+                    self.remaining -= run;
+                    self.phase = WalkPhase::Branch {
+                        routine,
+                        entry_pc,
+                        branch_len,
+                        index: index + run,
+                    };
+                }
+            }
+        }
+        filled
     }
 }
 
@@ -455,6 +590,51 @@ mod tests {
                 assert_eq!(streamed, expected.records(), "emit_calls = {emit_calls}");
                 assert_eq!(cursor.remaining_conditional(), 0);
             }
+        }
+    }
+
+    #[test]
+    fn batched_cursor_matches_one_shot_generation_at_any_chunking() {
+        for mut profile in [WorkloadProfile::integer_like(), WorkloadProfile::fp_like()] {
+            for emit_calls in [false, true] {
+                profile.emit_calls = emit_calls;
+                let mut reference = SyntheticProgram::from_profile(&profile, 78);
+                let mut expected = Trace::new("ref");
+                reference.generate(2_500, &mut expected);
+
+                let mut program = SyntheticProgram::from_profile(&profile, 78);
+                let mut cursor = StreamCursor::new(2_500);
+                let mut streamed = Vec::new();
+                let mut buf = [BranchRecord::default(); 97];
+                let mut chunk = 1usize;
+                loop {
+                    let n = cursor.next_batch(&mut program, &mut buf[..chunk]);
+                    if n == 0 {
+                        break;
+                    }
+                    streamed.extend_from_slice(&buf[..n]);
+                    chunk = (chunk * 5 + 2) % 97 + 1;
+                }
+                assert_eq!(streamed, expected.records(), "emit_calls = {emit_calls}");
+                assert_eq!(cursor.remaining_conditional(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rewind_replays_the_exact_record_sequence() {
+        for mut profile in [
+            WorkloadProfile::integer_like(),
+            WorkloadProfile::server_like(),
+        ] {
+            profile.emit_calls = true;
+            let mut program = SyntheticProgram::from_profile(&profile, 91);
+            let mut first = Trace::new("first");
+            program.generate(3_000, &mut first);
+            program.rewind();
+            let mut second = Trace::new("second");
+            program.generate(3_000, &mut second);
+            assert_eq!(first.records(), second.records());
         }
     }
 

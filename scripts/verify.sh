@@ -34,6 +34,20 @@ cargo run --release --bin tage-bench -- --branches 10000 --label verify \
   --out target/campaign-smoke.json
 cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
+echo "== engine parity smoke (multilane vs scalar) =="
+# One storage-free grid cell through each engine; the timing-free schema-2
+# reports must byte-match — the multilane engine's bit-parity contract,
+# observed end to end at the report level (docs/BENCHMARKS.md).
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --branches 10000 --label verify-engine --engine multilane --no-timing \
+  --out target/campaign-multilane.json
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --branches 10000 --label verify-engine --engine scalar --no-timing \
+  --out target/campaign-scalar.json
+cmp target/campaign-multilane.json target/campaign-scalar.json
+
 echo "== scenario smoke (tage-bench --scenario) =="
 # One cell per scenario kind (recovery-energy, shared-predictor,
 # prefetch-throttle) and the schema-2 validation of the scenario_metrics
