@@ -10,6 +10,7 @@
 //!            [--scenario LIST] [--trace-dir DIR]... [--branches N]
 //!            [--workers N] [--engine multilane|scalar] [--label STR]
 //!            [--out PATH] [--no-timing] [--list]
+//!            [--checkpoint DIR | --resume DIR] [--max-cells N]
 //! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! ```
@@ -31,13 +32,23 @@
 //! engine; `scalar` forces the one-stream-at-a-time path everywhere. The
 //! two are bit-identical — timing-free reports byte-match across engines
 //! (CI verifies this) — so the flag is purely a throughput control.
+//!
+//! `--checkpoint DIR` persists every finished cell to DIR as it completes,
+//! restoring already-finished cells on a re-run; `--resume DIR` is the same
+//! but requires DIR to exist (catching typos on the resume leg). A resumed
+//! campaign's timing-free report is byte-identical to an uninterrupted
+//! one's. `--max-cells N` caps how many cells one run executes; when cells
+//! remain the run prints progress and exits 0 **without** writing `--out`
+//! (the CI campaign-smoke job uses this to rehearse a mid-grid kill).
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use tage_bench::campaign::{
-    run_campaign_with_engine, validate_report, CampaignSpec, SCHEMA_VERSION,
+    run_campaign_checkpointed, run_campaign_with_engine, validate_report, CampaignReport,
+    CampaignSpec, SCHEMA_VERSION,
 };
+use tage_bench::checkpoint::CampaignCheckpoint;
 use tage_bench::cli;
 use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
@@ -72,6 +83,9 @@ struct Options {
     list: bool,
     check: Option<String>,
     export_traces: Option<String>,
+    checkpoint: Option<String>,
+    resume: bool,
+    max_cells: Option<usize>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -91,6 +105,9 @@ fn parse_options() -> Result<Options, String> {
         list: false,
         check: None,
         export_traces: None,
+        checkpoint: None,
+        resume: false,
+        max_cells: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,12 +152,26 @@ fn parse_options() -> Result<Options, String> {
             "--export-traces" => {
                 options.export_traces = Some(cli::require_value(&mut args, "--export-traces")?)
             }
+            "--checkpoint" => {
+                options.checkpoint = Some(cli::require_value(&mut args, "--checkpoint")?)
+            }
+            "--resume" => {
+                options.checkpoint = Some(cli::require_value(&mut args, "--resume")?);
+                options.resume = true;
+            }
+            "--max-cells" => {
+                let value = cli::require_value(&mut args, "--max-cells")?;
+                options.max_cells = Some(cli::parse_count("--max-cells", &value)?);
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other} (see --list or docs/CAMPAIGNS.md)"
                 ))
             }
         }
+    }
+    if options.max_cells.is_some() && options.checkpoint.is_none() {
+        return Err("--max-cells requires --checkpoint or --resume".to_string());
     }
     Ok(options)
 }
@@ -258,6 +289,45 @@ fn check_report(path: &str) -> ExitCode {
     }
 }
 
+/// Runs the campaign, through a checkpoint when one was requested. Returns
+/// `Ok(None)` when a `--max-cells` cap left cells unexecuted — progress is
+/// checkpointed but no finished report exists yet.
+fn run_checkpointable_campaign(
+    spec: &CampaignSpec,
+    options: &Options,
+) -> Result<Option<CampaignReport>, String> {
+    let Some(dir) = &options.checkpoint else {
+        return run_campaign_with_engine(spec, options.workers, options.engine)
+            .map(Some)
+            .map_err(|e| e.to_string());
+    };
+    if options.resume && !Path::new(dir).is_dir() {
+        return Err(format!("--resume {dir}: no such checkpoint directory"));
+    }
+    let checkpoint = CampaignCheckpoint::new(dir)
+        .map_err(|e| format!("--checkpoint {dir}: cannot create directory: {e}"))?;
+    let run = run_campaign_checkpointed(
+        spec,
+        options.workers,
+        options.engine,
+        &checkpoint,
+        options.max_cells,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "checkpoint {dir}: {} cells restored, {} executed, {} remaining",
+        run.restored, run.executed, run.remaining
+    );
+    if run.remaining > 0 {
+        println!(
+            "stopping with {} cells unexecuted (--max-cells); resume with --resume {dir}",
+            run.remaining
+        );
+        return Ok(None);
+    }
+    Ok(Some(run.report))
+}
+
 fn main() -> ExitCode {
     let options = match parse_options() {
         Ok(options) => options,
@@ -363,8 +433,11 @@ fn main() -> ExitCode {
             EngineKind::Scalar => "scalar",
         },
     );
-    let report = match run_campaign_with_engine(&spec, options.workers, options.engine) {
-        Ok(report) => report,
+    let report = match run_checkpointable_campaign(&spec, &options) {
+        Ok(Some(report)) => report,
+        // A --max-cells run stopped with cells remaining: progress is
+        // checkpointed, the (partial) report is deliberately not written.
+        Ok(None) => return ExitCode::SUCCESS,
         Err(error) => {
             eprintln!("tage-bench: {error}");
             return ExitCode::FAILURE;
@@ -389,7 +462,15 @@ fn main() -> ExitCode {
         "high_pcov",
         "seconds"
     );
-    for point in &report.points {
+    let restored = report
+        .points
+        .iter()
+        .filter(|cell| cell.computed().is_none())
+        .count();
+    if restored > 0 {
+        println!("({restored} cells restored from the checkpoint, not re-printed)");
+    }
+    for point in report.points.iter().filter_map(|cell| cell.computed()) {
         let result = &point.result;
         println!(
             "{:<14} {:<15} {:<11} {:<17} {:>11} {:>10.3} {:>10.3} {:>10.3}",

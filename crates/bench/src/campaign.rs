@@ -18,6 +18,14 @@
 //! omit. The JSON schema is versioned ([`SCHEMA_VERSION`]) and
 //! [`validate_report`] structurally checks a rendered report, which is what
 //! `tage-bench --check` and the CI campaign-smoke job run.
+//!
+//! Campaigns can also run **checkpointed**
+//! ([`run_campaign_checkpointed`], `tage-bench --checkpoint/--resume`):
+//! every finished cell's rendered timing-free bytes are persisted to a
+//! [`CampaignCheckpoint`] directory as it completes, and a later run over
+//! the same grid restores finished cells verbatim instead of re-executing
+//! them — so a killed mid-grid campaign resumes from where it died and the
+//! resumed timing-free report byte-matches an uninterrupted one.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +40,7 @@ use tage_sim::scenarios::{ScenarioSpec, BASELINE_TOKEN};
 use tage_sim::EngineKind;
 use tage_traces::source::SourceSuite;
 
+use crate::checkpoint::{self, CampaignCheckpoint};
 use crate::jsonish;
 
 /// Current schema version of the campaign report. Schema 2 added the
@@ -225,6 +234,32 @@ pub struct CampaignPointReport {
     pub wall_seconds: f64,
 }
 
+/// One grid cell of a campaign report: either executed in this run, or
+/// restored from a [`CampaignCheckpoint`] as the exact rendered timing-free
+/// bytes a previous run stored. Restored cells are pasted verbatim by
+/// [`CampaignReport::render_json`], which is what makes a resumed report
+/// byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignCell {
+    /// The cell was executed in this run (boxed: a point report is an order
+    /// of magnitude larger than a restored cell's string header).
+    Computed(Box<CampaignPointReport>),
+    /// The cell was restored from a checkpoint; the string is the rendered
+    /// timing-free report element (restored cells carry no wall time, so
+    /// they render timing-free even in a timing report).
+    Restored(String),
+}
+
+impl CampaignCell {
+    /// The executed point behind this cell, when it ran in this run.
+    pub fn computed(&self) -> Option<&CampaignPointReport> {
+        match self {
+            CampaignCell::Computed(point) => Some(point),
+            CampaignCell::Restored(_) => None,
+        }
+    }
+}
+
 /// The full outcome of a campaign run.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -240,8 +275,9 @@ pub struct CampaignReport {
     pub grid_suites: Vec<String>,
     /// Scenario axis, as grid tokens.
     pub grid_scenarios: Vec<String>,
-    /// Executed points, in grid-expansion order.
-    pub points: Vec<CampaignPointReport>,
+    /// The grid's cells — executed points and checkpoint-restored cells —
+    /// in grid-expansion order.
+    pub points: Vec<CampaignCell>,
     /// Grid cells that could not execute.
     pub skipped: Vec<SkippedPoint>,
     /// Worker threads used.
@@ -290,11 +326,22 @@ pub fn run_campaign_with_engine(
             }
         })
     });
-    let mut reports = Vec::with_capacity(results.len());
+    let mut cells = Vec::with_capacity(results.len());
     for result in results {
-        reports.push(result?);
+        cells.push(CampaignCell::Computed(Box::new(result?)));
     }
-    Ok(CampaignReport {
+    Ok(assemble_report(spec, cells, skipped, stats, start))
+}
+
+/// Builds a [`CampaignReport`] from a run's cells and scheduling stats.
+fn assemble_report(
+    spec: &CampaignSpec,
+    cells: Vec<CampaignCell>,
+    skipped: Vec<SkippedPoint>,
+    stats: StealStats,
+    start: Instant,
+) -> CampaignReport {
+    CampaignReport {
         label: spec.label.clone(),
         branches_per_trace: spec.branches_per_trace,
         grid_predictors: spec.predictors.iter().map(PredictorSpec::label).collect(),
@@ -305,11 +352,100 @@ pub fn run_campaign_with_engine(
             .iter()
             .map(|s| s.label().to_string())
             .collect(),
-        points: reports,
+        points: cells,
         skipped,
         workers: stats.workers,
         steals: stats.steals,
         wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The outcome of one checkpointed campaign run: the (possibly partial)
+/// report plus how the grid's executable cells were covered.
+#[derive(Debug)]
+pub struct CheckpointedRun {
+    /// The campaign report. When `remaining > 0` it covers only the
+    /// restored and executed cells (in grid-expansion order) and must not
+    /// be published as a finished report.
+    pub report: CampaignReport,
+    /// Cells restored from the checkpoint instead of executed.
+    pub restored: usize,
+    /// Cells executed (and checkpointed) by this run.
+    pub executed: usize,
+    /// Cells still unexecuted because `max_cells` capped this run; resume
+    /// with the same checkpoint directory to continue.
+    pub remaining: usize,
+}
+
+/// [`run_campaign_with_engine`] through a [`CampaignCheckpoint`]: cells
+/// already finished in `checkpoint` are restored verbatim, the rest execute
+/// and are persisted **as they complete** — a killed run keeps everything
+/// it finished. `max_cells` caps how many cells this run executes (the CI
+/// campaign-smoke job uses it to simulate a mid-grid kill deterministically).
+///
+/// Because restored cells are the exact rendered bytes an earlier run
+/// stored, the timing-free report of a fully resumed campaign is
+/// byte-identical to an uninterrupted run's.
+///
+/// # Errors
+///
+/// Returns the first [`PointError`] in grid-expansion order among the cells
+/// this run executed. Checkpoint *store* failures are deliberately
+/// swallowed — a read-only checkpoint directory degrades to an ordinary run.
+pub fn run_campaign_checkpointed(
+    spec: &CampaignSpec,
+    workers: usize,
+    engine: EngineKind,
+    checkpoint: &CampaignCheckpoint,
+    max_cells: Option<usize>,
+) -> Result<CheckpointedRun, PointError> {
+    let (points, skipped) = spec.expand();
+    let start = Instant::now();
+    let keys: Vec<u64> = points
+        .iter()
+        .map(|point| checkpoint::cell_key(&spec.label, spec.branches_per_trace, point))
+        .collect();
+    let mut cells: Vec<Option<CampaignCell>> = Vec::with_capacity(points.len());
+    let mut pending: Vec<usize> = Vec::new();
+    for (index, point) in points.iter().enumerate() {
+        match checkpoint.load_cell(keys[index], point) {
+            Some(rendered) => cells.push(Some(CampaignCell::Restored(rendered))),
+            None => {
+                cells.push(None);
+                pending.push(index);
+            }
+        }
+    }
+    let restored = points.len() - pending.len();
+    let cap = max_cells.unwrap_or(pending.len()).min(pending.len());
+    let remaining = pending.len() - cap;
+    let to_run = &pending[..cap];
+    let (results, stats) = steal_map(to_run, workers, |&index| {
+        let point_start = Instant::now();
+        run_point_with_engine(&points[index], spec.branches_per_trace, engine).map(|result| {
+            let point = CampaignPointReport {
+                result,
+                wall_seconds: point_start.elapsed().as_secs_f64(),
+            };
+            let _ = checkpoint.store_cell(keys[index], &render_point_json(&point, false));
+            point
+        })
+    });
+    let executed = results.len();
+    for (&index, result) in to_run.iter().zip(results) {
+        cells[index] = Some(CampaignCell::Computed(Box::new(result?)));
+    }
+    Ok(CheckpointedRun {
+        report: assemble_report(
+            spec,
+            cells.into_iter().flatten().collect(),
+            skipped,
+            stats,
+            start,
+        ),
+        restored,
+        executed,
+        remaining,
     })
 }
 
@@ -362,7 +498,12 @@ impl CampaignReport {
         let points: Vec<String> = self
             .points
             .iter()
-            .map(|point| self.render_point(point, include_timing))
+            .map(|cell| match cell {
+                CampaignCell::Computed(point) => render_point_json(point, include_timing),
+                // Checkpoint-restored cells are already the rendered
+                // timing-free bytes; paste them verbatim.
+                CampaignCell::Restored(rendered) => rendered.clone(),
+            })
             .collect();
         if points.is_empty() {
             out.push_str(" \"points\": [],\n");
@@ -399,51 +540,55 @@ impl CampaignReport {
         }
         out
     }
+}
 
-    fn render_point(&self, point: &CampaignPointReport, include_timing: bool) -> String {
-        let result = &point.result;
-        let predictions = result.total_predictions();
-        let mispredictions: u64 = result.traces.iter().map(|t| t.mispredictions).sum();
-        let instructions: u64 = result.traces.iter().map(|t| t.instructions).sum();
-        let mut fields = vec![
-            format!("\"predictor\": \"{}\"", jsonish::escape(&result.predictor)),
-            format!("\"scheme\": \"{}\"", jsonish::escape(&result.scheme)),
-            format!("\"suite\": \"{}\"", jsonish::escape(&result.suite)),
-            format!("\"scenario\": \"{}\"", jsonish::escape(&result.scenario)),
-            format!("\"traces\": {}", result.traces.len()),
-            format!("\"predictions\": {predictions}"),
-            format!("\"mispredictions\": {mispredictions}"),
-            format!("\"instructions\": {instructions}"),
-            format!("\"mean_mpki\": {:.6}", result.mean_mpki()),
-            format!("\"aggregate_mkp\": {:.6}", result.aggregate.mkp()),
-            format!(
-                "\"high_pcov\": {:.6}",
-                result.aggregate.level_pcov(ConfidenceLevel::High)
-            ),
-            format!(
-                "\"high_mprate_mkp\": {:.6}",
-                result.aggregate.level_mprate_mkp(ConfidenceLevel::High)
-            ),
-        ];
-        if !result.scenario_metrics.is_empty() {
-            let metrics: Vec<String> = result
-                .scenario_metrics
-                .iter()
-                .map(|(name, value)| format!("\"{}\": {value:.6}", jsonish::escape(name)))
-                .collect();
-            fields.push(format!("\"scenario_metrics\": {{{}}}", metrics.join(", ")));
-        }
-        if include_timing {
-            fields.push(format!("\"wall_seconds\": {:.6}", point.wall_seconds));
-            let rate = if point.wall_seconds > 0.0 {
-                predictions as f64 / point.wall_seconds
-            } else {
-                0.0
-            };
-            fields.push(format!("\"branches_per_sec\": {rate:.0}"));
-        }
-        format!("  {{{}}}", fields.join(", "))
+/// Renders one executed point as a report-array element (the two-space
+/// indented `{...}` line [`CampaignReport::render_json`] joins). The
+/// timing-free rendering of this function is also exactly what a
+/// [`CampaignCheckpoint`] cell stores.
+pub(crate) fn render_point_json(point: &CampaignPointReport, include_timing: bool) -> String {
+    let result = &point.result;
+    let predictions = result.total_predictions();
+    let mispredictions: u64 = result.traces.iter().map(|t| t.mispredictions).sum();
+    let instructions: u64 = result.traces.iter().map(|t| t.instructions).sum();
+    let mut fields = vec![
+        format!("\"predictor\": \"{}\"", jsonish::escape(&result.predictor)),
+        format!("\"scheme\": \"{}\"", jsonish::escape(&result.scheme)),
+        format!("\"suite\": \"{}\"", jsonish::escape(&result.suite)),
+        format!("\"scenario\": \"{}\"", jsonish::escape(&result.scenario)),
+        format!("\"traces\": {}", result.traces.len()),
+        format!("\"predictions\": {predictions}"),
+        format!("\"mispredictions\": {mispredictions}"),
+        format!("\"instructions\": {instructions}"),
+        format!("\"mean_mpki\": {:.6}", result.mean_mpki()),
+        format!("\"aggregate_mkp\": {:.6}", result.aggregate.mkp()),
+        format!(
+            "\"high_pcov\": {:.6}",
+            result.aggregate.level_pcov(ConfidenceLevel::High)
+        ),
+        format!(
+            "\"high_mprate_mkp\": {:.6}",
+            result.aggregate.level_mprate_mkp(ConfidenceLevel::High)
+        ),
+    ];
+    if !result.scenario_metrics.is_empty() {
+        let metrics: Vec<String> = result
+            .scenario_metrics
+            .iter()
+            .map(|(name, value)| format!("\"{}\": {value:.6}", jsonish::escape(name)))
+            .collect();
+        fields.push(format!("\"scenario_metrics\": {{{}}}", metrics.join(", ")));
     }
+    if include_timing {
+        fields.push(format!("\"wall_seconds\": {:.6}", point.wall_seconds));
+        let rate = if point.wall_seconds > 0.0 {
+            predictions as f64 / point.wall_seconds
+        } else {
+            0.0
+        };
+        fields.push(format!("\"branches_per_sec\": {rate:.0}"));
+    }
+    format!("  {{{}}}", fields.join(", "))
 }
 
 /// Summary of a structurally valid campaign report.
@@ -703,6 +848,8 @@ mod tests {
         // labels (directory vs registry name) differ.
         assert_eq!(file_report.points.len(), synthetic_report.points.len());
         for (file, synthetic) in file_report.points.iter().zip(&synthetic_report.points) {
+            let file = file.computed().expect("executed cell");
+            let synthetic = synthetic.computed().expect("executed cell");
             let mut file_traces = file.result.traces.clone();
             file_traces.sort_by(|a, b| a.trace_name.cmp(&b.trace_name));
             let mut synthetic_traces = synthetic.result.traces.clone();
@@ -717,6 +864,86 @@ mod tests {
         let error = run_campaign(&file_spec, 2).unwrap_err();
         assert!(matches!(error, PointError::Source(_)), "{error}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_to_a_byte_identical_report() {
+        let dir =
+            std::env::temp_dir().join(format!("tage-campaign-checkpoint-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let clean = run_campaign_with_engine(&tiny_spec(), 2, EngineKind::Multilane)
+            .unwrap()
+            .render_json(false);
+
+        // Simulate a kill after every cell: each run executes one cell,
+        // checkpoints it, and leaves the rest for the next run.
+        let first =
+            run_campaign_checkpointed(&tiny_spec(), 2, EngineKind::Multilane, &checkpoint, Some(1))
+                .unwrap();
+        assert_eq!((first.restored, first.executed, first.remaining), (0, 1, 2));
+        let second =
+            run_campaign_checkpointed(&tiny_spec(), 2, EngineKind::Multilane, &checkpoint, Some(1))
+                .unwrap();
+        assert_eq!(
+            (second.restored, second.executed, second.remaining),
+            (1, 1, 1)
+        );
+        let last =
+            run_campaign_checkpointed(&tiny_spec(), 2, EngineKind::Multilane, &checkpoint, None)
+                .unwrap();
+        assert_eq!((last.restored, last.executed, last.remaining), (2, 1, 0));
+        assert_eq!(last.report.render_json(false), clean);
+        validate_report(&last.report.render_json(false)).expect("resumed report validates");
+
+        // A fully-restored re-run executes nothing and still byte-matches,
+        // even on the scalar engine — cells carry engine-independent bytes.
+        let again =
+            run_campaign_checkpointed(&tiny_spec(), 2, EngineKind::Scalar, &checkpoint, None)
+                .unwrap();
+        assert_eq!((again.restored, again.executed, again.remaining), (3, 0, 0));
+        assert_eq!(again.report.render_json(false), clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_stale_checkpoint_cells_are_recomputed() {
+        let dir = std::env::temp_dir().join(format!(
+            "tage-campaign-checkpoint-corrupt-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let spec = tiny_spec();
+        let clean = run_campaign_with_engine(&spec, 2, EngineKind::Multilane)
+            .unwrap()
+            .render_json(false);
+        let full =
+            run_campaign_checkpointed(&spec, 2, EngineKind::Multilane, &checkpoint, None).unwrap();
+        assert_eq!(full.executed, 3);
+
+        // Vandalize two of the three cells: one with garbage, one with a
+        // well-formed cell whose identity fields disagree.
+        let (points, _) = spec.expand();
+        let key = |i: usize| checkpoint::cell_key(&spec.label, spec.branches_per_trace, &points[i]);
+        checkpoint
+            .store_cell(key(0), "garbage, not a cell")
+            .unwrap();
+        checkpoint
+            .store_cell(
+                key(1),
+                "  {\"predictor\": \"someone-else\", \"scheme\": \"x\", \"suite\": \"y\", \"scenario\": \"z\"}",
+            )
+            .unwrap();
+
+        let repaired =
+            run_campaign_checkpointed(&spec, 2, EngineKind::Multilane, &checkpoint, None).unwrap();
+        assert_eq!(
+            (repaired.restored, repaired.executed, repaired.remaining),
+            (1, 2, 0)
+        );
+        assert_eq!(repaired.report.render_json(false), clean);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

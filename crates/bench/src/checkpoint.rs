@@ -1,0 +1,210 @@
+//! On-disk campaign checkpoints behind `tage-bench --checkpoint/--resume`.
+//!
+//! A campaign sweeping a large grid can take long enough that a killed run
+//! (CI timeout, ^C, OOM) loses hours of finished cells. A
+//! [`CampaignCheckpoint`] fixes that: the checkpointed runner
+//! ([`crate::campaign::run_campaign_checkpointed`]) writes every finished
+//! cell to the checkpoint directory *as it completes*, and a later run over
+//! the same grid restores those cells instead of re-executing them.
+//!
+//! # What a cell file holds
+//!
+//! Each cell stores the **exact rendered bytes** of the point's timing-free
+//! JSON report element (what
+//! [`CampaignReport::render_json`](crate::campaign::CampaignReport::render_json)
+//! emits for the point with `include_timing == false`). Restored cells are
+//! pasted verbatim into the resumed report, so a resumed campaign's
+//! timing-free report is byte-identical to an uninterrupted run's — the CI
+//! campaign-smoke job `cmp`s the two.
+//!
+//! # Keying and validation
+//!
+//! Cells are content-addressed under `<fnv64 key>.cell`, where the key
+//! digests the cell's full identity: campaign label, branches per trace, and
+//! the predictor/scheme/suite/scenario labels. On load the stored cell's
+//! identity fields are checked against the requesting point; a mismatch (key
+//! collision, stale or corrupt file) is treated as absent and the cell is
+//! recomputed and rewritten. Stores are atomic (temp-file-plus-rename), so a
+//! kill can never leave a torn cell behind.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tage_sim::point::SweepPoint;
+use tage_traces::snapshot::fnv1a64;
+
+use crate::jsonish;
+
+/// File extension of checkpoint cells.
+const CELL_EXTENSION: &str = "cell";
+
+/// A directory of finished campaign cells, each stored as its rendered
+/// timing-free report element.
+#[derive(Debug)]
+pub struct CampaignCheckpoint {
+    dir: PathBuf,
+}
+
+impl CampaignCheckpoint {
+    /// Opens (creating if needed) a checkpoint rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`std::io::Error`] from creating the directory.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<CampaignCheckpoint> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CampaignCheckpoint { dir })
+    }
+
+    /// The checkpoint's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.{CELL_EXTENSION}"))
+    }
+
+    /// Loads the finished cell stored under `key`, if it exists and its
+    /// identity fields match `point`. A missing, unreadable, corrupt or
+    /// mismatched cell returns `None` — the caller recomputes (and
+    /// rewrites) it.
+    pub(crate) fn load_cell(&self, key: u64, point: &SweepPoint) -> Option<String> {
+        let rendered = fs::read_to_string(self.path_for(key)).ok()?;
+        let expected = [
+            ("predictor", point.predictor.label()),
+            ("scheme", point.scheme.label()),
+            ("suite", point.suite.name().to_string()),
+            ("scenario", point.scenario.label().to_string()),
+        ];
+        for (field, value) in expected {
+            if jsonish::string_field(&rendered, field).as_deref() != Some(value.as_str()) {
+                return None;
+            }
+        }
+        Some(rendered)
+    }
+
+    /// Atomically stores a finished cell's rendered bytes under `key`: the
+    /// cell is written to a process-unique temp file in the checkpoint
+    /// directory and renamed into place, so concurrent workers and killed
+    /// runs only ever leave complete cells.
+    pub(crate) fn store_cell(&self, key: u64, rendered: &str) -> std::io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let temp = self.dir.join(format!(
+            "{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(rendered.as_bytes())?;
+            file.sync_all()?;
+        }
+        let result = fs::rename(&temp, self.path_for(key));
+        if result.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        result
+    }
+}
+
+/// The content-addressed cell key: everything that determines a cell's
+/// deterministic result — the campaign label, the per-trace length, and the
+/// four grid-axis labels.
+pub(crate) fn cell_key(label: &str, branches_per_trace: usize, point: &SweepPoint) -> u64 {
+    fnv1a64(
+        format!(
+            "cell|label={label}|branches={branches_per_trace}|predictor={}|scheme={}|suite={}|scenario={}",
+            point.predictor.label(),
+            point.scheme.label(),
+            point.suite.name(),
+            point.scenario.label(),
+        )
+        .as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tage_sim::point::{PredictorSpec, SchemeSpec};
+    use tage_sim::scenarios::ScenarioSpec;
+    use tage_traces::suites;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tage-checkpoint-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn point() -> SweepPoint {
+        SweepPoint {
+            predictor: PredictorSpec::parse("tage-16k").unwrap(),
+            scheme: SchemeSpec::parse("storage-free").unwrap(),
+            suite: suites::cbp1_mini().into(),
+            scenario: ScenarioSpec::Baseline,
+        }
+    }
+
+    fn rendered_for(point: &SweepPoint) -> String {
+        format!(
+            "  {{\"predictor\": \"{}\", \"scheme\": \"{}\", \"suite\": \"{}\", \"scenario\": \"{}\"}}",
+            point.predictor.label(),
+            point.scheme.label(),
+            point.suite.name(),
+            point.scenario.label()
+        )
+    }
+
+    #[test]
+    fn cells_round_trip_verbatim() {
+        let dir = temp_dir("roundtrip");
+        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let point = point();
+        let key = cell_key("label", 1_000, &point);
+        assert!(checkpoint.load_cell(key, &point).is_none());
+        let rendered = rendered_for(&point);
+        checkpoint.store_cell(key, &rendered).unwrap();
+        assert_eq!(checkpoint.load_cell(key, &point).unwrap(), rendered);
+        assert_eq!(checkpoint.dir(), dir.as_path());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_cells_read_as_absent() {
+        let dir = temp_dir("corrupt");
+        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let point = point();
+        let key = cell_key("label", 1_000, &point);
+        // Garbage bytes: no identity fields at all.
+        checkpoint.store_cell(key, "not a cell").unwrap();
+        assert!(checkpoint.load_cell(key, &point).is_none());
+        // A structurally fine cell whose identity disagrees (key collision
+        // or stale grid) is also rejected.
+        let mut other = point.clone();
+        other.predictor = PredictorSpec::parse("tage-64k").unwrap();
+        checkpoint.store_cell(key, &rendered_for(&other)).unwrap();
+        assert!(checkpoint.load_cell(key, &point).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_every_identity_component() {
+        let base = point();
+        let key = cell_key("label", 1_000, &base);
+        assert_eq!(key, cell_key("label", 1_000, &base));
+        assert_ne!(key, cell_key("other", 1_000, &base));
+        assert_ne!(key, cell_key("label", 2_000, &base));
+        let mut predictor = base.clone();
+        predictor.predictor = PredictorSpec::parse("gshare").unwrap();
+        assert_ne!(key, cell_key("label", 1_000, &predictor));
+        let mut scenario = base.clone();
+        scenario.scenario = ScenarioSpec::RecoveryEnergy;
+        assert_ne!(key, cell_key("label", 1_000, &scenario));
+    }
+}

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 
 /// Default number of conditional branches simulated per trace by the
 /// experiment binaries.

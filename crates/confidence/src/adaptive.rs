@@ -113,6 +113,29 @@ impl AdaptiveSaturationController {
         self.adaptations
     }
 
+    /// The controller's dynamic state, for inclusion in a simulation
+    /// snapshot: `(log2_inverse_probability, high_predictions,
+    /// high_mispredictions, adaptations)`.
+    pub fn dynamic_state(&self) -> (u32, u64, u64, u64) {
+        (
+            self.log2_inverse_probability,
+            self.high_predictions,
+            self.high_mispredictions,
+            self.adaptations,
+        )
+    }
+
+    /// Restores state captured by
+    /// [`AdaptiveSaturationController::dynamic_state`]. The exponent is
+    /// clamped to the controller's configured range.
+    pub fn restore_dynamic_state(&mut self, state: (u32, u64, u64, u64)) {
+        let (exponent, high_predictions, high_mispredictions, adaptations) = state;
+        self.log2_inverse_probability = exponent.clamp(self.min_exponent, self.max_exponent);
+        self.high_predictions = high_predictions;
+        self.high_mispredictions = high_mispredictions;
+        self.adaptations = adaptations;
+    }
+
     /// Feeds one classified prediction outcome to the controller.
     ///
     /// Returns `Some(automaton)` when an adaptation window completed and the

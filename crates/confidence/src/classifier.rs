@@ -75,6 +75,14 @@ impl TageConfidenceClassifier {
         self.window_remaining
     }
 
+    /// Restores the recency window to a previously observed value (clamped
+    /// to the configured window length) — used when resuming a simulation
+    /// from a predictor-state snapshot so the classifier picks up exactly
+    /// where it left off.
+    pub fn set_window_remaining(&mut self, remaining: u32) {
+        self.window_remaining = remaining.min(self.window_length);
+    }
+
     /// Classifies a prediction into one of the 7 classes.
     ///
     /// This is a pure observation of the predictor outputs (plus the

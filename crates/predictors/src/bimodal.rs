@@ -1,5 +1,7 @@
 //! Smith's PC-indexed 2-bit counter (bimodal) predictor.
 
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::counter::SignedCounter;
 use crate::predictor::{BranchPredictor, Prediction};
 
@@ -73,6 +75,13 @@ impl BimodalPredictor {
     pub fn counter(&self, pc: u64) -> SignedCounter {
         self.table[self.index(pc)]
     }
+
+    fn spec_string(&self) -> String {
+        format!(
+            "bimodal|index_bits={}|counter_bits={}",
+            self.index_bits, self.counter_bits
+        )
+    }
 }
 
 impl BranchPredictor for BimodalPredictor {
@@ -104,6 +113,35 @@ impl BranchPredictor for BimodalPredictor {
         let mut fresh = self.clone();
         fresh.reset();
         Box::new(fresh)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+        w.begin_section();
+        for ctr in &self.table {
+            w.write_i8(ctr.value());
+        }
+        w.end_section();
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.spec_digest())?;
+        r.begin_section()?;
+        let mut values = Vec::with_capacity(self.table.len());
+        for _ in 0..self.table.len() {
+            values.push(r.read_i8()?);
+        }
+        r.end_section()?;
+        r.finish()?;
+        for (ctr, value) in self.table.iter_mut().zip(values) {
+            ctr.set(value);
+        }
+        Ok(())
+    }
+
+    fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
     }
 }
 

@@ -1,8 +1,11 @@
 //! A GEHL-style predictor (GEometric History Length).
 
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::counter::SignedCounter;
 use crate::history::HistoryRegister;
 use crate::predictor::{BranchPredictor, Prediction};
+use crate::snapshot_util::{read_history, write_history};
 
 /// A GEHL-style predictor: several tables of signed counters indexed with
 /// hashes of the PC and geometrically increasing history lengths; the
@@ -92,6 +95,16 @@ impl GehlPredictor {
         (((pc >> 2) ^ folded ^ (pc >> (3 + table as u64))) & mask) as usize
     }
 
+    fn spec_string(&self) -> String {
+        format!(
+            "gehl|num_tables={}|index_bits={}|history_lengths={:?}|counter_bits={}",
+            self.tables.len(),
+            self.index_bits,
+            self.history_lengths,
+            self.counter_bits
+        )
+    }
+
     fn sum(&self, pc: u64) -> i32 {
         (0..self.tables.len())
             .map(|t| {
@@ -169,6 +182,48 @@ impl BranchPredictor for GehlPredictor {
         let mut fresh = self.clone();
         fresh.reset();
         Box::new(fresh)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+        w.begin_section();
+        for table in &self.tables {
+            for ctr in table {
+                w.write_i8(ctr.value());
+            }
+        }
+        w.end_section();
+        w.begin_section();
+        write_history(&mut w, &self.history);
+        w.end_section();
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.spec_digest())?;
+        r.begin_section()?;
+        let per_table = 1usize << self.index_bits;
+        let mut values = Vec::with_capacity(self.tables.len() * per_table);
+        for _ in 0..self.tables.len() * per_table {
+            values.push(r.read_i8()?);
+        }
+        r.end_section()?;
+        r.begin_section()?;
+        let words = read_history(&mut r, self.history.words().len())?;
+        r.end_section()?;
+        r.finish()?;
+        let mut flat = values.into_iter();
+        for table in &mut self.tables {
+            for ctr in table.iter_mut() {
+                ctr.set(flat.next().expect("sized above"));
+            }
+        }
+        self.history.load_words(&words);
+        Ok(())
+    }
+
+    fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
     }
 }
 

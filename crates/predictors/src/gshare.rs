@@ -1,8 +1,11 @@
 //! McFarling's gshare predictor.
 
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::counter::SignedCounter;
 use crate::history::HistoryRegister;
 use crate::predictor::{BranchPredictor, Prediction};
+use crate::snapshot_util::{read_history, write_history};
 
 /// A gshare predictor: a table of 2-bit counters indexed by the XOR of the
 /// branch PC and the global branch history.
@@ -72,6 +75,13 @@ impl GsharePredictor {
     pub fn history(&self) -> &HistoryRegister {
         &self.history
     }
+
+    fn spec_string(&self) -> String {
+        format!(
+            "gshare|index_bits={}|history_bits={}",
+            self.index_bits, self.history_bits
+        )
+    }
 }
 
 impl BranchPredictor for GsharePredictor {
@@ -102,6 +112,42 @@ impl BranchPredictor for GsharePredictor {
         let mut fresh = self.clone();
         fresh.reset();
         Box::new(fresh)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+        w.begin_section();
+        for ctr in &self.table {
+            w.write_i8(ctr.value());
+        }
+        w.end_section();
+        w.begin_section();
+        write_history(&mut w, &self.history);
+        w.end_section();
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.spec_digest())?;
+        r.begin_section()?;
+        let mut values = Vec::with_capacity(self.table.len());
+        for _ in 0..self.table.len() {
+            values.push(r.read_i8()?);
+        }
+        r.end_section()?;
+        r.begin_section()?;
+        let words = read_history(&mut r, self.history.words().len())?;
+        r.end_section()?;
+        r.finish()?;
+        for (ctr, value) in self.table.iter_mut().zip(values) {
+            ctr.set(value);
+        }
+        self.history.load_words(&words);
+        Ok(())
+    }
+
+    fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
     }
 }
 

@@ -45,6 +45,7 @@ pub mod gshare;
 pub mod history;
 pub mod perceptron;
 pub mod predictor;
+pub(crate) mod snapshot_util;
 pub mod spec;
 
 pub use bimodal::BimodalPredictor;

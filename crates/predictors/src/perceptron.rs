@@ -1,7 +1,10 @@
 //! The hashed perceptron branch predictor.
 
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+
 use crate::history::HistoryRegister;
 use crate::predictor::{BranchPredictor, Prediction};
+use crate::snapshot_util::{read_history, write_history};
 
 /// A perceptron branch predictor (Jiménez & Lin).
 ///
@@ -73,6 +76,15 @@ impl PerceptronPredictor {
         sum
     }
 
+    fn spec_string(&self) -> String {
+        format!(
+            "perceptron|rows={}|history_len={}|weight_bits={}",
+            self.weights.len(),
+            self.history_len,
+            self.weight_bits
+        )
+    }
+
     fn saturating_adjust(weight: &mut i16, up: bool, bits: u8) {
         let max = (1i16 << (bits - 1)) - 1;
         let min = -(1i16 << (bits - 1));
@@ -130,6 +142,46 @@ impl BranchPredictor for PerceptronPredictor {
         let mut fresh = self.clone();
         fresh.reset();
         Box::new(fresh)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+        w.begin_section();
+        for row in &self.weights {
+            for &weight in row {
+                w.write_i16(weight);
+            }
+        }
+        w.end_section();
+        w.begin_section();
+        write_history(&mut w, &self.history);
+        w.end_section();
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, self.spec_digest())?;
+        r.begin_section()?;
+        let mut weights = Vec::with_capacity(self.weights.len());
+        for _ in 0..self.weights.len() {
+            let mut row = Vec::with_capacity(self.history_len + 1);
+            for _ in 0..=self.history_len {
+                row.push(r.read_i16()?);
+            }
+            weights.push(row);
+        }
+        r.end_section()?;
+        r.begin_section()?;
+        let words = read_history(&mut r, self.history.words().len())?;
+        r.end_section()?;
+        r.finish()?;
+        self.weights = weights;
+        self.history.load_words(&words);
+        Ok(())
+    }
+
+    fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
     }
 }
 

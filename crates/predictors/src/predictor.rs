@@ -18,6 +18,8 @@
 
 use core::fmt;
 
+use tage_traces::snapshot::SnapshotError;
+
 /// The outcome of a prediction lookup, carrying the self-confidence margin.
 ///
 /// For counter-based predictors the margin is the distance of the counter
@@ -111,6 +113,31 @@ pub trait BranchPredictor {
     /// shares no state with its siblings; the `Send` bound keeps the copies
     /// movable across the scoped threads the suite runner uses.
     fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send>;
+
+    /// Serializes the predictor's **full** dynamic state — tables,
+    /// histories, RNG, statistics — into the versioned framed format of
+    /// [`tage_traces::snapshot`]. Restoring the bytes into a predictor of
+    /// the same specification (see [`BranchPredictor::spec_digest`])
+    /// continues the run bit-identically to never having stopped.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restores state previously captured by [`BranchPredictor::snapshot`].
+    ///
+    /// The restore is all-or-nothing: on any error the predictor's state is
+    /// exactly what it was before the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] carrying the byte offset of the problem
+    /// when the bytes are truncated, corrupt, from a different format
+    /// version, or from a different predictor specification.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+
+    /// A digest of the predictor's *specification* — implementation name
+    /// plus every structural configuration parameter, but no dynamic state.
+    /// Two predictors accept each other's snapshots exactly when their
+    /// digests match.
+    fn spec_digest(&self) -> u64;
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
@@ -137,6 +164,18 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
     fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
         (**self).clone_fresh()
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore(bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        (**self).spec_digest()
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -162,6 +201,18 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
         (**self).clone_fresh()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore(bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        (**self).spec_digest()
     }
 }
 
@@ -196,6 +247,24 @@ pub trait PredictorCore {
 
     /// A short human-readable name for reports.
     fn name(&self) -> String;
+
+    /// Serializes the predictor's full dynamic state (see
+    /// [`BranchPredictor::snapshot`]).
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`PredictorCore::snapshot`],
+    /// all-or-nothing (see [`BranchPredictor::restore`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] carrying the byte offset of the problem
+    /// when the bytes are truncated, corrupt, from a different format
+    /// version, or from a different predictor specification.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>;
+
+    /// A digest of the predictor's specification (see
+    /// [`BranchPredictor::spec_digest`]).
+    fn spec_digest(&self) -> u64;
 }
 
 impl<P: PredictorCore + ?Sized> PredictorCore for &mut P {
@@ -219,6 +288,18 @@ impl<P: PredictorCore + ?Sized> PredictorCore for &mut P {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        (**self).restore(bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        (**self).spec_digest()
     }
 }
 
@@ -260,6 +341,18 @@ impl<P: BranchPredictor> PredictorCore for MarginPredictor<P> {
 
     fn name(&self) -> String {
         self.0.name()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.0.snapshot()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.0.restore(bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        self.0.spec_digest()
     }
 }
 

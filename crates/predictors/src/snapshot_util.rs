@@ -1,0 +1,35 @@
+//! Shared encode/decode helpers for predictor snapshots.
+
+use tage_traces::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
+use crate::history::HistoryRegister;
+
+/// Writes a history register's backing words, count-prefixed.
+pub(crate) fn write_history(w: &mut SnapshotWriter, history: &HistoryRegister) {
+    let words = history.words();
+    w.write_u32(words.len() as u32);
+    for &word in words {
+        w.write_u64(word);
+    }
+}
+
+/// Reads words written by [`write_history`], verifying the count matches the
+/// restoring register's geometry (which the spec digest already pins).
+pub(crate) fn read_history(
+    r: &mut SnapshotReader<'_>,
+    expected_words: usize,
+) -> Result<Vec<u64>, SnapshotError> {
+    let offset = r.offset();
+    let count = r.read_u32()? as usize;
+    if count != expected_words {
+        return Err(SnapshotError::MalformedSection {
+            offset,
+            reason: format!("history holds {count} words, predictor expects {expected_words}"),
+        });
+    }
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        words.push(r.read_u64()?);
+    }
+    Ok(words)
+}

@@ -26,6 +26,10 @@
 //!   source into N ranges, replays a warmup prefix per range with statistics
 //!   suppressed, and merges deterministically — parallelism *within* a
 //!   trace;
+//! * [`warmcache`] — a content-addressed on-disk cache of segment-boundary
+//!   warm states (full predictor snapshot + classifier + adaptive
+//!   controller), so repeated segmented runs restore instead of replaying
+//!   their warmup prefixes — byte-identical either way;
 //! * [`point`] — sweep points, the reusable unit of work behind campaign
 //!   grids (`tage-bench`) and the experiment sweeps: one predictor ×
 //!   confidence-scheme × suite cell executed through the engine with
@@ -81,6 +85,7 @@ pub mod scenarios;
 pub mod segment;
 pub mod smt;
 pub mod suite;
+pub mod warmcache;
 
 pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
 pub use multilane::{run_specs_multilane, EngineKind, MultilaneEngine, DEFAULT_LANES};
@@ -91,11 +96,13 @@ pub use point::{
 pub use runner::{run_source, run_trace, RunOptions, TraceRunResult};
 pub use scenarios::ScenarioSpec;
 pub use segment::{
-    run_segmented_source, run_suite_segmented, SegmentOptions, SegmentPlan, SegmentedRunResult,
+    run_segmented_source, run_segmented_source_cached, run_suite_segmented,
+    run_suite_segmented_cached, SegmentOptions, SegmentPlan, SegmentedRunResult,
 };
 pub use suite::{
     run_suite, run_suite_sources, run_suite_with_parallelism, SuiteRunResult, SuiteScratch,
 };
+pub use warmcache::WarmCache;
 
 /// `amount` per kilo-instruction, 0 on an empty run — the shared
 /// zero-guarded denominator behind every per-KI rate the crate reports.

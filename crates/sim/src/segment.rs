@@ -27,6 +27,7 @@ use tage_traces::source::{BranchSource, SourceSuite, Take};
 use crate::engine::{par_map, ReportObserver, SimEngine};
 use crate::runner::{AdaptiveObserver, RunOptions, TraceRunResult};
 use crate::suite::SuiteRunResult;
+use crate::warmcache::{self, WarmCache, WarmState};
 
 /// How a long source is sharded: segment count plus the per-segment warmup
 /// prefix length, both in *records*.
@@ -138,15 +139,45 @@ pub struct SegmentedRunResult {
     pub segment_branches: Vec<u64>,
 }
 
-/// Runs one segment: silent warmup replay, then the measured range.
+/// Runs one segment: a warm-state restore when the cache holds the segment's
+/// boundary state, a silent warmup replay otherwise, then the measured
+/// range. `warm` pairs a [`WarmCache`] with the source's content digest;
+/// `None` always replays.
 fn run_segment<S: BranchSource>(
     config: &TageConfig,
     options: &RunOptions,
     source: &mut S,
     plan: &SegmentPlan,
     segment: &Segment,
+    warm: Option<(&WarmCache, u64)>,
 ) -> Result<(TraceRunResult, u64), FormatError> {
     let warmup = plan.warmup_for(segment);
+    // Only warmed segments have a boundary state worth caching: segment 0
+    // (and warmup 0) start cold, which costs nothing to reproduce.
+    let cache_entry = match warm {
+        Some((cache, source_digest)) if warmup > 0 => {
+            let state_digest = warmcache::state_digest(config, options);
+            let key = warmcache::entry_key(
+                state_digest,
+                source_digest,
+                segment.start - warmup,
+                segment.start,
+            );
+            Some((cache, key, state_digest))
+        }
+        _ => None,
+    };
+
+    if let Some((cache, key, state_digest)) = cache_entry {
+        if let Some(outcome) =
+            try_run_segment_from_cache(config, options, source, segment, cache, key, state_digest)?
+        {
+            cache.note_hit();
+            return Ok(outcome);
+        }
+        cache.note_miss();
+    }
+
     let skip = segment.start - warmup;
     let skipped = source.skip_records(skip)?;
     if skipped < skip {
@@ -178,6 +209,26 @@ fn run_segment<S: BranchSource>(
     // Warmup prefix: trains the predictor, the classifier state and (when
     // enabled) the adaptive controller; no report observer collects it.
     engine.run_source(&mut Take::new(&mut *source, warmup), &mut adaptive.as_mut())?;
+    // Cacheable boundary: snapshot the warm state before measuring, so the
+    // next run of this cell restores instead of replaying. The engine is
+    // rebuilt from its own parts — a cached-boundary run (no statistical
+    // warmup, see above) carries no engine state across the boundary beyond
+    // the predictor and classifier, so the measured range is unaffected.
+    let mut engine = if let Some((cache, key, state_digest)) = cache_entry {
+        let (predictor, classifier) = engine.into_parts();
+        let state = WarmState {
+            predictor: predictor.snapshot(),
+            window_remaining: classifier.window_remaining(),
+            adaptive: adaptive
+                .as_ref()
+                .map(|observer| observer.controller.dynamic_state()),
+        };
+        // Best effort: an unwritable cache degrades to replaying warmups.
+        let _ = cache.store(key, &warmcache::encode_warm_state(state_digest, &state));
+        SimEngine::new(predictor, classifier)
+    } else {
+        engine
+    };
     // Measured range.
     let mut report = ReportObserver::default();
     let summary = engine.run_source(
@@ -195,6 +246,73 @@ fn run_segment<S: BranchSource>(
         final_saturation_probability: predictor.config().automaton.saturation_probability(),
     };
     Ok((result, summary.measured_branches))
+}
+
+/// Attempts to run `segment` from a cached warm state. Returns `Ok(None)`
+/// when there is no usable entry (absent, torn, stale or from a different
+/// configuration) — the caller falls back to the replay path and rewrites
+/// the entry.
+fn try_run_segment_from_cache<S: BranchSource>(
+    config: &TageConfig,
+    options: &RunOptions,
+    source: &mut S,
+    segment: &Segment,
+    cache: &WarmCache,
+    key: u64,
+    state_digest: u64,
+) -> Result<Option<(TraceRunResult, u64)>, FormatError> {
+    let Some(bytes) = cache.load(key) else {
+        return Ok(None);
+    };
+    let Ok(state) = warmcache::decode_warm_state(&bytes, state_digest) else {
+        return Ok(None);
+    };
+
+    let mut predictor = TagePredictor::new(config.clone());
+    if predictor.restore(&state.predictor).is_err() {
+        return Ok(None);
+    }
+    let mut classifier = TageConfidenceClassifier::with_window(config, options.bim_miss_window);
+    classifier.set_window_remaining(state.window_remaining);
+    let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
+        controller: AdaptiveSaturationController::with_parameters(target, 16 * 1024),
+    });
+    if let Some(observer) = adaptive.as_mut() {
+        // The restored predictor already carries the automaton the
+        // controller had installed by the boundary; only the controller's
+        // own measurement window needs restoring.
+        let Some(dynamic) = state.adaptive else {
+            return Ok(None);
+        };
+        observer.controller.restore_dynamic_state(dynamic);
+    }
+
+    // The warm state replaces the replay prefix entirely: skip straight to
+    // the measured range.
+    let skipped = source.skip_records(segment.start)?;
+    if skipped < segment.start {
+        let name = source.name().to_string();
+        return Ok(Some((empty_result(config, name), 0)));
+    }
+
+    let trace_name = source.name().to_string();
+    let mut engine = SimEngine::new(&mut predictor, classifier);
+    let mut report = ReportObserver::default();
+    let summary = engine.run_source(
+        &mut Take::new(&mut *source, segment.len()),
+        &mut (&mut report, adaptive.as_mut()),
+    )?;
+    drop(engine);
+
+    let result = TraceRunResult {
+        trace_name,
+        config_name: config.name.clone(),
+        report: report.report,
+        conditional_branches: summary.measured_branches,
+        instructions: summary.measured_instructions,
+        final_saturation_probability: predictor.config().automaton.saturation_probability(),
+    };
+    Ok(Some((result, summary.measured_branches)))
 }
 
 fn empty_result(config: &TageConfig, trace_name: String) -> TraceRunResult {
@@ -269,10 +387,49 @@ where
     S: BranchSource,
     F: Fn() -> Result<S, FormatError> + Sync,
 {
+    run_segmented_source_cached(
+        config,
+        options,
+        segment_options,
+        total_records,
+        workers,
+        None,
+        open,
+    )
+}
+
+/// [`run_segmented_source`] with an optional warm-state cache: `warm` pairs
+/// the [`WarmCache`] with the source's content digest (see
+/// [`tage_traces::source::SourceSpec::digest`]). The first run replays each
+/// segment's warmup prefix and stores the boundary state; later runs with
+/// the same configuration, source and warmup restore it and skip the replay
+/// — with **byte-identical results** either way, at every worker count,
+/// because the stored state is the predictor's full snapshot plus the
+/// classifier and adaptive-controller state.
+///
+/// # Errors
+///
+/// Returns the first [`FormatError`] in segment order. Cache I/O never
+/// fails a run: unreadable or torn entries fall back to the replay path,
+/// and failed stores are dropped.
+#[allow(clippy::too_many_arguments)]
+pub fn run_segmented_source_cached<S, F>(
+    config: &TageConfig,
+    options: &RunOptions,
+    segment_options: &SegmentOptions,
+    total_records: u64,
+    workers: usize,
+    warm: Option<(&WarmCache, u64)>,
+    open: F,
+) -> Result<SegmentedRunResult, FormatError>
+where
+    S: BranchSource,
+    F: Fn() -> Result<S, FormatError> + Sync,
+{
     let plan = SegmentPlan::split(total_records, segment_options);
     let outcomes = par_map(plan.segments(), workers, |segment| {
         let mut source = open()?;
-        run_segment(config, options, &mut source, &plan, segment)
+        run_segment(config, options, &mut source, &plan, segment, warm)
     });
     let mut collected = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
@@ -302,6 +459,34 @@ pub fn run_suite_segmented(
     segment_options: &SegmentOptions,
     workers: usize,
 ) -> Result<SuiteRunResult, FormatError> {
+    run_suite_segmented_cached(
+        config,
+        suite,
+        conditional_branches,
+        options,
+        segment_options,
+        workers,
+        None,
+    )
+}
+
+/// [`run_suite_segmented`] consulting a warm-state cache before cold-starting
+/// any segment (see [`run_segmented_source_cached`]); per-source entry keys
+/// use each source's [`tage_traces::source::SourceSpec::digest`].
+///
+/// # Errors
+///
+/// Returns the first [`FormatError`] in suite order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_suite_segmented_cached(
+    config: &TageConfig,
+    suite: &SourceSuite,
+    conditional_branches: usize,
+    options: &RunOptions,
+    segment_options: &SegmentOptions,
+    workers: usize,
+    cache: Option<&WarmCache>,
+) -> Result<SuiteRunResult, FormatError> {
     // Plan every source up front (pure function of the lengths).
     let mut plans = Vec::with_capacity(suite.sources().len());
     for spec in suite.sources() {
@@ -312,6 +497,11 @@ pub fn run_suite_segmented(
         };
         plans.push(SegmentPlan::split(total, segment_options));
     }
+    let digests: Vec<u64> = suite
+        .sources()
+        .iter()
+        .map(|spec| spec.digest(conditional_branches))
+        .collect();
     let items: Vec<(usize, Segment)> = plans
         .iter()
         .enumerate()
@@ -324,7 +514,14 @@ pub fn run_suite_segmented(
 
     let outcomes = par_map(&items, workers, |&(source_index, segment)| {
         let mut source = suite.sources()[source_index].open(conditional_branches)?;
-        run_segment(config, options, &mut source, &plans[source_index], &segment)
+        run_segment(
+            config,
+            options,
+            &mut source,
+            &plans[source_index],
+            &segment,
+            cache.map(|cache| (cache, digests[source_index])),
+        )
     });
 
     // Group back per source, in order.
@@ -484,6 +681,67 @@ mod tests {
             "warmup should reclaim most of the cold-start penalty: \
              sequential {sequential_misses}, cold +{cold_gap}, warmed +{warmed_gap}"
         );
+    }
+
+    #[test]
+    fn warm_cache_runs_are_byte_identical_to_replay_runs() {
+        let dir = std::env::temp_dir().join(format!(
+            "tage-segment-warmcache-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let suite = SourceSuite::new(
+            "cached",
+            vec![SourceSpec::Synthetic(
+                suites::cbp1_like().trace("INT-2").unwrap().clone(),
+            )],
+        );
+        let config = TageConfig::small();
+        let segment_options = SegmentOptions::new(4, 512);
+        // The adaptive controller exercises the automaton + controller parts
+        // of the warm state; the custom window exercises the classifier part.
+        for options in [
+            RunOptions::default(),
+            RunOptions {
+                bim_miss_window: 4,
+                adaptive_target_mkp: Some(10.0),
+                ..RunOptions::default()
+            },
+        ] {
+            let reference =
+                run_suite_segmented(&config, &suite, 5_000, &options, &segment_options, 2).unwrap();
+            let cache = WarmCache::new(&dir).unwrap();
+            let cold = run_suite_segmented_cached(
+                &config,
+                &suite,
+                5_000,
+                &options,
+                &segment_options,
+                2,
+                Some(&cache),
+            )
+            .unwrap();
+            assert_eq!(cold, reference, "first cached run (all misses)");
+            assert_eq!(cache.hits(), 0);
+            assert!(cache.misses() > 0, "warmed segments should miss once");
+            let warm = run_suite_segmented_cached(
+                &config,
+                &suite,
+                5_000,
+                &options,
+                &segment_options,
+                4,
+                Some(&cache),
+            )
+            .unwrap();
+            assert_eq!(warm, reference, "second cached run (restores)");
+            assert_eq!(
+                cache.hits(),
+                3,
+                "every warmed segment (all but segment 0) should restore"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Content-addressed on-disk cache of warm simulation states.
+//!
+//! Segmented runs ([`crate::segment`]) replay a warmup prefix before every
+//! measured range so each segment starts from realistically trained tables.
+//! That replay is pure overhead, and it is *repeated on every run* of the
+//! same grid — a campaign sweeping schemes over one source replays the same
+//! warmup once per cell. A [`WarmCache`] eliminates the repeats: the first
+//! run replays the warmup once, snapshots the predictor + classifier +
+//! adaptive-controller state at the segment boundary, and stores it under a
+//! content-addressed key; later runs restore the snapshot and skip straight
+//! to the measured range. Because the snapshot captures the **full** dynamic
+//! state (tables, histories, folds, RNG, the classifier's recency window and
+//! the adaptive controller's measurement window), a cache-hit run is
+//! byte-identical to a replay run.
+//!
+//! # Keying
+//!
+//! A cache entry is valid only for the exact warm state it captured, so the
+//! key digests everything that state depends on:
+//!
+//! * the **state digest**: the predictor's snapshot spec digest
+//!   ([`TagePredictor::spec_digest_for`]) folded with the classifier window
+//!   and the adaptive target (`state_digest`) — anything that changes how
+//!   the warmup trains;
+//! * the **source digest** ([`tage_traces::source::SourceSpec::digest`]) —
+//!   which records were replayed;
+//! * the **warmup record range** `[start, end)` — how many and which of
+//!   them.
+//!
+//! Entries live as `<fnv64 of the key>.warmstate` files; the state digest is
+//! also embedded in each entry's snapshot header, so a key collision or a
+//! stale file is detected at decode time and treated as a miss (the warmup
+//! is replayed and the entry rewritten). Stores are atomic
+//! (temp-file-plus-rename), so concurrent segment workers and killed runs
+//! can never leave a torn entry behind.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tage::{TageConfig, TagePredictor};
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+
+use crate::runner::RunOptions;
+
+/// File extension of cache entries.
+const ENTRY_EXTENSION: &str = "warmstate";
+
+/// A directory of content-addressed warm simulation states. Cheap to clone
+/// conceptually (it is just a path plus counters); share it by reference
+/// across segment workers.
+#[derive(Debug)]
+pub struct WarmCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl WarmCache {
+    /// Opens (creating if needed) a warm-state cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`std::io::Error`] from creating the directory.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<WarmCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(WarmCache {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of successful warm-state restores served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that found no (valid) entry so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.{ENTRY_EXTENSION}"))
+    }
+
+    /// Reads the raw entry bytes under `key`, if present. Validation happens
+    /// at decode time; an unreadable file is a miss.
+    pub(crate) fn load(&self, key: u64) -> Option<Vec<u8>> {
+        fs::read(self.path_for(key)).ok()
+    }
+
+    /// Atomically stores `bytes` under `key`: the entry is written to a
+    /// process-unique temp file in the cache directory and renamed into
+    /// place, so readers only ever observe complete entries.
+    pub(crate) fn store(&self, key: u64, bytes: &[u8]) -> std::io::Result<()> {
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let temp = self.dir.join(format!(
+            "{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        let result = fs::rename(&temp, self.path_for(key));
+        if result.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        result
+    }
+
+    pub(crate) fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Digest of everything about the *simulation configuration* that the warm
+/// state depends on: the predictor's snapshot spec digest, the classifier's
+/// recency-window length and the adaptive controller's target.
+pub(crate) fn state_digest(config: &TageConfig, options: &RunOptions) -> u64 {
+    fnv1a64(
+        format!(
+            "warm|predictor={:016x}|window={}|adaptive={:?}",
+            TagePredictor::spec_digest_for(config),
+            options.bim_miss_window,
+            options.adaptive_target_mkp.map(f64::to_bits),
+        )
+        .as_bytes(),
+    )
+}
+
+/// The content-addressed entry key: state digest × source digest × warmup
+/// record range.
+pub(crate) fn entry_key(
+    state_digest: u64,
+    source_digest: u64,
+    warmup_start: u64,
+    warmup_end: u64,
+) -> u64 {
+    fnv1a64(
+        format!("{state_digest:016x}|{source_digest:016x}|{warmup_start}|{warmup_end}").as_bytes(),
+    )
+}
+
+/// A decoded warm simulation state: the predictor snapshot plus the
+/// classifier and adaptive-controller dynamic state captured at the same
+/// instant.
+pub(crate) struct WarmState {
+    /// A full [`TagePredictor::snapshot`].
+    pub(crate) predictor: Vec<u8>,
+    /// [`TageConfidenceClassifier::window_remaining`] at the boundary.
+    ///
+    /// [`TageConfidenceClassifier::window_remaining`]:
+    /// tage_confidence::TageConfidenceClassifier::window_remaining
+    pub(crate) window_remaining: u32,
+    /// [`AdaptiveSaturationController::dynamic_state`] at the boundary, when
+    /// the adaptive controller was running.
+    ///
+    /// [`AdaptiveSaturationController::dynamic_state`]:
+    /// tage_confidence::AdaptiveSaturationController::dynamic_state
+    pub(crate) adaptive: Option<(u32, u64, u64, u64)>,
+}
+
+/// Frames a warm state as a snapshot whose spec digest is the cache's state
+/// digest, so stale or colliding entries fail validation on read.
+pub(crate) fn encode_warm_state(state_digest: u64, state: &WarmState) -> Vec<u8> {
+    let mut w = SnapshotWriter::new(state_digest);
+    w.begin_section();
+    w.write_bytes(&state.predictor);
+    w.end_section();
+    w.begin_section();
+    w.write_u32(state.window_remaining);
+    match state.adaptive {
+        None => {
+            w.write_bool(false);
+            for _ in 0..4 {
+                w.write_u64(0);
+            }
+        }
+        Some((exponent, high_predictions, high_mispredictions, adaptations)) => {
+            w.write_bool(true);
+            w.write_u64(u64::from(exponent));
+            w.write_u64(high_predictions);
+            w.write_u64(high_mispredictions);
+            w.write_u64(adaptations);
+        }
+    }
+    w.end_section();
+    w.finish()
+}
+
+/// Decodes an entry written by [`encode_warm_state`].
+///
+/// # Errors
+///
+/// Returns the [`SnapshotError`] when the entry is truncated, corrupt or was
+/// written for a different simulation configuration — callers treat any
+/// error as a cache miss.
+pub(crate) fn decode_warm_state(
+    bytes: &[u8],
+    state_digest: u64,
+) -> Result<WarmState, SnapshotError> {
+    let mut r = SnapshotReader::new(bytes, state_digest)?;
+    r.begin_section()?;
+    let predictor = r.read_bytes()?.to_vec();
+    r.end_section()?;
+    r.begin_section()?;
+    let window_remaining = r.read_u32()?;
+    let has_adaptive = r.read_bool()?;
+    let exponent = r.read_u64()?;
+    let high_predictions = r.read_u64()?;
+    let high_mispredictions = r.read_u64()?;
+    let adaptations = r.read_u64()?;
+    r.end_section()?;
+    r.finish()?;
+    let offset = bytes.len();
+    let adaptive = if has_adaptive {
+        let exponent = u32::try_from(exponent).map_err(|_| SnapshotError::MalformedSection {
+            offset,
+            reason: format!("adaptive exponent {exponent} exceeds u32"),
+        })?;
+        Some((exponent, high_predictions, high_mispredictions, adaptations))
+    } else {
+        None
+    };
+    Ok(WarmState {
+        predictor,
+        window_remaining,
+        adaptive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tage-warmcache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_state_round_trips_with_and_without_adaptive() {
+        let predictor = TagePredictor::new(TageConfig::small()).snapshot();
+        for adaptive in [None, Some((7u32, 100u64, 3u64, 2u64))] {
+            let state = WarmState {
+                predictor: predictor.clone(),
+                window_remaining: 5,
+                adaptive,
+            };
+            let bytes = encode_warm_state(0xABCD, &state);
+            let decoded = decode_warm_state(&bytes, 0xABCD).unwrap();
+            assert_eq!(decoded.predictor, predictor);
+            assert_eq!(decoded.window_remaining, 5);
+            assert_eq!(decoded.adaptive, adaptive);
+        }
+    }
+
+    #[test]
+    fn wrong_state_digest_is_rejected() {
+        let state = WarmState {
+            predictor: vec![1, 2, 3],
+            window_remaining: 0,
+            adaptive: None,
+        };
+        let bytes = encode_warm_state(1, &state);
+        assert!(matches!(
+            decode_warm_state(&bytes, 2),
+            Err(SnapshotError::SpecMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_counts() {
+        let dir = temp_dir("roundtrip");
+        let cache = WarmCache::new(&dir).unwrap();
+        assert!(cache.load(42).is_none());
+        cache.store(42, b"hello").unwrap();
+        assert_eq!(cache.load(42).unwrap(), b"hello");
+        cache.note_miss();
+        cache.note_hit();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.dir(), dir.as_path());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_every_component() {
+        let base = entry_key(1, 2, 3, 4);
+        assert_ne!(base, entry_key(9, 2, 3, 4));
+        assert_ne!(base, entry_key(1, 9, 3, 4));
+        assert_ne!(base, entry_key(1, 2, 9, 4));
+        assert_ne!(base, entry_key(1, 2, 3, 9));
+        assert_eq!(base, entry_key(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn state_digest_tracks_options() {
+        let config = TageConfig::small();
+        let base = state_digest(&config, &RunOptions::default());
+        let window = state_digest(
+            &config,
+            &RunOptions {
+                bim_miss_window: 4,
+                ..RunOptions::default()
+            },
+        );
+        let adaptive = state_digest(&config, &RunOptions::adaptive());
+        let other_config = state_digest(&TageConfig::medium(), &RunOptions::default());
+        assert_ne!(base, window);
+        assert_ne!(base, adaptive);
+        assert_ne!(base, other_config);
+    }
+}

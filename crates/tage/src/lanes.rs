@@ -41,6 +41,8 @@
 //! tests pin this, and `crates/sim/tests/multilane_parity.rs` pins the
 //! whole engine end-to-end.
 
+use tage_traces::snapshot::SnapshotError;
+
 use crate::config::TageConfig;
 use crate::prediction::{TableLookup, TagePrediction};
 use crate::predictor::TagePredictor;
@@ -231,6 +233,25 @@ impl LaneGroup {
                 .push(TagePredictor::new(self.config.clone()));
         }
         self.load_lane(k);
+    }
+
+    /// Restores lane `k`'s predictor from a [`TagePredictor::snapshot`] and
+    /// reloads the transposed hot state from it, as if the lane had been
+    /// armed and run to the snapshot point scalar. The lane must already be
+    /// armed. On error the lane is untouched (the restore is all-or-nothing
+    /// and the transposed state is only refreshed on success).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SnapshotError`] from [`TagePredictor::restore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lane `k` is not armed.
+    pub fn restore_lane(&mut self, k: usize, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.predictors[k].restore(bytes)?;
+        self.load_lane(k);
+        Ok(())
     }
 
     /// Copies predictor `k`'s folded histories and global history into the

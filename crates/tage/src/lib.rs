@@ -76,6 +76,7 @@ pub mod lanes;
 pub mod prediction;
 pub mod predictor;
 pub mod reference;
+pub(crate) mod snapshot;
 pub mod tables;
 
 pub use automaton::CounterAutomaton;

@@ -11,6 +11,7 @@
 use tage_predictors::counter::SignedCounter;
 use tage_predictors::history::HistoryRegister;
 use tage_predictors::{BranchPredictor, Prediction, PredictorCore};
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 use tage_traces::SplitMix64;
 
 use crate::config::TageConfig;
@@ -450,6 +451,187 @@ impl TagePredictor {
         self.reset_phase = 0;
         self.stats = TageStats::default();
     }
+
+    /// The specification string hashed into the snapshot spec digest: the
+    /// implementation marker plus every structural configuration field. The
+    /// counter automaton is deliberately **excluded** — adaptive runs mutate
+    /// it at run time, so it travels in the snapshot payload instead.
+    fn spec_string(&self) -> String {
+        Self::spec_string_for(&self.config)
+    }
+
+    fn spec_string_for(c: &TageConfig) -> String {
+        format!(
+            "tage-soa|name={}|tables={}|index_bits={}|tag_bits={}|ctr_bits={}|useful_bits={}\
+             |bim_index_bits={}|bim_ctr_bits={}|min_hist={}|max_hist={}|alt_bits={}\
+             |reset_period={}|seed={}",
+            c.name,
+            c.num_tagged_tables,
+            c.tagged_index_bits,
+            c.tag_bits,
+            c.counter_bits,
+            c.useful_bits,
+            c.bimodal_index_bits,
+            c.bimodal_counter_bits,
+            c.min_history,
+            c.max_history,
+            c.use_alt_on_na_bits,
+            c.useful_reset_period,
+            c.rng_seed,
+        )
+    }
+
+    /// A digest of the predictor's specification (see
+    /// [`BranchPredictor::spec_digest`]). Distinct from the reference
+    /// implementation's digest: the two predictors lay out their
+    /// useful-reset state differently, so their snapshots are not
+    /// interchangeable.
+    pub fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
+    }
+
+    /// [`TagePredictor::spec_digest`] computed from a configuration alone,
+    /// without building the predictor's tables — cheap enough for cache-key
+    /// derivation on every segment.
+    pub fn spec_digest_for(config: &TageConfig) -> u64 {
+        fnv1a64(Self::spec_string_for(config).as_bytes())
+    }
+
+    /// Serializes the predictor's **full** dynamic state — automaton,
+    /// bimodal and tagged tables, history, folded histories, RNG, reset
+    /// countdown and statistics — into the framed format of
+    /// [`tage_traces::snapshot`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+
+        w.begin_section();
+        crate::snapshot::write_automaton(&mut w, self.config.automaton);
+        w.end_section();
+
+        w.begin_section();
+        for ctr in &self.bimodal {
+            w.write_i8(ctr.value());
+        }
+        w.end_section();
+
+        w.begin_section();
+        let (tags, ctrs, useful) = self.tables.raw_parts();
+        for &tag in tags {
+            w.write_u16(tag);
+        }
+        for ctr in ctrs {
+            w.write_i8(ctr.value());
+        }
+        for u in useful {
+            w.write_u8(u.value());
+        }
+        w.end_section();
+
+        w.begin_section();
+        crate::snapshot::write_history(&mut w, &self.history);
+        crate::snapshot::write_folds(&mut w, &self.index_folds);
+        crate::snapshot::write_folds(&mut w, &self.tag_folds_a);
+        crate::snapshot::write_folds(&mut w, &self.tag_folds_b);
+        w.end_section();
+
+        w.begin_section();
+        w.write_i8(self.use_alt_on_na.value());
+        w.write_u64(self.rng.state());
+        w.write_u64(self.until_useful_reset);
+        w.write_u8(self.reset_phase);
+        crate::snapshot::write_stats(&mut w, &self.stats);
+        w.end_section();
+
+        w.finish()
+    }
+
+    /// Restores state captured by [`TagePredictor::snapshot`]. The restore
+    /// is all-or-nothing: the whole snapshot is decoded and validated before
+    /// any live state is touched, so on error the predictor is exactly as it
+    /// was.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] carrying the byte offset of the problem
+    /// when the bytes are truncated, corrupt, from a different format
+    /// version, or from a different predictor specification.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, TagePredictor::spec_digest(self))?;
+
+        r.begin_section()?;
+        let automaton = crate::snapshot::read_automaton(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section()?;
+        let mut bimodal = Vec::with_capacity(self.bimodal.len());
+        for _ in 0..self.bimodal.len() {
+            bimodal.push(r.read_i8()?);
+        }
+        r.end_section()?;
+
+        r.begin_section()?;
+        let total = self.tables.num_tables() * self.tables.entries_per_table();
+        let mut tags = Vec::with_capacity(total);
+        for _ in 0..total {
+            tags.push(r.read_u16()?);
+        }
+        let mut ctrs = Vec::with_capacity(total);
+        for _ in 0..total {
+            ctrs.push(r.read_i8()?);
+        }
+        let mut useful = Vec::with_capacity(total);
+        for _ in 0..total {
+            useful.push(r.read_u8()?);
+        }
+        r.end_section()?;
+
+        r.begin_section()?;
+        let history = crate::snapshot::read_history(&mut r, self.history.words().len())?;
+        let index_folds = crate::snapshot::read_folds(&mut r, &self.index_folds)?;
+        let tag_folds_a = crate::snapshot::read_folds(&mut r, &self.tag_folds_a)?;
+        let tag_folds_b = crate::snapshot::read_folds(&mut r, &self.tag_folds_b)?;
+        r.end_section()?;
+
+        r.begin_section()?;
+        let use_alt_on_na = r.read_i8()?;
+        let rng_state = r.read_u64()?;
+        let until_useful_reset = r.read_u64()?;
+        let reset_phase = r.read_u8()?;
+        let stats = crate::snapshot::read_stats(&mut r)?;
+        r.end_section()?;
+
+        r.finish()?;
+
+        // Everything decoded and validated: commit.
+        self.config.automaton = automaton;
+        for (ctr, value) in self.bimodal.iter_mut().zip(bimodal) {
+            ctr.set(value);
+        }
+        let (live_tags, live_ctrs, live_useful) = self.tables.raw_parts_mut();
+        live_tags.copy_from_slice(&tags);
+        for (ctr, value) in live_ctrs.iter_mut().zip(ctrs) {
+            ctr.set(value);
+        }
+        for (u, value) in live_useful.iter_mut().zip(useful) {
+            u.set(value);
+        }
+        self.history.load_words(&history);
+        for (fold, value) in self.index_folds.iter_mut().zip(index_folds) {
+            fold.set_value(value);
+        }
+        for (fold, value) in self.tag_folds_a.iter_mut().zip(tag_folds_a) {
+            fold.set_value(value);
+        }
+        for (fold, value) in self.tag_folds_b.iter_mut().zip(tag_folds_b) {
+            fold.set_value(value);
+        }
+        self.use_alt_on_na.set(use_alt_on_na);
+        self.rng = SplitMix64::from_state(rng_state);
+        self.until_useful_reset = until_useful_reset;
+        self.reset_phase = reset_phase;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 impl BranchPredictor for TagePredictor {
@@ -481,6 +663,18 @@ impl BranchPredictor for TagePredictor {
     fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
         Box::new(TagePredictor::new(self.config.clone()))
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        TagePredictor::snapshot(self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        TagePredictor::restore(self, bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        TagePredictor::spec_digest(self)
+    }
 }
 
 /// The engine-facing execution interface: unlike the flattening
@@ -508,6 +702,18 @@ impl PredictorCore for TagePredictor {
 
     fn name(&self) -> String {
         self.config.name.clone()
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        TagePredictor::snapshot(self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        TagePredictor::restore(self, bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        TagePredictor::spec_digest(self)
     }
 }
 

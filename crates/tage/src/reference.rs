@@ -17,6 +17,7 @@
 
 use tage_predictors::counter::SignedCounter;
 use tage_predictors::history::HistoryRegister;
+use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 use tage_traces::SplitMix64;
 
 use crate::config::TageConfig;
@@ -319,6 +320,164 @@ impl ReferenceTagePredictor {
         let config = self.config.clone();
         *self = ReferenceTagePredictor::new(config);
     }
+
+    /// The specification string hashed into the snapshot spec digest. The
+    /// `tage-reference` marker makes the digest distinct from the SoA
+    /// implementation's: the two lay out useful-reset state differently
+    /// (`tick` counts up here, a countdown there), so snapshots are not
+    /// interchangeable across implementations.
+    fn spec_string(&self) -> String {
+        let c = &self.config;
+        format!(
+            "tage-reference|name={}|tables={}|index_bits={}|tag_bits={}|ctr_bits={}\
+             |useful_bits={}|bim_index_bits={}|bim_ctr_bits={}|min_hist={}|max_hist={}\
+             |alt_bits={}|reset_period={}|seed={}",
+            c.name,
+            c.num_tagged_tables,
+            c.tagged_index_bits,
+            c.tag_bits,
+            c.counter_bits,
+            c.useful_bits,
+            c.bimodal_index_bits,
+            c.bimodal_counter_bits,
+            c.min_history,
+            c.max_history,
+            c.use_alt_on_na_bits,
+            c.useful_reset_period,
+            c.rng_seed,
+        )
+    }
+
+    /// A digest of the predictor's specification (see
+    /// [`tage_predictors::PredictorCore::spec_digest`]).
+    pub fn spec_digest(&self) -> u64 {
+        fnv1a64(self.spec_string().as_bytes())
+    }
+
+    /// Serializes the predictor's full dynamic state into the framed format
+    /// of [`tage_traces::snapshot`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(self.spec_digest());
+
+        w.begin_section();
+        crate::snapshot::write_automaton(&mut w, self.config.automaton);
+        w.end_section();
+
+        w.begin_section();
+        for ctr in &self.bimodal {
+            w.write_i8(ctr.value());
+        }
+        w.end_section();
+
+        w.begin_section();
+        for table in &self.tables {
+            for entry in table {
+                w.write_u16(entry.tag);
+                w.write_i8(entry.ctr.value());
+                w.write_u8(entry.useful.value());
+            }
+        }
+        w.end_section();
+
+        w.begin_section();
+        crate::snapshot::write_history(&mut w, &self.history);
+        crate::snapshot::write_folds(&mut w, &self.index_folds);
+        crate::snapshot::write_folds(&mut w, &self.tag_folds_a);
+        crate::snapshot::write_folds(&mut w, &self.tag_folds_b);
+        w.end_section();
+
+        w.begin_section();
+        w.write_i8(self.use_alt_on_na.value());
+        w.write_u64(self.rng.state());
+        w.write_u64(self.tick);
+        w.write_u8(self.reset_phase);
+        crate::snapshot::write_stats(&mut w, &self.stats);
+        w.end_section();
+
+        w.finish()
+    }
+
+    /// Restores state captured by [`ReferenceTagePredictor::snapshot`],
+    /// all-or-nothing: on error the predictor is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] carrying the byte offset of the problem
+    /// when the bytes are truncated, corrupt, from a different format
+    /// version, or from a different predictor specification.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::new(bytes, ReferenceTagePredictor::spec_digest(self))?;
+
+        r.begin_section()?;
+        let automaton = crate::snapshot::read_automaton(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section()?;
+        let mut bimodal = Vec::with_capacity(self.bimodal.len());
+        for _ in 0..self.bimodal.len() {
+            bimodal.push(r.read_i8()?);
+        }
+        r.end_section()?;
+
+        r.begin_section()?;
+        let per_table = self.tables.first().map_or(0, Vec::len);
+        let mut entries = Vec::with_capacity(self.tables.len() * per_table);
+        for _ in 0..self.tables.len() * per_table {
+            let tag = r.read_u16()?;
+            let ctr = r.read_i8()?;
+            let useful = r.read_u8()?;
+            entries.push((tag, ctr, useful));
+        }
+        r.end_section()?;
+
+        r.begin_section()?;
+        let history = crate::snapshot::read_history(&mut r, self.history.words().len())?;
+        let index_folds = crate::snapshot::read_folds(&mut r, &self.index_folds)?;
+        let tag_folds_a = crate::snapshot::read_folds(&mut r, &self.tag_folds_a)?;
+        let tag_folds_b = crate::snapshot::read_folds(&mut r, &self.tag_folds_b)?;
+        r.end_section()?;
+
+        r.begin_section()?;
+        let use_alt_on_na = r.read_i8()?;
+        let rng_state = r.read_u64()?;
+        let tick = r.read_u64()?;
+        let reset_phase = r.read_u8()?;
+        let stats = crate::snapshot::read_stats(&mut r)?;
+        r.end_section()?;
+
+        r.finish()?;
+
+        // Everything decoded and validated: commit.
+        self.config.automaton = automaton;
+        for (ctr, value) in self.bimodal.iter_mut().zip(bimodal) {
+            ctr.set(value);
+        }
+        let mut flat = entries.into_iter();
+        for table in &mut self.tables {
+            for entry in table.iter_mut() {
+                let (tag, ctr, useful) = flat.next().expect("sized above");
+                entry.tag = tag;
+                entry.ctr.set(ctr);
+                entry.useful.set(useful);
+            }
+        }
+        self.history.load_words(&history);
+        for (fold, value) in self.index_folds.iter_mut().zip(index_folds) {
+            fold.set_value(value);
+        }
+        for (fold, value) in self.tag_folds_a.iter_mut().zip(tag_folds_a) {
+            fold.set_value(value);
+        }
+        for (fold, value) in self.tag_folds_b.iter_mut().zip(tag_folds_b) {
+            fold.set_value(value);
+        }
+        self.use_alt_on_na.set(use_alt_on_na);
+        self.rng = SplitMix64::from_state(rng_state);
+        self.tick = tick;
+        self.reset_phase = reset_phase;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 /// Engine-facing interface, so the reference implementation can be driven
@@ -346,6 +505,18 @@ impl tage_predictors::PredictorCore for ReferenceTagePredictor {
 
     fn name(&self) -> String {
         format!("{} (reference)", self.config.name)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        ReferenceTagePredictor::snapshot(self)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        ReferenceTagePredictor::restore(self, bytes)
+    }
+
+    fn spec_digest(&self) -> u64 {
+        ReferenceTagePredictor::spec_digest(self)
     }
 }
 

@@ -1,0 +1,135 @@
+//! Shared encode/decode helpers for the two TAGE implementations'
+//! snapshots (see `tage_traces::snapshot` for the framed format).
+
+use tage_predictors::history::HistoryRegister;
+use tage_traces::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
+use crate::automaton::CounterAutomaton;
+use crate::folded::FoldedHistory;
+use crate::predictor::TageStats;
+
+const AUTOMATON_STANDARD: u8 = 0;
+const AUTOMATON_PROBABILISTIC: u8 = 1;
+
+/// Encodes the counter automaton as a tag byte plus exponent. The automaton
+/// lives in the snapshot *payload* (not the spec digest) because adaptive
+/// runs mutate it at run time via `TagePredictor::set_automaton`.
+pub(crate) fn write_automaton(w: &mut SnapshotWriter, automaton: CounterAutomaton) {
+    match automaton {
+        CounterAutomaton::Standard => {
+            w.write_u8(AUTOMATON_STANDARD);
+            w.write_u32(0);
+        }
+        CounterAutomaton::ProbabilisticSaturation {
+            log2_inverse_probability,
+        } => {
+            w.write_u8(AUTOMATON_PROBABILISTIC);
+            w.write_u32(log2_inverse_probability);
+        }
+    }
+}
+
+/// Decodes an automaton written by [`write_automaton`].
+pub(crate) fn read_automaton(
+    r: &mut SnapshotReader<'_>,
+) -> Result<CounterAutomaton, SnapshotError> {
+    let offset = r.offset();
+    let tag = r.read_u8()?;
+    let exponent = r.read_u32()?;
+    match tag {
+        AUTOMATON_STANDARD => Ok(CounterAutomaton::Standard),
+        AUTOMATON_PROBABILISTIC => {
+            let automaton = CounterAutomaton::ProbabilisticSaturation {
+                log2_inverse_probability: exponent,
+            };
+            automaton
+                .validate()
+                .map_err(|reason| SnapshotError::MalformedSection { offset, reason })?;
+            Ok(automaton)
+        }
+        other => Err(SnapshotError::MalformedSection {
+            offset,
+            reason: format!("unknown automaton tag {other}"),
+        }),
+    }
+}
+
+/// Writes a history register's backing words, count-prefixed.
+pub(crate) fn write_history(w: &mut SnapshotWriter, history: &HistoryRegister) {
+    let words = history.words();
+    w.write_u32(words.len() as u32);
+    for &word in words {
+        w.write_u64(word);
+    }
+}
+
+/// Reads words written by [`write_history`], verifying the count.
+pub(crate) fn read_history(
+    r: &mut SnapshotReader<'_>,
+    expected_words: usize,
+) -> Result<Vec<u64>, SnapshotError> {
+    let offset = r.offset();
+    let count = r.read_u32()? as usize;
+    if count != expected_words {
+        return Err(SnapshotError::MalformedSection {
+            offset,
+            reason: format!("history holds {count} words, predictor expects {expected_words}"),
+        });
+    }
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        words.push(r.read_u64()?);
+    }
+    Ok(words)
+}
+
+/// Writes the raw values of a folded-history bank.
+pub(crate) fn write_folds(w: &mut SnapshotWriter, folds: &[FoldedHistory]) {
+    for fold in folds {
+        w.write_u64(fold.value());
+    }
+}
+
+/// Reads one raw value per fold of `folds`, range-checking each against the
+/// fold's compressed width (the shape itself is pinned by the spec digest).
+pub(crate) fn read_folds(
+    r: &mut SnapshotReader<'_>,
+    folds: &[FoldedHistory],
+) -> Result<Vec<u64>, SnapshotError> {
+    let mut values = Vec::with_capacity(folds.len());
+    for fold in folds {
+        let offset = r.offset();
+        let value = r.read_u64()?;
+        if fold.compressed_length() < 64 && value >> fold.compressed_length() != 0 {
+            return Err(SnapshotError::MalformedSection {
+                offset,
+                reason: format!(
+                    "folded-history value {value:#x} exceeds {} bits",
+                    fold.compressed_length()
+                ),
+            });
+        }
+        values.push(value);
+    }
+    Ok(values)
+}
+
+/// Writes the predictor's event counters.
+pub(crate) fn write_stats(w: &mut SnapshotWriter, stats: &TageStats) {
+    w.write_u64(stats.updates);
+    w.write_u64(stats.mispredictions);
+    w.write_u64(stats.allocations);
+    w.write_u64(stats.allocation_failures);
+    w.write_u64(stats.useful_resets);
+}
+
+/// Reads counters written by [`write_stats`].
+pub(crate) fn read_stats(r: &mut SnapshotReader<'_>) -> Result<TageStats, SnapshotError> {
+    Ok(TageStats {
+        updates: r.read_u64()?,
+        mispredictions: r.read_u64()?,
+        allocations: r.read_u64()?,
+        allocation_failures: r.read_u64()?,
+        useful_resets: r.read_u64()?,
+    })
+}

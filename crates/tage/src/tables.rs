@@ -74,6 +74,19 @@ impl TageTables {
         self.num_tables
     }
 
+    /// The raw parallel arrays (tags, prediction counters, useful counters)
+    /// for snapshot serialization.
+    pub(crate) fn raw_parts(&self) -> (&[u16], &[SignedCounter], &[UnsignedCounter]) {
+        (&self.tags, &self.ctrs, &self.useful)
+    }
+
+    /// Mutable access to the raw parallel arrays for snapshot restore.
+    pub(crate) fn raw_parts_mut(
+        &mut self,
+    ) -> (&mut [u16], &mut [SignedCounter], &mut [UnsignedCounter]) {
+        (&mut self.tags, &mut self.ctrs, &mut self.useful)
+    }
+
     /// Number of entries per table.
     #[inline]
     pub fn entries_per_table(&self) -> usize {

@@ -41,6 +41,7 @@ pub mod format;
 pub mod reader;
 pub mod record;
 pub mod rng;
+pub mod snapshot;
 pub mod source;
 pub mod stats;
 pub mod suites;
@@ -50,6 +51,7 @@ pub mod writer;
 
 pub use record::{BranchKind, BranchRecord};
 pub use rng::SplitMix64;
+pub use snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use source::{
     AnySource, BinaryFileSource, BranchSource, SliceSource, SourceSpec, SourceSuite,
     SyntheticSource, Take,

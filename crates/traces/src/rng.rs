@@ -35,6 +35,20 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// Rebuilds a generator from a raw state previously captured with
+    /// [`SplitMix64::state`] — the continuation of that exact stream, used
+    /// by predictor snapshots to freeze and resume RNG-dependent runs.
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
+    /// The generator's raw internal state (for snapshot serialization).
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64-bit pseudo-random value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

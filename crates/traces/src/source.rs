@@ -562,6 +562,34 @@ impl SourceSpec {
         }
     }
 
+    /// A stable digest identifying the exact record stream this spec opens
+    /// with `conditional_branches` — the source half of a warm-state cache
+    /// key (see `tage_sim`'s warm cache).
+    ///
+    /// Synthetic sources hash their full generation recipe (name, seed,
+    /// profile, record budget), so two specs digest equal exactly when they
+    /// stream identical records. File-backed sources hash the path plus the
+    /// file's current byte length; rewriting a trace file in place with the
+    /// same length defeats this, so regenerated traces should go to fresh
+    /// paths (or the cache directory should be cleared).
+    pub fn digest(&self, conditional_branches: usize) -> u64 {
+        match self {
+            SourceSpec::Synthetic(spec) => crate::snapshot::fnv1a64(
+                format!(
+                    "synthetic|{}|seed={}|{:?}|branches={conditional_branches}",
+                    spec.name(),
+                    spec.seed(),
+                    spec.profile()
+                )
+                .as_bytes(),
+            ),
+            SourceSpec::BinaryFile(path) => {
+                let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                crate::snapshot::fnv1a64(format!("file|{}|len={len}", path.display()).as_bytes())
+            }
+        }
+    }
+
     /// Opens a fresh stream.
     ///
     /// `conditional_branches` sizes synthetic sources; file-backed sources

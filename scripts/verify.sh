@@ -74,4 +74,32 @@ cargo run --release --bin tage-bench -- --trace-dir target/verify-traces \
   --label verify-file --out target/campaign-file-smoke.json
 cargo run --release --bin tage-bench -- --check target/campaign-file-smoke.json
 
+echo "== snapshot round-trip (parity + corruption + fuzz suite) =="
+# Versioned predictor-state snapshots: split-point parity for every
+# predictor spec, precise corruption errors, multilane restores and the
+# op-interleaving fuzz (docs/SNAPSHOTS.md).
+cargo test --release -q --test snapshot_parity
+
+echo "== checkpointed campaign smoke (kill + resume) =="
+# Kill a grid after one executed cell (--max-cells), resume it from the
+# checkpoint, and require the resumed timing-free report to byte-match a
+# clean uninterrupted run's (docs/CAMPAIGNS.md).
+rm -rf target/verify-ckpt
+rm -f target/campaign-resumed.json target/campaign-clean.json
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-ckpt --no-timing \
+  --checkpoint target/verify-ckpt --max-cells 1 \
+  --out target/campaign-resumed.json
+test ! -f target/campaign-resumed.json
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-ckpt --no-timing \
+  --resume target/verify-ckpt --out target/campaign-resumed.json
+cargo run --release --bin tage-bench -- \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-ckpt --no-timing \
+  --out target/campaign-clean.json
+cmp target/campaign-resumed.json target/campaign-clean.json
+
 echo "verify: OK"
