@@ -35,7 +35,7 @@ fn main() {
         TageConfig::medium(),
         TageConfig::large(),
     ] {
-        bench("tage_predict_update", &config.name, branches, || {
+        bench("tage_predict_update", &config.name(), branches, || {
             let mut predictor = TagePredictor::new(config.clone());
             let mut misses = 0u64;
             for record in trace.iter().filter(|r| r.kind.is_conditional()) {

@@ -15,7 +15,7 @@ fn main() {
         branches,
     );
     for config in [TageConfig::small(), TageConfig::large()] {
-        println!("--- {} ---", config.name);
+        println!("--- {} ---", config.name());
         let rows = bim_breakdown(&config, &suites::cbp1_like(), branches);
         let mut table = TextTable::new(vec![
             "trace",

@@ -18,7 +18,7 @@ fn main() {
             TageConfig::large().with_automaton(CounterAutomaton::paper_default()),
         ] {
             let mut sum_mpki = 0.0;
-            println!("--- {} ---", config.name);
+            println!("--- {} ---", config.name());
             for spec in suite.traces() {
                 let trace = spec.generate(n);
                 let r = run_trace(&config, &trace, &RunOptions::default());

@@ -35,7 +35,7 @@ fn print_distribution(config_name: &str, rows: &[ClassDistributionRow]) {
 fn run(suite: &Suite, branches: usize) {
     for config in standard_configs() {
         let rows = class_distribution(&config, suite, branches);
-        print_distribution(&config.name, &rows);
+        print_distribution(&config.name(), &rows);
     }
 }
 

@@ -15,7 +15,7 @@ fn main() {
     );
     let suite = suites::cbp2_like();
     for config in standard_configs() {
-        println!("--- {} ---", config.name);
+        println!("--- {} ---", config.name());
         let rows = class_distribution(&config, &suite, branches);
         let mut headers = vec!["trace"];
         headers.extend(PredictionClass::ALL.iter().map(|c| c.label()));

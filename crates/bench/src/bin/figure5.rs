@@ -11,7 +11,7 @@ use tage_traces::{suites, Suite};
 
 fn panel(config: TageConfig, suite: &Suite, branches: usize) {
     let config = config.with_automaton(CounterAutomaton::paper_default());
-    println!("--- {} on {} ---", config.name, suite.name());
+    println!("--- {} on {} ---", config.name(), suite.name());
     let rows = class_distribution(&config, suite, branches);
     let mut headers = vec!["trace"];
     headers.extend(PredictionClass::ALL.iter().map(|c| c.label()));

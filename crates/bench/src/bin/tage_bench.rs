@@ -11,6 +11,7 @@
 //!            [--workers N] [--engine multilane|scalar] [--label STR]
 //!            [--out PATH] [--no-timing] [--list]
 //!            [--checkpoint DIR | --resume DIR] [--max-cells N]
+//! tage-bench --explore [--budget-bits N] [--max-geometries N] [...]
 //! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! ```
@@ -40,6 +41,15 @@
 //! one's. `--max-cells N` caps how many cells one run executes; when cells
 //! remain the run prints progress and exits 0 **without** writing `--out`
 //! (the CI campaign-smoke job uses this to rehearse a mid-grid kill).
+//!
+//! `--explore` replaces the predictor axis with a deterministic enumeration
+//! of TAGE geometries fitting `--budget-bits` (capped at `--max-geometries`
+//! candidates, largest first) and appends an `explore` section to the
+//! report: the Pareto front over storage, MPKI, and residual high-bucket
+//! misprediction rate. The front is derived from the rendered timing-free
+//! cell bytes, so it is byte-identical across worker counts, engines, and
+//! kill/`--resume` splits. Unless overridden, `--explore` pairs the
+//! candidates with the storage-free scheme only (see `docs/GEOMETRY.md`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -50,6 +60,7 @@ use tage_bench::campaign::{
 };
 use tage_bench::checkpoint::CampaignCheckpoint;
 use tage_bench::cli;
+use tage_bench::explore;
 use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
 use tage_sim::scenarios::ScenarioSpec;
@@ -70,6 +81,7 @@ const DEFAULT_BRANCHES: usize = 20_000;
 struct Options {
     predictors: String,
     schemes: String,
+    schemes_explicit: bool,
     suites: String,
     suites_explicit: bool,
     scenarios: String,
@@ -86,12 +98,21 @@ struct Options {
     checkpoint: Option<String>,
     resume: bool,
     max_cells: Option<usize>,
+    explore: bool,
+    budget_bits: Option<u64>,
+    max_geometries: Option<usize>,
 }
+
+/// Default `--budget-bits` for `--explore` (the paper's 64 Kbit point).
+const DEFAULT_BUDGET_BITS: u64 = 64 * 1024;
+/// Default `--max-geometries` candidate cap for `--explore`.
+const DEFAULT_MAX_GEOMETRIES: usize = 16;
 
 fn parse_options() -> Result<Options, String> {
     let mut options = Options {
         predictors: DEFAULT_PREDICTORS.to_string(),
         schemes: DEFAULT_SCHEMES.to_string(),
+        schemes_explicit: false,
         suites: DEFAULT_SUITES.to_string(),
         suites_explicit: false,
         scenarios: DEFAULT_SCENARIOS.to_string(),
@@ -108,12 +129,18 @@ fn parse_options() -> Result<Options, String> {
         checkpoint: None,
         resume: false,
         max_cells: None,
+        explore: false,
+        budget_bits: None,
+        max_geometries: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--predictors" => options.predictors = cli::require_value(&mut args, "--predictors")?,
-            "--schemes" => options.schemes = cli::require_value(&mut args, "--schemes")?,
+            "--schemes" => {
+                options.schemes = cli::require_value(&mut args, "--schemes")?;
+                options.schemes_explicit = true;
+            }
             "--suites" => {
                 options.suites = cli::require_value(&mut args, "--suites")?;
                 options.suites_explicit = true;
@@ -163,6 +190,15 @@ fn parse_options() -> Result<Options, String> {
                 let value = cli::require_value(&mut args, "--max-cells")?;
                 options.max_cells = Some(cli::parse_count("--max-cells", &value)?);
             }
+            "--explore" => options.explore = true,
+            "--budget-bits" => {
+                let value = cli::require_value(&mut args, "--budget-bits")?;
+                options.budget_bits = Some(cli::parse_count("--budget-bits", &value)? as u64);
+            }
+            "--max-geometries" => {
+                let value = cli::require_value(&mut args, "--max-geometries")?;
+                options.max_geometries = Some(cli::parse_count("--max-geometries", &value)?);
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other} (see --list or docs/CAMPAIGNS.md)"
@@ -172,6 +208,9 @@ fn parse_options() -> Result<Options, String> {
     }
     if options.max_cells.is_some() && options.checkpoint.is_none() {
         return Err("--max-cells requires --checkpoint or --resume".to_string());
+    }
+    if !options.explore && (options.budget_bits.is_some() || options.max_geometries.is_some()) {
+        return Err("--budget-bits/--max-geometries require --explore".to_string());
     }
     Ok(options)
 }
@@ -353,16 +392,47 @@ fn main() -> ExitCode {
         };
     }
 
-    let spec = {
-        let predictors = parse_axis(
-            "predictor",
-            &options.predictors,
-            PredictorSpec::parse,
-            &PredictorSpec::known_tokens(),
+    // --explore swaps the predictor axis for a budgeted geometry
+    // enumeration and (unless --schemes was given) pins the scheme axis to
+    // storage-free, the estimator the design-space search ranks.
+    let budget_bits = options.budget_bits.unwrap_or(DEFAULT_BUDGET_BITS);
+    let explore_candidates = if options.explore {
+        let geometries = explore::enumerate_geometries(
+            budget_bits,
+            options.max_geometries.unwrap_or(DEFAULT_MAX_GEOMETRIES),
         );
+        if geometries.is_empty() {
+            eprintln!("tage-bench: --explore: no geometry fits a {budget_bits}-bit budget");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "explore: {} candidate geometries under {budget_bits} bits",
+            geometries.len()
+        );
+        Some(explore::explore_predictors(geometries))
+    } else {
+        None
+    };
+    let candidates = explore_candidates.as_ref().map_or(0, Vec::len);
+
+    let spec = {
+        let predictors = match explore_candidates {
+            Some(candidates) => Ok(candidates),
+            None => parse_axis(
+                "predictor",
+                &options.predictors,
+                PredictorSpec::parse,
+                &PredictorSpec::known_tokens(),
+            ),
+        };
+        let scheme_list = if options.explore && !options.schemes_explicit {
+            "storage-free"
+        } else {
+            options.schemes.as_str()
+        };
         let schemes = parse_axis(
             "scheme",
-            &options.schemes,
+            scheme_list,
             SchemeSpec::parse,
             &SchemeSpec::known_tokens(),
         );
@@ -433,7 +503,7 @@ fn main() -> ExitCode {
             EngineKind::Scalar => "scalar",
         },
     );
-    let report = match run_checkpointable_campaign(&spec, &options) {
+    let mut report = match run_checkpointable_campaign(&spec, &options) {
         Ok(Some(report)) => report,
         // A --max-cells run stopped with cells remaining: progress is
         // checkpointed, the (partial) report is deliberately not written.
@@ -449,6 +519,12 @@ fn main() -> ExitCode {
             report.skipped.len()
         );
         return ExitCode::FAILURE;
+    }
+    if options.explore {
+        if let Err(error) = explore::attach_explore_section(&mut report, budget_bits, candidates) {
+            eprintln!("tage-bench: {error}");
+            return ExitCode::FAILURE;
+        }
     }
 
     println!(
@@ -494,6 +570,25 @@ fn main() -> ExitCode {
             "skipped        {} × {} × {} on {}: {}",
             skipped.predictor, skipped.scheme, skipped.scenario, skipped.suite, skipped.reason
         );
+    }
+    if let Some(explore_section) = &report.explore {
+        println!();
+        println!(
+            "explore: Pareto front under {} bits ({} of {} candidates survive)",
+            explore_section.budget_bits,
+            explore_section.pareto.len(),
+            explore_section.candidates,
+        );
+        println!(
+            "{:<22} {:>12} {:>10} {:>16}",
+            "predictor", "storage_bits", "mean_mpki", "high_mprate_mkp"
+        );
+        for entry in &explore_section.pareto {
+            println!(
+                "{:<22} {:>12} {:>10.3} {:>16.3}",
+                entry.predictor, entry.storage_bits, entry.mean_mpki, entry.high_mprate_mkp
+            );
+        }
     }
     println!();
     println!(

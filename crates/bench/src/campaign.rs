@@ -46,8 +46,11 @@ use crate::jsonish;
 /// Current schema version of the campaign report. Schema 2 added the
 /// scenario axis: every point carries a `"scenario"` label, non-baseline
 /// points carry a `"scenario_metrics"` object, and the grid lists its
-/// `"scenarios"` tokens.
-pub const SCHEMA_VERSION: u32 = 2;
+/// `"scenarios"` tokens. Schema 3 adds exact storage accounting: every
+/// point carries its predictor's `"storage_bits"`, and `--explore` runs
+/// append a top-level `"explore"` section with the budget and the Pareto
+/// front (see [`ExploreSection`]).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The `campaign` discriminator field every report carries.
 pub const CAMPAIGN_NAME: &str = "tage-bench";
@@ -286,6 +289,66 @@ pub struct CampaignReport {
     pub steals: u64,
     /// Wall-clock seconds of the whole campaign.
     pub wall_seconds: f64,
+    /// The design-space-exploration summary of a `--explore` run
+    /// (`None` for ordinary campaigns).
+    pub explore: Option<ExploreSection>,
+}
+
+/// The `"explore"` section of a schema-3 report: what budget the
+/// design-space search ran under and which cells survived Pareto pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreSection {
+    /// The `--budget-bits` storage ceiling every candidate fits.
+    pub budget_bits: u64,
+    /// Number of candidate geometries the enumeration produced.
+    pub candidates: usize,
+    /// The Pareto-optimal cells (storage × accuracy × confidence quality),
+    /// sorted by ascending storage.
+    pub pareto: Vec<ParetoEntry>,
+}
+
+/// One Pareto-front member of an explore run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEntry {
+    /// Predictor label of the cell.
+    pub predictor: String,
+    /// Exact storage of the candidate, in bits.
+    pub storage_bits: u64,
+    /// Mean per-trace MPKI of the cell (lower is better).
+    pub mean_mpki: f64,
+    /// Misprediction rate of high-confidence predictions, in mispredictions
+    /// per kilo-prediction (lower is better — the paper's confidence-quality
+    /// axis).
+    pub high_mprate_mkp: f64,
+}
+
+impl ExploreSection {
+    /// Renders the section as the top-level report member (no leading
+    /// comma, no trailing newline).
+    fn render_json(&self) -> String {
+        let entries: Vec<String> = self
+            .pareto
+            .iter()
+            .map(|e| {
+                format!(
+                    "   {{\"predictor\": \"{}\", \"storage_bits\": {}, \"mean_mpki\": {:.6}, \"high_mprate_mkp\": {:.6}}}",
+                    jsonish::escape(&e.predictor),
+                    e.storage_bits,
+                    e.mean_mpki,
+                    e.high_mprate_mkp
+                )
+            })
+            .collect();
+        let pareto = if entries.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", entries.join(",\n"))
+        };
+        format!(
+            " \"explore\": {{\n  \"budget_bits\": {},\n  \"candidates\": {},\n  \"pareto\": {}\n }}",
+            self.budget_bits, self.candidates, pareto
+        )
+    }
 }
 
 /// Expands and executes a campaign across `workers` threads, stealing work
@@ -357,6 +420,7 @@ fn assemble_report(
         workers: stats.workers,
         steals: stats.steals,
         wall_seconds: start.elapsed().as_secs_f64(),
+        explore: None,
     }
 }
 
@@ -458,6 +522,22 @@ fn render_token_array(tokens: &[String]) -> String {
 }
 
 impl CampaignReport {
+    /// The timing-free rendered bytes of every grid cell, in grid-expansion
+    /// order: computed cells render fresh, restored cells return the exact
+    /// bytes the checkpoint stored. Because both forms are byte-identical
+    /// for the same cell, anything derived from these strings (the explore
+    /// Pareto front) is independent of worker count, engine choice, and
+    /// kill/resume history.
+    pub fn cell_bytes(&self) -> Vec<String> {
+        self.points
+            .iter()
+            .map(|cell| match cell {
+                CampaignCell::Computed(point) => render_point_json(point, false),
+                CampaignCell::Restored(rendered) => rendered.clone(),
+            })
+            .collect()
+    }
+
     /// Renders the versioned JSON report.
     ///
     /// With `include_timing == false` every wall-clock-derived field
@@ -529,6 +609,10 @@ impl CampaignReport {
         } else {
             out.push_str(&format!(" \"skipped\": [\n{}\n ]", skipped.join(",\n")));
         }
+        if let Some(explore) = &self.explore {
+            out.push_str(",\n");
+            out.push_str(&explore.render_json());
+        }
         if include_timing {
             out.push_str(",\n \"timing\": {\n");
             out.push_str(&format!("  \"workers\": {},\n", self.workers));
@@ -556,6 +640,7 @@ pub(crate) fn render_point_json(point: &CampaignPointReport, include_timing: boo
         format!("\"scheme\": \"{}\"", jsonish::escape(&result.scheme)),
         format!("\"suite\": \"{}\"", jsonish::escape(&result.suite)),
         format!("\"scenario\": \"{}\"", jsonish::escape(&result.scenario)),
+        format!("\"storage_bits\": {}", result.storage_bits),
         format!("\"traces\": {}", result.traces.len()),
         format!("\"predictions\": {predictions}"),
         format!("\"mispredictions\": {mispredictions}"),
@@ -629,6 +714,7 @@ pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
             }
         }
         for key in [
+            "storage_bits",
             "traces",
             "predictions",
             "mispredictions",
@@ -648,6 +734,32 @@ pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
             return Err(format!(
                 "point {i} runs scenario \"{scenario}\" but carries no \"scenario_metrics\""
             ));
+        }
+    }
+    // An `--explore` report must carry a structurally complete section:
+    // the budget, the candidate count, and fully-typed Pareto entries.
+    if json.contains("\"explore\":") {
+        for key in ["budget_bits", "candidates"] {
+            if jsonish::number_field(json, key).is_none() {
+                return Err(format!(
+                    "explore section is missing numeric field \"{key}\""
+                ));
+            }
+        }
+        for (i, entry) in jsonish::extract_array_objects(json, "pareto")
+            .iter()
+            .enumerate()
+        {
+            if jsonish::string_field(entry, "predictor").is_none() {
+                return Err(format!("pareto entry {i} is missing \"predictor\""));
+            }
+            for key in ["storage_bits", "mean_mpki", "high_mprate_mkp"] {
+                if jsonish::number_field(entry, key).is_none() {
+                    return Err(format!(
+                        "pareto entry {i} is missing numeric field \"{key}\""
+                    ));
+                }
+            }
         }
     }
     let skipped = jsonish::extract_array_objects(json, "skipped");
@@ -954,26 +1066,50 @@ mod tests {
             "{\"campaign\": \"tage-bench\", \"schema\": 99, \"points\": [{\"predictor\": \"x\"}]}";
         let error = validate_report(wrong_schema).unwrap_err();
         assert!(error.contains("schema"));
-        // Schema-1 reports (pre-scenario) are explicitly unsupported now.
-        let schema_1 =
-            "{\"campaign\": \"tage-bench\", \"schema\": 1, \"points\": [{\"predictor\": \"x\"}]}";
-        assert!(validate_report(schema_1).unwrap_err().contains("schema"));
-        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": []}";
+        // Schema-1 and schema-2 reports (pre-scenario / pre-storage) are
+        // explicitly unsupported now.
+        for old in [1, 2] {
+            let stale = format!(
+                "{{\"campaign\": \"tage-bench\", \"schema\": {old}, \"points\": [{{\"predictor\": \"x\"}}]}}"
+            );
+            assert!(validate_report(&stale).unwrap_err().contains("schema"));
+        }
+        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": []}";
         assert!(validate_report(no_points).unwrap_err().contains("points"));
-        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"traces\": 1}]}";
+        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"storage_bits\": 1, \"traces\": 1}]}";
         assert!(validate_report(missing_field)
             .unwrap_err()
             .contains("predictions"));
+        // A schema-2-shaped point (no storage accounting) is rejected.
+        let no_storage = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"traces\": 1}]}";
+        assert!(validate_report(no_storage)
+            .unwrap_err()
+            .contains("storage_bits"));
         // A schema-1-shaped point (no scenario label) is rejected.
-        let no_scenario = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
+        let no_scenario = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
         assert!(validate_report(no_scenario)
             .unwrap_err()
             .contains("scenario"));
         // A non-baseline scenario cell without its metrics object is
         // rejected.
-        let no_metrics = "{\"campaign\": \"tage-bench\", \"schema\": 2, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"recovery-energy\", \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}]}";
+        let no_metrics = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"recovery-energy\", \"storage_bits\": 1, \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}]}";
         assert!(validate_report(no_metrics)
             .unwrap_err()
             .contains("scenario_metrics"));
+        // An explore section missing its budget or carrying untyped Pareto
+        // entries is rejected.
+        let good_point = "{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"storage_bits\": 1, \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}";
+        let no_budget = format!(
+            "{{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{good_point}], \"explore\": {{\"candidates\": 1, \"pareto\": []}}}}"
+        );
+        assert!(validate_report(&no_budget)
+            .unwrap_err()
+            .contains("budget_bits"));
+        let bad_pareto = format!(
+            "{{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{good_point}], \"explore\": {{\"budget_bits\": 32768, \"candidates\": 1, \"pareto\": [{{\"predictor\": \"p\", \"storage_bits\": 1}}]}}}}"
+        );
+        assert!(validate_report(&bad_pareto)
+            .unwrap_err()
+            .contains("mean_mpki"));
     }
 }

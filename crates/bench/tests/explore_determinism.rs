@@ -1,0 +1,98 @@
+//! Design-space exploration determinism contract: the `--explore` report —
+//! including the appended Pareto front — is byte-identical across worker
+//! counts, engines, and kill/`--resume` splits, because the front is
+//! derived from the rendered timing-free cell bytes rather than in-memory
+//! floats.
+
+use std::path::PathBuf;
+
+use tage_bench::campaign::{
+    run_campaign_checkpointed, run_campaign_with_engine, validate_report, CampaignSpec,
+};
+use tage_bench::checkpoint::CampaignCheckpoint;
+use tage_bench::explore::{attach_explore_section, enumerate_geometries, explore_predictors};
+use tage_sim::point::SchemeSpec;
+use tage_sim::scenarios::ScenarioSpec;
+use tage_sim::EngineKind;
+use tage_traces::suites;
+
+const BUDGET_BITS: u64 = 32 * 1024;
+const MAX_GEOMETRIES: usize = 3;
+
+fn explore_grid() -> CampaignSpec {
+    CampaignSpec {
+        label: "explore-determinism".to_string(),
+        predictors: explore_predictors(enumerate_geometries(BUDGET_BITS, MAX_GEOMETRIES)),
+        schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+        suites: vec![suites::cbp1_mini().into()],
+        scenarios: vec![ScenarioSpec::parse("baseline").unwrap()],
+        branches_per_trace: 2_000,
+    }
+}
+
+fn rendered_explore_report(workers: usize, engine: EngineKind) -> String {
+    let mut report = run_campaign_with_engine(&explore_grid(), workers, engine).unwrap();
+    attach_explore_section(&mut report, BUDGET_BITS, MAX_GEOMETRIES).unwrap();
+    report.render_json(false)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tage-explore-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn explore_reports_are_byte_identical_across_workers_and_engines() {
+    let reference = rendered_explore_report(1, EngineKind::Multilane);
+    assert!(reference.contains("\"explore\":"));
+    assert!(reference.contains("\"pareto\":"));
+    for (workers, engine) in [(4, EngineKind::Multilane), (2, EngineKind::Scalar)] {
+        assert_eq!(
+            reference,
+            rendered_explore_report(workers, engine),
+            "explore report depends on ({workers} workers, {engine:?})"
+        );
+    }
+}
+
+#[test]
+fn explore_report_survives_a_mid_grid_kill_and_resume() {
+    let reference = rendered_explore_report(1, EngineKind::Multilane);
+    let dir = temp_dir("kill-resume");
+    let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+
+    // First leg: stop after one cell (a simulated kill).
+    let first = run_campaign_checkpointed(
+        &explore_grid(),
+        2,
+        EngineKind::Multilane,
+        &checkpoint,
+        Some(1),
+    )
+    .unwrap();
+    assert_eq!(first.executed, 1);
+    assert!(first.remaining > 0);
+
+    // Resume leg: restored cells come back as rendered bytes, computed
+    // cells as floats — the Pareto front must not notice the difference.
+    let resumed =
+        run_campaign_checkpointed(&explore_grid(), 2, EngineKind::Multilane, &checkpoint, None)
+            .unwrap();
+    assert_eq!(resumed.restored, 1);
+    assert_eq!(resumed.remaining, 0);
+    let mut report = resumed.report;
+    attach_explore_section(&mut report, BUDGET_BITS, MAX_GEOMETRIES).unwrap();
+    assert_eq!(reference, report.render_json(false));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_report_round_trips_through_schema_validation() {
+    let json = rendered_explore_report(2, EngineKind::Multilane);
+    let validated = validate_report(&json).expect("explore report validates");
+    assert_eq!(validated.points, MAX_GEOMETRIES);
+    // Breaking a Pareto entry's ranked fields must fail validation.
+    let tampered = json.replace("\"mean_mpki\": ", "\"renamed_mpki\": ");
+    assert!(validate_report(&tampered).is_err());
+}

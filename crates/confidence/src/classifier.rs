@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use tage::{TageConfig, TagePrediction};
+use tage::{TageBlueprint, TagePrediction};
 
 use crate::class::PredictionClass;
 
@@ -48,17 +48,18 @@ pub struct TageConfidenceClassifier {
 }
 
 impl TageConfidenceClassifier {
-    /// Creates a classifier for predictors built from `config`, using the
-    /// paper's 8-prediction `medium-conf-bim` window.
-    pub fn new(config: &TageConfig) -> Self {
-        Self::with_window(config, DEFAULT_BIM_MISS_WINDOW)
+    /// Creates a classifier for predictors built from `blueprint` — a
+    /// [`tage::TageConfig`] preset or an explicit [`tage::TageGeometry`] —
+    /// using the paper's 8-prediction `medium-conf-bim` window.
+    pub fn new(blueprint: &dyn TageBlueprint) -> Self {
+        Self::with_window(blueprint, DEFAULT_BIM_MISS_WINDOW)
     }
 
     /// Creates a classifier with a custom `medium-conf-bim` window length
     /// (0 disables the medium class entirely — used by the ablation bench).
-    pub fn with_window(config: &TageConfig, window_length: u32) -> Self {
+    pub fn with_window(blueprint: &dyn TageBlueprint, window_length: u32) -> Self {
         TageConfidenceClassifier {
-            counter_bits: config.counter_bits,
+            counter_bits: blueprint.tage_geometry().counter_bits,
             window_length,
             window_remaining: 0,
         }
@@ -159,7 +160,7 @@ impl fmt::Display for TageConfidenceClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tage::{Provider, TagePredictor};
+    use tage::{Provider, TageConfig, TagePredictor};
 
     fn bim_prediction(counter: i8, taken: bool) -> TagePrediction {
         TagePrediction {

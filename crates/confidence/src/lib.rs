@@ -33,7 +33,7 @@
 //! use tage_confidence::{ConfidenceLevel, TageConfidenceClassifier};
 //!
 //! let mut predictor = TagePredictor::new(TageConfig::small());
-//! let mut classifier = TageConfidenceClassifier::new(&predictor.config().clone());
+//! let mut classifier = TageConfidenceClassifier::new(predictor.geometry());
 //!
 //! let pc = 0x40_2000;
 //! let prediction = predictor.predict(pc);

@@ -60,6 +60,15 @@ impl BimodalPredictor {
         }
     }
 
+    /// Creates a bimodal predictor from its declarative spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec violates the constructor's parameter ranges.
+    pub fn from_spec(spec: &crate::spec::BimodalSpec) -> Self {
+        Self::with_counter_bits(spec.index_bits, spec.counter_bits)
+    }
+
     /// Number of table entries.
     pub fn entries(&self) -> usize {
         self.table.len()

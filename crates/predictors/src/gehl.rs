@@ -73,6 +73,20 @@ impl GehlPredictor {
         }
     }
 
+    /// Creates a GEHL predictor from its declarative spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec violates the constructor's parameter ranges.
+    pub fn from_spec(spec: &crate::spec::GehlSpec) -> Self {
+        Self::new(
+            spec.tables,
+            spec.index_bits,
+            spec.min_history,
+            spec.max_history,
+        )
+    }
+
     /// The geometric series of history lengths (first entry is 0: the bias
     /// table).
     pub fn history_lengths(&self) -> &[usize] {

@@ -57,6 +57,15 @@ impl GsharePredictor {
         }
     }
 
+    /// Creates a gshare predictor from its declarative spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec violates the constructor's parameter ranges.
+    pub fn from_spec(spec: &crate::spec::GshareSpec) -> Self {
+        Self::new(spec.index_bits, spec.history_bits)
+    }
+
     /// The index the predictor would use for `pc` with the current history
     /// (exposed so that storage-based confidence estimators can share it).
     pub fn index(&self, pc: u64) -> usize {

@@ -55,4 +55,4 @@ pub use perceptron::PerceptronPredictor;
 pub use predictor::{
     BranchPredictor, MarginPredictor, Prediction, PredictionOutcome, PredictorCore,
 };
-pub use spec::BaselinePredictorSpec;
+pub use spec::{BaselinePredictorSpec, BimodalSpec, GehlSpec, GshareSpec, PerceptronSpec};

@@ -57,6 +57,15 @@ impl PerceptronPredictor {
         }
     }
 
+    /// Creates a perceptron predictor from its declarative spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec violates the constructor's parameter ranges.
+    pub fn from_spec(spec: &crate::spec::PerceptronSpec) -> Self {
+        Self::new(spec.rows, spec.history_bits)
+    }
+
     /// The training threshold θ.
     pub fn threshold(&self) -> i32 {
         self.threshold

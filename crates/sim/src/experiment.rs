@@ -81,7 +81,7 @@ pub fn table1(cbp1: &Suite, cbp2: &Suite, branches_per_trace: usize) -> Vec<Tabl
         .iter()
         .zip(r1.iter().zip(&r2))
         .map(|(point, (r1, r2))| Table1Row {
-            config_name: point.config.name.clone(),
+            config_name: point.config.name(),
             storage_bits: point.config.storage_bits(),
             num_tables: point.config.num_tagged_tables + 1,
             min_history: point.config.min_history,
@@ -245,7 +245,7 @@ pub fn three_level_summary(
             / result.traces.len() as f64
     };
     LevelSummaryRow {
-        config_name: config.name.clone(),
+        config_name: config.name(),
         suite_name: suite.name().to_string(),
         high: cell(ConfidenceLevel::High),
         medium: cell(ConfidenceLevel::Medium),

@@ -46,7 +46,7 @@
 
 use std::mem;
 
-use tage::{LaneGroup, TageConfig, TagePredictor};
+use tage::{LaneGroup, TageBlueprint, TageGeometry, TagePredictor};
 use tage_confidence::{ConfidenceReport, TageConfidenceClassifier};
 use tage_predictors::PredictionOutcome;
 use tage_traces::format::FormatError;
@@ -89,9 +89,9 @@ struct LaneState {
 }
 
 impl LaneState {
-    fn new(config: &TageConfig, options: &RunOptions, source_idx: usize) -> Self {
+    fn new(geometry: &TageGeometry, options: &RunOptions, source_idx: usize) -> Self {
         LaneState {
-            classifier: TageConfidenceClassifier::with_window(config, options.bim_miss_window),
+            classifier: TageConfidenceClassifier::with_window(geometry, options.bim_miss_window),
             report: ConfidenceReport::new(),
             conditional_seen: 0,
             measured_branches: 0,
@@ -126,7 +126,10 @@ impl LaneState {
 /// retained, so steady-state reruns perform no heap allocation.
 #[derive(Debug)]
 pub struct MultilaneEngine {
-    config: TageConfig,
+    geometry: TageGeometry,
+    /// The geometry's derived report name, cached so lane finalization does
+    /// not rebuild it per stream.
+    config_name: String,
     options: RunOptions,
     lanes_max: usize,
     group: LaneGroup,
@@ -147,15 +150,17 @@ impl MultilaneEngine {
     /// Panics if `options` requests the adaptive saturation controller: the
     /// controller steers one predictor mid-run and has no batched
     /// equivalent; use the scalar [`run_source`] path for adaptive runs.
-    pub fn new(config: TageConfig, options: &RunOptions, lanes: usize) -> Self {
+    pub fn new(blueprint: impl TageBlueprint, options: &RunOptions, lanes: usize) -> Self {
         assert!(
             options.adaptive_target_mkp.is_none(),
             "the multilane engine has no adaptive-controller path; run adaptive \
              experiments through the scalar engine"
         );
+        let geometry = blueprint.tage_geometry();
         MultilaneEngine {
-            group: LaneGroup::new(config.clone(), lanes.max(1)),
-            config,
+            group: LaneGroup::new(&geometry, lanes.max(1)),
+            config_name: geometry.name(),
+            geometry,
             options: options.clone(),
             lanes_max: lanes.max(1),
             states: Vec::new(),
@@ -193,7 +198,7 @@ impl MultilaneEngine {
             self.states[k].rearm(source_idx);
         } else {
             self.states
-                .push(LaneState::new(&self.config, &self.options, source_idx));
+                .push(LaneState::new(&self.geometry, &self.options, source_idx));
         }
     }
 
@@ -237,7 +242,8 @@ impl MultilaneEngine {
 
         // Split borrows: every array the cycle touches is a distinct field.
         let MultilaneEngine {
-            config,
+            geometry,
+            config_name,
             options,
             group,
             states,
@@ -306,11 +312,12 @@ impl MultilaneEngine {
                     result.trace_name.clear();
                     result.trace_name.push_str(sources[slot].name());
                     result.config_name.clear();
-                    result.config_name.push_str(&config.name);
+                    result.config_name.push_str(config_name);
                     result.report = mem::replace(&mut st.report, ConfidenceReport::new());
                     result.conditional_branches = st.measured_branches;
                     result.instructions = st.measured_instructions;
-                    result.final_saturation_probability = config.automaton.saturation_probability();
+                    result.final_saturation_probability =
+                        geometry.automaton.saturation_probability();
                     if next_pending < sources.len() {
                         group.arm(k);
                         st.rearm(next_pending);
@@ -386,7 +393,7 @@ impl MultilaneEngine {
 /// Returns the first [`FormatError`] in spec order, from opening or
 /// streaming any source.
 pub fn run_specs_multilane(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     specs: &[SourceSpec],
     conditional_branches: usize,
     options: &RunOptions,
@@ -396,7 +403,7 @@ pub fn run_specs_multilane(
         let mut results = Vec::with_capacity(specs.len());
         for spec in specs {
             let mut source = spec.open(conditional_branches)?;
-            results.push(run_source(config, &mut source, options)?);
+            results.push(run_source(blueprint, &mut source, options)?);
         }
         return Ok(results);
     }
@@ -404,7 +411,7 @@ pub fn run_specs_multilane(
     for spec in specs {
         sources.push(spec.open(conditional_branches)?);
     }
-    let mut engine = MultilaneEngine::new(config.clone(), options, lanes);
+    let mut engine = MultilaneEngine::new(blueprint, options, lanes);
     let mut results: Vec<TraceRunResult> = (0..specs.len())
         .map(|_| MultilaneEngine::placeholder_result())
         .collect();
@@ -426,7 +433,7 @@ impl SimEngine<TagePredictor, TageConfidenceClassifier> {
     /// Returns the lowest-indexed [`FormatError`] any source reported; the
     /// remaining streams still execute.
     pub fn run_sources_multilane<S>(
-        config: &TageConfig,
+        blueprint: &dyn TageBlueprint,
         sources: &mut [S],
         options: &RunOptions,
         lanes: usize,
@@ -437,11 +444,11 @@ impl SimEngine<TagePredictor, TageConfidenceClassifier> {
         if options.adaptive_target_mkp.is_some() {
             let mut results = Vec::with_capacity(sources.len());
             for source in sources {
-                results.push(run_source(config, source, options)?);
+                results.push(run_source(blueprint, source, options)?);
             }
             return Ok(results);
         }
-        let mut engine = MultilaneEngine::new(config.clone(), options, lanes);
+        let mut engine = MultilaneEngine::new(blueprint, options, lanes);
         let mut results: Vec<TraceRunResult> = (0..sources.len())
             .map(|_| MultilaneEngine::placeholder_result())
             .collect();
@@ -453,6 +460,7 @@ impl SimEngine<TagePredictor, TageConfidenceClassifier> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tage::TageConfig;
     use tage_traces::source::SyntheticSource;
     use tage_traces::suites;
 

@@ -34,7 +34,7 @@
 
 use core::fmt;
 
-use tage::{CounterAutomaton, TageConfig, TagePredictor};
+use tage::{CounterAutomaton, LaneGroup, TageBlueprint, TageConfig, TageGeometry, TagePredictor};
 use tage_confidence::estimators::EstimatorSpec;
 use tage_confidence::{ConfidenceReport, EstimatorScheme, TageConfidenceClassifier};
 use tage_predictors::{BaselinePredictorSpec, MarginPredictor, PredictorCore};
@@ -54,9 +54,26 @@ use crate::scenarios::ScenarioSpec;
 pub enum PredictorSpec {
     /// A TAGE configuration (the paper's predictor, storage-free capable).
     Tage(TageConfig),
+    /// An explicit TAGE geometry — loaded from a `geometry:FILE.json` grid
+    /// token or built programmatically (the `--explore` design-space search
+    /// enumerates these). Storage-free capable, exactly like
+    /// [`PredictorSpec::Tage`].
+    Geometry {
+        /// The full per-table geometry.
+        geometry: TageGeometry,
+        /// Where the geometry came from: the `geometry:` token's file path,
+        /// or a synthesized label for programmatic geometries. Echoed back
+        /// by [`PredictorSpec::token`].
+        source: String,
+    },
     /// A baseline predictor from the prior art.
     Baseline(BaselinePredictorSpec),
 }
+
+/// The grid-token prefix selecting a geometry file on the predictor axis:
+/// `geometry:docs/examples/tage16k.json` loads a [`TageGeometry`] from that
+/// path.
+pub const GEOMETRY_TOKEN_PREFIX: &str = "geometry:";
 
 /// The TAGE grid variants: the three paper sizes, each with the modified
 /// (probabilistic 1/128) automaton under the plain token and the standard
@@ -68,7 +85,7 @@ pub fn tage_variants() -> Vec<(String, TageConfig)> {
         TageConfig::medium(),
         TageConfig::large(),
     ] {
-        let base = config.name.to_ascii_lowercase();
+        let base = config.name().to_ascii_lowercase();
         variants.push((
             base.clone(),
             config
@@ -93,21 +110,47 @@ impl PredictorSpec {
     }
 
     /// Parses a grid token into a predictor spec.
+    ///
+    /// `geometry:<path>` loads a [`TageGeometry`] JSON file from `<path>`;
+    /// an unreadable or invalid file parses as `None`, exactly like an
+    /// unknown token (callers wanting the reason should call
+    /// [`TageGeometry::load`] directly).
     pub fn parse(token: &str) -> Option<Self> {
+        if let Some(path) = token.strip_prefix(GEOMETRY_TOKEN_PREFIX) {
+            let geometry = TageGeometry::load(path).ok()?;
+            return Some(PredictorSpec::Geometry {
+                geometry,
+                source: path.to_string(),
+            });
+        }
         if let Some((_, config)) = tage_variants().into_iter().find(|(t, _)| t == token) {
             return Some(PredictorSpec::Tage(config));
         }
         BaselinePredictorSpec::parse(token).map(PredictorSpec::Baseline)
     }
 
+    /// The grid token that parses back into this spec: the plain token for
+    /// grid-enumerable configurations, `geometry:<path>` for geometry
+    /// specs. Programmatic TAGE configs with a non-grid automaton have no
+    /// parseable token; they return their [`PredictorSpec::label`].
+    pub fn token(&self) -> String {
+        match self {
+            PredictorSpec::Geometry { source, .. } => format!("{GEOMETRY_TOKEN_PREFIX}{source}"),
+            _ => self.label(),
+        }
+    }
+
     /// The stable label naming this spec in reports: the parse token for
-    /// every grid-enumerable configuration, and an honest
+    /// every grid-enumerable configuration, an honest
     /// `<name>-p<log2(1/p)>` description for programmatically built TAGE
-    /// configs with a non-standard, non-paper automaton.
+    /// configs with a non-standard, non-paper automaton, and
+    /// `<name>-g<digest>` for explicit geometries (the 32-bit spec-digest
+    /// suffix keeps same-budget explore candidates distinct in reports and
+    /// checkpoint keys).
     pub fn label(&self) -> String {
         match self {
             PredictorSpec::Tage(config) => {
-                let base = config.name.to_ascii_lowercase();
+                let base = config.name().to_ascii_lowercase();
                 if config.automaton == CounterAutomaton::paper_default() {
                     base
                 } else if config.automaton == CounterAutomaton::Standard {
@@ -117,14 +160,47 @@ impl PredictorSpec {
                     format!("{base}-p{exponent:.0}")
                 }
             }
+            PredictorSpec::Geometry { geometry, .. } => {
+                format!(
+                    "{}-g{:08x}",
+                    geometry.name().to_ascii_lowercase(),
+                    geometry.spec_digest() as u32
+                )
+            }
             PredictorSpec::Baseline(spec) => spec.token().to_string(),
+        }
+    }
+
+    /// The TAGE blueprint behind this spec — `Some` for both the preset
+    /// [`PredictorSpec::Tage`] configurations and explicit
+    /// [`PredictorSpec::Geometry`] values, `None` for baselines. The
+    /// returned trait object plugs straight into every geometry-driven
+    /// engine entry point ([`crate::runner::run_source`],
+    /// [`crate::multilane::run_specs_multilane`], ...).
+    pub fn tage_blueprint(&self) -> Option<&dyn TageBlueprint> {
+        match self {
+            PredictorSpec::Tage(config) => Some(config),
+            PredictorSpec::Geometry { geometry, .. } => Some(geometry),
+            PredictorSpec::Baseline(_) => None,
+        }
+    }
+
+    /// Exact storage budget of this predictor in bits, computed
+    /// declaratively — no predictor is built. Every axis value knows it:
+    /// TAGE configs and geometries from their table accounting, baselines
+    /// from their spec structs.
+    pub fn storage_bits(&self) -> u64 {
+        match self {
+            PredictorSpec::Tage(config) => config.storage_bits(),
+            PredictorSpec::Geometry { geometry, .. } => geometry.storage_bits(),
+            PredictorSpec::Baseline(spec) => spec.storage_bits(),
         }
     }
 
     /// Whether this predictor exposes the TAGE observables the storage-free
     /// classification needs.
     pub fn supports_storage_free(&self) -> bool {
-        matches!(self, PredictorSpec::Tage(_))
+        self.tage_blueprint().is_some()
     }
 
     /// The self-confidence margin threshold suited to this predictor's
@@ -133,7 +209,7 @@ impl PredictorSpec {
         match self {
             // TAGE margins are counter distances from the weak state: a
             // 3-bit counter saturates at margin 4, so 2 splits weak/strong.
-            PredictorSpec::Tage(_) => 2,
+            PredictorSpec::Tage(_) | PredictorSpec::Geometry { .. } => 2,
             PredictorSpec::Baseline(spec) => spec.self_confidence_threshold(),
         }
     }
@@ -286,6 +362,9 @@ pub struct PointResult {
     pub suite: String,
     /// Label of the scenario axis value.
     pub scenario: String,
+    /// Exact storage budget of the predictor, in bits (the schema-3 report
+    /// field design-space exploration ranks by).
+    pub storage_bits: u64,
     /// Per-trace exact counters, in suite order.
     pub traces: Vec<PointTraceMetrics>,
     /// Aggregate confidence report over the whole suite.
@@ -424,11 +503,17 @@ pub fn run_point_with_engine(
 }
 
 /// Whether [`EngineKind::Multilane`] can actually batch this cell: the
-/// storage-free TAGE pairing with nothing observing individual branches.
+/// storage-free TAGE pairing with nothing observing individual branches,
+/// and a geometry that fits the lane group's packed layout (explored
+/// geometries may exceed it; those run scalar).
 fn point_is_lane_batchable(point: &SweepPoint) -> bool {
-    matches!(point.predictor, PredictorSpec::Tage(_))
-        && point.scheme == SchemeSpec::StorageFree
+    point.scheme == SchemeSpec::StorageFree
         && point.scenario == ScenarioSpec::Baseline
+        && match &point.predictor {
+            PredictorSpec::Tage(_) => true,
+            PredictorSpec::Geometry { geometry, .. } => LaneGroup::supports(geometry),
+            PredictorSpec::Baseline(_) => false,
+        }
 }
 
 /// The lane-batched point path: all suite sources through one
@@ -438,11 +523,11 @@ fn run_point_multilane(
     point: &SweepPoint,
     branches_per_trace: usize,
 ) -> Result<PointResult, PointError> {
-    let PredictorSpec::Tage(config) = &point.predictor else {
+    let Some(blueprint) = point.predictor.tage_blueprint() else {
         unreachable!("point_is_lane_batchable() requires a TAGE predictor")
     };
     let results = run_specs_multilane(
-        config,
+        blueprint,
         point.suite.sources(),
         branches_per_trace,
         &crate::runner::RunOptions::default(),
@@ -465,6 +550,7 @@ fn run_point_multilane(
         scheme: point.scheme.label(),
         suite: point.suite.name().to_string(),
         scenario: point.scenario.label().to_string(),
+        storage_bits: point.predictor.storage_bits(),
         traces,
         aggregate,
         scenario_metrics: Vec::new(),
@@ -527,6 +613,7 @@ fn run_point_scalar(
         scheme: point.scheme.label(),
         suite: point.suite.name().to_string(),
         scenario: point.scenario.label().to_string(),
+        storage_bits: point.predictor.storage_bits(),
         traces,
         aggregate,
         scenario_metrics,
@@ -571,28 +658,30 @@ fn run_point_shared(
     for spec in point.suite.sources() {
         sources.push(spec.open(branches_per_trace)?);
     }
-    let shared = match (&point.predictor, &point.scheme) {
-        (PredictorSpec::Tage(config), SchemeSpec::StorageFree) => {
+    let shared = match (point.predictor.tage_blueprint(), &point.scheme) {
+        (Some(blueprint), SchemeSpec::StorageFree) => {
             let mut engine = SimEngine::new(
-                TagePredictor::new(config.clone()),
-                TageConfidenceClassifier::new(config),
+                TagePredictor::new(blueprint),
+                TageConfidenceClassifier::new(blueprint),
             );
             run_shared_predictor(&mut engine, sources)?
         }
-        (PredictorSpec::Tage(config), SchemeSpec::Estimator(estimator)) => {
+        (Some(blueprint), SchemeSpec::Estimator(estimator)) => {
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
-            let mut engine =
-                SimEngine::new(MarginPredictor(TagePredictor::new(config.clone())), scheme);
+            let mut engine = SimEngine::new(MarginPredictor(TagePredictor::new(blueprint)), scheme);
             run_shared_predictor(&mut engine, sources)?
         }
-        (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
+        (None, SchemeSpec::Estimator(estimator)) => {
+            let PredictorSpec::Baseline(baseline) = &point.predictor else {
+                unreachable!("non-TAGE specs are baselines")
+            };
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(baseline.build()), scheme);
             run_shared_predictor(&mut engine, sources)?
         }
-        (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
+        (None, SchemeSpec::StorageFree) => {
             unreachable!("validate() rejects storage-free on baseline predictors")
         }
     };
@@ -605,11 +694,11 @@ fn run_point_source(
     scenario_observer: &mut ScenarioObserver,
 ) -> Result<(ConfidenceReport, u64, u64, u64), FormatError> {
     // The paper's own path has a canonical runner; don't duplicate its loop.
-    if let (PredictorSpec::Tage(config), SchemeSpec::StorageFree) =
-        (&point.predictor, &point.scheme)
+    if let (Some(blueprint), SchemeSpec::StorageFree) =
+        (point.predictor.tage_blueprint(), &point.scheme)
     {
         let result = crate::runner::run_source_observed(
-            config,
+            blueprint,
             source,
             &crate::runner::RunOptions::default(),
             scenario_observer,
@@ -623,25 +712,28 @@ fn run_point_source(
         ));
     }
     let mut observer = ReportObserver::default();
-    let summary = match (&point.predictor, &point.scheme) {
-        (PredictorSpec::Tage(_), SchemeSpec::StorageFree) => {
+    let summary = match (point.predictor.tage_blueprint(), &point.scheme) {
+        (Some(_), SchemeSpec::StorageFree) => {
             unreachable!("handled by the early return above")
         }
-        (PredictorSpec::Tage(config), SchemeSpec::Estimator(estimator)) => {
-            let predictor = TagePredictor::new(config.clone());
+        (Some(blueprint), SchemeSpec::Estimator(estimator)) => {
+            let predictor = TagePredictor::new(blueprint);
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
             engine.run_source(source, &mut (&mut observer, &mut *scenario_observer))?
         }
-        (PredictorSpec::Baseline(baseline), SchemeSpec::Estimator(estimator)) => {
+        (None, SchemeSpec::Estimator(estimator)) => {
+            let PredictorSpec::Baseline(baseline) = &point.predictor else {
+                unreachable!("non-TAGE specs are baselines")
+            };
             let predictor = baseline.build();
             let scheme =
                 EstimatorScheme(estimator.build(point.predictor.self_confidence_threshold()));
             let mut engine = SimEngine::new(MarginPredictor(predictor), scheme);
             engine.run_source(source, &mut (&mut observer, &mut *scenario_observer))?
         }
-        (PredictorSpec::Baseline(_), SchemeSpec::StorageFree) => {
+        (None, SchemeSpec::StorageFree) => {
             unreachable!("validate() rejects storage-free on baseline predictors")
         }
     };
@@ -716,6 +808,42 @@ mod tests {
         assert!(!PredictorSpec::parse("gshare")
             .unwrap()
             .supports_storage_free());
+    }
+
+    #[test]
+    fn geometry_tokens_round_trip_through_files() {
+        let path =
+            std::env::temp_dir().join(format!("tage-geometry-token-{}.json", std::process::id()));
+        let geometry = TageGeometry::from_config(&TageConfig::small());
+        geometry.save(&path).expect("write geometry file");
+
+        let token = format!("{GEOMETRY_TOKEN_PREFIX}{}", path.display());
+        let spec = PredictorSpec::parse(&token).expect("geometry token parses");
+        // The token survives a round trip and keeps pointing at the file.
+        assert_eq!(spec.token(), token);
+        assert_eq!(
+            PredictorSpec::parse(&spec.token()).unwrap().label(),
+            spec.label()
+        );
+        // The parsed spec carries the exact geometry: same digest, same
+        // storage, and a label that embeds the digest (so two same-size
+        // geometries stay distinct in reports and checkpoint keys).
+        let blueprint = spec.tage_blueprint().expect("geometry specs are TAGE");
+        assert_eq!(blueprint.tage_geometry(), geometry);
+        assert_eq!(spec.storage_bits(), geometry.storage_bits());
+        assert_eq!(
+            spec.label(),
+            format!(
+                "{}-g{:08x}",
+                geometry.name().to_ascii_lowercase(),
+                geometry.spec_digest() as u32
+            )
+        );
+        assert!(spec.supports_storage_free());
+
+        std::fs::remove_file(&path).expect("cleanup");
+        // A dangling path no longer parses.
+        assert!(PredictorSpec::parse(&token).is_none());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use core::fmt;
 
-use tage::{TageConfig, TagePrediction, TagePredictor};
+use tage::{TageBlueprint, TagePrediction, TagePredictor};
 use tage_confidence::{AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier};
 use tage_traces::format::FormatError;
 use tage_traces::source::{BranchSource, SliceSource};
@@ -124,8 +124,9 @@ impl<'p> EngineObserver<&'p mut TagePredictor> for AdaptiveObserver {
     }
 }
 
-/// Runs a TAGE predictor built from `config` over `trace`, classifying every
-/// conditional-branch prediction with the storage-free confidence
+/// Runs a TAGE predictor built from `blueprint` — a [`tage::TageConfig`]
+/// preset or an explicit [`tage::TageGeometry`] — over `trace`, classifying
+/// every conditional-branch prediction with the storage-free confidence
 /// classifier.
 ///
 /// Non-conditional records (calls, returns, jumps) contribute to the
@@ -133,9 +134,13 @@ impl<'p> EngineObserver<&'p mut TagePredictor> for AdaptiveObserver {
 ///
 /// This is the materialized-trace adapter over [`run_source`]; results are
 /// bit-identical across the two entry points.
-pub fn run_trace(config: &TageConfig, trace: &Trace, options: &RunOptions) -> TraceRunResult {
+pub fn run_trace(
+    blueprint: &dyn TageBlueprint,
+    trace: &Trace,
+    options: &RunOptions,
+) -> TraceRunResult {
     let mut source = SliceSource::from_trace(trace);
-    run_source(config, &mut source, options).expect("in-memory slice sources are infallible")
+    run_source(blueprint, &mut source, options).expect("in-memory slice sources are infallible")
 }
 
 /// Runs a TAGE predictor built from `config` over a streaming
@@ -162,11 +167,11 @@ pub fn run_trace(config: &TageConfig, trace: &Trace, options: &RunOptions) -> Tr
 /// assert_eq!(result.conditional_branches, 5_000);
 /// ```
 pub fn run_source<S: BranchSource + ?Sized>(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     source: &mut S,
     options: &RunOptions,
 ) -> Result<TraceRunResult, FormatError> {
-    let mut predictor = TagePredictor::new(config.clone());
+    let mut predictor = TagePredictor::new(blueprint);
     run_source_with_predictor(&mut predictor, source, options)
 }
 
@@ -183,7 +188,7 @@ pub fn run_source<S: BranchSource + ?Sized>(
 ///
 /// Propagates the first [`FormatError`] the source reports.
 pub fn run_source_observed<S, O>(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     source: &mut S,
     options: &RunOptions,
     extra: &mut O,
@@ -192,7 +197,7 @@ where
     S: BranchSource + ?Sized,
     O: for<'p> EngineObserver<&'p mut TagePredictor>,
 {
-    let mut predictor = TagePredictor::new(config.clone());
+    let mut predictor = TagePredictor::new(blueprint);
     run_source_with_predictor_observed(&mut predictor, source, options, extra)
 }
 
@@ -237,8 +242,8 @@ where
     S: BranchSource + ?Sized,
     O: for<'p> EngineObserver<&'p mut TagePredictor>,
 {
-    let config = predictor.config().clone();
-    let classifier = TageConfidenceClassifier::with_window(&config, options.bim_miss_window);
+    let geometry = predictor.geometry().clone();
+    let classifier = TageConfidenceClassifier::with_window(&geometry, options.bim_miss_window);
     let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
         controller: AdaptiveSaturationController::with_parameters(target, 16 * 1024),
     });
@@ -254,18 +259,18 @@ where
 
     Ok(TraceRunResult {
         trace_name,
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         report: report.report,
         conditional_branches: summary.measured_branches,
         instructions: summary.measured_instructions,
-        final_saturation_probability: predictor.config().automaton.saturation_probability(),
+        final_saturation_probability: predictor.geometry().automaton.saturation_probability(),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tage::CounterAutomaton;
+    use tage::{CounterAutomaton, TageConfig};
     use tage_confidence::{ConfidenceLevel, PredictionClass};
     use tage_traces::suites;
 

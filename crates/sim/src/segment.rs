@@ -19,7 +19,7 @@
 //! replay work. With one segment and no warmup it degenerates to exactly
 //! [`crate::runner::run_source`].
 
-use tage::{TageConfig, TagePredictor};
+use tage::{TageBlueprint, TageGeometry, TagePredictor};
 use tage_confidence::{AdaptiveSaturationController, ConfidenceReport, TageConfidenceClassifier};
 use tage_traces::format::FormatError;
 use tage_traces::source::{BranchSource, SourceSuite, Take};
@@ -144,7 +144,7 @@ pub struct SegmentedRunResult {
 /// range. `warm` pairs a [`WarmCache`] with the source's content digest;
 /// `None` always replays.
 fn run_segment<S: BranchSource>(
-    config: &TageConfig,
+    geometry: &TageGeometry,
     options: &RunOptions,
     source: &mut S,
     plan: &SegmentPlan,
@@ -156,7 +156,7 @@ fn run_segment<S: BranchSource>(
     // (and warmup 0) start cold, which costs nothing to reproduce.
     let cache_entry = match warm {
         Some((cache, source_digest)) if warmup > 0 => {
-            let state_digest = warmcache::state_digest(config, options);
+            let state_digest = warmcache::state_digest(geometry, options);
             let key = warmcache::entry_key(
                 state_digest,
                 source_digest,
@@ -169,9 +169,15 @@ fn run_segment<S: BranchSource>(
     };
 
     if let Some((cache, key, state_digest)) = cache_entry {
-        if let Some(outcome) =
-            try_run_segment_from_cache(config, options, source, segment, cache, key, state_digest)?
-        {
+        if let Some(outcome) = try_run_segment_from_cache(
+            geometry,
+            options,
+            source,
+            segment,
+            cache,
+            key,
+            state_digest,
+        )? {
             cache.note_hit();
             return Ok(outcome);
         }
@@ -183,11 +189,11 @@ fn run_segment<S: BranchSource>(
     if skipped < skip {
         // The stream is shorter than the plan; nothing to measure here.
         let name = source.name().to_string();
-        return Ok((empty_result(config, name), 0));
+        return Ok((empty_result(geometry, name), 0));
     }
 
-    let mut predictor = TagePredictor::new(config.clone());
-    let classifier = TageConfidenceClassifier::with_window(config, options.bim_miss_window);
+    let mut predictor = TagePredictor::new(geometry);
+    let classifier = TageConfidenceClassifier::with_window(geometry, options.bim_miss_window);
     let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
         controller: AdaptiveSaturationController::with_parameters(target, 16 * 1024),
     });
@@ -239,11 +245,11 @@ fn run_segment<S: BranchSource>(
 
     let result = TraceRunResult {
         trace_name,
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         report: report.report,
         conditional_branches: summary.measured_branches,
         instructions: summary.measured_instructions,
-        final_saturation_probability: predictor.config().automaton.saturation_probability(),
+        final_saturation_probability: predictor.geometry().automaton.saturation_probability(),
     };
     Ok((result, summary.measured_branches))
 }
@@ -252,8 +258,9 @@ fn run_segment<S: BranchSource>(
 /// when there is no usable entry (absent, torn, stale or from a different
 /// configuration) — the caller falls back to the replay path and rewrites
 /// the entry.
+#[allow(clippy::too_many_arguments)]
 fn try_run_segment_from_cache<S: BranchSource>(
-    config: &TageConfig,
+    geometry: &TageGeometry,
     options: &RunOptions,
     source: &mut S,
     segment: &Segment,
@@ -268,11 +275,11 @@ fn try_run_segment_from_cache<S: BranchSource>(
         return Ok(None);
     };
 
-    let mut predictor = TagePredictor::new(config.clone());
+    let mut predictor = TagePredictor::new(geometry);
     if predictor.restore(&state.predictor).is_err() {
         return Ok(None);
     }
-    let mut classifier = TageConfidenceClassifier::with_window(config, options.bim_miss_window);
+    let mut classifier = TageConfidenceClassifier::with_window(geometry, options.bim_miss_window);
     classifier.set_window_remaining(state.window_remaining);
     let mut adaptive = options.adaptive_target_mkp.map(|target| AdaptiveObserver {
         controller: AdaptiveSaturationController::with_parameters(target, 16 * 1024),
@@ -292,7 +299,7 @@ fn try_run_segment_from_cache<S: BranchSource>(
     let skipped = source.skip_records(segment.start)?;
     if skipped < segment.start {
         let name = source.name().to_string();
-        return Ok(Some((empty_result(config, name), 0)));
+        return Ok(Some((empty_result(geometry, name), 0)));
     }
 
     let trace_name = source.name().to_string();
@@ -306,33 +313,36 @@ fn try_run_segment_from_cache<S: BranchSource>(
 
     let result = TraceRunResult {
         trace_name,
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         report: report.report,
         conditional_branches: summary.measured_branches,
         instructions: summary.measured_instructions,
-        final_saturation_probability: predictor.config().automaton.saturation_probability(),
+        final_saturation_probability: predictor.geometry().automaton.saturation_probability(),
     };
     Ok(Some((result, summary.measured_branches)))
 }
 
-fn empty_result(config: &TageConfig, trace_name: String) -> TraceRunResult {
+fn empty_result(geometry: &TageGeometry, trace_name: String) -> TraceRunResult {
     TraceRunResult {
         trace_name,
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         report: ConfidenceReport::new(),
         conditional_branches: 0,
         instructions: 0,
-        final_saturation_probability: config.automaton.saturation_probability(),
+        final_saturation_probability: geometry.automaton.saturation_probability(),
     }
 }
 
-fn merge_segments(config: &TageConfig, outcomes: Vec<(TraceRunResult, u64)>) -> SegmentedRunResult {
+fn merge_segments(
+    geometry: &TageGeometry,
+    outcomes: Vec<(TraceRunResult, u64)>,
+) -> SegmentedRunResult {
     let mut merged = ConfidenceReport::new();
     let mut conditional_branches = 0u64;
     let mut instructions = 0u64;
     let mut segment_branches = Vec::with_capacity(outcomes.len());
     let mut trace_name = String::new();
-    let mut final_probability = config.automaton.saturation_probability();
+    let mut final_probability = geometry.automaton.saturation_probability();
     for (result, branches) in outcomes {
         if trace_name.is_empty() {
             trace_name = result.trace_name;
@@ -346,7 +356,7 @@ fn merge_segments(config: &TageConfig, outcomes: Vec<(TraceRunResult, u64)>) -> 
     SegmentedRunResult {
         result: TraceRunResult {
             trace_name,
-            config_name: config.name.clone(),
+            config_name: geometry.name(),
             report: merged,
             conditional_branches,
             instructions,
@@ -376,7 +386,7 @@ fn merge_segments(config: &TageConfig, outcomes: Vec<(TraceRunResult, u64)>) -> 
 ///
 /// Returns the first [`FormatError`] in segment order.
 pub fn run_segmented_source<S, F>(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     options: &RunOptions,
     segment_options: &SegmentOptions,
     total_records: u64,
@@ -388,7 +398,7 @@ where
     F: Fn() -> Result<S, FormatError> + Sync,
 {
     run_segmented_source_cached(
-        config,
+        blueprint,
         options,
         segment_options,
         total_records,
@@ -414,7 +424,7 @@ where
 /// and failed stores are dropped.
 #[allow(clippy::too_many_arguments)]
 pub fn run_segmented_source_cached<S, F>(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     options: &RunOptions,
     segment_options: &SegmentOptions,
     total_records: u64,
@@ -426,16 +436,17 @@ where
     S: BranchSource,
     F: Fn() -> Result<S, FormatError> + Sync,
 {
+    let geometry = blueprint.tage_geometry();
     let plan = SegmentPlan::split(total_records, segment_options);
     let outcomes = par_map(plan.segments(), workers, |segment| {
         let mut source = open()?;
-        run_segment(config, options, &mut source, &plan, segment, warm)
+        run_segment(&geometry, options, &mut source, &plan, segment, warm)
     });
     let mut collected = Vec::with_capacity(outcomes.len());
     for outcome in outcomes {
         collected.push(outcome?);
     }
-    Ok(merge_segments(config, collected))
+    Ok(merge_segments(&geometry, collected))
 }
 
 /// Runs a whole [`SourceSuite`] with segment sharding: the `sources ×
@@ -452,7 +463,7 @@ where
 ///
 /// Returns the first [`FormatError`] in suite order.
 pub fn run_suite_segmented(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     suite: &SourceSuite,
     conditional_branches: usize,
     options: &RunOptions,
@@ -460,7 +471,7 @@ pub fn run_suite_segmented(
     workers: usize,
 ) -> Result<SuiteRunResult, FormatError> {
     run_suite_segmented_cached(
-        config,
+        blueprint,
         suite,
         conditional_branches,
         options,
@@ -479,7 +490,7 @@ pub fn run_suite_segmented(
 /// Returns the first [`FormatError`] in suite order.
 #[allow(clippy::too_many_arguments)]
 pub fn run_suite_segmented_cached(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     suite: &SourceSuite,
     conditional_branches: usize,
     options: &RunOptions,
@@ -487,6 +498,7 @@ pub fn run_suite_segmented_cached(
     workers: usize,
     cache: Option<&WarmCache>,
 ) -> Result<SuiteRunResult, FormatError> {
+    let geometry = blueprint.tage_geometry();
     // Plan every source up front (pure function of the lengths).
     let mut plans = Vec::with_capacity(suite.sources().len());
     for spec in suite.sources() {
@@ -515,7 +527,7 @@ pub fn run_suite_segmented_cached(
     let outcomes = par_map(&items, workers, |&(source_index, segment)| {
         let mut source = suite.sources()[source_index].open(conditional_branches)?;
         run_segment(
-            config,
+            &geometry,
             options,
             &mut source,
             &plans[source_index],
@@ -533,13 +545,13 @@ pub fn run_suite_segmented_cached(
     let mut traces = Vec::with_capacity(per_source.len());
     let mut aggregate = ConfidenceReport::new();
     for outcomes in per_source {
-        let merged = merge_segments(config, outcomes);
+        let merged = merge_segments(&geometry, outcomes);
         aggregate.merge(&merged.result.report);
         traces.push(merged.result);
     }
     Ok(SuiteRunResult {
         suite_name: suite.name().to_string(),
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         traces,
         aggregate,
     })
@@ -548,6 +560,7 @@ pub fn run_suite_segmented_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tage::TageConfig;
     use tage_traces::source::{SourceSpec, SyntheticSource};
     use tage_traces::suites;
 

@@ -15,7 +15,7 @@
 use core::fmt;
 use std::ops::Range;
 
-use tage::TageConfig;
+use tage::TageBlueprint;
 use tage_confidence::ConfidenceReport;
 use tage_traces::format::FormatError;
 use tage_traces::source::{AnySource, BranchSource, SourceSpec, SourceSuite};
@@ -75,17 +75,18 @@ impl fmt::Display for SuiteRunResult {
     }
 }
 
-/// Runs `config` over every trace of `suite`, generating
-/// `branches_per_trace` conditional branches per trace, sharded across one
-/// worker per available hardware thread.
+/// Runs the predictor described by `blueprint` — a [`tage::TageConfig`]
+/// preset or an explicit [`tage::TageGeometry`] — over every trace of
+/// `suite`, generating `branches_per_trace` conditional branches per trace,
+/// sharded across one worker per available hardware thread.
 pub fn run_suite(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     suite: &Suite,
     branches_per_trace: usize,
     options: &RunOptions,
 ) -> SuiteRunResult {
     run_suite_with_parallelism(
-        config,
+        blueprint,
         suite,
         branches_per_trace,
         options,
@@ -103,14 +104,14 @@ pub fn run_suite(
 /// [`tage_traces::source::SyntheticSource`] instead of materializing it, so
 /// suite memory is bounded by `workers ×` the engine batch size.
 pub fn run_suite_with_parallelism(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     suite: &Suite,
     branches_per_trace: usize,
     options: &RunOptions,
     workers: usize,
 ) -> SuiteRunResult {
     run_suite_sources(
-        config,
+        blueprint,
         &SourceSuite::from_suite(suite),
         branches_per_trace,
         options,
@@ -133,12 +134,13 @@ pub fn run_suite_with_parallelism(
 /// opened or read (the remaining sources still execute, their results are
 /// discarded).
 pub fn run_suite_sources(
-    config: &TageConfig,
+    blueprint: &dyn TageBlueprint,
     suite: &SourceSuite,
     conditional_branches: usize,
     options: &RunOptions,
     workers: usize,
 ) -> Result<SuiteRunResult, FormatError> {
+    let geometry = blueprint.tage_geometry();
     let specs = suite.sources();
     let mut traces = Vec::with_capacity(specs.len());
     if options.adaptive_target_mkp.is_some() {
@@ -146,7 +148,7 @@ pub fn run_suite_sources(
         // batched equivalent: shard scalar runs, one worker per source.
         let outcomes = par_map(specs, workers, |spec: &SourceSpec| {
             let mut source = spec.open(conditional_branches)?;
-            run_source(config, &mut source, options)
+            run_source(&geometry, &mut source, options)
         });
         for outcome in outcomes {
             traces.push(outcome?);
@@ -159,7 +161,7 @@ pub fn run_suite_sources(
         let chunks = chunk_ranges(specs.len(), workers);
         let outcomes = par_map(&chunks, workers, |range: &Range<usize>| {
             run_specs_multilane(
-                config,
+                &geometry,
                 &specs[range.clone()],
                 conditional_branches,
                 options,
@@ -176,7 +178,7 @@ pub fn run_suite_sources(
     }
     Ok(SuiteRunResult {
         suite_name: suite.name().to_string(),
-        config_name: config.name.clone(),
+        config_name: geometry.name(),
         traces,
         aggregate,
     })
@@ -225,12 +227,13 @@ impl SuiteScratch {
     ///
     /// Returns the first [`FormatError`] opening any source.
     pub fn new(
-        config: &TageConfig,
+        blueprint: &dyn TageBlueprint,
         suite: &SourceSuite,
         conditional_branches: usize,
         options: &RunOptions,
         lanes: usize,
     ) -> Result<Self, FormatError> {
+        let geometry = blueprint.tage_geometry();
         let mut sources = Vec::with_capacity(suite.sources().len());
         for spec in suite.sources() {
             sources.push(spec.open(conditional_branches)?);
@@ -239,14 +242,14 @@ impl SuiteScratch {
             .map(|_| MultilaneEngine::placeholder_result())
             .collect();
         Ok(SuiteScratch {
-            engine: MultilaneEngine::new(config.clone(), options, lanes),
-            sources,
             result: SuiteRunResult {
                 suite_name: suite.name().to_string(),
-                config_name: config.name.clone(),
+                config_name: geometry.name(),
                 traces,
                 aggregate: ConfidenceReport::new(),
             },
+            engine: MultilaneEngine::new(geometry, options, lanes),
+            sources,
         })
     }
 
@@ -280,6 +283,7 @@ impl SuiteScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tage::TageConfig;
     use tage_traces::suites;
 
     fn tiny_suite() -> Suite {

@@ -39,7 +39,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tage::{TageConfig, TagePredictor};
+use tage::{TageBlueprint, TagePredictor};
 use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 
 use crate::runner::RunOptions;
@@ -132,11 +132,11 @@ impl WarmCache {
 /// Digest of everything about the *simulation configuration* that the warm
 /// state depends on: the predictor's snapshot spec digest, the classifier's
 /// recency-window length and the adaptive controller's target.
-pub(crate) fn state_digest(config: &TageConfig, options: &RunOptions) -> u64 {
+pub(crate) fn state_digest(blueprint: &dyn TageBlueprint, options: &RunOptions) -> u64 {
     fnv1a64(
         format!(
             "warm|predictor={:016x}|window={}|adaptive={:?}",
-            TagePredictor::spec_digest_for(config),
+            TagePredictor::spec_digest_for(blueprint),
             options.bim_miss_window,
             options.adaptive_target_mkp.map(f64::to_bits),
         )
@@ -248,6 +248,7 @@ pub(crate) fn decode_warm_state(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tage::TageConfig;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -29,8 +29,6 @@ use crate::automaton::CounterAutomaton;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TageConfig {
-    /// A short name for reports (`"TAGE-16K"`, ...).
-    pub name: String,
     /// Number of tagged components (excluding the bimodal base predictor).
     pub num_tagged_tables: usize,
     /// log2 of the number of entries of each tagged component.
@@ -66,7 +64,6 @@ impl TageConfig {
     /// history lengths 3..80.
     pub fn small() -> Self {
         TageConfig {
-            name: "TAGE-16K".to_string(),
             num_tagged_tables: 4,
             tagged_index_bits: 8,
             tag_bits: 9,
@@ -87,7 +84,6 @@ impl TageConfig {
     /// history lengths 5..130.
     pub fn medium() -> Self {
         TageConfig {
-            name: "TAGE-64K".to_string(),
             num_tagged_tables: 7,
             tagged_index_bits: 9,
             tag_bits: 11,
@@ -108,7 +104,6 @@ impl TageConfig {
     /// history lengths 5..300.
     pub fn large() -> Self {
         TageConfig {
-            name: "TAGE-256K".to_string(),
             num_tagged_tables: 8,
             tagged_index_bits: 11,
             tag_bits: 10,
@@ -174,6 +169,14 @@ impl TageConfig {
     /// useful-reset tick counter.
     pub fn ancillary_bits(&self) -> u64 {
         self.max_history as u64 + u64::from(self.use_alt_on_na_bits) + 20
+    }
+
+    /// The report name of this configuration, derived from its storage
+    /// accounting in one place ([`crate::geometry::derived_name`]):
+    /// `"TAGE-16K"` for the small preset, and so on. Names can therefore
+    /// never drift from the storage they claim.
+    pub fn name(&self) -> String {
+        crate::geometry::derived_name(self.storage_bits(), self.num_tagged_tables)
     }
 
     /// Validates the configuration.
@@ -248,7 +251,7 @@ impl fmt::Display for TageConfig {
         write!(
             f,
             "{}: 1+{} tables, {} Kbit, hist {}..{}",
-            self.name,
+            self.name(),
             self.num_tagged_tables,
             self.storage_bits() / 1024,
             self.min_history,
@@ -281,12 +284,6 @@ impl TageConfigBuilder {
     /// Starts from the medium preset.
     pub fn new() -> Self {
         TageConfig::medium().to_builder()
-    }
-
-    /// Sets the report name.
-    pub fn name(mut self, name: impl Into<String>) -> Self {
-        self.config.name = name.into();
-        self
     }
 
     /// Sets the number of tagged tables.
@@ -468,14 +465,16 @@ mod tests {
     fn builder_overrides_fields_and_validates() {
         let config = TageConfig::small()
             .to_builder()
-            .name("custom")
             .counter_bits(4)
             .tag_bits(12)
             .build()
             .unwrap();
-        assert_eq!(config.name, "custom");
         assert_eq!(config.counter_bits, 4);
         assert_eq!(config.tag_bits, 12);
+        // The name is derived from the changed storage accounting, not a
+        // free-form field that could go stale.
+        assert_eq!(config.name(), config.to_builder().build().unwrap().name());
+        assert!(config.name().starts_with("TAGE-"));
 
         let err = TageConfig::small().to_builder().counter_bits(1).build();
         assert!(err.is_err());

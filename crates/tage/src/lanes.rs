@@ -43,7 +43,7 @@
 
 use tage_traces::snapshot::SnapshotError;
 
-use crate::config::TageConfig;
+use crate::geometry::{TageBlueprint, TageGeometry};
 use crate::prediction::{TableLookup, TagePrediction};
 use crate::predictor::TagePredictor;
 
@@ -101,7 +101,7 @@ fn detect_isa() -> Isa {
 /// allocated at construction — steady-state cycles are heap-free.
 #[derive(Debug)]
 pub struct LaneGroup {
-    config: TageConfig,
+    geometry: TageGeometry,
     lanes: usize,
     num_tables: usize,
     hist_words: usize,
@@ -115,61 +115,105 @@ pub struct LaneGroup {
     /// Transposed global-history words, flat `w * lanes + k`; same word
     /// layout as [`tage_predictors::history::HistoryRegister`].
     hist: Vec<u64>,
-    /// Per-table constants of the fold update (lane-uniform).
+    /// Per-lane path-history registers (the live copy while the lane is in
+    /// the group). All-zero — and never advanced — for geometries without a
+    /// path register.
+    path: Vec<u64>,
+    /// Per-table constants of the fold update (lane-uniform, hoisted out of
+    /// the per-lane loops so each table's pass keeps vectorizing).
     evict_word: Vec<usize>,
     evict_shift: Vec<u32>,
     /// Per-table XOR mask applied when the evicted history bit is 1: the
     /// three outpoint bits, one per packed fold field.
     evict_mul: Vec<u64>,
-    /// Fold widths and masks (uniform across tables per fold kind).
-    cl_index: u32,
-    cl_tag_a: u32,
-    cl_tag_b: u32,
-    mask_index: u64,
-    mask_tag_a: u64,
-    mask_tag_b: u64,
-    /// All three field masks in packed position: post-update cleanup that
-    /// clears every intermediate bit above each fold's width.
-    fold_mask: u64,
+    /// Per-table fold widths.
+    cl_index: Vec<u32>,
+    cl_tag_a: Vec<u32>,
+    cl_tag_b: Vec<u32>,
+    /// Per-table fold *field* masks in field position (for unpacking a
+    /// stored lane) — these cover the fold registers' widths, which a
+    /// geometry may set independently of the hash widths below.
+    mask_fold_index: Vec<u64>,
+    mask_fold_a: Vec<u64>,
+    mask_fold_b: Vec<u64>,
+    /// Per-table packed cleanup mask: all three field masks in packed
+    /// position, clearing every intermediate bit above each fold's width.
+    fold_mask: Vec<u64>,
+    /// Per-table hash masks and PC shift of the index hash
+    /// (`index_bits + rank + 1`).
+    index_mask: Vec<u64>,
+    tag_mask: Vec<u64>,
+    index_shift: Vec<u64>,
+    /// Width and mask of the per-lane path registers (0 / 0 when disabled).
+    path_bits: u32,
+    path_mask: u64,
     /// Per-cycle scratch, flat `t * lanes + k` (indices/tags) or `k`
-    /// (inserted bits, shift carries).
+    /// (inserted bits, shift carries, staged PCs).
     idxs: Vec<u32>,
     tags: Vec<u16>,
     ins: Vec<u64>,
     carry: Vec<u64>,
+    /// The PCs of the cycle's staged lanes, captured by
+    /// [`LaneGroup::predict`] so [`LaneGroup::advance`] can shift each
+    /// lane's path history without changing its signature.
+    staged_pcs: Vec<u64>,
 }
 
 impl LaneGroup {
     /// Creates a group of up to `lanes` lockstep lanes (clamped to at
-    /// least one) sharing one configuration. Lane predictors are
-    /// constructed on first [`LaneGroup::arm`].
+    /// least one) sharing one blueprint — a [`crate::TageConfig`] preset or
+    /// an explicit [`TageGeometry`]. Lane predictors are constructed on
+    /// first [`LaneGroup::arm`].
     ///
     /// # Panics
     ///
-    /// Panics if the configuration does not pass [`TageConfig::validate`].
-    pub fn new(config: TageConfig, lanes: usize) -> Self {
-        if let Err(reason) = config.validate() {
+    /// Panics if the blueprint's geometry does not pass
+    /// [`TageGeometry::validate`], or if a fold or index width exceeds the
+    /// packed 21-bit lane layout ([`TageGeometry`] allows up to 32 bits;
+    /// such geometries must run scalar).
+    pub fn new(blueprint: impl TageBlueprint, lanes: usize) -> Self {
+        let geometry = blueprint.tage_geometry();
+        if let Err(reason) = geometry.validate() {
             panic!("invalid TAGE configuration: {reason}");
         }
         let lanes = lanes.max(1);
-        let lengths = config.history_lengths();
-        let num_tables = config.num_tagged_tables;
-        let cl_index = config.tagged_index_bits;
-        let cl_tag_a = config.tag_bits;
-        let cl_tag_b = (config.tag_bits - 1).max(1);
-        assert!(
-            cl_index <= MAX_PACKED_FOLD_BITS && cl_tag_a <= MAX_PACKED_FOLD_BITS,
-            "fold widths beyond {MAX_PACKED_FOLD_BITS} bits do not fit the \
-             packed lane-group layout"
-        );
-        let hist_words = (config.max_history + 8).div_ceil(64);
+        let num_tables = geometry.num_tagged_tables();
+        for (t, table) in geometry.tables.iter().enumerate() {
+            assert!(
+                table.index_bits <= MAX_PACKED_FOLD_BITS
+                    && table.index_fold_bits <= MAX_PACKED_FOLD_BITS
+                    && table.tag_fold_bits <= MAX_PACKED_FOLD_BITS
+                    && table.tag_fold2_bits <= MAX_PACKED_FOLD_BITS,
+                "table {t}: index/fold widths beyond {MAX_PACKED_FOLD_BITS} bits \
+                 do not fit the packed lane-group layout"
+            );
+        }
+        let hist_words = (geometry.max_history() + 8).div_ceil(64);
         assert!(
             hist_words <= MAX_HISTORY_WORDS,
             "history capacity exceeds the lane group's fixed word budget"
         );
-        let mask_index = (1u64 << cl_index) - 1;
-        let mask_tag_a = (1u64 << cl_tag_a) - 1;
-        let mask_tag_b = (1u64 << cl_tag_b) - 1;
+        let tables = &geometry.tables;
+        let mask_fold_index: Vec<u64> = tables
+            .iter()
+            .map(|t| (1u64 << t.index_fold_bits) - 1)
+            .collect();
+        let mask_fold_a: Vec<u64> = tables
+            .iter()
+            .map(|t| (1u64 << t.tag_fold_bits) - 1)
+            .collect();
+        let mask_fold_b: Vec<u64> = tables
+            .iter()
+            .map(|t| (1u64 << t.tag_fold2_bits) - 1)
+            .collect();
+        let fold_mask: Vec<u64> = (0..num_tables)
+            .map(|t| {
+                mask_fold_index[t]
+                    | (mask_fold_a[t] << FOLD_SHIFT_A)
+                    | (mask_fold_b[t] << FOLD_SHIFT_B)
+            })
+            .collect();
+        let path_bits = geometry.path_history_bits;
         LaneGroup {
             lanes,
             num_tables,
@@ -178,29 +222,66 @@ impl LaneGroup {
             predictors: Vec::with_capacity(lanes),
             folds: vec![0; num_tables * lanes],
             hist: vec![0; hist_words * lanes],
-            evict_word: lengths.iter().map(|&l| (l - 1) / 64).collect(),
-            evict_shift: lengths.iter().map(|&l| ((l - 1) % 64) as u32).collect(),
-            evict_mul: lengths
+            path: vec![0; lanes],
+            evict_word: tables.iter().map(|t| (t.history_length - 1) / 64).collect(),
+            evict_shift: tables
                 .iter()
-                .map(|&l| {
-                    (1u64 << (l % cl_index as usize))
-                        | (1u64 << (FOLD_SHIFT_A + (l % cl_tag_a as usize) as u32))
-                        | (1u64 << (FOLD_SHIFT_B + (l % cl_tag_b as usize) as u32))
+                .map(|t| ((t.history_length - 1) % 64) as u32)
+                .collect(),
+            evict_mul: tables
+                .iter()
+                .map(|t| {
+                    let l = t.history_length;
+                    (1u64 << (l % t.index_fold_bits as usize))
+                        | (1u64 << (FOLD_SHIFT_A + (l % t.tag_fold_bits as usize) as u32))
+                        | (1u64 << (FOLD_SHIFT_B + (l % t.tag_fold2_bits as usize) as u32))
                 })
                 .collect(),
-            cl_index,
-            cl_tag_a,
-            cl_tag_b,
-            mask_index,
-            mask_tag_a,
-            mask_tag_b,
-            fold_mask: mask_index | (mask_tag_a << FOLD_SHIFT_A) | (mask_tag_b << FOLD_SHIFT_B),
+            cl_index: tables.iter().map(|t| t.index_fold_bits).collect(),
+            cl_tag_a: tables.iter().map(|t| t.tag_fold_bits).collect(),
+            cl_tag_b: tables.iter().map(|t| t.tag_fold2_bits).collect(),
+            mask_fold_index,
+            mask_fold_a,
+            mask_fold_b,
+            fold_mask,
+            index_mask: tables.iter().map(|t| (1u64 << t.index_bits) - 1).collect(),
+            tag_mask: tables.iter().map(|t| (1u64 << t.tag_bits) - 1).collect(),
+            index_shift: (0..num_tables)
+                .map(|t| u64::from(tables[t].index_bits) + t as u64 + 1)
+                .collect(),
+            path_bits,
+            path_mask: if path_bits == 0 {
+                0
+            } else {
+                (1u64 << path_bits) - 1
+            },
             idxs: vec![0; num_tables * lanes],
             tags: vec![0; num_tables * lanes],
             ins: vec![0; lanes],
             carry: vec![0; lanes],
-            config,
+            staged_pcs: vec![0; lanes],
+            geometry,
         }
+    }
+
+    /// Whether `geometry` fits the packed lane-group layout: every index
+    /// and fold width within the packed 21-bit field size and the history
+    /// register within the group's fixed word budget.
+    /// [`TageGeometry::validate`] admits wider shapes (index widths up to
+    /// 24 bits, fold widths up to 32); those must run through the scalar
+    /// [`TagePredictor`] instead — [`LaneGroup::new`] panics on them.
+    pub fn supports(geometry: &TageGeometry) -> bool {
+        geometry.tables.iter().all(|t| {
+            t.index_bits <= MAX_PACKED_FOLD_BITS
+                && t.index_fold_bits <= MAX_PACKED_FOLD_BITS
+                && t.tag_fold_bits <= MAX_PACKED_FOLD_BITS
+                && t.tag_fold2_bits <= MAX_PACKED_FOLD_BITS
+        }) && (geometry.max_history() + 8).div_ceil(64) <= MAX_HISTORY_WORDS
+    }
+
+    /// The geometry shared by every lane of the group.
+    pub fn geometry(&self) -> &TageGeometry {
+        &self.geometry
     }
 
     /// The lane capacity of the group.
@@ -229,8 +310,7 @@ impl LaneGroup {
             self.predictors[k].reset();
         } else {
             assert_eq!(k, self.predictors.len(), "lanes must be armed in order");
-            self.predictors
-                .push(TagePredictor::new(self.config.clone()));
+            self.predictors.push(TagePredictor::new(&self.geometry));
         }
         self.load_lane(k);
     }
@@ -268,6 +348,7 @@ impl LaneGroup {
         for (w, &word) in words.iter().enumerate().take(self.hist_words) {
             self.hist[w * lanes + k] = word;
         }
+        self.path[k] = p.path_history;
     }
 
     /// Writes the transposed hot state of lane `k` back into its predictor,
@@ -282,11 +363,12 @@ impl LaneGroup {
         let p = &mut self.predictors[k];
         for t in 0..self.num_tables {
             let packed = self.folds[t * lanes + k];
-            p.index_folds[t].set_value(packed & self.mask_index);
-            p.tag_folds_a[t].set_value((packed >> FOLD_SHIFT_A) & self.mask_tag_a);
-            p.tag_folds_b[t].set_value((packed >> FOLD_SHIFT_B) & self.mask_tag_b);
+            p.index_folds[t].set_value(packed & self.mask_fold_index[t]);
+            p.tag_folds_a[t].set_value((packed >> FOLD_SHIFT_A) & self.mask_fold_a[t]);
+            p.tag_folds_b[t].set_value((packed >> FOLD_SHIFT_B) & self.mask_fold_b[t]);
         }
         p.history.load_words(&words[..self.hist_words]);
+        p.path_history = self.path[k];
     }
 
     /// Swaps lanes `a` and `b` — predictors and transposed columns — the
@@ -304,6 +386,7 @@ impl LaneGroup {
         for w in 0..self.hist_words {
             self.hist.swap(w * lanes + a, w * lanes + b);
         }
+        self.path.swap(a, b);
     }
 
     /// Computes one prediction per staged lane: pass A hashes all
@@ -322,6 +405,9 @@ impl LaneGroup {
         let a = pcs.len();
         assert!(a <= self.predictors.len(), "unarmed lane staged");
         assert!(self.num_tables <= crate::prediction::MAX_TAGGED_TABLES);
+        // Capture the cycle's PCs: `advance` shifts each lane's path history
+        // from them after training, mirroring the scalar `update`.
+        self.staged_pcs[..a].copy_from_slice(pcs);
         self.hash_pass(pcs);
         let lanes = self.lanes;
         // Resize, don't rebuild: the caller keeps `out` across cycles, so
@@ -435,24 +521,27 @@ impl LaneGroup {
     fn hash_pass_inner(&mut self, pcs: &[u64]) {
         let a = pcs.len();
         let lanes = self.lanes;
-        let index_bits = u64::from(self.cl_index);
-        let index_mask = self.mask_index;
-        let tag_mask = self.mask_tag_a;
+        let path = &self.path[..];
         for t in 0..self.num_tables {
             let folds = &self.folds[t * lanes..][..a];
             let idxs = &mut self.idxs[t * lanes..][..a];
             let tags = &mut self.tags[t * lanes..][..a];
-            let shift = index_bits + t as u64 + 1;
+            let index_mask = self.index_mask[t];
+            let tag_mask = self.tag_mask[t];
+            let shift = self.index_shift[t];
             for k in 0..a {
                 let pc = pcs[k];
                 let packed = folds[k];
                 let hashed_base = pc >> 2;
                 let hashed_pc = hashed_base ^ (pc >> shift);
-                // The index fold sits at bit 0 and `index_mask` cuts the
-                // higher fields; tag fold A lands via `>> FOLD_SHIFT_A` and
-                // fold B pre-shifted-by-one via `>> (FOLD_SHIFT_B - 1)`,
-                // both cleaned by `tag_mask` (field gaps are zero).
-                idxs[k] = ((hashed_pc ^ packed) & index_mask) as u32;
+                // The index fold sits at bit 0 and `index_mask` (at most 20
+                // bits) cuts the higher fields; tag fold A lands via
+                // `>> FOLD_SHIFT_A` and fold B pre-shifted-by-one via
+                // `>> (FOLD_SHIFT_B - 1)`, both cleaned by `tag_mask`
+                // (at most 16 bits, so field gaps and neighbours drop out).
+                // The path XOR matches the scalar hash: `path` is all-zero
+                // when the geometry has no path register.
+                idxs[k] = ((hashed_pc ^ packed ^ path[k]) & index_mask) as u32;
                 tags[k] =
                     ((hashed_base ^ (packed >> FOLD_SHIFT_A) ^ (packed >> (FOLD_SHIFT_B - 1)))
                         & tag_mask) as u16;
@@ -513,12 +602,13 @@ impl LaneGroup {
         // times (fields cannot bleed: a field is 21 bits wide and holds at
         // most `MAX_PACKED_FOLD_BITS + 1` live intermediate bits).
         let ins = &self.ins[..a];
-        let (cl_index, cl_tag_a, cl_tag_b) = (self.cl_index, self.cl_tag_a, self.cl_tag_b);
-        let fold_mask = self.fold_mask;
         for t in 0..self.num_tables {
             let col = &self.hist[self.evict_word[t] * lanes..][..a];
             let shift = self.evict_shift[t];
             let evict_mul = self.evict_mul[t];
+            let (cl_index, cl_tag_a, cl_tag_b) =
+                (self.cl_index[t], self.cl_tag_a[t], self.cl_tag_b[t]);
+            let fold_mask = self.fold_mask[t];
             let row = &mut self.folds[t * lanes..][..a];
             for k in 0..a {
                 let ev = (col[k] >> shift) & 1;
@@ -541,6 +631,16 @@ impl LaneGroup {
                 let next = row[k] >> 63;
                 row[k] = (row[k] << 1) | carry[k];
                 carry[k] = next;
+            }
+        }
+        // Path-history shift from the cycle's staged PCs (skipped entirely
+        // for geometries without a path register, where `path` stays zero).
+        if self.path_bits > 0 {
+            let mask = self.path_mask;
+            let pcs = &self.staged_pcs[..a];
+            let path = &mut self.path[..a];
+            for k in 0..a {
+                path[k] = ((path[k] << 1) | ((pcs[k] >> 2) & 1)) & mask;
             }
         }
     }

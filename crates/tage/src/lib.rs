@@ -72,6 +72,7 @@ pub mod automaton;
 pub mod config;
 pub mod entry;
 pub mod folded;
+pub mod geometry;
 pub mod lanes;
 pub mod prediction;
 pub mod predictor;
@@ -81,6 +82,7 @@ pub mod tables;
 
 pub use automaton::CounterAutomaton;
 pub use config::{TageConfig, TageConfigBuilder};
+pub use geometry::{TableGeometry, TageBlueprint, TageGeometry};
 pub use lanes::LaneGroup;
 pub use prediction::{Provider, TableLookup, TableLookups, TagePrediction, MAX_TAGGED_TABLES};
 pub use predictor::TagePredictor;

@@ -11,11 +11,11 @@
 use tage_predictors::counter::SignedCounter;
 use tage_predictors::history::HistoryRegister;
 use tage_predictors::{BranchPredictor, Prediction, PredictorCore};
-use tage_traces::snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
+use tage_traces::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use tage_traces::SplitMix64;
 
-use crate::config::TageConfig;
 use crate::folded::FoldedHistory;
+use crate::geometry::{TageBlueprint, TageGeometry};
 use crate::prediction::{Provider, TableLookup, TableLookups, TagePrediction};
 use crate::tables::TageTables;
 
@@ -38,7 +38,7 @@ pub struct TageStats {
 /// The TAGE conditional branch predictor.
 ///
 /// See the crate-level documentation for the algorithm overview and
-/// [`TageConfig`] for the three storage presets of the paper.
+/// [`crate::TageConfig`] for the three storage presets of the paper.
 ///
 /// # Example
 ///
@@ -52,7 +52,7 @@ pub struct TageStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TagePredictor {
-    pub(crate) config: TageConfig,
+    pub(crate) geometry: TageGeometry,
     pub(crate) history_lengths: Vec<usize>,
     pub(crate) bimodal: Vec<SignedCounter>,
     pub(crate) tables: TageTables,
@@ -60,10 +60,15 @@ pub struct TagePredictor {
     pub(crate) index_folds: Vec<FoldedHistory>,
     pub(crate) tag_folds_a: Vec<FoldedHistory>,
     pub(crate) tag_folds_b: Vec<FoldedHistory>,
+    /// The path-history register XORed into the tagged index hashes: the low
+    /// address bit of the last `geometry.path_history_bits` branches. Stays
+    /// zero (and the XOR a no-op) when the geometry disables path history —
+    /// the legacy behaviour of every [`crate::TageConfig`] preset.
+    pub(crate) path_history: u64,
     pub(crate) use_alt_on_na: SignedCounter,
     pub(crate) rng: SplitMix64,
     /// Updates left until the next periodic useful-counter reset — a
-    /// countdown from `config.useful_reset_period`, not an absolute tick:
+    /// countdown from `geometry.useful_reset_period`, not an absolute tick:
     /// testing a decrement for zero avoids the 64-bit remainder the
     /// reference predictor pays on every update.
     pub(crate) until_useful_reset: u64,
@@ -72,39 +77,41 @@ pub struct TagePredictor {
 }
 
 impl TagePredictor {
-    /// Creates a predictor for the given configuration.
+    /// Creates a predictor from any blueprint — a [`crate::TageConfig`]
+    /// preset, an explicit [`TageGeometry`], or a reference to either.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration does not pass [`TageConfig::validate`].
-    pub fn new(config: TageConfig) -> Self {
-        if let Err(reason) = config.validate() {
+    /// Panics if the blueprint's geometry does not pass
+    /// [`TageGeometry::validate`].
+    pub fn new(blueprint: impl TageBlueprint) -> Self {
+        let geometry = blueprint.tage_geometry();
+        if let Err(reason) = geometry.validate() {
             panic!("invalid TAGE configuration: {reason}");
         }
-        let history_lengths = config.history_lengths();
-        let tables = TageTables::new(
-            config.num_tagged_tables,
-            config.tagged_index_bits,
-            config.counter_bits,
-            config.useful_bits,
-        );
+        let history_lengths = geometry.history_lengths();
+        let index_bits: Vec<u32> = geometry.tables.iter().map(|t| t.index_bits).collect();
+        let tables = TageTables::new(&index_bits, geometry.counter_bits, geometry.useful_bits);
         let bimodal =
-            vec![SignedCounter::new(config.bimodal_counter_bits); config.bimodal_entries()];
-        let history = HistoryRegister::new(config.max_history + 8);
-        let index_folds = history_lengths
+            vec![SignedCounter::new(geometry.bimodal_counter_bits); geometry.bimodal_entries()];
+        let history = HistoryRegister::new(geometry.max_history() + 8);
+        let index_folds = geometry
+            .tables
             .iter()
-            .map(|&l| FoldedHistory::new(l, config.tagged_index_bits as usize))
+            .map(|t| FoldedHistory::new(t.history_length, t.index_fold_bits as usize))
             .collect();
-        let tag_folds_a = history_lengths
+        let tag_folds_a = geometry
+            .tables
             .iter()
-            .map(|&l| FoldedHistory::new(l, config.tag_bits as usize))
+            .map(|t| FoldedHistory::new(t.history_length, t.tag_fold_bits as usize))
             .collect();
-        let tag_folds_b = history_lengths
+        let tag_folds_b = geometry
+            .tables
             .iter()
-            .map(|&l| FoldedHistory::new(l, (config.tag_bits - 1).max(1) as usize))
+            .map(|t| FoldedHistory::new(t.history_length, t.tag_fold2_bits as usize))
             .collect();
-        let use_alt_on_na = SignedCounter::new(config.use_alt_on_na_bits);
-        let rng = SplitMix64::new(config.rng_seed);
+        let use_alt_on_na = SignedCounter::new(geometry.use_alt_on_na_bits);
+        let rng = SplitMix64::new(geometry.rng_seed);
         TagePredictor {
             history_lengths,
             bimodal,
@@ -113,18 +120,21 @@ impl TagePredictor {
             index_folds,
             tag_folds_a,
             tag_folds_b,
+            path_history: 0,
             use_alt_on_na,
             rng,
-            until_useful_reset: config.useful_reset_period,
+            until_useful_reset: geometry.useful_reset_period,
             reset_phase: 0,
             stats: TageStats::default(),
-            config,
+            geometry,
         }
     }
 
-    /// The predictor's configuration.
-    pub fn config(&self) -> &TageConfig {
-        &self.config
+    /// The predictor's explicit geometry (a [`crate::TageConfig`] passed to
+    /// [`TagePredictor::new`] is expanded through
+    /// [`TageGeometry::from_config`]).
+    pub fn geometry(&self) -> &TageGeometry {
+        &self.geometry
     }
 
     /// Internal event counters.
@@ -132,9 +142,9 @@ impl TagePredictor {
         self.stats
     }
 
-    /// Total predictor storage in bits (delegates to the configuration).
+    /// Total predictor storage in bits (delegates to the geometry).
     pub fn storage_bits(&self) -> u64 {
-        self.config.storage_bits()
+        self.geometry.storage_bits()
     }
 
     /// The current value of the `USE_ALT_ON_NA` counter (exposed for tests
@@ -149,7 +159,7 @@ impl TagePredictor {
     /// Section 6.2 uses this to steer the probability while the predictor
     /// runs; the predictor tables themselves are left untouched.
     pub fn set_automaton(&mut self, automaton: crate::CounterAutomaton) {
-        self.config.automaton = automaton;
+        self.geometry.automaton = automaton;
     }
 
     /// Computes the bimodal table index for `pc`.
@@ -166,20 +176,26 @@ impl TagePredictor {
     /// prediction's fixed-size [`TableLookups`] scratch.
     pub fn predict(&self, pc: u64) -> TagePrediction {
         let mut lookups = TableLookups::new();
-        // Zipping the folded-history registers avoids three bounds checks
-        // per table; the arithmetic is exactly `table_index`/`table_tag`.
-        let index_bits = u64::from(self.config.tagged_index_bits);
-        let index_mask = (1u64 << index_bits) - 1;
-        let tag_mask = (1u64 << self.config.tag_bits) - 1;
+        // Zipping the per-table geometry with the folded-history registers
+        // avoids four bounds checks per table; the arithmetic is exactly
+        // `table_index`/`table_tag`. The path-history XOR vanishes for
+        // geometries with `path_history_bits == 0` (`path_history` is then
+        // always zero), preserving the legacy hash bit for bit.
         let hashed_base = pc >> 2;
+        let path = self.path_history;
         let folds = self
-            .index_folds
+            .geometry
+            .tables
             .iter()
+            .zip(&self.index_folds)
             .zip(&self.tag_folds_a)
             .zip(&self.tag_folds_b);
-        for (t, ((index_fold, tag_fold_a), tag_fold_b)) in folds.enumerate() {
+        for (t, (((table, index_fold), tag_fold_a), tag_fold_b)) in folds.enumerate() {
+            let index_bits = u64::from(table.index_bits);
+            let index_mask = (1u64 << index_bits) - 1;
+            let tag_mask = (1u64 << table.tag_bits) - 1;
             let hashed_pc = hashed_base ^ (pc >> (index_bits + t as u64 + 1));
-            let idx = ((hashed_pc ^ index_fold.value()) & index_mask) as usize;
+            let idx = ((hashed_pc ^ index_fold.value() ^ path) & index_mask) as usize;
             let tag =
                 ((hashed_base ^ tag_fold_a.value() ^ (tag_fold_b.value() << 1)) & tag_mask) as u16;
             lookups.push(TableLookup {
@@ -215,7 +231,7 @@ impl TagePredictor {
     /// the ~150-byte prediction is written exactly once per branch instead
     /// of being copied through stack temporaries.
     pub(crate) fn resolve_into(&self, pc: u64, out: &mut TagePrediction) {
-        let num_tables = self.config.num_tagged_tables;
+        let num_tables = self.tables.num_tables();
         let lookups = &out.tables;
         let bimodal_index = self.bimodal_index(pc);
         let bimodal_counter = self.bimodal[bimodal_index];
@@ -289,8 +305,10 @@ impl TagePredictor {
         );
         self.update_counters(taken, prediction);
 
-        // 4. Advance the global history and the folded histories.
+        // 4. Advance the global history, the folded histories and the path
+        //    history.
         self.push_history(taken);
+        self.push_path(pc);
     }
 
     /// Steps 1–3 of [`TagePredictor::update`] (tick/graceful reset, provider
@@ -305,9 +323,9 @@ impl TagePredictor {
         // 1. Periodic graceful reset of the useful counters.
         self.until_useful_reset -= 1;
         if self.until_useful_reset == 0 {
-            self.until_useful_reset = self.config.useful_reset_period;
+            self.until_useful_reset = self.geometry.useful_reset_period;
             self.tables.clear_useful_bit(self.reset_phase);
-            self.reset_phase = (self.reset_phase + 1) % self.config.useful_bits;
+            self.reset_phase = (self.reset_phase + 1) % self.geometry.useful_bits;
             self.stats.useful_resets += 1;
         }
 
@@ -343,7 +361,7 @@ impl TagePredictor {
                 }
 
                 // Prediction counter, through the configured automaton.
-                self.config.automaton.update_counter(
+                self.geometry.automaton.update_counter(
                     self.tables.ctr_mut(table, idx),
                     taken,
                     &mut self.rng,
@@ -362,7 +380,7 @@ impl TagePredictor {
                 Provider::Bimodal => 0,
                 Provider::Tagged { table } => table + 1,
             };
-            if first_candidate < self.config.num_tagged_tables {
+            if first_candidate < self.tables.num_tables() {
                 self.allocate(first_candidate, taken, prediction);
             }
         }
@@ -378,7 +396,7 @@ impl TagePredictor {
     /// geometric choice of the reference TAGE implementations), consulting
     /// the RNG exactly as the old collect-then-scan code did.
     fn allocate(&mut self, first_candidate: usize, taken: bool, prediction: &TagePrediction) {
-        let num_tables = self.config.num_tagged_tables;
+        let num_tables = self.tables.num_tables();
         let mut chosen: Option<usize> = None;
         for t in first_candidate..num_tables {
             if !self.tables.is_allocatable(t, prediction.tables.index(t)) {
@@ -424,6 +442,17 @@ impl TagePredictor {
         self.history.push(taken);
     }
 
+    /// Shifts the low address bit of the committed branch into the path
+    /// history. A no-op for geometries without a path register.
+    pub(crate) fn push_path(&mut self, pc: u64) {
+        let bits = self.geometry.path_history_bits;
+        if bits == 0 {
+            return;
+        }
+        let mask = (1u64 << bits) - 1;
+        self.path_history = ((self.path_history << 1) | ((pc >> 2) & 1)) & mask;
+    }
+
     /// Resets all dynamic state (tables, histories, counters, statistics)
     /// while keeping the configuration.
     ///
@@ -434,7 +463,7 @@ impl TagePredictor {
     pub fn reset(&mut self) {
         self.tables.clear();
         self.bimodal
-            .fill(SignedCounter::new(self.config.bimodal_counter_bits));
+            .fill(SignedCounter::new(self.geometry.bimodal_counter_bits));
         self.history.clear();
         for fold in &mut self.index_folds {
             fold.clear();
@@ -445,56 +474,31 @@ impl TagePredictor {
         for fold in &mut self.tag_folds_b {
             fold.clear();
         }
-        self.use_alt_on_na = SignedCounter::new(self.config.use_alt_on_na_bits);
-        self.rng = SplitMix64::new(self.config.rng_seed);
-        self.until_useful_reset = self.config.useful_reset_period;
+        self.path_history = 0;
+        self.use_alt_on_na = SignedCounter::new(self.geometry.use_alt_on_na_bits);
+        self.rng = SplitMix64::new(self.geometry.rng_seed);
+        self.until_useful_reset = self.geometry.useful_reset_period;
         self.reset_phase = 0;
         self.stats = TageStats::default();
     }
 
-    /// The specification string hashed into the snapshot spec digest: the
-    /// implementation marker plus every structural configuration field. The
-    /// counter automaton is deliberately **excluded** — adaptive runs mutate
-    /// it at run time, so it travels in the snapshot payload instead.
-    fn spec_string(&self) -> String {
-        Self::spec_string_for(&self.config)
-    }
-
-    fn spec_string_for(c: &TageConfig) -> String {
-        format!(
-            "tage-soa|name={}|tables={}|index_bits={}|tag_bits={}|ctr_bits={}|useful_bits={}\
-             |bim_index_bits={}|bim_ctr_bits={}|min_hist={}|max_hist={}|alt_bits={}\
-             |reset_period={}|seed={}",
-            c.name,
-            c.num_tagged_tables,
-            c.tagged_index_bits,
-            c.tag_bits,
-            c.counter_bits,
-            c.useful_bits,
-            c.bimodal_index_bits,
-            c.bimodal_counter_bits,
-            c.min_history,
-            c.max_history,
-            c.use_alt_on_na_bits,
-            c.useful_reset_period,
-            c.rng_seed,
-        )
-    }
-
-    /// A digest of the predictor's specification (see
-    /// [`BranchPredictor::spec_digest`]). Distinct from the reference
-    /// implementation's digest: the two predictors lay out their
-    /// useful-reset state differently, so their snapshots are not
+    /// A digest of the predictor's specification — the geometry's
+    /// [`TageGeometry::spec_digest`], which folds every structural field of
+    /// every table (see [`BranchPredictor::spec_digest`]). The counter
+    /// automaton is deliberately **excluded** — adaptive runs mutate it at
+    /// run time, so it travels in the snapshot payload instead. Distinct
+    /// from the reference implementation's digest: the two predictors lay
+    /// out their useful-reset state differently, so their snapshots are not
     /// interchangeable.
     pub fn spec_digest(&self) -> u64 {
-        fnv1a64(self.spec_string().as_bytes())
+        self.geometry.spec_digest()
     }
 
-    /// [`TagePredictor::spec_digest`] computed from a configuration alone,
+    /// [`TagePredictor::spec_digest`] computed from a blueprint alone,
     /// without building the predictor's tables — cheap enough for cache-key
     /// derivation on every segment.
-    pub fn spec_digest_for(config: &TageConfig) -> u64 {
-        fnv1a64(Self::spec_string_for(config).as_bytes())
+    pub fn spec_digest_for(blueprint: impl TageBlueprint) -> u64 {
+        blueprint.tage_geometry().spec_digest()
     }
 
     /// Serializes the predictor's **full** dynamic state — automaton,
@@ -505,7 +509,7 @@ impl TagePredictor {
         let mut w = SnapshotWriter::new(self.spec_digest());
 
         w.begin_section();
-        crate::snapshot::write_automaton(&mut w, self.config.automaton);
+        crate::snapshot::write_automaton(&mut w, self.geometry.automaton);
         w.end_section();
 
         w.begin_section();
@@ -532,6 +536,7 @@ impl TagePredictor {
         crate::snapshot::write_folds(&mut w, &self.index_folds);
         crate::snapshot::write_folds(&mut w, &self.tag_folds_a);
         crate::snapshot::write_folds(&mut w, &self.tag_folds_b);
+        w.write_u64(self.path_history);
         w.end_section();
 
         w.begin_section();
@@ -570,7 +575,7 @@ impl TagePredictor {
         r.end_section()?;
 
         r.begin_section()?;
-        let total = self.tables.num_tables() * self.tables.entries_per_table();
+        let total = self.tables.total_entries();
         let mut tags = Vec::with_capacity(total);
         for _ in 0..total {
             tags.push(r.read_u16()?);
@@ -590,6 +595,7 @@ impl TagePredictor {
         let index_folds = crate::snapshot::read_folds(&mut r, &self.index_folds)?;
         let tag_folds_a = crate::snapshot::read_folds(&mut r, &self.tag_folds_a)?;
         let tag_folds_b = crate::snapshot::read_folds(&mut r, &self.tag_folds_b)?;
+        let path_history = r.read_u64()?;
         r.end_section()?;
 
         r.begin_section()?;
@@ -603,7 +609,7 @@ impl TagePredictor {
         r.finish()?;
 
         // Everything decoded and validated: commit.
-        self.config.automaton = automaton;
+        self.geometry.automaton = automaton;
         for (ctr, value) in self.bimodal.iter_mut().zip(bimodal) {
             ctr.set(value);
         }
@@ -625,6 +631,7 @@ impl TagePredictor {
         for (fold, value) in self.tag_folds_b.iter_mut().zip(tag_folds_b) {
             fold.set_value(value);
         }
+        self.path_history = path_history;
         self.use_alt_on_na.set(use_alt_on_na);
         self.rng = SplitMix64::from_state(rng_state);
         self.until_useful_reset = until_useful_reset;
@@ -649,11 +656,11 @@ impl BranchPredictor for TagePredictor {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.config.storage_bits()
+        self.geometry.storage_bits()
     }
 
     fn name(&self) -> String {
-        self.config.name.clone()
+        self.geometry.name()
     }
 
     fn reset(&mut self) {
@@ -661,7 +668,7 @@ impl BranchPredictor for TagePredictor {
     }
 
     fn clone_fresh(&self) -> Box<dyn BranchPredictor + Send> {
-        Box::new(TagePredictor::new(self.config.clone()))
+        Box::new(TagePredictor::new(self.geometry.clone()))
     }
 
     fn snapshot(&self) -> Vec<u8> {
@@ -697,11 +704,11 @@ impl PredictorCore for TagePredictor {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.config.storage_bits()
+        self.geometry.storage_bits()
     }
 
     fn name(&self) -> String {
-        self.config.name.clone()
+        self.geometry.name()
     }
 
     fn snapshot(&self) -> Vec<u8> {
@@ -721,6 +728,7 @@ impl PredictorCore for TagePredictor {
 mod tests {
     use super::*;
     use crate::automaton::CounterAutomaton;
+    use crate::config::TageConfig;
 
     fn run_branch(predictor: &mut TagePredictor, pc: u64, outcomes: &[bool]) -> u64 {
         let mut mispredictions = 0;

@@ -332,7 +332,7 @@ impl ReferenceTagePredictor {
             "tage-reference|name={}|tables={}|index_bits={}|tag_bits={}|ctr_bits={}\
              |useful_bits={}|bim_index_bits={}|bim_ctr_bits={}|min_hist={}|max_hist={}\
              |alt_bits={}|reset_period={}|seed={}",
-            c.name,
+            c.name(),
             c.num_tagged_tables,
             c.tagged_index_bits,
             c.tag_bits,
@@ -504,7 +504,7 @@ impl tage_predictors::PredictorCore for ReferenceTagePredictor {
     }
 
     fn name(&self) -> String {
-        format!("{} (reference)", self.config.name)
+        format!("{} (reference)", self.config.name())
     }
 
     fn snapshot(&self) -> Vec<u8> {

@@ -7,11 +7,13 @@
 //! interleaved layout dragged the counters through the cache on every probe.
 //!
 //! [`TageTables`] flattens all tables of a predictor into three contiguous
-//! arrays — one per field — indexed by `(table_rank << index_bits) | entry`.
-//! Each table's entry count is a power of two ([`crate::TageConfig`]
-//! enforces it), so the flat index is a shift and an OR, and a whole-storage
-//! sweep (the periodic graceful useful-counter reset) is a single linear
-//! pass over one array.
+//! arrays — one per field — indexed by `offset[table] + entry`. Tables may
+//! differ in size ([`crate::TageGeometry`] drives per-table entry counts);
+//! each table's entry count is a power of two, and for the uniform
+//! geometries of [`crate::TageConfig`] the per-table offsets reduce to the
+//! historical `(table_rank << index_bits) | entry` layout bit for bit. A
+//! whole-storage sweep (the periodic graceful useful-counter reset) is a
+//! single linear pass over one array regardless of the shape.
 //!
 //! The layout is an exact bit-for-bit re-arrangement of the nested-`Vec`
 //! storage: `tests/soa_parity.rs` pins equivalence against
@@ -23,7 +25,8 @@ use tage_predictors::counter::{SignedCounter, UnsignedCounter};
 use crate::entry::TaggedEntry;
 
 /// All tagged components of one predictor in a flat structure-of-arrays
-/// layout: three parallel arrays of `num_tables << index_bits` elements.
+/// layout: three parallel arrays, one slot per entry of every table, with
+/// per-table offsets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TageTables {
     /// Partial tags, one `u16` per entry (the only array the lookup probes).
@@ -32,10 +35,12 @@ pub struct TageTables {
     ctrs: Box<[SignedCounter]>,
     /// Unsigned useful counters.
     useful: Box<[UnsignedCounter]>,
-    /// log2 of the per-table entry count; the flat index of entry `idx` of
-    /// table `t` is `(t << index_bits) | idx`.
-    index_bits: u32,
-    num_tables: usize,
+    /// The flat starting offset of each table (prefix sums of the entry
+    /// counts); the flat index of entry `idx` of table `t` is
+    /// `offsets[t] + idx`.
+    offsets: Box<[usize]>,
+    /// Per-table log2 entry counts.
+    index_bits: Box<[u32]>,
     /// Width of the prediction counters (kept for in-place [`TageTables::clear`]).
     counter_bits: u8,
     /// Width of the useful counters (kept for in-place [`TageTables::clear`]).
@@ -43,20 +48,31 @@ pub struct TageTables {
 }
 
 impl TageTables {
-    /// Creates `num_tables` empty tables of `1 << index_bits` entries each,
-    /// with counters of the given widths (all entries start in the
-    /// never-allocated state, exactly like [`TaggedEntry::new`]).
-    pub fn new(num_tables: usize, index_bits: u32, counter_bits: u8, useful_bits: u8) -> Self {
-        let total = num_tables << index_bits;
+    /// Creates one empty table of `1 << bits` entries per element of
+    /// `index_bits`, with counters of the given widths (all entries start in
+    /// the never-allocated state, exactly like [`TaggedEntry::new`]).
+    pub fn new(index_bits: &[u32], counter_bits: u8, useful_bits: u8) -> Self {
+        let mut offsets = Vec::with_capacity(index_bits.len());
+        let mut total = 0usize;
+        for &bits in index_bits {
+            offsets.push(total);
+            total += 1usize << bits;
+        }
         TageTables {
             tags: vec![0u16; total].into_boxed_slice(),
             ctrs: vec![SignedCounter::new(counter_bits); total].into_boxed_slice(),
             useful: vec![UnsignedCounter::new(useful_bits); total].into_boxed_slice(),
-            index_bits,
-            num_tables,
+            offsets: offsets.into_boxed_slice(),
+            index_bits: index_bits.to_vec().into_boxed_slice(),
             counter_bits,
             useful_bits,
         }
+    }
+
+    /// [`TageTables::new`] for `num_tables` equally sized tables — the
+    /// uniform shape of the legacy [`crate::TageConfig`] constructors.
+    pub fn uniform(num_tables: usize, index_bits: u32, counter_bits: u8, useful_bits: u8) -> Self {
+        TageTables::new(&vec![index_bits; num_tables], counter_bits, useful_bits)
     }
 
     /// Restores every entry to the never-allocated state in place, without
@@ -71,7 +87,7 @@ impl TageTables {
     /// Number of tagged tables.
     #[inline]
     pub fn num_tables(&self) -> usize {
-        self.num_tables
+        self.offsets.len()
     }
 
     /// The raw parallel arrays (tags, prediction counters, useful counters)
@@ -87,18 +103,24 @@ impl TageTables {
         (&mut self.tags, &mut self.ctrs, &mut self.useful)
     }
 
-    /// Number of entries per table.
+    /// Total entry count across all tables.
     #[inline]
-    pub fn entries_per_table(&self) -> usize {
-        1 << self.index_bits
+    pub fn total_entries(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of entries of table `t`.
+    #[inline]
+    pub fn entries(&self, t: usize) -> usize {
+        1usize << self.index_bits[t]
     }
 
     /// The flat array offset of entry `idx` of table `t`.
     #[inline]
     fn flat(&self, t: usize, idx: usize) -> usize {
-        debug_assert!(t < self.num_tables);
-        debug_assert!(idx < self.entries_per_table());
-        (t << self.index_bits) | idx
+        debug_assert!(t < self.num_tables());
+        debug_assert!(idx < self.entries(t));
+        self.offsets[t] + idx
     }
 
     /// The stored partial tag of entry `idx` of table `t`.
@@ -113,17 +135,17 @@ impl TageTables {
     /// # Safety contract (checked in debug builds)
     ///
     /// `t` must be below [`TageTables::num_tables`] and `idx` below
-    /// [`TageTables::entries_per_table`]; the probe loop guarantees both by
-    /// construction (`t` ranges over the table count and `idx` is hashed
-    /// through the index mask).
+    /// [`TageTables::entries`] of that table; the probe loop guarantees both
+    /// by construction (`t` ranges over the table count and `idx` is hashed
+    /// through the table's index mask).
     #[inline]
     #[allow(unsafe_code)]
     pub(crate) fn tag_unchecked(&self, t: usize, idx: usize) -> u16 {
         let flat = self.flat(t, idx);
         debug_assert!(flat < self.tags.len());
-        // SAFETY: `flat` interleaves a table rank below `num_tables` with a
-        // masked index below `entries_per_table`, and `tags` was sized to
-        // exactly `num_tables << index_bits` entries at construction.
+        // SAFETY: `flat` adds a masked index below the table's entry count
+        // to the table's starting offset, and `tags` was sized to exactly
+        // the sum of all per-table entry counts at construction.
         unsafe { *self.tags.get_unchecked(flat) }
     }
 
@@ -236,9 +258,10 @@ mod tests {
 
     #[test]
     fn new_tables_match_fresh_entries() {
-        let tables = TageTables::new(4, 8, 3, 2);
+        let tables = TageTables::uniform(4, 8, 3, 2);
         assert_eq!(tables.num_tables(), 4);
-        assert_eq!(tables.entries_per_table(), 256);
+        assert_eq!(tables.entries(0), 256);
+        assert_eq!(tables.total_entries(), 4 * 256);
         let reference = TaggedEntry::new(3, 2);
         for t in 0..4 {
             for idx in [0usize, 1, 128, 255] {
@@ -249,8 +272,35 @@ mod tests {
     }
 
     #[test]
+    fn ragged_tables_have_independent_shapes() {
+        let tables = TageTables::new(&[6, 8, 4], 3, 2);
+        assert_eq!(tables.num_tables(), 3);
+        assert_eq!(tables.entries(0), 64);
+        assert_eq!(tables.entries(1), 256);
+        assert_eq!(tables.entries(2), 16);
+        assert_eq!(tables.total_entries(), 64 + 256 + 16);
+    }
+
+    #[test]
+    fn ragged_mutation_does_not_bleed_across_table_boundaries() {
+        let mut tables = TageTables::new(&[4, 6, 4], 3, 2);
+        // Last entry of table 0 and first entry of table 1 are flat
+        // neighbours; mutate both and check isolation.
+        tables.allocate(0, 15, 0xAB, true);
+        tables.useful_mut(1, 0).increment();
+        assert_eq!(tables.tag(0, 15), 0xAB);
+        assert_eq!(tables.tag(1, 0), 0);
+        assert!(!tables.is_allocatable(1, 0));
+        assert!(tables.useful(0, 15).is_zero(), "allocate resets u to 0");
+        // Last entry of table 1 borders first of table 2.
+        tables.allocate(1, 63, 0x3C, false);
+        assert_eq!(tables.tag(2, 0), 0);
+        assert_eq!(tables.tag(1, 63), 0x3C);
+    }
+
+    #[test]
     fn allocate_mirrors_tagged_entry_allocate() {
-        let mut tables = TageTables::new(2, 4, 3, 2);
+        let mut tables = TageTables::uniform(2, 4, 3, 2);
         let mut reference = TaggedEntry::new(3, 2);
         tables.allocate(1, 7, 0x1ab, true);
         reference.allocate(0x1ab, true);
@@ -263,7 +313,7 @@ mod tests {
 
     #[test]
     fn useful_mutation_is_per_entry() {
-        let mut tables = TageTables::new(2, 4, 3, 2);
+        let mut tables = TageTables::uniform(2, 4, 3, 2);
         tables.useful_mut(0, 3).increment();
         assert!(!tables.is_allocatable(0, 3));
         assert!(tables.is_allocatable(0, 4));
@@ -273,7 +323,7 @@ mod tests {
 
     #[test]
     fn clear_useful_bit_sweeps_every_table() {
-        let mut tables = TageTables::new(3, 4, 3, 2);
+        let mut tables = TageTables::new(&[4, 5, 4], 3, 2);
         for t in 0..3 {
             for idx in 0..16 {
                 tables.useful_mut(t, idx).increment();
@@ -289,17 +339,17 @@ mod tests {
 
     #[test]
     fn clear_restores_the_freshly_constructed_state() {
-        let mut tables = TageTables::new(3, 4, 3, 2);
+        let mut tables = TageTables::new(&[4, 6, 4], 3, 2);
         tables.allocate(1, 7, 0x2b, true);
         tables.useful_mut(2, 9).increment();
         tables.ctr_mut(0, 5).increment();
         tables.clear();
-        assert_eq!(tables, TageTables::new(3, 4, 3, 2));
+        assert_eq!(tables, TageTables::new(&[4, 6, 4], 3, 2));
     }
 
     #[test]
     fn prefetch_hints_are_pure() {
-        let tables = TageTables::new(2, 4, 3, 2);
+        let tables = TageTables::uniform(2, 4, 3, 2);
         let before = tables.clone();
         tables.prefetch_tag(1, 3);
         tables.prefetch_counters(0, 15);
@@ -308,7 +358,7 @@ mod tests {
 
     #[test]
     fn ctr_mut_updates_only_the_target() {
-        let mut tables = TageTables::new(2, 4, 3, 2);
+        let mut tables = TageTables::uniform(2, 4, 3, 2);
         tables.ctr_mut(1, 2).increment();
         assert_eq!(tables.ctr(1, 2).value(), 0);
         assert_eq!(tables.ctr(0, 2).value(), -1);

@@ -1,0 +1,176 @@
+//! Minimal structural helpers for the hand-rolled JSON files the workspace
+//! reads and writes (there is no JSON dependency).
+//!
+//! These are not a JSON parser: they do exactly the structural work the
+//! benchmark trajectory, the campaign reports and the predictor-geometry
+//! files need — extracting the objects of a named array (brace-balanced,
+//! string-literal aware), pulling one string or numeric field out of an
+//! object, and escaping strings for embedding.
+//!
+//! The helpers originated in `tage_bench::jsonish` and moved down here so
+//! the `tage` crate can load [`geometry files`](../../tage) without a
+//! dependency cycle; `tage_bench::jsonish` re-exports this module.
+
+/// Extracts the raw JSON objects of an array field named `key` from
+/// `json`, using brace balancing (string-literal aware). Returns an
+/// empty vector if the field is absent.
+pub fn extract_array_objects(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\":");
+    let Some(start) = json.find(&needle) else {
+        return Vec::new();
+    };
+    let Some(open) = json[start..].find('[') else {
+        return Vec::new();
+    };
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut object_start = None;
+    for (offset, c) in json[start + open..].char_indices() {
+        let position = start + open + offset;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    object_start = Some(position);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(from) = object_start.take() {
+                        objects.push(json[from..=position].to_string());
+                    }
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    objects
+}
+
+/// Extracts the (unescaped) value of the string field `key` from a JSON
+/// object, if present.
+pub fn string_field(object: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = object.find(&needle)? + needle.len();
+    let rest = object[start..].trim_start().strip_prefix('"')?;
+    let mut value = String::new();
+    let mut escaped = false;
+    for c in rest.chars() {
+        if escaped {
+            value.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(value);
+        } else {
+            value.push(c);
+        }
+    }
+    None
+}
+
+/// Extracts the value of the numeric field `key` from a JSON object, if
+/// present and parseable.
+pub fn number_field(object: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = object.find(&needle)? + needle.len();
+    let rest = object[start..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the raw numeric values of a *flat* array field named `key`
+/// (numbers only, no nested structure), if present. Returns `None` when the
+/// field is absent and an empty vector when the array is empty.
+pub fn number_array_field(object: &str, key: &str) -> Option<Vec<f64>> {
+    let needle = format!("\"{key}\":");
+    let start = object.find(&needle)? + needle.len();
+    let rest = object[start..].trim_start().strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let mut values = Vec::new();
+    for item in rest[..end].split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        values.push(item.parse().ok()?);
+    }
+    Some(values)
+}
+
+/// Escapes a string for embedding in a JSON string literal: quotes and
+/// backslashes are escaped, control characters are replaced by spaces.
+pub fn escape(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if c.is_control() => escaped.push(' '),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_extract_from_simple_objects() {
+        let obj = r#"{"name": "engine", "rate": 123456.5, "neg": -2e3}"#;
+        assert_eq!(string_field(obj, "name").as_deref(), Some("engine"));
+        assert_eq!(number_field(obj, "rate"), Some(123456.5));
+        assert_eq!(number_field(obj, "neg"), Some(-2000.0));
+        assert_eq!(string_field(obj, "missing"), None);
+        assert_eq!(number_field(obj, "name"), None);
+    }
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("a\nb"), "a b");
+    }
+
+    #[test]
+    fn array_extraction_is_string_aware() {
+        let json = r#"{"items": [ {"v": "has { and ] inside"}, {"v": 2} ]}"#;
+        let objects = extract_array_objects(json, "items");
+        assert_eq!(objects.len(), 2);
+        assert_eq!(
+            string_field(&objects[0], "v").as_deref(),
+            Some("has { and ] inside")
+        );
+    }
+
+    #[test]
+    fn number_arrays_extract_flat_lists() {
+        let obj = r#"{"lengths": [3, 8, 25, 80], "empty": [], "bad": [1, "x"]}"#;
+        assert_eq!(
+            number_array_field(obj, "lengths"),
+            Some(vec![3.0, 8.0, 25.0, 80.0])
+        );
+        assert_eq!(number_array_field(obj, "empty"), Some(Vec::new()));
+        assert_eq!(number_array_field(obj, "bad"), None);
+        assert_eq!(number_array_field(obj, "missing"), None);
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod format;
+pub mod jsonish;
 pub mod reader;
 pub mod record;
 pub mod rng;

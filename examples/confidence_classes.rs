@@ -32,7 +32,7 @@ fn main() {
     ] {
         let config = TageConfig::medium().with_automaton(automaton);
         let result = run_trace(&config, &trace, &RunOptions::default());
-        println!("--- {} automaton ({automaton}) ---", config.name);
+        println!("--- {} automaton ({automaton}) ---", config.name());
         println!(
             "overall: {:.2} MPKI, {:.1} MKP",
             result.mpki(),

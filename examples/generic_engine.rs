@@ -42,7 +42,7 @@ fn main() {
     );
     let mut observer = ReportObserver::default();
     engine.run(&trace, &mut observer);
-    print_row(&config.name, "storage-free-tage", &observer);
+    print_row(&config.name(), "storage-free-tage", &observer);
 
     // Every baseline predictor × estimator pair runs through the *same*
     // engine; trait objects keep the fleet heterogeneous.

@@ -35,7 +35,7 @@ cargo run --release --bin tage-bench -- --branches 10000 --label verify \
 cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
 echo "== engine parity smoke (multilane vs scalar) =="
-# One storage-free grid cell through each engine; the timing-free schema-2
+# One storage-free grid cell through each engine; the timing-free schema-3
 # reports must byte-match — the multilane engine's bit-parity contract,
 # observed end to end at the report level (docs/BENCHMARKS.md).
 cargo run --release --bin tage-bench -- \
@@ -50,7 +50,7 @@ cmp target/campaign-multilane.json target/campaign-scalar.json
 
 echo "== scenario smoke (tage-bench --scenario) =="
 # One cell per scenario kind (recovery-energy, shared-predictor,
-# prefetch-throttle) and the schema-2 validation of the scenario_metrics
+# prefetch-throttle) and the schema-3 validation of the scenario_metrics
 # the report must carry (docs/SCENARIOS.md).
 cargo run --release --bin tage-bench -- \
   --predictors tage-16k --schemes storage-free --suites cbp1-mini \
@@ -101,5 +101,31 @@ cargo run --release --bin tage-bench -- \
   --branches 10000 --label verify-ckpt --no-timing \
   --out target/campaign-clean.json
 cmp target/campaign-resumed.json target/campaign-clean.json
+
+echo "== explore smoke (tage-bench --explore, kill + resume) =="
+# Design-space search under a 32 Kbit budget (<=8 geometries): validate the
+# schema-3 report with its explore/Pareto section, then kill the same grid
+# after one cell, resume it, and require the explore report to byte-match
+# the uninterrupted run's (docs/GEOMETRY.md, docs/CAMPAIGNS.md).
+rm -rf target/verify-explore-ckpt
+rm -f target/explore-clean.json target/explore-resumed.json
+cargo run --release --bin tage-bench -- \
+  --explore --budget-bits 32768 --max-geometries 8 \
+  --branches 10000 --label verify-explore --no-timing \
+  --out target/explore-clean.json
+cargo run --release --bin tage-bench -- --check target/explore-clean.json
+grep -q '"explore":' target/explore-clean.json
+cargo run --release --bin tage-bench -- \
+  --explore --budget-bits 32768 --max-geometries 8 \
+  --branches 10000 --label verify-explore --no-timing \
+  --checkpoint target/verify-explore-ckpt --max-cells 1 \
+  --out target/explore-resumed.json
+test ! -f target/explore-resumed.json
+cargo run --release --bin tage-bench -- \
+  --explore --budget-bits 32768 --max-geometries 8 \
+  --branches 10000 --label verify-explore --no-timing \
+  --resume target/verify-explore-ckpt \
+  --out target/explore-resumed.json
+cmp target/explore-clean.json target/explore-resumed.json
 
 echo "verify: OK"

@@ -72,9 +72,10 @@ fn engine_reproduces_the_reference_tage_loop_exactly() {
         let reference = reference_tage_run(&config, &trace, 0);
         let engine = run_trace(&config, &trace, &RunOptions::default());
         assert_eq!(
-            engine.report, reference,
+            engine.report,
+            reference,
             "{}: the generic engine must be bit-identical to the bespoke loop",
-            config.name
+            config.name()
         );
     }
 }

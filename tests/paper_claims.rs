@@ -125,7 +125,7 @@ fn claim_modified_automaton_costs_little_accuracy() {
         assert!(
             cost.abs() < 0.2,
             "{}: modified automaton cost {cost} MPKI is too large",
-            config.name
+            config.name()
         );
     }
 }

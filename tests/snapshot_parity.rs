@@ -25,7 +25,7 @@ use tage_confidence_suite::predictors::{
     PerceptronPredictor, PredictionOutcome, PredictorCore,
 };
 use tage_confidence_suite::tage::{
-    CounterAutomaton, LaneGroup, ReferenceTagePredictor, TageConfig, TagePredictor,
+    CounterAutomaton, LaneGroup, ReferenceTagePredictor, TageConfig, TageGeometry, TagePredictor,
 };
 use tage_confidence_suite::traces::snapshot::SnapshotError;
 use tage_confidence_suite::traces::SplitMix64;
@@ -252,7 +252,7 @@ fn snapshots_restored_via_clone_fresh_match_direct_construction() {
         cloned.restore(&snapshot).expect("restore into clone_fresh");
         assert_eq!(cloned.snapshot(), snapshot);
 
-        let mut direct = TagePredictor::new(trained.config().clone());
+        let mut direct = TagePredictor::new(trained.geometry().clone());
         TagePredictor::restore(&mut direct, &snapshot).expect("restore into direct");
         assert_eq!(TagePredictor::snapshot(&direct), cloned.snapshot());
     });
@@ -490,5 +490,51 @@ fn random_snapshot_op_interleavings_never_diverge_from_a_shadow_core() {
             &|| MarginPredictor(BimodalPredictor::new(10)),
             rng,
         );
+    });
+}
+
+#[test]
+fn snapshots_are_keyed_to_the_geometry_not_the_construction_path() {
+    // Two predictors built from the *same* geometry — one through the
+    // preset constructor, one through a declarative `TageGeometry` —
+    // exchange snapshots freely; any geometry difference (here: one bit of
+    // tag width) flips the spec digest and is rejected at the digest
+    // offset. This is what keeps warm-state caches honest when campaigns
+    // mix `tage-16k`-style tokens with `geometry:` files.
+    for_each_case("snapshot_geometry_digest", |rng| {
+        let config = TageConfig::small().with_rng_seed(rng.next_u64());
+        let geometry = TageGeometry::from_config(&config);
+
+        let mut from_config = TagePredictor::new(config.clone());
+        drive(&mut from_config, &arbitrary_stream(rng, 120));
+        let snapshot = TagePredictor::snapshot(&from_config);
+
+        let mut from_geometry = TagePredictor::new(geometry.clone());
+        TagePredictor::restore(&mut from_geometry, &snapshot)
+            .expect("same geometry, different construction path");
+        assert_eq!(TagePredictor::snapshot(&from_geometry), snapshot);
+
+        let reshaped = TageGeometry::from_config(
+            &config
+                .to_builder()
+                .tag_bits(config.tag_bits + 1)
+                .build()
+                .expect("valid reshaped config"),
+        );
+        assert_ne!(reshaped.spec_digest(), geometry.spec_digest());
+        let mut other = TagePredictor::new(reshaped);
+        let before = TagePredictor::snapshot(&other);
+        match TagePredictor::restore(&mut other, &snapshot).unwrap_err() {
+            SnapshotError::SpecMismatch {
+                offset,
+                expected,
+                found,
+            } => {
+                assert_eq!(offset, 8);
+                assert_ne!(expected, found);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert_eq!(TagePredictor::snapshot(&other), before);
     });
 }

@@ -45,7 +45,6 @@ fn arbitrary_config(rng: &mut SplitMix64) -> TageConfig {
     };
     TageConfig::small()
         .to_builder()
-        .name("parity")
         .num_tagged_tables(num_tables)
         .tagged_index_bits(4 + rng.next_below(5) as u32)
         .tag_bits(6 + rng.next_below(6) as u32)
