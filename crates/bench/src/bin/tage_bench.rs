@@ -14,6 +14,7 @@
 //! tage-bench --explore [--budget-bits N] [--max-geometries N] [...]
 //! tage-bench --export-traces DIR [--suites LIST] [--branches N]
 //! tage-bench --check PATH
+//! tage-bench --submit http://HOST:PORT [--no-wait] [grid flags...]
 //! ```
 //!
 //! Lists are comma-separated grid tokens; `--list` prints every known axis
@@ -50,6 +51,11 @@
 //! cell bytes, so it is byte-identical across worker counts, engines, and
 //! kill/`--resume` splits. Unless overridden, `--explore` pairs the
 //! candidates with the storage-free scheme only (see `docs/GEOMETRY.md`).
+//!
+//! `--submit URL` turns the binary into a client of a running `tage-serve`
+//! daemon (see `docs/SERVICE.md`): the grid tokens are sent as a campaign,
+//! polled to completion, and the final byte-stable report lands in `--out`
+//! (or stdout). `--no-wait` returns right after the acknowledgement.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -58,7 +64,7 @@ use tage_bench::campaign::{
     run_campaign_checkpointed, run_campaign_with_engine, validate_report, CampaignReport,
     CampaignSpec, SCHEMA_VERSION,
 };
-use tage_bench::checkpoint::CampaignCheckpoint;
+use tage_bench::cellstore::CellStore;
 use tage_bench::cli;
 use tage_bench::explore;
 use tage_sim::engine::default_parallelism;
@@ -101,6 +107,8 @@ struct Options {
     explore: bool,
     budget_bits: Option<u64>,
     max_geometries: Option<usize>,
+    submit: Option<String>,
+    no_wait: bool,
 }
 
 /// Default `--budget-bits` for `--explore` (the paper's 64 Kbit point).
@@ -132,6 +140,8 @@ fn parse_options() -> Result<Options, String> {
         explore: false,
         budget_bits: None,
         max_geometries: None,
+        submit: None,
+        no_wait: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -191,6 +201,8 @@ fn parse_options() -> Result<Options, String> {
                 options.max_cells = Some(cli::parse_count("--max-cells", &value)?);
             }
             "--explore" => options.explore = true,
+            "--submit" => options.submit = Some(cli::require_value(&mut args, "--submit")?),
+            "--no-wait" => options.no_wait = true,
             "--budget-bits" => {
                 let value = cli::require_value(&mut args, "--budget-bits")?;
                 options.budget_bits = Some(cli::parse_count("--budget-bits", &value)? as u64);
@@ -211,6 +223,14 @@ fn parse_options() -> Result<Options, String> {
     }
     if !options.explore && (options.budget_bits.is_some() || options.max_geometries.is_some()) {
         return Err("--budget-bits/--max-geometries require --explore".to_string());
+    }
+    if options.no_wait && options.submit.is_none() {
+        return Err("--no-wait requires --submit".to_string());
+    }
+    if options.submit.is_some() && (options.explore || options.checkpoint.is_some()) {
+        return Err(
+            "--submit sends the grid to a tage-serve daemon; combine it with the grid flags only, not --explore/--checkpoint/--resume".to_string(),
+        );
     }
     Ok(options)
 }
@@ -328,6 +348,60 @@ fn check_report(path: &str) -> ExitCode {
     }
 }
 
+/// `--submit`: sends the grid tokens to a `tage-serve` daemon instead of
+/// executing locally. Unless `--no-wait`, polls the campaign to completion
+/// and writes the final byte-stable report to `--out` (or stdout) — the
+/// same bytes a local `--no-timing` run of the grid would produce.
+fn submit_mode(url: &str, options: &Options) -> ExitCode {
+    let split = |list: &str| {
+        list.split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(str::to_string)
+            .collect::<Vec<String>>()
+    };
+    let request = tage_bench::service::grid::GridRequest {
+        label: options.label.clone(),
+        predictors: split(&options.predictors),
+        schemes: split(&options.schemes),
+        // Mirror local axis resolution: an unmodified default suite list is
+        // dropped when file-backed suites are given.
+        suites: if options.trace_dirs.is_empty() || options.suites_explicit {
+            split(&options.suites)
+        } else {
+            Vec::new()
+        },
+        trace_dirs: options.trace_dirs.clone(),
+        scenarios: split(&options.scenarios),
+        branches_per_trace: options.branches,
+    };
+    match tage_bench::service::client::submit_grid(url, &request, !options.no_wait) {
+        Ok(result) => {
+            println!("campaign {} is {}", result.id, result.state);
+            if let Some(report) = result.report {
+                match &options.out {
+                    Some(path) => {
+                        if let Err(error) = std::fs::write(path, &report) {
+                            eprintln!("tage-bench: could not write {path}: {error}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("wrote {path}");
+                    }
+                    None => print!("{report}"),
+                }
+            } else if !options.no_wait {
+                eprintln!("tage-bench: daemon returned no report");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("tage-bench: --submit: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Runs the campaign, through a checkpoint when one was requested. Returns
 /// `Ok(None)` when a `--max-cells` cap left cells unexecuted — progress is
 /// checkpointed but no finished report exists yet.
@@ -343,7 +417,7 @@ fn run_checkpointable_campaign(
     if options.resume && !Path::new(dir).is_dir() {
         return Err(format!("--resume {dir}: no such checkpoint directory"));
     }
-    let checkpoint = CampaignCheckpoint::new(dir)
+    let checkpoint = CellStore::new(dir)
         .map_err(|e| format!("--checkpoint {dir}: cannot create directory: {e}"))?;
     let run = run_campaign_checkpointed(
         spec,
@@ -390,6 +464,9 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         };
+    }
+    if let Some(url) = &options.submit {
+        return submit_mode(url, &options);
     }
 
     // --explore swaps the predictor axis for a budgeted geometry

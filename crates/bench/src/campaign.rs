@@ -22,10 +22,13 @@
 //! Campaigns can also run **checkpointed**
 //! ([`run_campaign_checkpointed`], `tage-bench --checkpoint/--resume`):
 //! every finished cell's rendered timing-free bytes are persisted to a
-//! [`CampaignCheckpoint`] directory as it completes, and a later run over
-//! the same grid restores finished cells verbatim instead of re-executing
-//! them — so a killed mid-grid campaign resumes from where it died and the
-//! resumed timing-free report byte-matches an uninterrupted one.
+//! shared content-addressed [`CellStore`] as it completes, and a later run
+//! over the same grid restores finished cells verbatim instead of
+//! re-executing them — so a killed mid-grid campaign resumes from where it
+//! died and the resumed timing-free report byte-matches an uninterrupted
+//! one. The same store backs the `tage-serve` campaign daemon
+//! ([`crate::service`]), so CLI runs and daemon campaigns memoize into one
+//! cache.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,7 +43,7 @@ use tage_sim::scenarios::{ScenarioSpec, BASELINE_TOKEN};
 use tage_sim::EngineKind;
 use tage_traces::source::SourceSuite;
 
-use crate::checkpoint::{self, CampaignCheckpoint};
+use crate::cellstore::{cell_key, CellStore};
 use crate::jsonish;
 
 /// Current schema version of the campaign report. Schema 2 added the
@@ -238,8 +241,8 @@ pub struct CampaignPointReport {
 }
 
 /// One grid cell of a campaign report: either executed in this run, or
-/// restored from a [`CampaignCheckpoint`] as the exact rendered timing-free
-/// bytes a previous run stored. Restored cells are pasted verbatim by
+/// restored from a [`CellStore`] as the exact rendered timing-free bytes a
+/// previous run stored. Restored cells are pasted verbatim by
 /// [`CampaignReport::render_json`], which is what makes a resumed report
 /// byte-identical to an uninterrupted one.
 #[derive(Debug, Clone, PartialEq)]
@@ -247,7 +250,7 @@ pub enum CampaignCell {
     /// The cell was executed in this run (boxed: a point report is an order
     /// of magnitude larger than a restored cell's string header).
     Computed(Box<CampaignPointReport>),
-    /// The cell was restored from a checkpoint; the string is the rendered
+    /// The cell was restored from the cell store; the string is the rendered
     /// timing-free report element (restored cells carry no wall time, so
     /// they render timing-free even in a timing report).
     Restored(String),
@@ -432,47 +435,50 @@ pub struct CheckpointedRun {
     /// restored and executed cells (in grid-expansion order) and must not
     /// be published as a finished report.
     pub report: CampaignReport,
-    /// Cells restored from the checkpoint instead of executed.
+    /// Cells restored from the cell store instead of executed.
     pub restored: usize,
-    /// Cells executed (and checkpointed) by this run.
+    /// Cells executed (and stored) by this run.
     pub executed: usize,
     /// Cells still unexecuted because `max_cells` capped this run; resume
-    /// with the same checkpoint directory to continue.
+    /// with the same store directory to continue.
     pub remaining: usize,
 }
 
-/// [`run_campaign_with_engine`] through a [`CampaignCheckpoint`]: cells
-/// already finished in `checkpoint` are restored verbatim, the rest execute
+/// [`run_campaign_with_engine`] through a shared [`CellStore`]: cells
+/// already finished in `store` are restored verbatim, the rest execute
 /// and are persisted **as they complete** — a killed run keeps everything
 /// it finished. `max_cells` caps how many cells this run executes (the CI
 /// campaign-smoke job uses it to simulate a mid-grid kill deterministically).
 ///
 /// Because restored cells are the exact rendered bytes an earlier run
 /// stored, the timing-free report of a fully resumed campaign is
-/// byte-identical to an uninterrupted run's.
+/// byte-identical to an uninterrupted run's. Cell keys are
+/// content-addressed ([`cell_key`]) — they ignore the campaign label — so
+/// two campaigns over overlapping grids share finished cells through one
+/// store directory.
 ///
 /// # Errors
 ///
 /// Returns the first [`PointError`] in grid-expansion order among the cells
-/// this run executed. Checkpoint *store* failures are deliberately
-/// swallowed — a read-only checkpoint directory degrades to an ordinary run.
+/// this run executed. Cell *store* failures are deliberately swallowed — a
+/// read-only store directory degrades to an ordinary run.
 pub fn run_campaign_checkpointed(
     spec: &CampaignSpec,
     workers: usize,
     engine: EngineKind,
-    checkpoint: &CampaignCheckpoint,
+    store: &CellStore,
     max_cells: Option<usize>,
 ) -> Result<CheckpointedRun, PointError> {
     let (points, skipped) = spec.expand();
     let start = Instant::now();
     let keys: Vec<u64> = points
         .iter()
-        .map(|point| checkpoint::cell_key(&spec.label, spec.branches_per_trace, point))
+        .map(|point| cell_key(spec.branches_per_trace, point))
         .collect();
     let mut cells: Vec<Option<CampaignCell>> = Vec::with_capacity(points.len());
     let mut pending: Vec<usize> = Vec::new();
     for (index, point) in points.iter().enumerate() {
-        match checkpoint.load_cell(keys[index], point) {
+        match store.load_cell(keys[index], point) {
             Some(rendered) => cells.push(Some(CampaignCell::Restored(rendered))),
             None => {
                 cells.push(None);
@@ -491,7 +497,7 @@ pub fn run_campaign_checkpointed(
                 result,
                 wall_seconds: point_start.elapsed().as_secs_f64(),
             };
-            let _ = checkpoint.store_cell(keys[index], &render_point_json(&point, false));
+            let _ = store.store_cell(keys[index], &render_point_json(&point, false));
             point
         })
     });
@@ -629,7 +635,7 @@ impl CampaignReport {
 /// Renders one executed point as a report-array element (the two-space
 /// indented `{...}` line [`CampaignReport::render_json`] joins). The
 /// timing-free rendering of this function is also exactly what a
-/// [`CampaignCheckpoint`] cell stores.
+/// [`CellStore`] cell stores.
 pub(crate) fn render_point_json(point: &CampaignPointReport, include_timing: bool) -> String {
     let result = &point.result;
     let predictions = result.total_predictions();
@@ -983,7 +989,7 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("tage-campaign-checkpoint-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let checkpoint = CellStore::new(&dir).unwrap();
         let clean = run_campaign_with_engine(&tiny_spec(), 2, EngineKind::Multilane)
             .unwrap()
             .render_json(false);
@@ -1019,13 +1025,38 @@ mod tests {
     }
 
     #[test]
+    fn differently_labelled_campaigns_share_stored_cells() {
+        let dir =
+            std::env::temp_dir().join(format!("tage-campaign-cell-share-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CellStore::new(&dir).unwrap();
+        let first = run_campaign_checkpointed(&tiny_spec(), 2, EngineKind::Multilane, &store, None)
+            .unwrap();
+        assert_eq!((first.restored, first.executed), (0, 3));
+        // A different campaign label over the same grid content restores
+        // every cell — keys are content-addressed, not label-scoped.
+        let mut relabelled = tiny_spec();
+        relabelled.label = "other-campaign".to_string();
+        let second =
+            run_campaign_checkpointed(&relabelled, 2, EngineKind::Scalar, &store, None).unwrap();
+        assert_eq!((second.restored, second.executed), (3, 0));
+        // Only the report header differs; the cell bytes are shared.
+        assert_eq!(
+            first.report.cell_bytes(),
+            second.report.cell_bytes(),
+            "shared cells must render identical bytes"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_and_stale_checkpoint_cells_are_recomputed() {
         let dir = std::env::temp_dir().join(format!(
             "tage-campaign-checkpoint-corrupt-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+        let checkpoint = CellStore::new(&dir).unwrap();
         let spec = tiny_spec();
         let clean = run_campaign_with_engine(&spec, 2, EngineKind::Multilane)
             .unwrap()
@@ -1037,7 +1068,7 @@ mod tests {
         // Vandalize two of the three cells: one with garbage, one with a
         // well-formed cell whose identity fields disagree.
         let (points, _) = spec.expand();
-        let key = |i: usize| checkpoint::cell_key(&spec.label, spec.branches_per_trace, &points[i]);
+        let key = |i: usize| cell_key(spec.branches_per_trace, &points[i]);
         checkpoint
             .store_cell(key(0), "garbage, not a cell")
             .unwrap();

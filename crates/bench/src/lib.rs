@@ -11,8 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
-pub mod checkpoint;
+pub mod cellstore;
 pub mod explore;
+pub mod service;
 
 /// Default number of conditional branches simulated per trace by the
 /// experiment binaries.

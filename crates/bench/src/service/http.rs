@@ -1,0 +1,308 @@
+//! Hand-rolled HTTP/1.1 request/response framing over std TCP streams.
+//!
+//! The workspace carries no HTTP dependency, and the `tage-serve` daemon
+//! needs only the smallest honest subset of HTTP/1.1: one request per
+//! connection, `Content-Length`-framed bodies, `Connection: close`
+//! responses. This module implements exactly that — for both sides, since
+//! `tage-bench --submit` is the matching client.
+//!
+//! Untrusted-input hardening happens at this layer (header and body size
+//! caps, read timeouts) and in `tage_traces::jsonish::validate_document`,
+//! which the router runs on every request body before any field extractor
+//! touches it.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers). Generously above any
+/// legitimate `tage-serve` request, small enough to shrug off junk floods.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on request bodies (grid specs are a few hundred bytes).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are not split off — no endpoint
+    /// takes one).
+    pub path: String,
+    /// The request body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The socket failed or timed out mid-request.
+    Io(String),
+    /// The request line / headers are not parseable HTTP/1.1.
+    Malformed(&'static str),
+    /// The head or body exceeds its size cap.
+    TooLarge {
+        /// What overflowed (`"head"` or `"body"`).
+        what: &'static str,
+        /// The cap that was exceeded, in bytes.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(error) => write!(f, "socket error: {error}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "request {what} exceeds {limit} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one HTTP/1.1 request from `stream`: head until the blank line
+/// (capped at [`MAX_HEAD_BYTES`]), then exactly `Content-Length` body bytes
+/// (capped at `max_body`).
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failure, unparseable head, or a cap violation.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge {
+                what: "head",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line has no path"))?
+        .to_string();
+    if !parts
+        .next()
+        .is_some_and(|version| version.starts_with("HTTP/1."))
+    {
+        return Err(HttpError::Malformed("not an HTTP/1.x request"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: max_body,
+        });
+    }
+    let body_start = head_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one `Connection: close` HTTP/1.1 response.
+pub fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// One client-side HTTP exchange: connects to `host_port`, sends `method
+/// path` with an optional JSON body, and reads the full response (the
+/// server closes the connection after one response).
+///
+/// Returns `(status, body)`.
+///
+/// # Errors
+///
+/// A human-readable string on connection failure, socket errors, or an
+/// unparseable response head.
+pub fn client_request(
+    host_port: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(host_port).map_err(|e| format!("cannot connect to {host_port}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {host_port}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("{host_port}: send failed: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("{host_port}: read failed: {e}"))?;
+    let head_end = find_head_end(&response)
+        .ok_or_else(|| format!("{host_port}: response has no header terminator"))?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|_| format!("{host_port}: response head is not UTF-8"))?;
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{host_port}: unparseable status line \"{status_line}\""))?;
+    let body = String::from_utf8_lossy(&response[head_end + 4..]).into_owned();
+    Ok((status, body))
+}
+
+/// Splits an `http://host:port[/]` base URL into its `host:port` part.
+///
+/// # Errors
+///
+/// A human-readable string when the URL is not plain `http://` or carries a
+/// non-empty path.
+pub fn host_port_of(base_url: &str) -> Result<String, String> {
+    let rest = base_url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported URL \"{base_url}\" (only http:// is supported)"))?;
+    let host_port = rest.strip_suffix('/').unwrap_or(rest);
+    if host_port.is_empty() || host_port.contains('/') {
+        return Err(format!(
+            "unsupported URL \"{base_url}\" (expected http://host:port)"
+        ));
+    }
+    Ok(host_port.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let request = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        request
+    }
+
+    #[test]
+    fn requests_parse_with_and_without_bodies() {
+        let request = roundtrip(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 64).unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/metrics");
+        assert!(request.body.is_empty());
+
+        let request = roundtrip(
+            b"POST /campaigns HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            64,
+        )
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_are_rejected() {
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / FTP/1.0\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 64),
+            Err(HttpError::TooLarge { what: "body", .. })
+        ));
+        assert!(matches!(
+            roundtrip(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+        // A closed connection before the blank line is malformed, not a hang.
+        assert!(matches!(
+            roundtrip(b"GET / HTTP/1.1\r\n", 64),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn base_urls_resolve_to_host_port() {
+        assert_eq!(
+            host_port_of("http://127.0.0.1:7421").as_deref(),
+            Ok("127.0.0.1:7421")
+        );
+        assert_eq!(
+            host_port_of("http://localhost:80/").as_deref(),
+            Ok("localhost:80")
+        );
+        assert!(host_port_of("https://x").is_err());
+        assert!(host_port_of("http://h:1/path").is_err());
+        assert!(host_port_of("127.0.0.1:7421").is_err());
+    }
+}

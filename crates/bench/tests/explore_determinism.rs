@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use tage_bench::campaign::{
     run_campaign_checkpointed, run_campaign_with_engine, validate_report, CampaignSpec,
 };
-use tage_bench::checkpoint::CampaignCheckpoint;
+use tage_bench::cellstore::CellStore;
 use tage_bench::explore::{attach_explore_section, enumerate_geometries, explore_predictors};
 use tage_sim::point::SchemeSpec;
 use tage_sim::scenarios::ScenarioSpec;
@@ -60,7 +60,7 @@ fn explore_reports_are_byte_identical_across_workers_and_engines() {
 fn explore_report_survives_a_mid_grid_kill_and_resume() {
     let reference = rendered_explore_report(1, EngineKind::Multilane);
     let dir = temp_dir("kill-resume");
-    let checkpoint = CampaignCheckpoint::new(&dir).unwrap();
+    let checkpoint = CellStore::new(&dir).unwrap();
 
     // First leg: stop after one cell (a simulated kill).
     let first = run_campaign_checkpointed(

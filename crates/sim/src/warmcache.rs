@@ -122,11 +122,30 @@ impl WarmCache {
 
     pub(crate) fn note_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Process-wide warm-cache counters, accumulated across every [`WarmCache`]
+/// instance (a long-lived daemon opens one cache per segmented run, so the
+/// per-instance counters alone cannot answer "how often has warm-state
+/// restore saved a replay since this process started").
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide `(hits, misses)` accumulated across every [`WarmCache`]
+/// this process has used — what `tage-serve`'s `GET /metrics` reports as
+/// `warmcache_hits` / `warmcache_misses`.
+pub fn global_counters() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 /// Digest of everything about the *simulation configuration* that the warm
@@ -295,9 +314,15 @@ mod tests {
         assert!(cache.load(42).is_none());
         cache.store(42, b"hello").unwrap();
         assert_eq!(cache.load(42).unwrap(), b"hello");
+        let (global_hits, global_misses) = global_counters();
         cache.note_miss();
         cache.note_hit();
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // The process-wide counters advance alongside the per-instance
+        // ones (other tests may also bump them; only the delta is ours).
+        let (now_hits, now_misses) = global_counters();
+        assert!(now_hits > global_hits);
+        assert!(now_misses > global_misses);
         assert_eq!(cache.dir(), dir.as_path());
         let _ = fs::remove_dir_all(&dir);
     }

@@ -11,6 +11,159 @@
 //! the `tage` crate can load [`geometry files`](../../tage) without a
 //! dependency cycle; `tage_bench::jsonish` re-exports this module.
 
+use std::fmt;
+
+/// Default nesting-depth cap [`validate_document`] callers use for
+/// untrusted input (sockets, uploaded files). Deep enough for every
+/// document the workspace itself writes, shallow enough that a
+/// brace-bomb cannot make downstream brace-balancing walks pathological.
+pub const DEFAULT_MAX_DEPTH: usize = 32;
+
+/// Structural rejection of an untrusted JSON document, carrying the byte
+/// offset the scan failed at ([`validate_document`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocumentError {
+    /// The document is empty (or whitespace only).
+    Empty,
+    /// A non-whitespace byte follows the complete top-level value.
+    TrailingGarbage {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+    /// An opening `{`/`[` nested past the caller's depth cap.
+    TooDeep {
+        /// Byte offset of the offending opener.
+        offset: usize,
+        /// The cap that was exceeded.
+        max_depth: usize,
+    },
+    /// A `}`/`]` with no matching opener, or the wrong closer for the
+    /// innermost opener.
+    UnbalancedCloser {
+        /// Byte offset of the closer.
+        offset: usize,
+    },
+    /// The document ended inside a string or with unclosed `{`/`[`.
+    Unterminated {
+        /// Byte offset of the end of input.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for DocumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocumentError::Empty => write!(f, "empty document"),
+            DocumentError::TrailingGarbage { offset } => {
+                write!(f, "trailing garbage after top-level value at byte {offset}")
+            }
+            DocumentError::TooDeep { offset, max_depth } => {
+                write!(f, "nesting deeper than {max_depth} at byte {offset}")
+            }
+            DocumentError::UnbalancedCloser { offset } => {
+                write!(f, "unbalanced closing bracket at byte {offset}")
+            }
+            DocumentError::Unterminated { offset } => {
+                write!(f, "unterminated value at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocumentError {}
+
+/// Structurally validates one untrusted JSON document: exactly one
+/// top-level value, brackets balanced and matched, strings terminated, and
+/// no `{`/`[` nested deeper than `max_depth`. Rejections carry the byte
+/// offset the scan failed at.
+///
+/// This is *not* a full JSON parser (the module's field extractors stay
+/// structural), but it is the gate the `tage-serve` daemon runs on every
+/// request body before any extractor touches it: trailing garbage after
+/// the top-level value, brace bombs and truncated uploads are rejected
+/// up front instead of being silently mis-extracted.
+pub fn validate_document(json: &str, max_depth: usize) -> Result<(), DocumentError> {
+    let bytes = json.as_bytes();
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut seen_value = false;
+    let mut value_done = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+                if stack.is_empty() {
+                    value_done = true;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {}
+            _ if value_done => return Err(DocumentError::TrailingGarbage { offset: i }),
+            // Structural separators inside containers; at the top level
+            // they are scalar garbage the extractors will reject, but the
+            // scan must still advance past them.
+            b',' | b':' => {}
+            b'"' => {
+                in_string = true;
+                seen_value = true;
+            }
+            b'{' | b'[' => {
+                if stack.len() >= max_depth {
+                    return Err(DocumentError::TooDeep {
+                        offset: i,
+                        max_depth,
+                    });
+                }
+                stack.push(b);
+                seen_value = true;
+            }
+            b'}' | b']' => {
+                let expected_opener = if b == b'}' { b'{' } else { b'[' };
+                if stack.pop() != Some(expected_opener) {
+                    return Err(DocumentError::UnbalancedCloser { offset: i });
+                }
+                if stack.is_empty() {
+                    value_done = true;
+                }
+            }
+            _ => {
+                // A scalar token (number, true/false/null, or garbage —
+                // the extractors decide): consume to the next delimiter.
+                seen_value = true;
+                let scalar =
+                    |c: u8| !matches!(c, b' ' | b'\t' | b'\r' | b'\n' | b',' | b'}' | b']');
+                while i < bytes.len() && scalar(bytes[i]) {
+                    i += 1;
+                }
+                if stack.is_empty() {
+                    value_done = true;
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if in_string || !stack.is_empty() {
+        return Err(DocumentError::Unterminated {
+            offset: bytes.len(),
+        });
+    }
+    if !seen_value {
+        return Err(DocumentError::Empty);
+    }
+    Ok(())
+}
+
 /// Extracts the raw JSON objects of an array field named `key` from
 /// `json`, using brace balancing (string-literal aware). Returns an
 /// empty vector if the field is absent.
@@ -116,6 +269,49 @@ pub fn number_array_field(object: &str, key: &str) -> Option<Vec<f64>> {
     Some(values)
 }
 
+/// Extracts the (unescaped) string values of a *flat* array field named
+/// `key` (strings only, no nested structure), if present. Returns `None`
+/// when the field is absent or holds non-string items, and an empty vector
+/// when the array is empty.
+pub fn string_array_field(object: &str, key: &str) -> Option<Vec<String>> {
+    let needle = format!("\"{key}\":");
+    let start = object.find(&needle)? + needle.len();
+    let mut rest = object[start..].trim_start().strip_prefix('[')?;
+    let mut values = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix(']') {
+            let _ = after;
+            return Some(values);
+        }
+        rest = rest.strip_prefix('"')?;
+        let mut value = String::new();
+        let mut escaped = false;
+        let mut consumed = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                value.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                consumed = Some(i + 1);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        rest = &rest[consumed?..];
+        values.push(value);
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with(']') {
+            return None;
+        }
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal: quotes and
 /// backslashes are escaped, control characters are replaced by spaces.
 pub fn escape(value: &str) -> String {
@@ -160,6 +356,114 @@ mod tests {
             string_field(&objects[0], "v").as_deref(),
             Some("has { and ] inside")
         );
+    }
+
+    #[test]
+    fn string_arrays_extract_flat_lists() {
+        let obj = r#"{"suites": ["cbp1-mini", "cbp2-mini"], "empty": [], "esc": ["a\"b", "c\\d"], "mixed": [1, "x"], "nested": [["a"]]}"#;
+        assert_eq!(
+            string_array_field(obj, "suites"),
+            Some(vec!["cbp1-mini".to_string(), "cbp2-mini".to_string()])
+        );
+        assert_eq!(string_array_field(obj, "empty"), Some(Vec::new()));
+        assert_eq!(
+            string_array_field(obj, "esc"),
+            Some(vec!["a\"b".to_string(), "c\\d".to_string()])
+        );
+        assert_eq!(string_array_field(obj, "mixed"), None);
+        assert_eq!(string_array_field(obj, "nested"), None);
+        assert_eq!(string_array_field(obj, "missing"), None);
+        // Truncated input is a rejection, not a panic or a partial list.
+        assert_eq!(string_array_field(r#"{"k": ["a", "b"#, "k"), None);
+    }
+
+    #[test]
+    fn documents_validate_and_reject_with_offsets() {
+        for good in [
+            r#"{"a": 1, "b": [1, 2], "c": {"d": "x}y"}}"#,
+            r#"[1, 2, 3]"#,
+            "  {\n}\n",
+            r#""just a string""#,
+            "42",
+            "true",
+        ] {
+            assert_eq!(validate_document(good, DEFAULT_MAX_DEPTH), Ok(()), "{good}");
+        }
+        assert_eq!(validate_document("", 8), Err(DocumentError::Empty));
+        assert_eq!(validate_document("  \n ", 8), Err(DocumentError::Empty));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_at_its_byte_offset() {
+        assert_eq!(
+            validate_document(r#"{"a": 1} {"b": 2}"#, 8),
+            Err(DocumentError::TrailingGarbage { offset: 9 })
+        );
+        assert_eq!(
+            validate_document("[1] x", 8),
+            Err(DocumentError::TrailingGarbage { offset: 4 })
+        );
+        assert_eq!(
+            validate_document("42 43", 8),
+            Err(DocumentError::TrailingGarbage { offset: 3 })
+        );
+        assert_eq!(
+            validate_document("\"s\"\"t\"", 8),
+            Err(DocumentError::TrailingGarbage { offset: 3 })
+        );
+        // Whitespace after the value is fine.
+        assert_eq!(validate_document("{\"a\": 1}\n\n", 8), Ok(()));
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        let deep_ok = format!("{}1{}", "[".repeat(8), "]".repeat(8));
+        assert_eq!(validate_document(&deep_ok, 8), Ok(()));
+        let too_deep = format!("{}1{}", "[".repeat(9), "]".repeat(9));
+        assert_eq!(
+            validate_document(&too_deep, 8),
+            Err(DocumentError::TooDeep {
+                offset: 8,
+                max_depth: 8
+            })
+        );
+        // A brace bomb with no closers is caught by the same cap.
+        let bomb = "[".repeat(10_000);
+        assert!(matches!(
+            validate_document(&bomb, DEFAULT_MAX_DEPTH),
+            Err(DocumentError::TooDeep {
+                offset: 32,
+                max_depth: DEFAULT_MAX_DEPTH
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_mismatched_brackets_are_rejected() {
+        assert_eq!(
+            validate_document(r#"{"a": "unterminated"#, 8),
+            Err(DocumentError::Unterminated { offset: 19 })
+        );
+        assert_eq!(
+            validate_document("[1, 2", 8),
+            Err(DocumentError::Unterminated { offset: 5 })
+        );
+        assert_eq!(
+            validate_document("[1, 2}", 8),
+            Err(DocumentError::UnbalancedCloser { offset: 5 })
+        );
+        assert_eq!(
+            validate_document("}", 8),
+            Err(DocumentError::UnbalancedCloser { offset: 0 })
+        );
+        // A string-escaped quote must not terminate the string.
+        assert_eq!(
+            validate_document(r#"{"a": "x\""#, 8),
+            Err(DocumentError::Unterminated { offset: 10 })
+        );
+        // Errors render with their offsets for HTTP 400 bodies.
+        let rendered = DocumentError::TrailingGarbage { offset: 9 }.to_string();
+        assert!(rendered.contains("byte 9"), "{rendered}");
     }
 
     #[test]

@@ -742,6 +742,23 @@ impl SourceSuite {
     pub fn source(&self, label: &str) -> Option<&SourceSpec> {
         self.sources.iter().find(|s| s.label() == label)
     }
+
+    /// A stable digest of the whole suite's content identity: the suite
+    /// name folded with every member's [`SourceSpec::digest`], in suite
+    /// order. Two suites digest equal exactly when they would stream the
+    /// same named record sets — the suite half of a campaign-cell cache
+    /// key (see `tage_bench`'s cell store).
+    pub fn digest(&self, conditional_branches: usize) -> u64 {
+        let mut identity = format!("suite|{}", self.name);
+        for source in &self.sources {
+            identity.push_str(&format!(
+                "|{}={:016x}",
+                source.label(),
+                source.digest(conditional_branches)
+            ));
+        }
+        crate::snapshot::fnv1a64(identity.as_bytes())
+    }
 }
 
 impl From<&Suite> for SourceSuite {

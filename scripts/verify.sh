@@ -128,4 +128,75 @@ cargo run --release --bin tage-bench -- \
   --out target/explore-resumed.json
 cmp target/explore-clean.json target/explore-resumed.json
 
+echo "== service smoke (tage-serve daemon: cache + kill/restart) =="
+# The campaign daemon end to end (docs/SERVICE.md): submit a file-backed
+# grid over exported binary traces, require the served report to byte-match
+# a one-shot run, require a relabelled resubmission to be answered entirely
+# from the cell cache (zero recompute), then SIGTERM the daemon mid-second-
+# grid (graceful shutdown must exit 0), restart it over the same store +
+# journal, and require the rehydrated campaign's report to byte-match a
+# clean run too.
+SERVE_URL=http://127.0.0.1:17421
+rm -rf target/verify-serve
+mkdir -p target/verify-serve
+cargo build --release --bin tage-serve --bin tage-bench
+cargo run --release --bin tage-bench -- --export-traces target/verify-serve/traces \
+  --suites cbp1-mini --branches 10000
+./target/release/tage-serve --addr 127.0.0.1:17421 \
+  --store target/verify-serve/cells --journal target/verify-serve/journal \
+  >target/verify-serve/serve1.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -sf "$SERVE_URL/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+./target/release/tage-bench --submit "$SERVE_URL" \
+  --trace-dir target/verify-serve/traces \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-serve \
+  --out target/verify-serve/report-served.json
+./target/release/tage-bench --trace-dir target/verify-serve/traces \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-serve --no-timing \
+  --out target/verify-serve/report-clean.json
+cmp target/verify-serve/report-served.json target/verify-serve/report-clean.json
+computed=$(curl -sf "$SERVE_URL/metrics" | grep -o '"cells_computed": [0-9]*' | grep -o '[0-9]*$')
+./target/release/tage-bench --submit "$SERVE_URL" \
+  --trace-dir target/verify-serve/traces \
+  --predictors tage-16k,gshare --schemes storage-free,jrs-classic \
+  --branches 10000 --label verify-serve-relabelled \
+  --out target/verify-serve/report-relabelled.json
+recomputed=$(curl -sf "$SERVE_URL/metrics" | grep -o '"cells_computed": [0-9]*' | grep -o '[0-9]*$')
+# The relabelled grid must be answered entirely from the cell cache.
+test "$computed" = "$recomputed"
+./target/release/tage-bench --submit "$SERVE_URL" --no-wait \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --scenario baseline,recovery-energy,shared-predictor,prefetch-throttle \
+  --branches 10000 --label verify-serve-2
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+./target/release/tage-serve --addr 127.0.0.1:17421 \
+  --store target/verify-serve/cells --journal target/verify-serve/journal \
+  >target/verify-serve/serve2.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "$SERVE_URL/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+./target/release/tage-bench --submit "$SERVE_URL" \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --scenario baseline,recovery-energy,shared-predictor,prefetch-throttle \
+  --branches 10000 --label verify-serve-2 \
+  --out target/verify-serve/report-resumed.json
+./target/release/tage-bench \
+  --predictors tage-16k --schemes storage-free --suites cbp1-mini \
+  --scenario baseline,recovery-energy,shared-predictor,prefetch-throttle \
+  --branches 10000 --label verify-serve-2 --no-timing \
+  --out target/verify-serve/report-resumed-clean.json
+cmp target/verify-serve/report-resumed.json target/verify-serve/report-resumed-clean.json
+curl -sf -X POST "$SERVE_URL/shutdown" >/dev/null
+wait "$SERVE_PID"
+trap - EXIT
+
 echo "verify: OK"
