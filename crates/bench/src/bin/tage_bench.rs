@@ -11,8 +11,9 @@
 //!            [--workers N] [--engine multilane|scalar] [--label STR]
 //!            [--out PATH] [--no-timing] [--list]
 //!            [--checkpoint DIR | --resume DIR] [--max-cells N]
+//!            [--sample] [--sample-interval N] [--sample-k N] [--sample-seed N]
 //! tage-bench --explore [--budget-bits N] [--max-geometries N] [...]
-//! tage-bench --export-traces DIR [--suites LIST] [--branches N]
+//! tage-bench --export-traces DIR [--gzip] [--suites LIST] [--branches N]
 //! tage-bench --check PATH
 //! tage-bench --submit http://HOST:PORT [--no-wait] [grid flags...]
 //! ```
@@ -25,9 +26,24 @@
 //! are given the synthetic default is dropped). `--export-traces` writes
 //! the selected synthetic suites to disk as binary traces (streamed, never
 //! materialized) so a follow-up run can consume them with `--trace-dir` —
-//! this is what the CI campaign-smoke job does. `--check` structurally
-//! validates an existing report (schema version + required fields) and
-//! exits non-zero on mismatch.
+//! this is what the CI campaign-smoke job does (`--gzip` writes
+//! `.trace.gz` files instead — the std-only stored-block gzip framing the
+//! gzip-native decoder reads back). `--check` structurally validates an
+//! existing report (schema version + required fields) and exits non-zero
+//! on mismatch.
+//!
+//! **Phase sampling** (SimPoint-style, see `docs/TRACES.md`): a suite
+//! token of the form `sample:<suite>[:interval[:k[:seed]]]` runs the suite
+//! through `tage_sim::phase` — each stream is sliced into
+//! `interval`-record slices, clustered into at most `k` phases, and only
+//! representative slices are simulated, with whole-trace metrics
+//! reconstructed as weighted sums. `--sample` (or any `--sample-*`
+//! override) instead applies one plan to *every* suite on the grid,
+//! including `--trace-dir` suites. Sampled cells pair TAGE predictors with
+//! the storage-free scheme on the baseline scenario; other cells are
+//! skipped with a reason. Sampled reports stay byte-identical across
+//! worker counts, engines, and kill/`--resume` — the sampling plan is part
+//! of each cell's content-addressed identity.
 //!
 //! `--engine` picks the per-point execution path: `multilane` (the default)
 //! lane-batches each lane-batchable cell's suite through the lockstep
@@ -71,7 +87,9 @@ use tage_sim::engine::default_parallelism;
 use tage_sim::point::{PredictorSpec, SchemeSpec};
 use tage_sim::scenarios::ScenarioSpec;
 use tage_sim::EngineKind;
-use tage_traces::source::{BranchSource, SourceSuite, SyntheticSource};
+use tage_traces::decoder;
+use tage_traces::inflate::gzip_compress;
+use tage_traces::source::{BranchSource, SamplingSpec, SourceSuite, SyntheticSource};
 use tage_traces::suites;
 use tage_traces::writer::StreamingTraceWriter;
 use tage_traces::BranchRecord;
@@ -101,6 +119,11 @@ struct Options {
     list: bool,
     check: Option<String>,
     export_traces: Option<String>,
+    gzip: bool,
+    sample: bool,
+    sample_interval: Option<u64>,
+    sample_k: Option<usize>,
+    sample_seed: Option<u64>,
     checkpoint: Option<String>,
     resume: bool,
     max_cells: Option<usize>,
@@ -109,6 +132,28 @@ struct Options {
     max_geometries: Option<usize>,
     submit: Option<String>,
     no_wait: bool,
+}
+
+impl Options {
+    /// The grid-wide sampling plan: `Some` when `--sample` or any
+    /// `--sample-*` override was given, with unset fields at the
+    /// [`SamplingSpec`] defaults.
+    fn sampling_plan(&self) -> Option<SamplingSpec> {
+        if !self.sample
+            && self.sample_interval.is_none()
+            && self.sample_k.is_none()
+            && self.sample_seed.is_none()
+        {
+            return None;
+        }
+        Some(SamplingSpec {
+            interval: self
+                .sample_interval
+                .unwrap_or(SamplingSpec::DEFAULT_INTERVAL),
+            k: self.sample_k.unwrap_or(SamplingSpec::DEFAULT_K),
+            seed: self.sample_seed.unwrap_or(SamplingSpec::DEFAULT_SEED),
+        })
+    }
 }
 
 /// Default `--budget-bits` for `--explore` (the paper's 64 Kbit point).
@@ -134,6 +179,11 @@ fn parse_options() -> Result<Options, String> {
         list: false,
         check: None,
         export_traces: None,
+        gzip: false,
+        sample: false,
+        sample_interval: None,
+        sample_k: None,
+        sample_seed: None,
         checkpoint: None,
         resume: false,
         max_cells: None,
@@ -189,6 +239,24 @@ fn parse_options() -> Result<Options, String> {
             "--export-traces" => {
                 options.export_traces = Some(cli::require_value(&mut args, "--export-traces")?)
             }
+            "--gzip" => options.gzip = true,
+            "--sample" => options.sample = true,
+            "--sample-interval" => {
+                let value = cli::require_value(&mut args, "--sample-interval")?;
+                options.sample_interval =
+                    Some(cli::parse_count("--sample-interval", &value)? as u64);
+            }
+            "--sample-k" => {
+                let value = cli::require_value(&mut args, "--sample-k")?;
+                options.sample_k = Some(cli::parse_count("--sample-k", &value)?);
+            }
+            "--sample-seed" => {
+                let value = cli::require_value(&mut args, "--sample-seed")?;
+                let seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--sample-seed: \"{value}\" is not a u64"))?;
+                options.sample_seed = Some(seed);
+            }
             "--checkpoint" => {
                 options.checkpoint = Some(cli::require_value(&mut args, "--checkpoint")?)
             }
@@ -221,6 +289,15 @@ fn parse_options() -> Result<Options, String> {
     if options.max_cells.is_some() && options.checkpoint.is_none() {
         return Err("--max-cells requires --checkpoint or --resume".to_string());
     }
+    if options.gzip && options.export_traces.is_none() {
+        return Err("--gzip requires --export-traces".to_string());
+    }
+    if options.sample_interval == Some(0) {
+        return Err("--sample-interval must be nonzero".to_string());
+    }
+    if options.sample_k == Some(0) {
+        return Err("--sample-k must be nonzero".to_string());
+    }
     if !options.explore && (options.budget_bits.is_some() || options.max_geometries.is_some()) {
         return Err("--budget-bits/--max-geometries require --explore".to_string());
     }
@@ -237,8 +314,11 @@ fn parse_options() -> Result<Options, String> {
 
 /// Streams every trace of the selected synthetic suites to
 /// `dir/<trace>.trace` as binary files — generator to disk through a
-/// bounded buffer, no materialized `Trace` in between.
-fn export_traces(dir: &str, suite_list: &str, branches: usize) -> Result<(), String> {
+/// bounded buffer, no materialized `Trace` in between. With `gzip`, the
+/// stream is framed into a `.trace.gz` gzip container instead (stored
+/// DEFLATE blocks, readable by any gzip implementation and by the
+/// gzip-native decoder).
+fn export_traces(dir: &str, suite_list: &str, branches: usize, gzip: bool) -> Result<(), String> {
     let dir = Path::new(dir);
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let mut batch = vec![BranchRecord::default(); 4096];
@@ -251,35 +331,63 @@ fn export_traces(dir: &str, suite_list: &str, branches: usize) -> Result<(), Str
         let suite =
             suites::by_name(token).ok_or_else(|| format!("unknown suite token \"{token}\""))?;
         for spec in suite.traces() {
-            let path = dir.join(format!("{}.trace", spec.name()));
-            let file = std::fs::File::create(&path)
-                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-            let mut writer = StreamingTraceWriter::new(std::io::BufWriter::new(file), spec.name())
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let extension = if gzip { "trace.gz" } else { "trace" };
+            let path = dir.join(format!("{}.{extension}", spec.name()));
             let mut source = SyntheticSource::from_spec(spec, branches);
-            loop {
-                let filled = source
-                    .next_batch(&mut batch)
+            let records = if gzip {
+                // Gzip needs the whole-stream CRC, so the trace is framed
+                // in memory and compressed in one pass.
+                let mut writer = StreamingTraceWriter::new(Vec::new(), spec.name())
                     .map_err(|e| format!("{}: {e}", path.display()))?;
-                if filled == 0 {
-                    break;
-                }
-                for record in &batch[..filled] {
-                    writer
-                        .push(record)
+                pump(&mut writer, &mut source, &mut batch, &path)?;
+                let records = writer.records_written();
+                let bytes = writer
+                    .finish()
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                std::fs::write(&path, gzip_compress(&bytes))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                records
+            } else {
+                let file = std::fs::File::create(&path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                let mut writer =
+                    StreamingTraceWriter::new(std::io::BufWriter::new(file), spec.name())
                         .map_err(|e| format!("{}: {e}", path.display()))?;
-                }
-            }
-            let records = writer.records_written();
-            writer
-                .finish()
-                .map_err(|e| format!("{}: {e}", path.display()))?;
+                pump(&mut writer, &mut source, &mut batch, &path)?;
+                let records = writer.records_written();
+                writer
+                    .finish()
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                records
+            };
             println!("exported {} ({records} records)", path.display());
             exported += 1;
         }
     }
     println!("{exported} traces exported to {}", dir.display());
     Ok(())
+}
+
+/// Drains `source` into `writer` through the shared bounded batch buffer.
+fn pump<W: std::io::Write>(
+    writer: &mut StreamingTraceWriter<W>,
+    source: &mut SyntheticSource,
+    batch: &mut [BranchRecord],
+    path: &Path,
+) -> Result<(), String> {
+    loop {
+        let filled = source
+            .next_batch(batch)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if filled == 0 {
+            return Ok(());
+        }
+        for record in &batch[..filled] {
+            writer
+                .push(record)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+    }
 }
 
 fn parse_axis<T>(
@@ -320,9 +428,42 @@ fn print_axes() {
         "scenario tokens:  {}",
         ScenarioSpec::known_tokens().join(", ")
     );
-    println!("file suites:      --trace-dir DIR (streams every *.trace file, sorted)");
+    println!("file suites:      --trace-dir DIR (streams every decodable trace file, sorted)");
     println!();
-    println!("(storage-free pairs with TAGE predictors only; other cells are skipped)");
+    println!("suites:");
+    for name in suites::REGISTRY.iter() {
+        if let Some(suite) = suites::by_name(name) {
+            println!("  {name:<12} {} traces", suite.traces().len());
+        }
+    }
+    println!();
+    println!("trace file formats (--trace-dir detects by file-name suffix):");
+    for decoder in decoder::REGISTRY.iter() {
+        let extensions: Vec<String> = decoder
+            .extensions()
+            .iter()
+            .map(|suffix| format!(".{suffix}"))
+            .collect();
+        println!(
+            "  {:<12} {:<22} {}",
+            decoder.format_name(),
+            extensions.join(" "),
+            decoder.description()
+        );
+    }
+    println!();
+    println!(
+        "sampled suites:   sample:<suite>[:interval[:k[:seed]]] (defaults {}:{}:{}),",
+        SamplingSpec::DEFAULT_INTERVAL,
+        SamplingSpec::DEFAULT_K,
+        SamplingSpec::DEFAULT_SEED
+    );
+    println!(
+        "                  or --sample/--sample-interval/--sample-k/--sample-seed for every suite"
+    );
+    println!();
+    println!("(storage-free pairs with TAGE predictors only; other cells are skipped;");
+    println!(" sampled suites additionally require storage-free × baseline cells)");
 }
 
 fn check_report(path: &str) -> ExitCode {
@@ -360,17 +501,40 @@ fn submit_mode(url: &str, options: &Options) -> ExitCode {
             .map(str::to_string)
             .collect::<Vec<String>>()
     };
+    // Mirror local axis resolution: an unmodified default suite list is
+    // dropped when file-backed suites are given. A grid-wide --sample plan
+    // travels as canonical `sample:` suite tokens — the wire format has no
+    // separate sampling field, which also means it cannot reach trace-dir
+    // suites (those resolve on the daemon's side of the wire).
+    let mut suite_tokens = if options.trace_dirs.is_empty() || options.suites_explicit {
+        split(&options.suites)
+    } else {
+        Vec::new()
+    };
+    if let Some(plan) = options.sampling_plan() {
+        if !options.trace_dirs.is_empty() {
+            eprintln!(
+                "tage-bench: --sample cannot reach --trace-dir suites through --submit; \
+                 run the sampled grid locally or restrict it to registry suites"
+            );
+            return ExitCode::FAILURE;
+        }
+        suite_tokens = suite_tokens
+            .iter()
+            .map(|token| {
+                if token.starts_with("sample:") {
+                    token.clone()
+                } else {
+                    plan.suite_token(token)
+                }
+            })
+            .collect();
+    }
     let request = tage_bench::service::grid::GridRequest {
         label: options.label.clone(),
         predictors: split(&options.predictors),
         schemes: split(&options.schemes),
-        // Mirror local axis resolution: an unmodified default suite list is
-        // dropped when file-backed suites are given.
-        suites: if options.trace_dirs.is_empty() || options.suites_explicit {
-            split(&options.suites)
-        } else {
-            Vec::new()
-        },
+        suites: suite_tokens,
         trace_dirs: options.trace_dirs.clone(),
         scenarios: split(&options.scenarios),
         branches_per_trace: options.branches,
@@ -457,7 +621,7 @@ fn main() -> ExitCode {
         return check_report(path);
     }
     if let Some(dir) = &options.export_traces {
-        return match export_traces(dir, &options.suites, options.branches) {
+        return match export_traces(dir, &options.suites, options.branches, options.gzip) {
             Ok(()) => ExitCode::SUCCESS,
             Err(error) => {
                 eprintln!("tage-bench: --export-traces: {error}");
@@ -522,12 +686,19 @@ fn main() -> ExitCode {
         let suite_names: Vec<String> = suites::REGISTRY.iter().map(|s| s.to_string()).collect();
         // Synthetic registry suites stream through SyntheticSources; an
         // unmodified default is dropped when file-backed suites are given.
+        // A `sample:<suite>[:interval[:k[:seed]]]` token resolves the base
+        // suite and tags it with the phase-sampling plan.
+        let resolve_suite = |token: &str| -> Option<SourceSuite> {
+            match SamplingSpec::parse_token(token) {
+                Some((base, spec)) => {
+                    suites::by_name(base).map(|s| SourceSuite::from_suite(&s).with_sampling(spec))
+                }
+                None if token.starts_with("sample:") => None,
+                None => suites::by_name(token).map(|s| SourceSuite::from_suite(&s)),
+            }
+        };
         let suites = if options.trace_dirs.is_empty() || options.suites_explicit {
-            parse_axis("suite", &options.suites, suites::by_name, &suite_names).map(|list| {
-                list.iter()
-                    .map(SourceSuite::from_suite)
-                    .collect::<Vec<SourceSuite>>()
-            })
+            parse_axis("suite", &options.suites, resolve_suite, &suite_names)
         } else {
             Ok(Vec::new())
         };
@@ -537,6 +708,20 @@ fn main() -> ExitCode {
                     Ok(suite) => list.push(suite),
                     Err(error) => return Err(format!("--trace-dir {dir}: {error}")),
                 }
+            }
+            // The grid-wide --sample plan covers every suite that does not
+            // already carry its own token-level plan.
+            if let Some(plan) = options.sampling_plan() {
+                list = list
+                    .into_iter()
+                    .map(|suite| {
+                        if suite.sampling().is_some() {
+                            suite
+                        } else {
+                            suite.with_sampling(plan)
+                        }
+                    })
+                    .collect();
             }
             Ok(list)
         });

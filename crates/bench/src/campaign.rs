@@ -37,9 +37,11 @@ use std::time::Instant;
 
 use tage_confidence::ConfidenceLevel;
 use tage_sim::point::{
-    run_point_with_engine, PointError, PointResult, PredictorSpec, SchemeSpec, SweepPoint,
+    run_point_with_engine, run_point_with_engine_cached, PointError, PointResult, PredictorSpec,
+    SchemeSpec, SweepPoint,
 };
 use tage_sim::scenarios::{ScenarioSpec, BASELINE_TOKEN};
+use tage_sim::warmcache::WarmCache;
 use tage_sim::EngineKind;
 use tage_traces::source::SourceSuite;
 
@@ -52,8 +54,12 @@ use crate::jsonish;
 /// `"scenarios"` tokens. Schema 3 adds exact storage accounting: every
 /// point carries its predictor's `"storage_bits"`, and `--explore` runs
 /// append a top-level `"explore"` section with the budget and the Pareto
-/// front (see [`ExploreSection`]).
-pub const SCHEMA_VERSION: u32 = 3;
+/// front (see [`ExploreSection`]). Schema 4 adds phase sampling: cells
+/// over a `sample:<suite>:<interval>:<k>:<seed>` suite carry a
+/// `"sampling"` object with the plan and its deterministic accounting
+/// (representative count, measured branches, total records), and their
+/// counters are weighted reconstructions rather than raw measurements.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The `campaign` discriminator field every report carries.
 pub const CAMPAIGN_NAME: &str = "tage-bench";
@@ -490,9 +496,20 @@ pub fn run_campaign_checkpointed(
     let cap = max_cells.unwrap_or(pending.len()).min(pending.len());
     let remaining = pending.len() - cap;
     let to_run = &pending[..cap];
+    // Phase-sampled cells checkpoint predictor warm state next to the cell
+    // store, so a resumed (or repeated) campaign simulates only the
+    // representative slices. Cell bytes are identical either way — an
+    // uncreatable warm directory just degrades to gap replays.
+    let warm = WarmCache::new(store.dir().join("warm")).ok();
     let (results, stats) = steal_map(to_run, workers, |&index| {
         let point_start = Instant::now();
-        run_point_with_engine(&points[index], spec.branches_per_trace, engine).map(|result| {
+        run_point_with_engine_cached(
+            &points[index],
+            spec.branches_per_trace,
+            engine,
+            warm.as_ref(),
+        )
+        .map(|result| {
             let point = CampaignPointReport {
                 result,
                 wall_seconds: point_start.elapsed().as_secs_f64(),
@@ -670,6 +687,19 @@ pub(crate) fn render_point_json(point: &CampaignPointReport, include_timing: boo
             .collect();
         fields.push(format!("\"scenario_metrics\": {{{}}}", metrics.join(", ")));
     }
+    // Sampling accounting is deterministic by construction (see
+    // `PointSamplingMetrics`), so it belongs in the timing-free cell bytes.
+    if let Some(sampling) = &result.sampling {
+        fields.push(format!(
+            "\"sampling\": {{\"interval\": {}, \"k\": {}, \"seed\": {}, \"representatives\": {}, \"measured_branches\": {}, \"total_records\": {}}}",
+            sampling.interval,
+            sampling.k,
+            sampling.seed,
+            sampling.representatives,
+            sampling.measured_branches,
+            sampling.total_records
+        ));
+    }
     if include_timing {
         fields.push(format!("\"wall_seconds\": {:.6}", point.wall_seconds));
         let rate = if point.wall_seconds > 0.0 {
@@ -740,6 +770,37 @@ pub fn validate_report(json: &str) -> Result<ValidatedReport, String> {
             return Err(format!(
                 "point {i} runs scenario \"{scenario}\" but carries no \"scenario_metrics\""
             ));
+        }
+        // Sampled-suite cells must carry a complete sampling object (and
+        // only sampled cells may carry one).
+        let suite = jsonish::string_field(point, "suite").expect("checked above");
+        let sampled_suite = suite.starts_with("sample:");
+        let has_sampling = point.contains("\"sampling\":");
+        if sampled_suite != has_sampling {
+            return Err(format!(
+                "point {i} over suite \"{suite}\" {} a \"sampling\" object",
+                if sampled_suite {
+                    "is sampled but carries no"
+                } else {
+                    "is not sampled but carries"
+                }
+            ));
+        }
+        if has_sampling {
+            for key in [
+                "interval",
+                "k",
+                "seed",
+                "representatives",
+                "measured_branches",
+                "total_records",
+            ] {
+                if jsonish::number_field(point, key).is_none() {
+                    return Err(format!(
+                        "point {i} sampling object is missing numeric field \"{key}\""
+                    ));
+                }
+            }
         }
     }
     // An `--explore` report must carry a structurally complete section:
@@ -1089,6 +1150,106 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    fn sampled_spec() -> CampaignSpec {
+        use tage_traces::source::SamplingSpec;
+        let sampled = SourceSuite::from(suites::cbp1_mini()).with_sampling(SamplingSpec {
+            interval: 250,
+            k: 2,
+            seed: 1,
+        });
+        CampaignSpec {
+            label: "sampled".to_string(),
+            predictors: vec![
+                PredictorSpec::parse("tage-16k").unwrap(),
+                PredictorSpec::parse("gshare").unwrap(),
+            ],
+            schemes: vec![
+                SchemeSpec::parse("storage-free").unwrap(),
+                SchemeSpec::parse("jrs-classic").unwrap(),
+            ],
+            suites: vec![sampled],
+            scenarios: vec![ScenarioSpec::Baseline],
+            branches_per_trace: 2_000,
+        }
+    }
+
+    #[test]
+    fn sampled_campaigns_render_validate_and_skip_unsupported_cells() {
+        let (points, skipped) = sampled_spec().expand();
+        // Only tage-16k × storage-free survives: estimator schemes and
+        // baseline predictors have no sampled path.
+        assert_eq!(points.len(), 1);
+        assert_eq!(skipped.len(), 3);
+        assert!(skipped
+            .iter()
+            .all(|s| s.reason.contains("sampling") || s.reason.contains("TAGE predictor")));
+
+        let report = run_campaign(&sampled_spec(), 2).expect("sampled grid runs");
+        let json = report.render_json(false);
+        let validated = validate_report(&json).expect("sampled report validates");
+        assert_eq!(validated.points, 1);
+        assert_eq!(validated.skipped, 3);
+        assert!(json.contains("\"suite\": \"sample:CBP-1-mini:250:2:1\""));
+        assert!(json.contains("\"sampling\": {\"interval\": 250, \"k\": 2, \"seed\": 1"));
+        // A sampled point claiming no sampling object (or vice versa) fails
+        // validation: strip the object and re-check.
+        let stripped = {
+            let start = json.find(", \"sampling\": {").unwrap();
+            let end = start + json[start..].find('}').unwrap() + 1;
+            format!("{}{}", &json[..start], &json[end..])
+        };
+        assert!(validate_report(&stripped).unwrap_err().contains("sampling"));
+    }
+
+    #[test]
+    fn sampled_campaign_reports_are_deterministic_across_workers_engines_and_resume() {
+        let reference = run_campaign_with_engine(&sampled_spec(), 1, EngineKind::Scalar)
+            .unwrap()
+            .render_json(false);
+        for workers in [2, 4] {
+            for engine in [EngineKind::Scalar, EngineKind::Multilane] {
+                let report = run_campaign_with_engine(&sampled_spec(), workers, engine)
+                    .unwrap()
+                    .render_json(false);
+                assert_eq!(report, reference, "workers={workers} engine={engine:?}");
+            }
+        }
+        // Kill/resume through a checkpoint store — including the predictor
+        // warm cache the sampled path populates under the store directory —
+        // still byte-matches a clean run.
+        let dir = std::env::temp_dir().join(format!(
+            "tage-campaign-sampled-checkpoint-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CellStore::new(&dir).unwrap();
+        let first =
+            run_campaign_checkpointed(&sampled_spec(), 2, EngineKind::Scalar, &store, Some(1))
+                .unwrap();
+        assert_eq!((first.restored, first.executed, first.remaining), (0, 1, 0));
+        let resumed =
+            run_campaign_checkpointed(&sampled_spec(), 4, EngineKind::Multilane, &store, None)
+                .unwrap();
+        assert_eq!((resumed.restored, resumed.executed), (1, 0));
+        assert_eq!(resumed.report.render_json(false), reference);
+        // Drop the finished cells but keep the predictor warm cache
+        // (store/warm): the re-executed cell restores checkpoints instead
+        // of replaying gaps, and its bytes still match — cache state cannot
+        // leak into cell bytes.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "cell") {
+                std::fs::remove_file(path).unwrap();
+            }
+        }
+        let warm_run =
+            run_campaign_checkpointed(&sampled_spec(), 2, EngineKind::Scalar, &store, None)
+                .unwrap();
+        assert_eq!(warm_run.executed, 1);
+        assert_eq!(warm_run.report.render_json(false), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn validation_rejects_broken_reports() {
         assert!(validate_report("{}").is_err());
@@ -1097,33 +1258,33 @@ mod tests {
             "{\"campaign\": \"tage-bench\", \"schema\": 99, \"points\": [{\"predictor\": \"x\"}]}";
         let error = validate_report(wrong_schema).unwrap_err();
         assert!(error.contains("schema"));
-        // Schema-1 and schema-2 reports (pre-scenario / pre-storage) are
-        // explicitly unsupported now.
-        for old in [1, 2] {
+        // Schema-1/2/3 reports (pre-scenario / pre-storage / pre-sampling)
+        // are explicitly unsupported now.
+        for old in [1, 2, 3] {
             let stale = format!(
                 "{{\"campaign\": \"tage-bench\", \"schema\": {old}, \"points\": [{{\"predictor\": \"x\"}}]}}"
             );
             assert!(validate_report(&stale).unwrap_err().contains("schema"));
         }
-        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": []}";
+        let no_points = "{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": []}";
         assert!(validate_report(no_points).unwrap_err().contains("points"));
-        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"storage_bits\": 1, \"traces\": 1}]}";
+        let missing_field = "{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"storage_bits\": 1, \"traces\": 1}]}";
         assert!(validate_report(missing_field)
             .unwrap_err()
             .contains("predictions"));
         // A schema-2-shaped point (no storage accounting) is rejected.
-        let no_storage = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"traces\": 1}]}";
+        let no_storage = "{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"traces\": 1}]}";
         assert!(validate_report(no_storage)
             .unwrap_err()
             .contains("storage_bits"));
         // A schema-1-shaped point (no scenario label) is rejected.
-        let no_scenario = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
+        let no_scenario = "{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"traces\": 1}]}";
         assert!(validate_report(no_scenario)
             .unwrap_err()
             .contains("scenario"));
         // A non-baseline scenario cell without its metrics object is
         // rejected.
-        let no_metrics = "{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"recovery-energy\", \"storage_bits\": 1, \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}]}";
+        let no_metrics = "{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"recovery-energy\", \"storage_bits\": 1, \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}]}";
         assert!(validate_report(no_metrics)
             .unwrap_err()
             .contains("scenario_metrics"));
@@ -1131,13 +1292,13 @@ mod tests {
         // entries is rejected.
         let good_point = "{\"predictor\": \"x\", \"scheme\": \"y\", \"suite\": \"z\", \"scenario\": \"baseline\", \"storage_bits\": 1, \"traces\": 1, \"predictions\": 1, \"mispredictions\": 0, \"instructions\": 1, \"mean_mpki\": 0, \"aggregate_mkp\": 0, \"high_pcov\": 0, \"high_mprate_mkp\": 0}";
         let no_budget = format!(
-            "{{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{good_point}], \"explore\": {{\"candidates\": 1, \"pareto\": []}}}}"
+            "{{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{good_point}], \"explore\": {{\"candidates\": 1, \"pareto\": []}}}}"
         );
         assert!(validate_report(&no_budget)
             .unwrap_err()
             .contains("budget_bits"));
         let bad_pareto = format!(
-            "{{\"campaign\": \"tage-bench\", \"schema\": 3, \"points\": [{good_point}], \"explore\": {{\"budget_bits\": 32768, \"candidates\": 1, \"pareto\": [{{\"predictor\": \"p\", \"storage_bits\": 1}}]}}}}"
+            "{{\"campaign\": \"tage-bench\", \"schema\": 4, \"points\": [{good_point}], \"explore\": {{\"budget_bits\": 32768, \"candidates\": 1, \"pareto\": [{{\"predictor\": \"p\", \"storage_bits\": 1}}]}}}}"
         );
         assert!(validate_report(&bad_pareto)
             .unwrap_err()

@@ -151,13 +151,20 @@ impl CellStore {
 
 /// The content-addressed cell key: everything that determines a cell's
 /// deterministic rendered bytes — the per-trace length, the
-/// predictor/scheme/scenario labels, and the suite's name plus its content
-/// digest. Campaign labels are excluded on purpose: they never reach the
+/// predictor/scheme/scenario labels, the suite's name plus its content
+/// digest, and the phase-sampling plan when the suite carries one (sampled
+/// suites are also *named* by their canonical `sample:` token, but the key
+/// spells the plan out so cell identity never rests on the rename alone).
+/// Campaign labels are excluded on purpose: they never reach the
 /// cell bytes, so keying on them would only defeat cross-campaign sharing.
 pub fn cell_key(branches_per_trace: usize, point: &SweepPoint) -> u64 {
+    let sample = match point.suite.sampling() {
+        Some(spec) => format!("|sample={}", spec.identity()),
+        None => String::new(),
+    };
     fnv1a64(
         format!(
-            "cell|branches={branches_per_trace}|predictor={}|scheme={}|suite={}|suite_digest={:016x}|scenario={}",
+            "cell|branches={branches_per_trace}|predictor={}|scheme={}|suite={}|suite_digest={:016x}|scenario={}{sample}",
             point.predictor.label(),
             point.scheme.label(),
             point.suite.name(),
@@ -253,6 +260,22 @@ mod tests {
         let mut scenario = base.clone();
         scenario.scenario = ScenarioSpec::RecoveryEnergy;
         assert_ne!(key, cell_key(1_000, &scenario));
+        // The sampling plan is part of cell identity: a sampled suite keys
+        // differently from the full suite, and differently per plan.
+        use tage_traces::source::{SamplingSpec, SourceSuite};
+        let plan = SamplingSpec {
+            interval: 500,
+            k: 4,
+            seed: 1,
+        };
+        let mut sampled = base.clone();
+        sampled.suite = SourceSuite::from(suites::cbp1_mini()).with_sampling(plan);
+        let sampled_key = cell_key(1_000, &sampled);
+        assert_ne!(key, sampled_key);
+        let mut other_plan = base.clone();
+        other_plan.suite =
+            SourceSuite::from(suites::cbp1_mini()).with_sampling(SamplingSpec { seed: 2, ..plan });
+        assert_ne!(sampled_key, cell_key(1_000, &other_plan));
     }
 
     #[test]

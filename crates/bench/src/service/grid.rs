@@ -13,7 +13,7 @@ use tage_sim::point::{PredictorSpec, SchemeSpec};
 use tage_sim::scenarios::ScenarioSpec;
 use tage_traces::jsonish;
 use tage_traces::snapshot::fnv1a64;
-use tage_traces::source::SourceSuite;
+use tage_traces::source::{SamplingSpec, SourceSuite};
 use tage_traces::suites;
 
 use crate::campaign::CampaignSpec;
@@ -122,6 +122,12 @@ impl GridRequest {
     /// scheme / scenario tokens through their parsers, suite tokens through
     /// the registry, trace dirs through [`SourceSuite::from_dir`].
     ///
+    /// Suite tokens may carry a phase-sampling plan in the canonical
+    /// `sample:<suite>[:interval[:k[:seed]]]` form
+    /// ([`SamplingSpec::parse_token`]); the base suite is resolved through
+    /// the registry and tagged with the plan, so sampled grids travel over
+    /// the wire as ordinary suite tokens.
+    ///
     /// # Errors
     ///
     /// A human-readable string naming the unresolvable token.
@@ -149,9 +155,20 @@ impl GridRequest {
         }
         let mut suite_list = Vec::new();
         for token in &self.suites {
+            let (base, sampling) = match SamplingSpec::parse_token(token) {
+                Some((base, spec)) => (base, Some(spec)),
+                None if token.starts_with("sample:") => {
+                    return Err(format!("malformed sample suite token \"{token}\""))
+                }
+                None => (token.as_str(), None),
+            };
             let suite =
-                suites::by_name(token).ok_or_else(|| format!("unknown suite token \"{token}\""))?;
-            suite_list.push(SourceSuite::from_suite(&suite));
+                suites::by_name(base).ok_or_else(|| format!("unknown suite token \"{token}\""))?;
+            let mut suite = SourceSuite::from_suite(&suite);
+            if let Some(spec) = sampling {
+                suite = suite.with_sampling(spec);
+            }
+            suite_list.push(suite);
         }
         for dir in &self.trace_dirs {
             suite_list.push(
@@ -244,5 +261,25 @@ mod tests {
         let mut bad = request();
         bad.trace_dirs = vec!["/no/such/dir".to_string()];
         assert!(bad.to_spec().unwrap_err().contains("/no/such/dir"));
+    }
+
+    #[test]
+    fn sample_suite_tokens_resolve_to_sampled_suites() {
+        let mut sampled = request();
+        sampled.suites = vec!["sample:cbp1-mini:250:4:7".to_string()];
+        let spec = sampled.to_spec().unwrap();
+        assert_eq!(spec.suites.len(), 1);
+        let plan = spec.suites[0].sampling().unwrap();
+        assert_eq!((plan.interval, plan.k, plan.seed), (250, 4, 7));
+        assert_eq!(spec.suites[0].name(), "sample:CBP-1-mini:250:4:7");
+        // A sampled grid digests differently from the full grid.
+        assert_ne!(sampled.id(), request().id());
+
+        let mut bad = request();
+        bad.suites = vec!["sample:cbp1-mini:0:4".to_string()];
+        assert!(bad.to_spec().unwrap_err().contains("malformed sample"));
+        let mut bad = request();
+        bad.suites = vec!["sample:no-such-suite:250".to_string()];
+        assert!(bad.to_spec().unwrap_err().contains("no-such-suite"));
     }
 }

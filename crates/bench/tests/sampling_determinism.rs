@@ -1,0 +1,118 @@
+//! Sampled-campaign contract: a `sample:` suite reconstructs the full
+//! run's MPKI within the documented error bound at a fraction of the
+//! simulated branches, and its timing-free report stays byte-identical
+//! across worker counts, engines, and a kill/resume split — the same
+//! determinism bar the full-trace campaigns hold.
+
+use tage_bench::campaign::{
+    run_campaign_checkpointed, run_campaign_with_engine, validate_report, CampaignSpec,
+};
+use tage_bench::cellstore::CellStore;
+use tage_sim::point::{PointResult, PredictorSpec, SchemeSpec};
+use tage_sim::scenarios::ScenarioSpec;
+use tage_sim::EngineKind;
+use tage_traces::source::{SamplingSpec, SourceSuite};
+use tage_traces::suites;
+
+const BRANCHES: usize = 100_000;
+
+/// The pinned plan: 250-record slices, 8 phases, seed 1 — the
+/// configuration the phase-module accuracy test pins at the sim layer.
+const PLAN: SamplingSpec = SamplingSpec {
+    interval: 250,
+    k: 8,
+    seed: 1,
+};
+
+fn grid(predictors: &[&str], sampled: bool) -> CampaignSpec {
+    let mut suite = SourceSuite::from(suites::cbp1_mini());
+    if sampled {
+        suite = suite.with_sampling(PLAN);
+    }
+    CampaignSpec {
+        label: "sampling".to_string(),
+        predictors: predictors
+            .iter()
+            .map(|token| PredictorSpec::parse(token).unwrap())
+            .collect(),
+        schemes: vec![SchemeSpec::parse("storage-free").unwrap()],
+        suites: vec![suite],
+        scenarios: vec![ScenarioSpec::Baseline],
+        branches_per_trace: BRANCHES,
+    }
+}
+
+fn only_result(report: &tage_bench::campaign::CampaignReport) -> &PointResult {
+    let mut computed = report.points.iter().filter_map(|cell| cell.computed());
+    let result = &computed.next().expect("one executed point").result;
+    assert!(computed.next().is_none(), "expected exactly one point");
+    result
+}
+
+#[test]
+fn sampled_campaigns_reconstruct_full_mpki_at_a_fraction_of_the_branches() {
+    let full =
+        run_campaign_with_engine(&grid(&["tage-16k"], false), 4, EngineKind::Multilane).unwrap();
+    let sampled =
+        run_campaign_with_engine(&grid(&["tage-16k"], true), 4, EngineKind::Multilane).unwrap();
+    let full_mpki = only_result(&full).mean_mpki();
+    let sampled_point = only_result(&sampled);
+    let sampled_mpki = sampled_point.mean_mpki();
+    assert!(full_mpki > 0.0);
+    let relative_error = (sampled_mpki - full_mpki).abs() / full_mpki;
+    assert!(
+        relative_error < 0.05,
+        "sampled suite MPKI {sampled_mpki:.4} strays {:.2}% from the full run's {full_mpki:.4}",
+        relative_error * 100.0
+    );
+    // The plan measures at least 5x fewer branches than the full run.
+    let sampling = sampled_point.sampling.as_ref().expect("sampling metadata");
+    assert_eq!(
+        (sampling.interval, sampling.k, sampling.seed),
+        (PLAN.interval, PLAN.k, PLAN.seed)
+    );
+    // Records include non-conditional branches, so the stream total is at
+    // least the conditional-branch budget.
+    assert!(sampling.total_records >= 4 * BRANCHES as u64);
+    assert!(
+        sampling.measured_branches * 5 <= sampling.total_records,
+        "measured {} of {} branches is less than a 5x reduction",
+        sampling.measured_branches,
+        sampling.total_records
+    );
+    // The sampled report round-trips through schema validation.
+    validate_report(&sampled.render_json(false)).expect("sampled report validates");
+}
+
+#[test]
+fn sampled_reports_are_byte_identical_across_workers_engines_and_resume() {
+    let spec = grid(&["tage-16k", "tage-64k"], true);
+    let reference = run_campaign_with_engine(&spec, 1, EngineKind::Multilane)
+        .unwrap()
+        .render_json(false);
+    for workers in [2, 4] {
+        for engine in [EngineKind::Multilane, EngineKind::Scalar] {
+            let report = run_campaign_with_engine(&spec, workers, engine)
+                .unwrap()
+                .render_json(false);
+            assert_eq!(
+                reference, report,
+                "sampled report diverged at workers = {workers}, engine = {engine:?}"
+            );
+        }
+    }
+
+    // Kill/resume: one cell executed, then a resumed run (different worker
+    // count and engine) finishes the grid — bytes still match.
+    let dir =
+        std::env::temp_dir().join(format!("tage-sampling-resume-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CellStore::new(&dir).unwrap();
+    let partial = run_campaign_checkpointed(&spec, 1, EngineKind::Scalar, &store, Some(1)).unwrap();
+    assert_eq!((partial.executed, partial.remaining), (1, 1));
+    let resumed = run_campaign_checkpointed(&spec, 4, EngineKind::Multilane, &store, None).unwrap();
+    assert_eq!(resumed.remaining, 0);
+    assert_eq!(resumed.restored, 1);
+    assert_eq!(reference, resumed.report.render_json(false));
+    let _ = std::fs::remove_dir_all(&dir);
+}

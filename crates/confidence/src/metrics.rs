@@ -41,6 +41,14 @@ impl ClassStats {
         self.mispredictions += other.mispredictions;
     }
 
+    /// Merges `weight` copies of another bucket into this one — the
+    /// building block of weighted metric reconstruction from sampled
+    /// representative slices (`tage_sim::phase`).
+    pub fn merge_scaled(&mut self, other: &ClassStats, weight: u64) {
+        self.predictions += other.predictions * weight;
+        self.mispredictions += other.mispredictions * weight;
+    }
+
     /// Misprediction rate in mispredictions per kilo-prediction (MKP).
     pub fn mprate_mkp(&self) -> f64 {
         if self.predictions == 0 {
@@ -213,6 +221,29 @@ impl ConfidenceReport {
         }
         self.total.merge(&other.total);
         self.instructions += other.instructions;
+    }
+
+    /// Merges `weight` copies of another report into this one: every
+    /// bucket and the instruction count scale by the integer weight.
+    ///
+    /// This is how phase sampling (`tage_sim::phase`) reconstructs
+    /// whole-trace metrics: each simulated representative slice stands for
+    /// `weight` slices of its cluster, so its report is folded in `weight`
+    /// times. Integer scaling keeps the reconstruction exact and
+    /// platform-independent (no float accumulation order to worry about).
+    pub fn merge_scaled(&mut self, other: &ConfidenceReport, weight: u64) {
+        for (mine, theirs) in self.classes.iter_mut().zip(&other.classes) {
+            mine.merge_scaled(theirs, weight);
+        }
+        for (mine, theirs) in self
+            .unclassed_levels
+            .iter_mut()
+            .zip(&other.unclassed_levels)
+        {
+            mine.merge_scaled(theirs, weight);
+        }
+        self.total.merge_scaled(&other.total, weight);
+        self.instructions += other.instructions * weight;
     }
 
     /// Builds the binary confusion treating the given levels as "high
@@ -442,6 +473,33 @@ mod tests {
         assert_eq!(a.total().predictions, 200);
         assert_eq!(a.instructions(), 2000);
         assert_eq!(a.class(PredictionClass::Stag).predictions, 140);
+    }
+
+    #[test]
+    fn merge_scaled_is_repeated_merge() {
+        let mut scaled = ConfidenceReport::new();
+        scaled.merge_scaled(&sample_report(), 3);
+        let mut repeated = ConfidenceReport::new();
+        for _ in 0..3 {
+            repeated.merge(&sample_report());
+        }
+        assert_eq!(scaled, repeated);
+        assert_eq!(scaled.total().predictions, 300);
+        assert_eq!(scaled.instructions(), 3000);
+
+        let mut stats = ClassStats {
+            predictions: 10,
+            mispredictions: 2,
+        };
+        stats.merge_scaled(
+            &ClassStats {
+                predictions: 5,
+                mispredictions: 1,
+            },
+            4,
+        );
+        assert_eq!(stats.predictions, 30);
+        assert_eq!(stats.mispredictions, 6);
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub mod experiment;
 pub mod gating;
 pub mod interleave;
 pub mod multilane;
+pub mod phase;
 pub mod point;
 pub mod report;
 pub mod runner;
@@ -89,9 +90,14 @@ pub mod warmcache;
 
 pub use engine::{BranchEvent, EngineObserver, EngineSummary, ReportObserver, SimEngine};
 pub use multilane::{run_specs_multilane, EngineKind, MultilaneEngine, DEFAULT_LANES};
+pub use phase::{
+    build_plan, compare_sampled_vs_exact, run_sampled_source, PhasePlan, Representative,
+    SampledRunResult, SamplingErrorReport,
+};
 pub use point::{
-    run_point, run_point_with_engine, run_tage_sweep, PointError, PointResult, PointTraceMetrics,
-    PredictorSpec, SchemeSpec, SweepPoint, TageSweepPoint,
+    run_point, run_point_with_engine, run_point_with_engine_cached, run_tage_sweep, PointError,
+    PointResult, PointSamplingMetrics, PointTraceMetrics, PredictorSpec, SchemeSpec, SweepPoint,
+    TageSweepPoint,
 };
 pub use runner::{run_source, run_trace, RunOptions, TraceRunResult};
 pub use scenarios::ScenarioSpec;

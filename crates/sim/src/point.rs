@@ -39,7 +39,7 @@ use tage_confidence::estimators::EstimatorSpec;
 use tage_confidence::{ConfidenceReport, EstimatorScheme, TageConfidenceClassifier};
 use tage_predictors::{BaselinePredictorSpec, MarginPredictor, PredictorCore};
 use tage_traces::format::FormatError;
-use tage_traces::source::{AnySource, BranchSource, SourceSuite};
+use tage_traces::source::{AnySource, BranchSource, SamplingSpec, SourceSuite};
 use tage_traces::Suite;
 
 use crate::engine::{BranchEvent, EngineObserver, ReportObserver, SimEngine};
@@ -48,6 +48,7 @@ use crate::scenarios::energy::RecoveryEnergyObserver;
 use crate::scenarios::interference::{run_shared_predictor, SharedRunResult};
 use crate::scenarios::prefetch::PrefetchObserver;
 use crate::scenarios::ScenarioSpec;
+use crate::warmcache::WarmCache;
 
 /// One value of the predictor axis of a sweep grid.
 #[derive(Debug, Clone)]
@@ -279,6 +280,24 @@ pub enum InvalidPoint {
         /// Label of the offending predictor.
         predictor: String,
     },
+    /// A phase-sampled suite was paired with a cell the sampled runner
+    /// cannot execute: sampling reconstructs through the storage-free TAGE
+    /// path ([`crate::phase::run_sampled_source`]), so baseline predictors
+    /// and estimator schemes have no sampled variant.
+    SamplingNeedsStorageFreeTage {
+        /// Label of the offending predictor.
+        predictor: String,
+        /// Label of the offending scheme.
+        scheme: String,
+    },
+    /// A phase-sampled suite was paired with a non-baseline scenario.
+    /// Scenario metrics are defined over the full prediction stream; a
+    /// weighted slice reconstruction of them would be silently wrong, so
+    /// the combination is rejected instead.
+    SamplingNeedsBaselineScenario {
+        /// Label of the offending scenario.
+        scenario: String,
+    },
 }
 
 impl fmt::Display for InvalidPoint {
@@ -287,6 +306,14 @@ impl fmt::Display for InvalidPoint {
             InvalidPoint::StorageFreeNeedsTage { predictor } => write!(
                 f,
                 "storage-free classification requires a TAGE predictor (got {predictor})"
+            ),
+            InvalidPoint::SamplingNeedsStorageFreeTage { predictor, scheme } => write!(
+                f,
+                "phase sampling requires the TAGE × storage-free cell (got {predictor} × {scheme})"
+            ),
+            InvalidPoint::SamplingNeedsBaselineScenario { scenario } => write!(
+                f,
+                "phase sampling requires the baseline scenario (got {scenario})"
             ),
         }
     }
@@ -317,6 +344,21 @@ impl SweepPoint {
             return Err(InvalidPoint::StorageFreeNeedsTage {
                 predictor: self.predictor.label(),
             });
+        }
+        if self.suite.sampling().is_some() {
+            if !matches!(self.scheme, SchemeSpec::StorageFree)
+                || self.predictor.tage_blueprint().is_none()
+            {
+                return Err(InvalidPoint::SamplingNeedsStorageFreeTage {
+                    predictor: self.predictor.label(),
+                    scheme: self.scheme.label(),
+                });
+            }
+            if self.scenario != ScenarioSpec::Baseline {
+                return Err(InvalidPoint::SamplingNeedsBaselineScenario {
+                    scenario: self.scenario.label().to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -351,6 +393,29 @@ fn mean_trace_mpki(traces: &[PointTraceMetrics]) -> f64 {
     traces.iter().map(PointTraceMetrics::mpki).sum::<f64>() / traces.len() as f64
 }
 
+/// Per-cell phase-sampling accounting, aggregated over every trace of a
+/// sampled point. Every field is a pure function of the suite content and
+/// the [`SamplingSpec`] — cache-dependent counters (how much gap replay
+/// this particular run performed) deliberately stay out, so sampled cell
+/// reports are byte-identical whatever the warm-cache state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSamplingMetrics {
+    /// Records per slice.
+    pub interval: u64,
+    /// Cluster-count bound of the plan.
+    pub k: usize,
+    /// Clustering seed.
+    pub seed: u64,
+    /// Representative slices over the whole suite.
+    pub representatives: u64,
+    /// Conditional branches measured inside representative slices
+    /// (unweighted), over the whole suite.
+    pub measured_branches: u64,
+    /// Total records of the suite's streams (what a full run would have
+    /// simulated).
+    pub total_records: u64,
+}
+
 /// The outcome of running one sweep point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointResult {
@@ -373,6 +438,11 @@ pub struct PointResult {
     /// (empty for the baseline scenario). The names are stable report keys;
     /// see `docs/SCENARIOS.md` for each scenario's metric set.
     pub scenario_metrics: Vec<(String, f64)>,
+    /// Phase-sampling accounting when the point's suite carries a
+    /// [`SamplingSpec`]; `None` for full (unsampled) runs. When set, the
+    /// per-trace counters and the aggregate report are weighted
+    /// reconstructions, not raw measurements.
+    pub sampling: Option<PointSamplingMetrics>,
 }
 
 impl PointResult {
@@ -495,11 +565,86 @@ pub fn run_point_with_engine(
     branches_per_trace: usize,
     engine: EngineKind,
 ) -> Result<PointResult, PointError> {
+    run_point_with_engine_cached(point, branches_per_trace, engine, None)
+}
+
+/// [`run_point_with_engine`] with an optional predictor warm-state cache.
+///
+/// The cache only matters for phase-sampled suites: the sampled runner
+/// checkpoints the sequential predictor state at each representative
+/// slice's start through [`crate::warmcache`], so the first run of a
+/// (predictor, trace) pair pays one sequential pass and every later run
+/// simulates only the slices. Results are bit-identical with or without
+/// the cache; full (unsampled) points ignore it entirely.
+pub fn run_point_with_engine_cached(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+    engine: EngineKind,
+    warm: Option<&WarmCache>,
+) -> Result<PointResult, PointError> {
     point.validate()?;
+    if let Some(sampling) = point.suite.sampling() {
+        return run_point_sampled(point, branches_per_trace, sampling, warm);
+    }
     if engine == EngineKind::Multilane && point_is_lane_batchable(point) {
         return run_point_multilane(point, branches_per_trace);
     }
     run_point_scalar(point, branches_per_trace)
+}
+
+/// The phase-sampled point path: every suite source through
+/// [`crate::phase::run_sampled_source`] (validated to the TAGE ×
+/// storage-free × baseline cell), weighted per-trace counters and a
+/// weighted aggregate report, plus the suite-level sampling accounting.
+fn run_point_sampled(
+    point: &SweepPoint,
+    branches_per_trace: usize,
+    sampling: SamplingSpec,
+    warm: Option<&WarmCache>,
+) -> Result<PointResult, PointError> {
+    let Some(blueprint) = point.predictor.tage_blueprint() else {
+        unreachable!("validate() restricts sampled points to TAGE predictors")
+    };
+    let options = crate::runner::RunOptions::default();
+    let mut aggregate = ConfidenceReport::new();
+    let mut traces = Vec::with_capacity(point.suite.sources().len());
+    let mut metrics = PointSamplingMetrics {
+        interval: sampling.interval,
+        k: sampling.k,
+        seed: sampling.seed,
+        representatives: 0,
+        measured_branches: 0,
+        total_records: 0,
+    };
+    for spec in point.suite.sources() {
+        let warm_pair = warm.map(|cache| (cache, spec.digest(branches_per_trace)));
+        let sampled =
+            crate::phase::run_sampled_source(blueprint, &options, sampling, warm_pair, || {
+                spec.open(branches_per_trace)
+            })?;
+        metrics.representatives += sampled.plan.representatives.len() as u64;
+        metrics.measured_branches += sampled.measured_branches;
+        metrics.total_records += sampled.plan.total_records;
+        let mispredictions = sampled.result.report.total().mispredictions;
+        aggregate.merge(&sampled.result.report);
+        traces.push(PointTraceMetrics {
+            trace_name: sampled.result.trace_name,
+            predictions: sampled.result.conditional_branches,
+            mispredictions,
+            instructions: sampled.result.instructions,
+        });
+    }
+    Ok(PointResult {
+        predictor: point.predictor.label(),
+        scheme: point.scheme.label(),
+        suite: point.suite.name().to_string(),
+        scenario: point.scenario.label().to_string(),
+        storage_bits: point.predictor.storage_bits(),
+        traces,
+        aggregate,
+        scenario_metrics: Vec::new(),
+        sampling: Some(metrics),
+    })
 }
 
 /// Whether [`EngineKind::Multilane`] can actually batch this cell: the
@@ -554,6 +699,7 @@ fn run_point_multilane(
         traces,
         aggregate,
         scenario_metrics: Vec::new(),
+        sampling: None,
     })
 }
 
@@ -617,6 +763,7 @@ fn run_point_scalar(
         traces,
         aggregate,
         scenario_metrics,
+        sampling: None,
     })
 }
 
@@ -1120,6 +1267,122 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn sampled_mini(spec: SamplingSpec) -> SourceSuite {
+        SourceSuite::from_suite(&mini()).with_sampling(spec)
+    }
+
+    fn small_sampling() -> SamplingSpec {
+        SamplingSpec {
+            interval: 250,
+            k: 4,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn sampled_points_reject_unsupported_cells() {
+        let sampled = sampled_mini(small_sampling());
+        let estimator = SweepPoint {
+            predictor: PredictorSpec::parse("tage-16k").unwrap(),
+            scheme: SchemeSpec::parse("self-confidence").unwrap(),
+            suite: sampled.clone(),
+            scenario: ScenarioSpec::Baseline,
+        };
+        assert!(matches!(
+            estimator.validate(),
+            Err(InvalidPoint::SamplingNeedsStorageFreeTage { .. })
+        ));
+        let baseline_predictor = SweepPoint {
+            predictor: PredictorSpec::parse("gshare").unwrap(),
+            scheme: SchemeSpec::parse("self-confidence").unwrap(),
+            suite: sampled.clone(),
+            scenario: ScenarioSpec::Baseline,
+        };
+        assert!(matches!(
+            baseline_predictor.validate(),
+            Err(InvalidPoint::SamplingNeedsStorageFreeTage { .. })
+        ));
+        let scenario = SweepPoint {
+            predictor: PredictorSpec::parse("tage-16k").unwrap(),
+            scheme: SchemeSpec::StorageFree,
+            suite: sampled,
+            scenario: ScenarioSpec::RecoveryEnergy,
+        };
+        let error = scenario.validate().unwrap_err();
+        assert!(matches!(
+            error,
+            InvalidPoint::SamplingNeedsBaselineScenario { .. }
+        ));
+        assert!(error.to_string().contains("baseline scenario"));
+    }
+
+    #[test]
+    fn sampled_points_reconstruct_totals_and_carry_metadata() {
+        let point = SweepPoint {
+            predictor: PredictorSpec::parse("tage-16k").unwrap(),
+            scheme: SchemeSpec::StorageFree,
+            suite: sampled_mini(small_sampling()),
+            scenario: ScenarioSpec::Baseline,
+        };
+        let result = run_point(&point, 2_000).unwrap();
+        // Weights partition the intervals, so the weighted conditional
+        // count reconstructs each trace's total exactly.
+        let full = run_point(
+            &SweepPoint::over_suite(
+                PredictorSpec::parse("tage-16k").unwrap(),
+                SchemeSpec::StorageFree,
+                &mini(),
+            ),
+            2_000,
+        )
+        .unwrap();
+        assert_eq!(result.traces.len(), full.traces.len());
+        for (sampled, exact) in result.traces.iter().zip(&full.traces) {
+            assert_eq!(sampled.trace_name, exact.trace_name);
+            assert_eq!(sampled.predictions, exact.predictions);
+        }
+        let metrics = result.sampling.expect("sampled points carry metadata");
+        assert_eq!(metrics.interval, 250);
+        assert_eq!(metrics.k, 4);
+        assert_eq!(metrics.seed, 1);
+        assert!(metrics.representatives > 0);
+        assert!(metrics.measured_branches > 0);
+        assert!(metrics.measured_branches < metrics.total_records);
+        assert!(result.suite.starts_with("sample:"));
+        assert!(full.sampling.is_none(), "full runs carry no metadata");
+    }
+
+    #[test]
+    fn sampled_points_are_deterministic_across_engines_and_caches() {
+        let dir =
+            std::env::temp_dir().join(format!("tage-point-sampled-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // k=1 keeps the pick count well under the interval count, so the
+        // plan is guaranteed to leave gaps (and therefore checkpoints).
+        let point = SweepPoint {
+            predictor: PredictorSpec::parse("tage-16k").unwrap(),
+            scheme: SchemeSpec::StorageFree,
+            suite: sampled_mini(SamplingSpec {
+                interval: 100,
+                k: 1,
+                seed: 1,
+            }),
+            scenario: ScenarioSpec::Baseline,
+        };
+        let scalar = run_point_with_engine(&point, 1_500, EngineKind::Scalar).unwrap();
+        let multilane = run_point_with_engine(&point, 1_500, EngineKind::Multilane).unwrap();
+        assert_eq!(scalar, multilane, "engine choice cannot leak into cells");
+        let cache = WarmCache::new(&dir).unwrap();
+        let cold =
+            run_point_with_engine_cached(&point, 1_500, EngineKind::Scalar, Some(&cache)).unwrap();
+        let warm =
+            run_point_with_engine_cached(&point, 1_500, EngineKind::Scalar, Some(&cache)).unwrap();
+        assert_eq!(cold, scalar, "cache state cannot leak into cells");
+        assert_eq!(warm, scalar);
+        assert!(cache.hits() > 0, "second run restores checkpoints");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -142,8 +142,10 @@ pub struct SegmentedRunResult {
 /// Runs one segment: a warm-state restore when the cache holds the segment's
 /// boundary state, a silent warmup replay otherwise, then the measured
 /// range. `warm` pairs a [`WarmCache`] with the source's content digest;
-/// `None` always replays.
-fn run_segment<S: BranchSource>(
+/// `None` always replays. [`crate::phase`] follows the same
+/// restore-or-replay recipe for its representative slices, with checkpoint
+/// keys at slice starts instead of segment boundaries.
+pub(crate) fn run_segment<S: BranchSource>(
     geometry: &TageGeometry,
     options: &RunOptions,
     source: &mut S,

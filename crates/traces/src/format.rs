@@ -138,6 +138,23 @@ pub enum FormatError {
         /// Byte offset where the incomplete record starts.
         offset: u64,
     },
+    /// A compressed frame (gzip/DEFLATE) is corrupt: bad container header,
+    /// malformed Huffman data, or a failed integrity check.
+    CorruptFrame {
+        /// Byte offset in the *compressed* stream where the corruption was
+        /// detected.
+        offset: u64,
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// An invalid branch-outcome byte was encountered in a CBP-style binary
+    /// trace (only `0` and `1` encode outcomes).
+    InvalidOutcome {
+        /// The offending outcome byte.
+        byte: u8,
+        /// Byte offset of the corrupt record in the stream.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -161,6 +178,14 @@ impl fmt::Display for FormatError {
             FormatError::TruncatedRecord { offset } => write!(
                 f,
                 "trace ended in the middle of a record at byte offset {offset}"
+            ),
+            FormatError::CorruptFrame { offset, reason } => write!(
+                f,
+                "corrupt compressed frame at byte offset {offset}: {reason}"
+            ),
+            FormatError::InvalidOutcome { byte, offset } => write!(
+                f,
+                "invalid branch outcome byte {byte} at byte offset {offset}"
             ),
         }
     }

@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod decoder;
 pub mod format;
+pub mod inflate;
 pub mod jsonish;
 pub mod reader;
 pub mod record;
@@ -50,11 +52,12 @@ pub mod synthetic;
 pub mod trace;
 pub mod writer;
 
+pub use decoder::{DecodedSource, DecodedTrace, TraceDecoder};
 pub use record::{BranchKind, BranchRecord};
 pub use rng::SplitMix64;
 pub use snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use source::{
-    AnySource, BinaryFileSource, BranchSource, SliceSource, SourceSpec, SourceSuite,
+    AnySource, BinaryFileSource, BranchSource, SamplingSpec, SliceSource, SourceSpec, SourceSuite,
     SyntheticSource, Take,
 };
 pub use stats::TraceStats;

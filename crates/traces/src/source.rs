@@ -29,6 +29,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
+use crate::decoder::{self, DecodedSource};
 use crate::format::{decode_record, FormatError, RECORD_BYTES};
 use crate::reader::read_binary_header;
 use crate::record::BranchRecord;
@@ -547,6 +548,9 @@ pub enum SourceSpec {
     Synthetic(TraceSpec),
     /// Stream a binary trace file from disk.
     BinaryFile(PathBuf),
+    /// Decode a non-native trace file (compressed native, CBP-style text
+    /// or binary — see [`crate::decoder`]) into memory at open time.
+    DecodedFile(PathBuf),
 }
 
 impl SourceSpec {
@@ -559,6 +563,10 @@ impl SourceSpec {
                 .file_stem()
                 .map(|stem| stem.to_string_lossy().into_owned())
                 .unwrap_or_else(|| path.display().to_string()),
+            SourceSpec::DecodedFile(path) => match decoder::detect(path) {
+                Some((_, suffix)) => decoder::default_trace_name(path, suffix),
+                None => path.display().to_string(),
+            },
         }
     }
 
@@ -587,6 +595,10 @@ impl SourceSpec {
                 let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
                 crate::snapshot::fnv1a64(format!("file|{}|len={len}", path.display()).as_bytes())
             }
+            SourceSpec::DecodedFile(path) => {
+                let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                crate::snapshot::fnv1a64(format!("decoded|{}|len={len}", path.display()).as_bytes())
+            }
         }
     }
 
@@ -604,6 +616,9 @@ impl SourceSpec {
                 SyntheticSource::from_spec(spec, conditional_branches),
             ))),
             SourceSpec::BinaryFile(path) => Ok(AnySource::File(BinaryFileSource::open(path)?)),
+            SourceSpec::DecodedFile(path) => {
+                Ok(AnySource::Decoded(Box::new(decoder::decode_file(path)?)))
+            }
         }
     }
 }
@@ -618,6 +633,8 @@ pub enum AnySource {
     Synthetic(Box<SyntheticSource>),
     /// A chunked binary file stream.
     File(BinaryFileSource),
+    /// A fully decoded (compressed or CBP-style) trace held in memory.
+    Decoded(Box<DecodedSource>),
 }
 
 impl BranchSource for AnySource {
@@ -625,6 +642,7 @@ impl BranchSource for AnySource {
         match self {
             AnySource::Synthetic(s) => s.name(),
             AnySource::File(s) => s.name(),
+            AnySource::Decoded(s) => s.name(),
         }
     }
 
@@ -632,6 +650,7 @@ impl BranchSource for AnySource {
         match self {
             AnySource::Synthetic(s) => s.next_batch(buf),
             AnySource::File(s) => s.next_batch(buf),
+            AnySource::Decoded(s) => s.next_batch(buf),
         }
     }
 
@@ -639,6 +658,7 @@ impl BranchSource for AnySource {
         match self {
             AnySource::Synthetic(s) => s.reset(),
             AnySource::File(s) => s.reset(),
+            AnySource::Decoded(s) => s.reset(),
         }
     }
 
@@ -646,6 +666,7 @@ impl BranchSource for AnySource {
         match self {
             AnySource::Synthetic(s) => s.len_hint(),
             AnySource::File(s) => s.len_hint(),
+            AnySource::Decoded(s) => s.len_hint(),
         }
     }
 
@@ -653,7 +674,94 @@ impl BranchSource for AnySource {
         match self {
             AnySource::Synthetic(s) => s.skip_records(n),
             AnySource::File(s) => s.skip_records(n),
+            AnySource::Decoded(s) => s.skip_records(n),
         }
+    }
+}
+
+/// A deterministic phase-sampling plan attached to a [`SourceSuite`]:
+/// slice each stream into `interval`-record slices, cluster the slices
+/// into at most `k` phases (seeded k-means over branch signatures, see
+/// `tage_sim::phase`), simulate one representative slice per phase and
+/// reconstruct whole-trace metrics as weighted sums.
+///
+/// The plan is part of cell identity everywhere it travels: the canonical
+/// suite token [`SamplingSpec::suite_token`] embeds it, sampled suites are
+/// renamed to that token, and the campaign cell store keys on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplingSpec {
+    /// Records per slice (phase-analysis granularity).
+    pub interval: u64,
+    /// Maximum number of representative slices to simulate.
+    pub k: usize,
+    /// Seed of the deterministic k-means clustering.
+    pub seed: u64,
+}
+
+impl SamplingSpec {
+    /// Default slice size when a `sample:` token omits it.
+    pub const DEFAULT_INTERVAL: u64 = 2_500;
+    /// Default cluster count when a `sample:` token omits it.
+    pub const DEFAULT_K: usize = 8;
+    /// Default clustering seed when a `sample:` token omits it.
+    pub const DEFAULT_SEED: u64 = 1;
+
+    /// The spec with all defaults.
+    pub fn default_plan() -> Self {
+        SamplingSpec {
+            interval: Self::DEFAULT_INTERVAL,
+            k: Self::DEFAULT_K,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+
+    /// The canonical suite token for sampling `suite_name` under this
+    /// plan: `sample:<suite>:<interval>:<k>:<seed>`. Parsing the token
+    /// back yields the same name and plan.
+    pub fn suite_token(&self, suite_name: &str) -> String {
+        format!(
+            "sample:{suite_name}:{}:{}:{}",
+            self.interval, self.k, self.seed
+        )
+    }
+
+    /// Parses a `sample:<suite>[:<interval>[:<k>[:<seed>]]]` token into
+    /// the inner suite name and the (default-filled) plan. Returns `None`
+    /// for tokens without the `sample:` prefix or with malformed numeric
+    /// fields; `interval` and `k` must be nonzero.
+    pub fn parse_token(token: &str) -> Option<(&str, SamplingSpec)> {
+        let rest = token.strip_prefix("sample:")?;
+        // The suite name is the first field; registry names contain no
+        // colons, so everything after the next ':' is plan numbers.
+        let (name, numbers) = match rest.split_once(':') {
+            Some((name, numbers)) => (name, Some(numbers)),
+            None => (rest, None),
+        };
+        if name.is_empty() {
+            return None;
+        }
+        let mut spec = SamplingSpec::default_plan();
+        if let Some(numbers) = numbers {
+            let mut fields = numbers.split(':');
+            if let Some(interval) = fields.next() {
+                spec.interval = interval.parse().ok().filter(|&i| i > 0)?;
+            }
+            if let Some(k) = fields.next() {
+                spec.k = k.parse().ok().filter(|&k| k > 0)?;
+            }
+            if let Some(seed) = fields.next() {
+                spec.seed = seed.parse().ok()?;
+            }
+            if fields.next().is_some() {
+                return None;
+            }
+        }
+        Some((name, spec))
+    }
+
+    /// The identity fragment folded into campaign-cell cache keys.
+    pub fn identity(&self) -> String {
+        format!("interval:{},k:{},seed:{}", self.interval, self.k, self.seed)
     }
 }
 
@@ -664,6 +772,7 @@ impl BranchSource for AnySource {
 pub struct SourceSuite {
     name: String,
     sources: Vec<SourceSpec>,
+    sampling: Option<SamplingSpec>,
 }
 
 impl SourceSuite {
@@ -672,6 +781,7 @@ impl SourceSuite {
         SourceSuite {
             name: name.into(),
             sources,
+            sampling: None,
         }
     }
 
@@ -686,6 +796,7 @@ impl SourceSuite {
                 .cloned()
                 .map(SourceSpec::Synthetic)
                 .collect(),
+            sampling: None,
         }
     }
 
@@ -694,38 +805,85 @@ impl SourceSuite {
         SourceSuite {
             name: name.into(),
             sources: paths.into_iter().map(SourceSpec::BinaryFile).collect(),
+            sampling: None,
         }
     }
 
-    /// A file-backed suite over every `*.trace` file in `dir`, in sorted
-    /// (deterministic) file-name order. The suite is named after the
-    /// directory.
+    /// A file-backed suite over every trace file in `dir`, in sorted
+    /// (deterministic) file-name order, named after the directory.
+    ///
+    /// Native `*.trace` files stream chunked through
+    /// [`SourceSpec::BinaryFile`]; every suffix a [`crate::decoder`]
+    /// adapter claims (`.trace.gz`, `.tracez`, `.cbp`, `.cbpb`) becomes a
+    /// [`SourceSpec::DecodedFile`], so mixed-format directories work.
+    /// Files with unknown extensions are skipped with a warning on stderr
+    /// instead of failing the whole suite; subdirectories are ignored
+    /// silently.
     ///
     /// # Errors
     ///
     /// Returns a [`FormatError::Io`] when the directory cannot be read, and
     /// an [`std::io::ErrorKind::NotFound`]-flavoured error when it holds no
-    /// trace files.
+    /// trace files in any recognized format.
     pub fn from_dir(dir: impl AsRef<Path>) -> Result<Self, FormatError> {
         let dir = dir.as_ref();
-        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
             .collect::<Result<Vec<_>, _>>()?
             .into_iter()
             .map(|entry| entry.path())
-            .filter(|path| path.extension().is_some_and(|ext| ext == "trace"))
             .collect();
-        paths.sort();
-        if paths.is_empty() {
+        entries.sort();
+        let mut sources = Vec::new();
+        for path in entries {
+            if path.is_dir() {
+                continue;
+            }
+            if path.extension().is_some_and(|ext| ext == "trace") {
+                sources.push(SourceSpec::BinaryFile(path));
+            } else if decoder::detect(&path).is_some() {
+                sources.push(SourceSpec::DecodedFile(path));
+            } else {
+                eprintln!(
+                    "warning: skipping {} (no trace format claims this extension)",
+                    path.display()
+                );
+            }
+        }
+        if sources.is_empty() {
             return Err(FormatError::Io(std::io::Error::new(
                 std::io::ErrorKind::NotFound,
-                format!("no .trace files in {}", dir.display()),
+                format!("no trace files in a recognized format in {}", dir.display()),
             )));
         }
         let name = dir
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| dir.display().to_string());
-        Ok(SourceSuite::from_files(name, paths))
+        Ok(SourceSuite {
+            name,
+            sources,
+            sampling: None,
+        })
+    }
+
+    /// Attaches a phase-sampling plan, renaming the suite to the canonical
+    /// `sample:<name>:<interval>:<k>:<seed>` token so sampled and full
+    /// cells can never collide in reports, caches or campaign ids. Calling
+    /// it on an already sampled suite replaces the plan (the name keeps a
+    /// single `sample:` prefix).
+    pub fn with_sampling(mut self, spec: SamplingSpec) -> Self {
+        let base = match SamplingSpec::parse_token(&self.name) {
+            Some((inner, _)) => inner.to_string(),
+            None => self.name,
+        };
+        self.name = spec.suite_token(&base);
+        self.sampling = Some(spec);
+        self
+    }
+
+    /// The phase-sampling plan, when one is attached.
+    pub fn sampling(&self) -> Option<SamplingSpec> {
+        self.sampling
     }
 
     /// The suite name.
@@ -871,6 +1029,50 @@ mod tests {
             source.skip_records(u64::MAX).unwrap(),
             trace.len() as u64,
             "skip clamps at the end of the file"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_source_skip_is_a_byte_offset_seek_not_a_read_through() {
+        // Corrupt a record *inside* the skipped range: a seek never decodes
+        // those bytes, so the skip must succeed and the stream resume
+        // cleanly past the damage — a read-through implementation would
+        // error. This pins the phase-sampling gap jump as an O(1) seek.
+        let trace = suites::cbp1_like().trace("MM-5").unwrap().generate(200);
+        let path = temp_path("skip-seek");
+        let mut bytes = TraceWriter::to_binary_bytes(&trace);
+        let data_offset = bytes.len() - trace.len() * RECORD_BYTES;
+        // Poison record 50's kind byte (offset 16 within the record).
+        let poison_at = data_offset + 50 * RECORD_BYTES + 16;
+        bytes[poison_at] = 0x7F;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut source = BinaryFileSource::open_with_chunk_records(&path, 16).unwrap();
+        assert_eq!(source.skip_records(120).unwrap(), 120);
+        assert_eq!(
+            drain(&mut source, 32),
+            &trace.records()[120..],
+            "the stream resumes at the exact byte offset of record 120"
+        );
+
+        // The corruption is real: reading from the start does hit it.
+        source.reset().unwrap();
+        let mut buf = [BranchRecord::default(); 16];
+        let err = loop {
+            match source.next_batch(&mut buf) {
+                Ok(0) => panic!("corrupt record must error on a read-through"),
+                Ok(_) => continue,
+                Err(err) => break err,
+            }
+        };
+        assert!(
+            matches!(
+                err,
+                FormatError::InvalidKind { offset, .. }
+                    if offset == data_offset as u64 + 50 * RECORD_BYTES as u64
+            ),
+            "unexpected error: {err:?}"
         );
         std::fs::remove_file(&path).unwrap();
     }
@@ -1048,15 +1250,85 @@ mod tests {
             )
             .unwrap();
         }
+        // A compressed native trace and a CBP text trace join the suite; an
+        // unknown extension is skipped with a warning instead of erroring.
+        let trace = suite.traces()[1].generate(10);
+        std::fs::write(
+            dir.join("c.trace.gz"),
+            crate::inflate::gzip_compress(&TraceWriter::to_binary_bytes(&trace)),
+        )
+        .unwrap();
+        std::fs::write(dir.join("d.cbp"), b"1000 1\n2000 0\n").unwrap();
         std::fs::write(dir.join("ignored.txt"), b"not a trace").unwrap();
         let scanned = SourceSuite::from_dir(&dir).unwrap();
         let labels: Vec<String> = scanned.sources().iter().map(SourceSpec::label).collect();
-        assert_eq!(labels, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            labels,
+            vec![
+                "a".to_string(),
+                "b".to_string(),
+                "c".to_string(),
+                "d".to_string()
+            ]
+        );
+        assert!(matches!(scanned.sources()[2], SourceSpec::DecodedFile(_)));
+        let mut opened = scanned.sources()[2].open(0).unwrap();
+        assert_eq!(opened.name(), trace.name());
+        assert_eq!(drain(&mut opened, 16), trace.records());
         std::fs::remove_dir_all(&dir).unwrap();
 
         let empty = std::env::temp_dir().join(format!("tage-source-empty-{}", std::process::id()));
         std::fs::create_dir_all(&empty).unwrap();
         assert!(SourceSuite::from_dir(&empty).is_err());
         std::fs::remove_dir_all(&empty).unwrap();
+    }
+
+    #[test]
+    fn sampling_tokens_parse_render_and_rename_suites() {
+        let spec = SamplingSpec {
+            interval: 2_500,
+            k: 8,
+            seed: 1,
+        };
+        assert_eq!(spec.suite_token("cbp1-mini"), "sample:cbp1-mini:2500:8:1");
+        let (name, parsed) = SamplingSpec::parse_token("sample:cbp1-mini:2500:8:1").unwrap();
+        assert_eq!(name, "cbp1-mini");
+        assert_eq!(parsed, spec);
+
+        // Shorter forms fill defaults left to right.
+        let (name, parsed) = SamplingSpec::parse_token("sample:cbp1").unwrap();
+        assert_eq!(name, "cbp1");
+        assert_eq!(parsed, SamplingSpec::default_plan());
+        let (_, parsed) = SamplingSpec::parse_token("sample:cbp1:1000").unwrap();
+        assert_eq!(parsed.interval, 1_000);
+        assert_eq!(parsed.k, SamplingSpec::DEFAULT_K);
+        let (_, parsed) = SamplingSpec::parse_token("sample:cbp1:1000:4").unwrap();
+        assert_eq!(parsed.k, 4);
+        assert_eq!(parsed.seed, SamplingSpec::DEFAULT_SEED);
+
+        for bad in [
+            "cbp1",
+            "sample:",
+            "sample:cbp1:0",       // zero interval
+            "sample:cbp1:10:0",    // zero k
+            "sample:cbp1:x",       // non-numeric
+            "sample:cbp1:1:2:3:4", // too many fields
+        ] {
+            assert!(SamplingSpec::parse_token(bad).is_none(), "{bad}");
+        }
+
+        // with_sampling renames to the canonical token, idempotently.
+        let suite = SourceSuite::from_suite(&suites::cbp1_mini());
+        assert!(suite.sampling().is_none());
+        let base_name = suite.name().to_string();
+        let sampled = suite.with_sampling(spec);
+        assert_eq!(sampled.name(), format!("sample:{base_name}:2500:8:1"));
+        assert_eq!(sampled.sampling(), Some(spec));
+        let resampled = sampled.with_sampling(SamplingSpec {
+            interval: 500,
+            k: 2,
+            seed: 7,
+        });
+        assert_eq!(resampled.name(), format!("sample:{base_name}:500:2:7"));
     }
 }

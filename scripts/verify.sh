@@ -35,7 +35,7 @@ cargo run --release --bin tage-bench -- --branches 10000 --label verify \
 cargo run --release --bin tage-bench -- --check target/campaign-smoke.json
 
 echo "== engine parity smoke (multilane vs scalar) =="
-# One storage-free grid cell through each engine; the timing-free schema-3
+# One storage-free grid cell through each engine; the timing-free schema-4
 # reports must byte-match — the multilane engine's bit-parity contract,
 # observed end to end at the report level (docs/BENCHMARKS.md).
 cargo run --release --bin tage-bench -- \
@@ -50,7 +50,7 @@ cmp target/campaign-multilane.json target/campaign-scalar.json
 
 echo "== scenario smoke (tage-bench --scenario) =="
 # One cell per scenario kind (recovery-energy, shared-predictor,
-# prefetch-throttle) and the schema-3 validation of the scenario_metrics
+# prefetch-throttle) and the schema-4 validation of the scenario_metrics
 # the report must carry (docs/SCENARIOS.md).
 cargo run --release --bin tage-bench -- \
   --predictors tage-16k --schemes storage-free --suites cbp1-mini \
@@ -104,7 +104,7 @@ cmp target/campaign-resumed.json target/campaign-clean.json
 
 echo "== explore smoke (tage-bench --explore, kill + resume) =="
 # Design-space search under a 32 Kbit budget (<=8 geometries): validate the
-# schema-3 report with its explore/Pareto section, then kill the same grid
+# schema-4 report with its explore/Pareto section, then kill the same grid
 # after one cell, resume it, and require the explore report to byte-match
 # the uninterrupted run's (docs/GEOMETRY.md, docs/CAMPAIGNS.md).
 rm -rf target/verify-explore-ckpt
@@ -127,6 +127,67 @@ cargo run --release --bin tage-bench -- \
   --resume target/verify-explore-ckpt \
   --out target/explore-resumed.json
 cmp target/explore-clean.json target/explore-resumed.json
+
+echo "== sampling smoke (gzip export + phase-sampled campaign) =="
+# Real-trace + phase-sampling pipeline end to end (docs/TRACES.md): export
+# a 200k-branch suite as gzip-framed traces (read back through the
+# std-only inflate), run the full-trace cell and the sampled cell
+# (interval 250, k 8) over them, and require (a) the weighted
+# reconstruction to land within 5% of the exact mean MPKI at >= 5x fewer
+# measured branches, (b) byte-identical sampled reports across 1 vs 4
+# workers and across a kill/--resume split.
+rm -rf target/verify-sampling
+cargo run --release --bin tage-bench -- --export-traces target/verify-sampling/traces \
+  --gzip --suites cbp1-mini --branches 200000
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k --schemes storage-free --branches 200000 \
+  --label verify-sampling --no-timing \
+  --out target/verify-sampling/full.json
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k --schemes storage-free --branches 200000 \
+  --sample-interval 250 --sample-k 8 --workers 1 \
+  --label verify-sampling --no-timing \
+  --out target/verify-sampling/sampled-w1.json
+cargo run --release --bin tage-bench -- --check target/verify-sampling/sampled-w1.json
+grep -q '"sampling":' target/verify-sampling/sampled-w1.json
+full_mpki=$(grep -o '"mean_mpki": [0-9.]*' target/verify-sampling/full.json | head -1 | grep -o '[0-9.]*$')
+sampled_mpki=$(grep -o '"mean_mpki": [0-9.]*' target/verify-sampling/sampled-w1.json | head -1 | grep -o '[0-9.]*$')
+awk -v f="$full_mpki" -v s="$sampled_mpki" 'BEGIN {
+  d = (s - f) / f; if (d < 0) d = -d;
+  printf "reconstruction error: %.2f%% (full %s, sampled %s)\n", d * 100, f, s;
+  exit (d < 0.05) ? 0 : 1
+}'
+measured=$(grep -o '"measured_branches": [0-9]*' target/verify-sampling/sampled-w1.json | grep -o '[0-9]*$')
+total=$(grep -o '"total_records": [0-9]*' target/verify-sampling/sampled-w1.json | grep -o '[0-9]*$')
+awk -v m="$measured" -v t="$total" 'BEGIN {
+  printf "measured %s of %s records (%.1fx reduction)\n", m, t, t / m;
+  exit (m * 5 <= t) ? 0 : 1
+}'
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k --schemes storage-free --branches 200000 \
+  --sample-interval 250 --sample-k 8 --workers 4 --engine scalar \
+  --label verify-sampling --no-timing \
+  --out target/verify-sampling/sampled-w4.json
+cmp target/verify-sampling/sampled-w1.json target/verify-sampling/sampled-w4.json
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k,tage-64k --schemes storage-free --branches 200000 \
+  --sample-interval 250 --sample-k 8 \
+  --label verify-sampling-ckpt --no-timing \
+  --checkpoint target/verify-sampling/ckpt --max-cells 1 \
+  --out target/verify-sampling/sampled-resumed.json
+test ! -f target/verify-sampling/sampled-resumed.json
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k,tage-64k --schemes storage-free --branches 200000 \
+  --sample-interval 250 --sample-k 8 \
+  --label verify-sampling-ckpt --no-timing \
+  --resume target/verify-sampling/ckpt \
+  --out target/verify-sampling/sampled-resumed.json
+cargo run --release --bin tage-bench -- --trace-dir target/verify-sampling/traces \
+  --predictors tage-16k,tage-64k --schemes storage-free --branches 200000 \
+  --sample-interval 250 --sample-k 8 \
+  --label verify-sampling-ckpt --no-timing \
+  --out target/verify-sampling/sampled-clean.json
+cmp target/verify-sampling/sampled-resumed.json target/verify-sampling/sampled-clean.json
 
 echo "== service smoke (tage-serve daemon: cache + kill/restart) =="
 # The campaign daemon end to end (docs/SERVICE.md): submit a file-backed
